@@ -1,0 +1,111 @@
+#pragma once
+
+// Shared helpers for the table-reproduction harnesses. Each bench binary
+// regenerates one table (or figure) of the paper on the synthetic benchmark
+// suites; see DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_suite/circuit_generator.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace mebl::bench_common {
+
+/// Deterministic seed shared by all harnesses so tables are reproducible.
+inline constexpr std::uint64_t kSeed = 20130602;  // DAC'13 publication date
+
+/// Generator settings per suite: Faraday circuits are denser 6-layer designs.
+inline bench_suite::GeneratorConfig mcnc_config() {
+  bench_suite::GeneratorConfig config;
+  config.pin_density = 0.05;
+  return config;
+}
+
+inline bench_suite::GeneratorConfig faraday_config() {
+  bench_suite::GeneratorConfig config;
+  config.pin_density = 0.10;
+  return config;
+}
+
+/// How expensive a harness's default circuit set may be. Full-pipeline
+/// harnesses on a single core default to the nine MCNC circuits plus the
+/// representative Faraday circuit (Dma); MEBL_BENCH_FULL=1 restores every
+/// row of Tables I+II, MEBL_BENCH_QUICK=1 keeps the four smallest, and
+/// MEBL_BENCH_CIRCUITS=<names> selects explicitly.
+enum class SuiteWeight {
+  kCheap,   ///< per-circuit cost is seconds: all 14 circuits by default
+  kHeavy,   ///< full pipeline runs: MCNC + Dma by default
+  kSmall,   ///< multiplied by many configs: the smaller MCNC circuits
+};
+
+/// The circuits a harness runs over (see SuiteWeight).
+inline std::vector<bench_suite::BenchmarkSpec> selected_specs(
+    SuiteWeight weight = SuiteWeight::kCheap) {
+  std::vector<bench_suite::BenchmarkSpec> all = bench_suite::mcnc_suite();
+  const auto faraday = bench_suite::faraday_suite();
+  all.insert(all.end(), faraday.begin(), faraday.end());
+
+  if (const char* names = std::getenv("MEBL_BENCH_CIRCUITS")) {
+    std::vector<bench_suite::BenchmarkSpec> picked;
+    std::string list = names;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string name =
+          list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      if (const auto* spec = bench_suite::find_spec(name))
+        picked.push_back(*spec);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (!picked.empty()) return picked;
+  }
+  if (const char* quick = std::getenv("MEBL_BENCH_QUICK");
+      quick != nullptr && quick[0] == '1') {
+    std::vector<bench_suite::BenchmarkSpec> picked;
+    for (const auto& name : {"S5378", "S9234", "Primary1", "Struct"})
+      picked.push_back(*bench_suite::find_spec(name));
+    return picked;
+  }
+  if (const char* full = std::getenv("MEBL_BENCH_FULL");
+      full != nullptr && full[0] == '1')
+    return all;
+
+  std::vector<bench_suite::BenchmarkSpec> picked;
+  switch (weight) {
+    case SuiteWeight::kCheap:
+      return all;
+    case SuiteWeight::kHeavy:
+      picked = bench_suite::mcnc_suite();
+      picked.push_back(*bench_suite::find_spec("Dma"));
+      return picked;
+    case SuiteWeight::kSmall:
+      for (const auto& name :
+           {"Struct", "Primary1", "Primary2", "S5378", "S9234", "S13207"})
+        picked.push_back(*bench_suite::find_spec(name));
+      return picked;
+  }
+  return all;
+}
+
+inline bench_suite::GeneratorConfig config_for(
+    const bench_suite::BenchmarkSpec& spec) {
+  return spec.layers >= 6 ? faraday_config() : mcnc_config();
+}
+
+inline bench_suite::GeneratedCircuit generate(
+    const bench_suite::BenchmarkSpec& spec) {
+  return bench_suite::generate_circuit(spec, config_for(spec), kSeed);
+}
+
+/// Keep table output clean: only warnings and errors on stderr.
+struct QuietLogs {
+  QuietLogs() { util::Log::set_level(util::LogLevel::kWarn); }
+};
+
+}  // namespace mebl::bench_common

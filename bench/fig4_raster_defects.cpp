@@ -1,0 +1,38 @@
+// Reproduces the Fig. 3/4 mechanism quantitatively: rasterization (render +
+// error-diffusion dithering) of a wire cut by a stripe boundary, sweeping
+// the length of the piece left of the boundary. Short polygons suffer a far
+// larger error-pixel ratio — the physical justification for the short
+// polygon constraint.
+
+#include <iostream>
+
+#include "raster/defect.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mebl;
+
+  util::Table table("Cut piece (px)", "Pattern px", "Error px",
+                    "Error ratio (%)", "Kernel");
+  for (const auto kernel : {raster::DitherKernel::kFloydSteinberg,
+                            raster::DitherKernel::kRightDown}) {
+    const char* name =
+        kernel == raster::DitherKernel::kFloydSteinberg ? "Floyd-Steinberg"
+                                                        : "Right+Down";
+    for (const int cut : {1, 2, 3, 5, 8, 12, 20, 32}) {
+      const auto report = raster::short_polygon_experiment(
+          cut, /*length_px=*/64, /*width_px=*/3, /*edge_bias=*/0.0, kernel);
+      table.add_row(std::to_string(cut), std::to_string(report.pattern_pixels),
+                    std::to_string(report.error_pixels),
+                    util::Table::fixed(100.0 * report.error_ratio(), 1), name);
+    }
+    table.add_rule();
+  }
+  std::cout << table.str(
+      "FIG. 4: rasterization defect ratio of the piece cut off by a stripe "
+      "boundary")
+            << "\nPaper shape: the error pixels account for a large share of "
+               "a SHORT polygon's area and a negligible share of a long "
+               "one's.\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Google-benchmark microbenchmarks of the core algorithmic substrates:
+// A* detailed search, min-cost flow (Carlisle-Lloyd), Hungarian matching,
+// layer-assignment heuristics, and the graph-based track assigner.
+
+#include <benchmark/benchmark.h>
+
+#include "assign/layer_assign.hpp"
+#include "assign/track_assign.hpp"
+#include "bench_suite/layer_instance_generator.hpp"
+#include "detail/astar.hpp"
+#include "graph/bipartite_matching.hpp"
+#include "graph/interval_k_coloring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mebl;
+
+void BM_AStarRoute(benchmark::State& state) {
+  const auto span = static_cast<geom::Coord>(state.range(0));
+  grid::RoutingGrid rg(span + 20, span + 20, 3, 30,
+                       grid::StitchPlan(span + 20, 15));
+  detail::GridGraph grid(rg);
+  detail::AStarRouter router(grid, {});
+  netlist::NetId net = 0;
+  for (auto _ : state) {
+    const geom::Coord y = (net * 7) % (span + 10);
+    benchmark::DoNotOptimize(
+        router.route(net, {2, y}, {span, (y + span / 2) % (span + 10)},
+                     rg.extent()));
+    ++net;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AStarRoute)->Arg(40)->Arg(120)->Arg(300);
+
+void BM_IntervalKColoring(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<graph::WeightedInterval> intervals;
+  for (int i = 0; i < state.range(0); ++i) {
+    const auto lo = static_cast<geom::Coord>(rng.uniform_int(0, 200));
+    intervals.push_back(
+        {{lo, lo + static_cast<geom::Coord>(rng.uniform_int(1, 40))},
+         static_cast<double>(rng.uniform_int(1, 100))});
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::max_weight_k_colorable_subset(intervals, 3));
+}
+BENCHMARK(BM_IntervalKColoring)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_HungarianMatching(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost)
+    for (auto& c : row) c = static_cast<double>(rng.uniform_int(0, 1000));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::min_weight_perfect_matching(cost));
+}
+BENCHMARK(BM_HungarianMatching)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LayerAssignMst(benchmark::State& state) {
+  util::Rng rng(3);
+  bench_suite::LayerInstanceConfig config;
+  config.segments = static_cast<int>(state.range(0));
+  const auto segments = bench_suite::generate_layer_instance(config, rng);
+  const auto graph = assign::build_conflict_graph(segments, true);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(assign::assign_layers_mst(graph, 3));
+}
+BENCHMARK(BM_LayerAssignMst)->Arg(44)->Arg(128);
+
+void BM_LayerAssignOurs(benchmark::State& state) {
+  util::Rng rng(3);
+  bench_suite::LayerInstanceConfig config;
+  config.segments = static_cast<int>(state.range(0));
+  const auto segments = bench_suite::generate_layer_instance(config, rng);
+  const auto graph = assign::build_conflict_graph(segments, true);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(assign::assign_layers_ours(graph, 3));
+}
+BENCHMARK(BM_LayerAssignOurs)->Arg(44)->Arg(128);
+
+void BM_TrackAssignGraph(benchmark::State& state) {
+  const grid::StitchPlan stitch(150, 15, 1);
+  util::Rng rng(4);
+  assign::TrackAssignInstance instance;
+  instance.x_span = {30, 59};
+  instance.stitch = &stitch;
+  for (int i = 0; i < state.range(0); ++i) {
+    const auto lo = static_cast<geom::Coord>(rng.uniform_int(0, 10));
+    instance.segments.push_back(
+        {static_cast<std::size_t>(i),
+         {lo, lo + static_cast<geom::Coord>(rng.uniform_int(0, 6))},
+         static_cast<int>(rng.uniform_int(-1, 1)),
+         static_cast<int>(rng.uniform_int(-1, 1)),
+         static_cast<netlist::NetId>(i)});
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(assign::track_assign_graph(instance));
+}
+BENCHMARK(BM_TrackAssignGraph)->Arg(8)->Arg(20);
+
+void BM_TrackAssignIlp(benchmark::State& state) {
+  const grid::StitchPlan stitch(150, 15, 1);
+  util::Rng rng(4);
+  assign::TrackAssignInstance instance;
+  instance.x_span = {30, 44};
+  instance.stitch = &stitch;
+  for (int i = 0; i < state.range(0); ++i) {
+    const auto lo = static_cast<geom::Coord>(rng.uniform_int(0, 4));
+    instance.segments.push_back(
+        {static_cast<std::size_t>(i),
+         {lo, lo + static_cast<geom::Coord>(rng.uniform_int(0, 4))},
+         static_cast<int>(rng.uniform_int(-1, 1)),
+         static_cast<int>(rng.uniform_int(-1, 1)),
+         static_cast<netlist::NetId>(i)});
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(assign::track_assign_ilp(instance));
+}
+BENCHMARK(BM_TrackAssignIlp)->Arg(3)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Reproduces Tables I and II: benchmark circuit characteristics. The
+// synthetic suites carry the paper's exact name / #layers / #nets / #pins
+// columns; the Size column reports both the paper's micrometre extent and
+// the generated track extent (our substitution, see DESIGN.md).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+void print_suite(const char* title,
+                 const std::vector<mebl::bench_suite::BenchmarkSpec>& specs,
+                 const mebl::bench_suite::GeneratorConfig& config) {
+  mebl::util::Table table("Circuit", "Size (um^2)", "Tracks", "#Layers",
+                          "#Nets", "#Pins");
+  for (const auto& spec : specs) {
+    const auto circuit =
+        mebl::bench_suite::generate_circuit(spec, config,
+                                            mebl::bench_common::kSeed);
+    char size[64];
+    std::snprintf(size, sizeof size, "%.1fx%.1f", spec.um_width,
+                  spec.um_height);
+    char tracks[64];
+    std::snprintf(tracks, sizeof tracks, "%dx%d", circuit.grid.width(),
+                  circuit.grid.height());
+    table.add_row(spec.name, size, tracks, spec.layers, spec.nets, spec.pins);
+  }
+  std::cout << table.str(title) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  mebl::bench_common::QuietLogs quiet;
+  print_suite("TABLE I: MCNC benchmark circuits",
+              mebl::bench_suite::mcnc_suite(),
+              mebl::bench_common::mcnc_config());
+  print_suite("TABLE II: Faraday benchmark circuits",
+              mebl::bench_suite::faraday_suite(),
+              mebl::bench_common::faraday_config());
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Table VII: the three track-assignment algorithms inside the
+// otherwise stitch-aware pipeline — stitch-oblivious baseline, the exact
+// ILP (eqs. 5-9), and the graph-based dogleg heuristic. ILP columns print
+// NA when the circuit exceeds the ILP time budget, mirroring the paper's
+// >100000 s entries.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/stitch_router.hpp"
+
+namespace {
+
+struct Row {
+  double rout = 0.0;
+  int vv = 0;
+  int sp = 0;
+  double cpu = 0.0;
+  bool na = false;
+};
+
+Row run(const mebl::bench_suite::GeneratedCircuit& circuit,
+        mebl::core::TrackAlgorithm algorithm) {
+  using namespace mebl;
+  auto config = core::RouterConfig::stitch_aware();
+  config.track_algorithm = algorithm;
+  config.ilp.time_limit_seconds = 5.0;
+  config.ilp_budget_seconds = 30.0;
+  util::Timer timer;
+  core::StitchAwareRouter router(circuit.grid, circuit.netlist, config);
+  const auto result = router.run();
+  Row row;
+  row.rout = result.metrics.routability_pct();
+  row.vv = result.metrics.via_violations;
+  row.sp = result.metrics.short_polygons;
+  row.cpu = timer.seconds();
+  row.na = result.ilp_budget_exceeded;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mebl;
+  bench_common::QuietLogs quiet;
+
+  util::Table table("Circuit", "w/o Rout.(%)", "w/o #SP", "w/o CPU(s)",
+                    "ILP Rout.(%)", "ILP #SP", "ILP CPU(s)", "Graph Rout.(%)",
+                    "Graph #SP", "Graph CPU(s)");
+
+  std::int64_t base_sp = 0, graph_sp = 0;
+  double base_cpu = 0.0, graph_cpu = 0.0, ilp_cpu = 0.0;
+  int ilp_circuits = 0;
+
+  for (const auto& spec : bench_common::selected_specs(bench_common::SuiteWeight::kSmall)) {
+    const auto circuit = bench_common::generate(spec);
+    const Row baseline = run(circuit, core::TrackAlgorithm::kBaseline);
+    const Row ilp = run(circuit, core::TrackAlgorithm::kIlp);
+    const Row graph = run(circuit, core::TrackAlgorithm::kGraph);
+
+    table.add_row(spec.name, util::Table::fixed(baseline.rout, 2),
+                  std::to_string(baseline.sp),
+                  util::Table::fixed(baseline.cpu, 1),
+                  ilp.na ? "NA" : util::Table::fixed(ilp.rout, 2),
+                  ilp.na ? "NA" : std::to_string(ilp.sp),
+                  ilp.na ? "NA" : util::Table::fixed(ilp.cpu, 1),
+                  util::Table::fixed(graph.rout, 2), std::to_string(graph.sp),
+                  util::Table::fixed(graph.cpu, 1));
+
+    base_sp += baseline.sp;
+    graph_sp += graph.sp;
+    base_cpu += baseline.cpu;
+    graph_cpu += graph.cpu;
+    if (!ilp.na) {
+      ilp_cpu += ilp.cpu;
+      ++ilp_circuits;
+    }
+  }
+
+  table.add_rule();
+  table.add_row("Comp.", "1.000", "1.000", "1.0", "-", "-",
+                ilp_circuits > 0 ? util::Table::fixed(ilp_cpu, 1) + "s total"
+                                 : "NA",
+                "-",
+                util::Table::fixed(base_sp > 0
+                                       ? static_cast<double>(graph_sp) /
+                                             static_cast<double>(base_sp)
+                                       : 0.0,
+                                   3),
+                util::Table::fixed(base_cpu > 0 ? graph_cpu / base_cpu : 1.0, 1));
+
+  std::cout << table.str(
+      "TABLE VII: track assignment algorithms (within the stitch-aware flow)")
+            << "\nPaper shape: stitch-aware assigners remove >97% of short "
+               "polygons; ILP is orders of magnitude slower (NA = budget "
+               "exceeded), graph CPU ratio ~1.1\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Standalone routing driver: route a design file (the "MEBL1" text format,
+// see netlist/io.hpp) and emit metrics, an SVG plot, and congestion
+// heatmaps. This is the adoption path for users with their own designs:
+//
+//   mebl_route_cli design.mebl [--baseline] [--refine-pins] [--svg out.svg]
+//
+// With no file argument a demo design is generated, saved next to the
+// outputs, and routed — so the binary is also a runnable example.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench_suite/circuit_generator.hpp"
+#include "core/stitch_router.hpp"
+#include "eval/congestion.hpp"
+#include "eval/svg_writer.hpp"
+#include "netlist/io.hpp"
+#include "place/pin_refine.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: mebl_route_cli [design.mebl] [options]\n"
+      "  --baseline      route with the conventional (stitch-oblivious) flow\n"
+      "  --refine-pins   run stitch-aware pin refinement before routing\n"
+      "  --svg PATH      write the routed layout as SVG\n"
+      "  --heatmap       print the vertical congestion heatmap\n"
+      "  --save PATH     write the (possibly refined) design back out\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mebl;
+
+  std::string design_path;
+  std::string svg_path;
+  std::string save_path;
+  bool baseline = false;
+  bool refine = false;
+  bool heatmap = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      baseline = true;
+    } else if (arg == "--refine-pins") {
+      refine = true;
+    } else if (arg == "--heatmap") {
+      heatmap = true;
+    } else if (arg == "--svg" && i + 1 < argc) {
+      svg_path = argv[++i];
+    } else if (arg == "--save" && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      design_path = arg;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      usage();
+      return 2;
+    }
+  }
+
+  // Load the design, or synthesize a demo one.
+  std::optional<netlist::Design> design;
+  if (!design_path.empty()) {
+    design = netlist::load_design(design_path);
+    if (!design) {
+      std::cerr << "cannot load design from " << design_path << "\n";
+      return 1;
+    }
+    std::cout << "loaded " << design_path << ": " << design->grid.width()
+              << "x" << design->grid.height() << " tracks, "
+              << design->netlist.num_nets() << " nets\n";
+  } else {
+    std::cout << "no design given; generating the S9234-like demo circuit\n";
+    auto circuit =
+        bench_suite::generate_circuit(*bench_suite::find_spec("S9234"), {}, 1);
+    design = netlist::Design{circuit.grid, std::move(circuit.netlist)};
+  }
+
+  if (refine) {
+    const auto stats = place::refine_pins(design->grid, design->netlist);
+    std::cout << "pin refinement: moved " << stats.pins_moved
+              << " pins (on-line " << stats.pins_on_lines_before << " -> "
+              << stats.pins_on_lines_after << ", unfriendly "
+              << stats.pins_unfriendly_before << " -> "
+              << stats.pins_unfriendly_after << ")\n";
+  }
+  if (!save_path.empty()) {
+    if (!netlist::save_design(save_path, *design)) {
+      std::cerr << "cannot save design to " << save_path << "\n";
+      return 1;
+    }
+    std::cout << "saved design to " << save_path << "\n";
+  }
+
+  core::StitchAwareRouter router(design->grid, design->netlist,
+                                 baseline ? core::RouterConfig::baseline()
+                                          : core::RouterConfig::stitch_aware());
+  const auto result = router.run();
+
+  std::cout << "routability        : " << result.metrics.routability_pct()
+            << "% (" << result.metrics.routed_nets << "/"
+            << result.metrics.total_nets << " nets)\n"
+            << "wirelength         : " << result.metrics.wirelength << "\n"
+            << "vias               : " << result.metrics.vias << "\n"
+            << "short polygons     : " << result.metrics.short_polygons << "\n"
+            << "via violations     : " << result.metrics.via_violations << "\n"
+            << "vertical violations: " << result.metrics.vertical_violations
+            << "\n"
+            << "stage seconds      : G " << result.times.global_seconds
+            << " / L " << result.times.layer_seconds << " / T "
+            << result.times.track_seconds << " / D "
+            << result.times.detail_seconds << "\n";
+
+  if (!svg_path.empty()) {
+    if (!eval::write_svg(*result.grid, svg_path)) {
+      std::cerr << "cannot write " << svg_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << svg_path << "\n";
+  }
+  if (heatmap) {
+    const auto congestion = eval::measure_congestion(*result.grid);
+    std::cout << "vertical congestion (peak " << congestion.peak() << "):\n"
+              << eval::ascii_heatmap(congestion, /*vertical=*/true);
+  }
+  return result.metrics.vertical_violations == 0 ? 0 : 1;
+}

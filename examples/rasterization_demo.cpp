@@ -1,0 +1,66 @@
+// Reproduces Figs. 3-4 visually on the terminal: the MEBL data-preparation
+// flow (rendering to gray levels, then error-diffusion dithering) applied to
+// a wire cut by a stripe boundary. Shows why a short polygon with a landing
+// via is dangerous: its few irregular boundary pixels are a large fraction
+// of its area.
+
+#include <iostream>
+
+#include "raster/defect.hpp"
+
+namespace {
+
+using namespace mebl::raster;
+
+void print_gray(const GrayBitmap& gray) {
+  const char* shades = " .:-=+*#%@";
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      const int level =
+          std::min(9, static_cast<int>(gray.at(x, y) * 9.999));
+      std::cout << shades[level];
+    }
+    std::cout << '\n';
+  }
+}
+
+void print_binary(const BinaryBitmap& bitmap, int cut_x) {
+  for (int y = 0; y < bitmap.height(); ++y) {
+    for (int x = 0; x < bitmap.width(); ++x) {
+      if (x == cut_x)
+        std::cout << '|';  // the stitching (stripe) boundary
+      std::cout << (bitmap.at(x, y) != 0 ? '#' : ' ');
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A 30x3-pixel wire whose horizontal edges fall mid-pixel (the gray rows
+  // that make dithering produce irregular pixels, Fig. 3).
+  const FeatureRect wire{2.0, 2.35, 32.0, 5.35};
+  const int w = 36, h = 9;
+
+  std::cout << "=== Fig. 3(a): rendered gray-level bitmap ===\n";
+  const auto gray = render({wire}, w, h);
+  print_gray(gray);
+
+  std::cout << "\n=== Fig. 3(b): dithered exposure (error diffusion) ===\n";
+  const auto exposed = dither(gray);
+  print_binary(exposed, -1);
+
+  std::cout << "\n=== Fig. 4: the same wire cut by a stripe boundary ===\n";
+  for (const int cut : {2, 16}) {
+    const auto report = short_polygon_experiment(cut, 30, 3);
+    std::cout << "piece of length " << cut << " px: " << report.error_pixels
+              << " error pixels over " << report.pattern_pixels
+              << " pattern pixels -> error ratio "
+              << 100.0 * report.error_ratio() << "%\n";
+  }
+  std::cout << "\nThe short piece's error ratio dwarfs the long piece's — "
+               "this is the defect mechanism that motivates the short "
+               "polygon constraint (Fig. 5(c)).\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "assign/conflict_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mebl::assign {
+
+std::vector<double> ConflictGraph::vertex_weights() const {
+  std::vector<double> weight(segments.size(), 0.0);
+  for (const auto& e : edges) {
+    weight[static_cast<std::size_t>(e.a)] += e.weight;
+    weight[static_cast<std::size_t>(e.b)] += e.weight;
+  }
+  return weight;
+}
+
+double ConflictGraph::coloring_cost(const std::vector<int>& color) const {
+  assert(color.size() == segments.size());
+  double cost = 0.0;
+  for (const auto& e : edges)
+    if (color[static_cast<std::size_t>(e.a)] ==
+        color[static_cast<std::size_t>(e.b)])
+      cost += e.weight;
+  return cost;
+}
+
+ConflictGraph build_conflict_graph(const std::vector<SegmentProfile>& segments,
+                                   bool include_line_end_term) {
+  ConflictGraph graph;
+  graph.segments = segments;
+  if (segments.empty()) return graph;
+
+  // Row extent of the panel.
+  geom::Coord lo = segments[0].span.lo;
+  geom::Coord hi = segments[0].span.hi;
+  for (const auto& s : segments) {
+    assert(!s.span.empty());
+    lo = std::min(lo, s.span.lo);
+    hi = std::max(hi, s.span.hi);
+  }
+
+  // Segment density and line-end density per row.
+  const std::size_t rows = static_cast<std::size_t>(hi - lo + 1);
+  std::vector<int> density(rows, 0);
+  std::vector<int> end_density(rows, 0);
+  for (const auto& s : segments) {
+    for (geom::Coord r = s.span.lo; r <= s.span.hi; ++r)
+      ++density[static_cast<std::size_t>(r - lo)];
+    ++end_density[static_cast<std::size_t>(s.span.lo - lo)];
+    ++end_density[static_cast<std::size_t>(s.span.hi - lo)];
+  }
+
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    for (std::size_t j = i + 1; j < segments.size(); ++j) {
+      const geom::Interval overlap =
+          segments[i].span.intersect(segments[j].span);
+      if (overlap.empty()) continue;
+      double w = 0.0;
+      for (geom::Coord r = overlap.lo; r <= overlap.hi; ++r)
+        w = std::max(w,
+                     static_cast<double>(density[static_cast<std::size_t>(r - lo)]));
+      if (include_line_end_term) {
+        // Rows where both segments have a line end.
+        double d_end = 0.0;
+        for (const geom::Coord ri :
+             {segments[i].span.lo, segments[i].span.hi}) {
+          for (const geom::Coord rj :
+               {segments[j].span.lo, segments[j].span.hi}) {
+            if (ri == rj)
+              d_end = std::max(
+                  d_end,
+                  static_cast<double>(end_density[static_cast<std::size_t>(ri - lo)]));
+          }
+        }
+        w += d_end;
+      }
+      graph.edges.push_back(graph::WeightedEdge{
+          static_cast<graph::NodeId>(i), static_cast<graph::NodeId>(j), w});
+    }
+  }
+  return graph;
+}
+
+}  // namespace mebl::assign

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/interval.hpp"
+#include "graph/spanning_tree.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mebl::assign {
+
+/// Abstract segment for layer assignment: its tile-row span inside one
+/// panel and the owning net. Line ends sit at span.lo and span.hi.
+struct SegmentProfile {
+  geom::Interval span;
+  netlist::NetId net = -1;
+};
+
+/// Segment conflict graph of one panel (paper SIII-B, Fig. 8): vertices are
+/// segments, an edge joins two segments that intersect in some tile, and the
+/// edge weight follows eq. (4):
+///   w(i,j) = D_segment(i,j) + D_end(i,j)
+/// where D_segment is the maximum segment density over the rows where i and
+/// j overlap and D_end the maximum line-end density over the rows where both
+/// have line ends (column panels only — row panels drop the end term).
+struct ConflictGraph {
+  std::vector<SegmentProfile> segments;
+  std::vector<graph::WeightedEdge> edges;
+
+  /// Sum of incident edge weights per vertex (the vertex weight used by our
+  /// k-colorable-subset heuristic).
+  [[nodiscard]] std::vector<double> vertex_weights() const;
+
+  /// Cost of a coloring = total weight of monochromatic edges (smaller is
+  /// better; equivalent to maximizing the k-cut).
+  [[nodiscard]] double coloring_cost(const std::vector<int>& color) const;
+};
+
+/// Build the conflict graph of a panel. `include_line_end_term` is true for
+/// column panels (stitch-aware) and false for row panels.
+[[nodiscard]] ConflictGraph build_conflict_graph(
+    const std::vector<SegmentProfile>& segments, bool include_line_end_term);
+
+}  // namespace mebl::assign

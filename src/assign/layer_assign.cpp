@@ -1,0 +1,231 @@
+#include "assign/layer_assign.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <queue>
+
+#include "graph/bipartite_matching.hpp"
+#include "graph/interval_k_coloring.hpp"
+
+namespace mebl::assign {
+
+LayerAssignment assign_layers_mst(const ConflictGraph& graph, int k) {
+  assert(k >= 1);
+  const std::size_t n = graph.segments.size();
+  LayerAssignment out;
+  out.group.assign(n, 0);
+  if (n == 0 || k == 1) {
+    out.cost = k == 1 ? graph.coloring_cost(out.group) : 0.0;
+    return out;
+  }
+
+  // Maximum spanning forest, then adjacency of the forest.
+  const auto chosen = graph::maximum_spanning_forest(n, graph.edges);
+  std::vector<std::vector<graph::NodeId>> tree(n);
+  for (const std::size_t idx : chosen) {
+    tree[static_cast<std::size_t>(graph.edges[idx].a)].push_back(
+        graph.edges[idx].b);
+    tree[static_cast<std::size_t>(graph.edges[idx].b)].push_back(
+        graph.edges[idx].a);
+  }
+
+  // Color every tree of the forest by BFS level mod k (the [4] heuristic:
+  // vertices on the same tree level share a layer).
+  std::vector<int> level(n, -1);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (level[root] != -1) continue;
+    level[root] = 0;
+    std::queue<graph::NodeId> queue;
+    queue.push(static_cast<graph::NodeId>(root));
+    while (!queue.empty()) {
+      const graph::NodeId u = queue.front();
+      queue.pop();
+      for (const graph::NodeId v : tree[static_cast<std::size_t>(u)]) {
+        if (level[static_cast<std::size_t>(v)] != -1) continue;
+        level[static_cast<std::size_t>(v)] =
+            level[static_cast<std::size_t>(u)] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) out.group[v] = level[v] % k;
+  out.cost = graph.coloring_cost(out.group);
+  return out;
+}
+
+LayerAssignment assign_layers_ours(const ConflictGraph& graph, int k) {
+  assert(k >= 1);
+  const std::size_t n = graph.segments.size();
+  LayerAssignment out;
+  out.group.assign(n, -1);
+  if (n == 0) return out;
+  if (k == 1) {
+    std::fill(out.group.begin(), out.group.end(), 0);
+    out.cost = graph.coloring_cost(out.group);
+    return out;
+  }
+
+  std::vector<bool> assigned(n, false);
+  std::size_t num_assigned = 0;
+  bool first_round = true;
+
+  while (num_assigned < n) {
+    // Vertex weights over the remaining subgraph. A +1 offset makes every
+    // vertex worth selecting so rounds always make progress.
+    std::vector<double> weight(n, 1.0);
+    for (const auto& e : graph.edges) {
+      if (assigned[static_cast<std::size_t>(e.a)] ||
+          assigned[static_cast<std::size_t>(e.b)])
+        continue;
+      weight[static_cast<std::size_t>(e.a)] += e.weight;
+      weight[static_cast<std::size_t>(e.b)] += e.weight;
+    }
+
+    // Max-weight k-colorable subset of the remaining segments.
+    std::vector<graph::WeightedInterval> intervals;
+    std::vector<std::size_t> owner;  // interval -> segment index
+    for (std::size_t v = 0; v < n; ++v) {
+      if (assigned[v]) continue;
+      intervals.push_back(
+          graph::WeightedInterval{graph.segments[v].span, weight[v]});
+      owner.push_back(v);
+    }
+    const auto subset = graph::max_weight_k_colorable_subset(intervals, k);
+    assert(!subset.chosen.empty());
+
+    // This round's coloring groups.
+    std::vector<int> round_color(n, -1);
+    for (std::size_t c = 0; c < subset.chosen.size(); ++c) {
+      const std::size_t v = owner[subset.chosen[c]];
+      round_color[v] = subset.color_of_chosen[c];
+    }
+
+    if (first_round) {
+      for (std::size_t v = 0; v < n; ++v)
+        if (round_color[v] != -1) out.group[v] = round_color[v];
+      first_round = false;
+    } else {
+      // Merge with the accumulated groups: complete bipartite matching where
+      // cost(g,h) = conflict weight created by fusing existing group g with
+      // this round's group h (pseudo-empty groups cost nothing).
+      std::vector<std::vector<double>> cost(
+          static_cast<std::size_t>(k),
+          std::vector<double>(static_cast<std::size_t>(k), 0.0));
+      for (const auto& e : graph.edges) {
+        const auto a = static_cast<std::size_t>(e.a);
+        const auto b = static_cast<std::size_t>(e.b);
+        if (out.group[a] != -1 && round_color[b] != -1)
+          cost[static_cast<std::size_t>(out.group[a])]
+              [static_cast<std::size_t>(round_color[b])] += e.weight;
+        if (out.group[b] != -1 && round_color[a] != -1)
+          cost[static_cast<std::size_t>(out.group[b])]
+              [static_cast<std::size_t>(round_color[a])] += e.weight;
+      }
+      const auto match = graph::min_weight_perfect_matching(cost);
+      // match[g] = round color merged into accumulated group g.
+      std::vector<int> group_of_round(static_cast<std::size_t>(k), 0);
+      for (int g = 0; g < k; ++g)
+        group_of_round[match[static_cast<std::size_t>(g)]] = g;
+      for (std::size_t v = 0; v < n; ++v)
+        if (round_color[v] != -1)
+          out.group[v] = group_of_round[static_cast<std::size_t>(round_color[v])];
+    }
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (round_color[v] != -1 && !assigned[v]) {
+        assigned[v] = true;
+        ++num_assigned;
+      }
+    }
+  }
+
+  out.cost = graph.coloring_cost(out.group);
+  return out;
+}
+
+std::vector<int> order_groups_for_vias(const ConflictGraph& graph,
+                                       const std::vector<int>& group, int k) {
+  assert(group.size() == graph.segments.size());
+  // Affinity(g,h) = number of net pairs shared between groups g and h;
+  // groups with high affinity should sit on adjacent layers so the nets'
+  // vertical connections span fewer layers.
+  std::vector<std::vector<double>> affinity(
+      static_cast<std::size_t>(k),
+      std::vector<double>(static_cast<std::size_t>(k), 0.0));
+  std::map<netlist::NetId, std::vector<int>> groups_of_net;
+  for (std::size_t v = 0; v < graph.segments.size(); ++v)
+    if (graph.segments[v].net >= 0)
+      groups_of_net[graph.segments[v].net].push_back(group[v]);
+  for (const auto& [net, gs] : groups_of_net) {
+    (void)net;
+    for (std::size_t i = 0; i < gs.size(); ++i)
+      for (std::size_t j = i + 1; j < gs.size(); ++j)
+        if (gs[i] != gs[j]) {
+          affinity[static_cast<std::size_t>(gs[i])]
+                  [static_cast<std::size_t>(gs[j])] += 1.0;
+          affinity[static_cast<std::size_t>(gs[j])]
+                  [static_cast<std::size_t>(gs[i])] += 1.0;
+        }
+  }
+
+  // Greedy chain: start from the highest-affinity pair and repeatedly append
+  // the unplaced group with the strongest tie to either chain end.
+  std::vector<int> chain;
+  std::vector<bool> placed(static_cast<std::size_t>(k), false);
+  int best_a = 0, best_b = k > 1 ? 1 : 0;
+  double best = -1.0;
+  for (int a = 0; a < k; ++a)
+    for (int b = a + 1; b < k; ++b)
+      if (affinity[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] >
+          best) {
+        best = affinity[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+        best_a = a;
+        best_b = b;
+      }
+  chain.push_back(best_a);
+  placed[static_cast<std::size_t>(best_a)] = true;
+  if (k > 1) {
+    chain.push_back(best_b);
+    placed[static_cast<std::size_t>(best_b)] = true;
+  }
+  while (static_cast<int>(chain.size()) < k) {
+    int pick = -1;
+    bool at_front = false;
+    double pick_score = -1.0;
+    for (int g = 0; g < k; ++g) {
+      if (placed[static_cast<std::size_t>(g)]) continue;
+      const double front_score =
+          affinity[static_cast<std::size_t>(g)]
+                  [static_cast<std::size_t>(chain.front())];
+      const double back_score =
+          affinity[static_cast<std::size_t>(g)]
+                  [static_cast<std::size_t>(chain.back())];
+      if (front_score > pick_score) {
+        pick_score = front_score;
+        pick = g;
+        at_front = true;
+      }
+      if (back_score > pick_score) {
+        pick_score = back_score;
+        pick = g;
+        at_front = false;
+      }
+    }
+    assert(pick != -1);
+    if (at_front)
+      chain.insert(chain.begin(), pick);
+    else
+      chain.push_back(pick);
+    placed[static_cast<std::size_t>(pick)] = true;
+  }
+
+  std::vector<int> slot_of_group(static_cast<std::size_t>(k), 0);
+  for (int slot = 0; slot < k; ++slot)
+    slot_of_group[static_cast<std::size_t>(chain[static_cast<std::size_t>(slot)])] =
+        slot;
+  return slot_of_group;
+}
+
+}  // namespace mebl::assign

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "assign/conflict_graph.hpp"
+
+namespace mebl::assign {
+
+/// Result of distributing the segments of one panel over k same-direction
+/// layers: a group (color) in [0,k) per segment and the coloring cost
+/// (total weight of monochromatic conflict edges; smaller = better
+/// max-cut k-coloring).
+struct LayerAssignment {
+  std::vector<int> group;
+  double cost = 0.0;
+};
+
+/// Baseline heuristic of [4]: build a maximum spanning tree of the conflict
+/// graph and k-color it by tree level (depth mod k).
+[[nodiscard]] LayerAssignment assign_layers_mst(const ConflictGraph& graph,
+                                                int k);
+
+/// Our heuristic (paper SIII-B, Fig. 9(c)-(e)): iteratively extract the
+/// maximum-total-vertex-weight k-colorable subset (exact on interval graphs
+/// via Carlisle-Lloyd min-cost flow), then merge each round's coloring
+/// groups into the accumulated groups with a minimum-weight perfect
+/// bipartite matching over conflict weights.
+[[nodiscard]] LayerAssignment assign_layers_ours(const ConflictGraph& graph,
+                                                 int k);
+
+/// Map coloring groups to physical layers so that groups sharing many nets
+/// land on adjacent layers (the via-minimizing assignment adopted from [4]).
+/// Returns a permutation: slot_of_group[g] is the index into the panel's
+/// layer list for group g.
+[[nodiscard]] std::vector<int> order_groups_for_vias(
+    const ConflictGraph& graph, const std::vector<int>& group, int k);
+
+}  // namespace mebl::assign

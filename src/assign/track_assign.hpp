@@ -1,0 +1,93 @@
+#pragma once
+
+#include <vector>
+
+#include "grid/stitch_plan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mebl::assign {
+
+/// One vertical segment to be given an exact track inside a column panel.
+struct TrackSegment {
+  std::size_t run_index = 0;  ///< caller's back-reference (e.g. RoutePlan run)
+  geom::Interval rows;        ///< tile rows the segment spans
+  /// Horizontal continuation at the low/high end: 0 none, -1 the connected
+  /// horizontal wire leaves toward smaller x, +1 toward larger x.
+  int lo_continuation = 0;
+  int hi_continuation = 0;
+  netlist::NetId net = -1;
+};
+
+/// Track-assignment problem for one (column panel, vertical layer) pair.
+struct TrackAssignInstance {
+  geom::Interval x_span;  ///< absolute track range of the panel
+  const grid::StitchPlan* stitch = nullptr;
+  std::vector<TrackSegment> segments;
+};
+
+/// Assigned geometry of one segment: per tile-row piece, the absolute track.
+/// Consecutive pieces on different tracks form a dogleg.
+struct SegmentTrack {
+  std::vector<std::pair<geom::Interval, geom::Coord>> pieces;
+  bool ripped = false;  ///< not assigned; detailed routing routes it directly
+  int bad_ends = 0;     ///< line ends left in stitch unfriendly regions (0..2)
+};
+
+/// Result of one instance. `tracks` is parallel to `instance.segments`.
+struct TrackAssignResult {
+  std::vector<SegmentTrack> tracks;
+  int total_bad_ends = 0;
+  int total_ripped = 0;
+  bool solved = true;     ///< false when the ILP hit its limits (caller falls back)
+  bool optimal = false;   ///< ILP proved optimality
+  std::int64_t ilp_nodes = 0;  ///< branch-and-bound nodes (ILP only)
+};
+
+/// True when a vertical line end on track `x` whose horizontal wire leaves
+/// in direction `continuation` (+1/-1) creates a bad end: the end lies in
+/// the stitch unfriendly region of the line the wire crosses.
+[[nodiscard]] bool is_bad_end(geom::Coord x, int continuation,
+                              const grid::StitchPlan& stitch);
+
+/// Shared post-pass: count bad ends of an assigned segment.
+[[nodiscard]] int count_bad_ends(const TrackSegment& segment,
+                                 const SegmentTrack& track,
+                                 const grid::StitchPlan& stitch);
+
+/// Stitch-oblivious baseline (the conventional track assigner of the
+/// baseline router): left-edge first-fit over the full panel width,
+/// straight tracks only. Segments that land on a stitching-line column are
+/// ripped up afterwards (routed directly in detailed routing), exactly as
+/// the paper describes for the baseline flow.
+[[nodiscard]] TrackAssignResult track_assign_baseline(
+    const TrackAssignInstance& instance);
+
+/// Graph-based short-polygon-avoiding heuristic (paper SIII-C2, Fig. 11):
+/// stitch-aware segment ordering, min/max track constraint graphs with
+/// dummy-vertex unfriendly-region offsets, longest-path feasible windows,
+/// then greedy dogleg-aware assignment.
+[[nodiscard]] TrackAssignResult track_assign_graph(
+    const TrackAssignInstance& instance);
+
+/// Options for the exact ILP formulation (eqs. 5-9).
+struct IlpTrackOptions {
+  double time_limit_seconds = 10.0;
+  std::int64_t max_nodes = 2'000'000;
+  /// Maximum dogleg jump between adjacent tile rows, in tracks. Bounds the
+  /// track-edge count (the paper's model is O(T^2) per row gap; real panels
+  /// never need jumps wider than a few tracks).
+  int max_dogleg = 3;
+  /// Weight of a source/target edge that creates a bad end. The paper
+  /// removes such edges; a large finite penalty keeps the model feasible in
+  /// over-dense panels while still minimizing bad ends first.
+  double bad_end_penalty = 1000.0;
+};
+
+/// Exact ILP-based short-polygon-avoiding track assignment (paper SIII-C1):
+/// multicommodity-flow model over track vertices with vertex-capacity and
+/// edge-crossing constraints, solved by the branch-and-bound solver. When a
+/// limit is hit, `solved` is false and the caller is expected to fall back.
+[[nodiscard]] TrackAssignResult track_assign_ilp(
+    const TrackAssignInstance& instance, const IlpTrackOptions& options = {});
+
+}  // namespace mebl::assign

@@ -1,0 +1,88 @@
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "assign/track_assign.hpp"
+
+namespace mebl::assign {
+
+bool is_bad_end(geom::Coord x, int continuation,
+                const grid::StitchPlan& stitch) {
+  if (continuation == 0) return false;  // no horizontal wire, no short polygon
+  const auto& lines = stitch.lines();
+  if (lines.empty()) return false;
+  if (continuation < 0) {
+    // Wire leaves to smaller x; the first line below x cuts it.
+    auto it = std::lower_bound(lines.begin(), lines.end(), x);
+    if (it == lines.begin()) return false;
+    return x - *std::prev(it) <= stitch.epsilon();
+  }
+  // Wire leaves to larger x; the first line above x cuts it.
+  auto it = std::upper_bound(lines.begin(), lines.end(), x);
+  if (it == lines.end()) return false;
+  return *it - x <= stitch.epsilon();
+}
+
+int count_bad_ends(const TrackSegment& segment, const SegmentTrack& track,
+                   const grid::StitchPlan& stitch) {
+  if (track.ripped || track.pieces.empty()) return 0;
+  int bad = 0;
+  // The low end lives on the first piece, the high end on the last.
+  if (is_bad_end(track.pieces.front().second, segment.lo_continuation, stitch))
+    ++bad;
+  if (is_bad_end(track.pieces.back().second, segment.hi_continuation, stitch))
+    ++bad;
+  return bad;
+}
+
+TrackAssignResult track_assign_baseline(const TrackAssignInstance& instance) {
+  assert(instance.stitch != nullptr);
+  TrackAssignResult result;
+  result.tracks.resize(instance.segments.size());
+
+  // Left-edge algorithm: sort by row start, first-fit the lowest free track.
+  std::vector<std::size_t> order(instance.segments.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& sa = instance.segments[a];
+    const auto& sb = instance.segments[b];
+    if (sa.rows.lo != sb.rows.lo) return sa.rows.lo < sb.rows.lo;
+    return sa.rows.length() > sb.rows.length();
+  });
+
+  // occupied[x - x_span.lo] accumulates the row intervals used per track.
+  const auto width = static_cast<std::size_t>(instance.x_span.length());
+  std::vector<geom::IntervalSet> occupied(width);
+
+  for (const std::size_t idx : order) {
+    const TrackSegment& seg = instance.segments[idx];
+    SegmentTrack& out = result.tracks[idx];
+    bool placed = false;
+    for (std::size_t t = 0; t < width && !placed; ++t) {
+      if (occupied[t].overlaps(seg.rows)) continue;
+      occupied[t].insert(seg.rows);
+      const geom::Coord x = instance.x_span.lo + static_cast<geom::Coord>(t);
+      out.pieces.emplace_back(seg.rows, x);
+      placed = true;
+    }
+    if (!placed) {
+      out.ripped = true;
+      ++result.total_ripped;
+      continue;
+    }
+    // The baseline ignores stitching lines during assignment; segments that
+    // ended up on a line column violate the vertical routing constraint and
+    // are ripped up for direct detailed routing (paper SIV-A).
+    if (instance.stitch->is_stitch_column(out.pieces.front().second)) {
+      out.pieces.clear();
+      out.ripped = true;
+      ++result.total_ripped;
+      continue;
+    }
+    out.bad_ends = count_bad_ends(seg, out, *instance.stitch);
+    result.total_bad_ends += out.bad_ends;
+  }
+  return result;
+}
+
+}  // namespace mebl::assign

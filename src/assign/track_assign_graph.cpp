@@ -1,0 +1,366 @@
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "assign/track_assign.hpp"
+#include "graph/dag_longest_path.hpp"
+
+namespace mebl::assign {
+
+namespace {
+
+using geom::Coord;
+using geom::Interval;
+
+/// Tracks at the start (end) of a region that would turn a line end with a
+/// left (right) leaving wire into a bad end — the dummy-edge weights of the
+/// constraint graphs.
+int bad_prefix_len(const Interval& region, const grid::StitchPlan& stitch) {
+  int len = 0;
+  for (Coord x = region.lo; x <= region.hi && is_bad_end(x, -1, stitch); ++x)
+    ++len;
+  return len;
+}
+
+int bad_suffix_len(const Interval& region, const grid::StitchPlan& stitch) {
+  int len = 0;
+  for (Coord x = region.hi; x >= region.lo && is_bad_end(x, +1, stitch); --x)
+    ++len;
+  return len;
+}
+
+/// One per-row piece of a segment inside a region.
+struct Piece {
+  std::size_t seg;  ///< index into the region's segment list
+  Coord row;
+  bool is_lo_end;
+  bool is_hi_end;
+};
+
+/// Per-region solver implementing ordering + constraint graphs + greedy
+/// dogleg assignment.
+class RegionSolver {
+ public:
+  RegionSolver(const TrackAssignInstance& instance, Interval region,
+               std::vector<std::size_t> members)
+      : instance_(instance), region_(region), members_(std::move(members)) {}
+
+  void solve(TrackAssignResult& result) {
+    if (members_.empty()) return;
+    determine_order();
+    while (!members_.empty()) {
+      build_pieces();
+      if (compute_windows(/*with_dummies=*/true)) break;
+      // Bad ends unavoidable at this density: drop the unfriendly-region
+      // offsets and accept (counted) bad ends.
+      if (compute_windows(/*with_dummies=*/false)) break;
+      // Still infeasible: density exceeds the region's track count. Rip the
+      // shortest segment (cheapest to reroute directly) and retry.
+      rip_one(result);
+    }
+    assign_tracks(result);
+  }
+
+ private:
+  void determine_order() {
+    // Longest segments get the positions adjacent to the stitching lines
+    // (they have the most dogleg freedom); then each side prefers a segment
+    // that does not overlap the adjacent outer segment's bad-end rows so
+    // those bad ends can be resolved with doglegs; the rest fill the middle.
+    std::vector<std::size_t> pool = members_;
+    std::stable_sort(pool.begin(), pool.end(), [&](std::size_t a, std::size_t b) {
+      return instance_.segments[a].rows.length() >
+             instance_.segments[b].rows.length();
+    });
+
+    std::vector<std::size_t> left, right;
+    bool to_left = true;
+    while (!pool.empty()) {
+      const std::size_t adjacent =
+          to_left ? (left.empty() ? SIZE_MAX : left.back())
+                  : (right.empty() ? SIZE_MAX : right.back());
+      std::size_t pick_pos = 0;
+      if (adjacent != SIZE_MAX) {
+        const auto& adj = instance_.segments[adjacent];
+        // Rows where the adjacent segment risks a bad end toward this side.
+        const int toward = to_left ? -1 : +1;
+        std::vector<Coord> risk_rows;
+        if (adj.lo_continuation == toward) risk_rows.push_back(adj.rows.lo);
+        if (adj.hi_continuation == toward) risk_rows.push_back(adj.rows.hi);
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          const auto& cand = instance_.segments[pool[i]];
+          const bool clear = std::none_of(
+              risk_rows.begin(), risk_rows.end(),
+              [&](Coord r) { return cand.rows.contains(r); });
+          if (clear) {
+            pick_pos = i;
+            break;
+          }
+        }
+      }
+      (to_left ? left : right).push_back(pool[pick_pos]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+      to_left = !to_left;
+    }
+    order_ = std::move(left);
+    order_.insert(order_.end(), right.rbegin(), right.rend());
+    members_ = order_;  // keep members in order for later passes
+  }
+
+  void build_pieces() {
+    pieces_.clear();
+    piece_of_.clear();
+    for (std::size_t m = 0; m < members_.size(); ++m) {
+      const auto& seg = instance_.segments[members_[m]];
+      std::vector<std::size_t> ids;
+      for (Coord r = seg.rows.lo; r <= seg.rows.hi; ++r) {
+        ids.push_back(pieces_.size());
+        pieces_.push_back(Piece{m, r, r == seg.rows.lo, r == seg.rows.hi});
+      }
+      piece_of_.push_back(std::move(ids));
+    }
+  }
+
+  /// Longest-path windows [m, M] per piece. Returns false when some window
+  /// is empty (infeasible under the current constraints).
+  bool compute_windows(bool with_dummies) {
+    const std::size_t n = pieces_.size();
+    const int tracks = region_.length();
+    // Node layout: 0 = source, 1 = dummy, 2.. = pieces.
+    const auto node = [](std::size_t p) {
+      return static_cast<graph::NodeId>(p + 2);
+    };
+    // Rank of each member in the left-to-right order.
+    std::vector<std::size_t> rank(members_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      const auto it = std::find(members_.begin(), members_.end(), order_[i]);
+      if (it != members_.end())
+        rank[static_cast<std::size_t>(it - members_.begin())] = i;
+    }
+
+    graph::Dag min_dag(n + 2);
+    graph::Dag max_dag(n + 2);
+    for (std::size_t p = 0; p < n; ++p) {
+      min_dag.add_arc(0, node(p), 1);
+      max_dag.add_arc(0, node(p), 1);
+    }
+    if (with_dummies) {
+      min_dag.add_arc(0, 1, bad_prefix_len(region_, *instance_.stitch));
+      max_dag.add_arc(0, 1, bad_suffix_len(region_, *instance_.stitch));
+      for (std::size_t p = 0; p < n; ++p) {
+        const Piece& piece = pieces_[p];
+        const auto& seg = instance_.segments[members_[piece.seg]];
+        const bool bad_left = (piece.is_lo_end && seg.lo_continuation == -1) ||
+                              (piece.is_hi_end && seg.hi_continuation == -1);
+        const bool bad_right = (piece.is_lo_end && seg.lo_continuation == +1) ||
+                               (piece.is_hi_end && seg.hi_continuation == +1);
+        if (bad_left) min_dag.add_arc(1, node(p), 1);
+        if (bad_right) max_dag.add_arc(1, node(p), 1);
+      }
+    }
+    // Order arcs between same-row pieces.
+    std::vector<std::vector<std::size_t>> by_row;
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto r = static_cast<std::size_t>(pieces_[p].row - row_lo());
+      if (by_row.size() <= r) by_row.resize(r + 1);
+      by_row[r].push_back(p);
+    }
+    for (const auto& row : by_row) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        for (std::size_t j = 0; j < row.size(); ++j) {
+          if (i == j) continue;
+          if (rank[pieces_[row[i]].seg] < rank[pieces_[row[j]].seg])
+            min_dag.add_arc(node(row[i]), node(row[j]), 1);
+          else
+            max_dag.add_arc(node(row[i]), node(row[j]), 1);
+        }
+      }
+    }
+
+    const auto min_dist = min_dag.longest_from(0);
+    const auto max_dist = max_dag.longest_from(0);
+    assert(min_dist && max_dist);  // DAGs by construction (order is total)
+    min_track_.assign(n, 1);
+    max_track_.assign(n, tracks);
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto lo = (*min_dist)[static_cast<std::size_t>(node(p))];
+      const auto hi = (*max_dist)[static_cast<std::size_t>(node(p))];
+      min_track_[p] = static_cast<int>(lo.value_or(1));
+      max_track_[p] = tracks + 1 - static_cast<int>(hi.value_or(1));
+      if (min_track_[p] > max_track_[p]) return false;
+    }
+    return true;
+  }
+
+  void rip_one(TrackAssignResult& result) {
+    // Rip the shortest member (fewest tiles to reroute).
+    auto it = std::min_element(
+        members_.begin(), members_.end(), [&](std::size_t a, std::size_t b) {
+          return instance_.segments[a].rows.length() <
+                 instance_.segments[b].rows.length();
+        });
+    result.tracks[*it].ripped = true;
+    ++result.total_ripped;
+    order_.erase(std::remove(order_.begin(), order_.end(), *it), order_.end());
+    members_.erase(it);
+  }
+
+  void assign_tracks(TrackAssignResult& result) {
+    const int tracks = region_.length();
+    std::vector<int> last_used(
+        static_cast<std::size_t>(row_hi() - row_lo() + 1), 0);
+
+    for (const std::size_t member : order_) {
+      const auto mi = static_cast<std::size_t>(
+          std::find(members_.begin(), members_.end(), member) -
+          members_.begin());
+      if (mi >= members_.size()) continue;  // ripped
+      const auto& ids = piece_of_[mi];
+      const TrackSegment& seg = instance_.segments[member];
+      SegmentTrack& out = result.tracks[member];
+
+      // Prefer a single straight track satisfying every piece's window and
+      // the already-used tracks in its rows.
+      int straight_lo = 1, straight_hi = tracks;
+      for (const std::size_t p : ids) {
+        const auto r = static_cast<std::size_t>(pieces_[p].row - row_lo());
+        straight_lo = std::max({straight_lo, min_track_[p], last_used[r] + 1});
+        straight_hi = std::min(straight_hi, max_track_[p]);
+      }
+      bool ok = true;
+      std::vector<int> track_of_piece(ids.size());
+      if (straight_lo <= straight_hi) {
+        std::fill(track_of_piece.begin(), track_of_piece.end(), straight_lo);
+      } else {
+        // Dogleg: walk the pieces, staying as close to the previous track as
+        // the window and occupancy allow.
+        int prev = -1;
+        for (std::size_t k = 0; k < ids.size() && ok; ++k) {
+          const std::size_t p = ids[k];
+          const auto r = static_cast<std::size_t>(pieces_[p].row - row_lo());
+          int lo = std::max(min_track_[p], last_used[r] + 1);
+          int hi = max_track_[p];
+          if (lo > hi) hi = tracks;  // relax the right window before failing
+          if (lo > hi) {
+            ok = false;
+            break;
+          }
+          track_of_piece[k] = prev < 0 ? lo : std::clamp(prev, lo, hi);
+          prev = track_of_piece[k];
+        }
+      }
+      if (!ok) {
+        out.ripped = true;
+        ++result.total_ripped;
+        continue;
+      }
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        const std::size_t p = ids[k];
+        const auto r = static_cast<std::size_t>(pieces_[p].row - row_lo());
+        last_used[r] = std::max(last_used[r], track_of_piece[k]);
+        const Coord x = region_.lo + track_of_piece[k] - 1;
+        const Interval row{pieces_[p].row, pieces_[p].row};
+        if (!out.pieces.empty() && out.pieces.back().second == x)
+          out.pieces.back().first = out.pieces.back().first.hull(row);
+        else
+          out.pieces.emplace_back(row, x);
+      }
+      out.bad_ends = count_bad_ends(seg, out, *instance_.stitch);
+      result.total_bad_ends += out.bad_ends;
+    }
+  }
+
+  [[nodiscard]] Coord row_lo() const {
+    Coord lo = instance_.segments[members_[0]].rows.lo;
+    for (const std::size_t m : members_)
+      lo = std::min(lo, instance_.segments[m].rows.lo);
+    return lo;
+  }
+  [[nodiscard]] Coord row_hi() const {
+    Coord hi = instance_.segments[members_[0]].rows.hi;
+    for (const std::size_t m : members_)
+      hi = std::max(hi, instance_.segments[m].rows.hi);
+    return hi;
+  }
+
+  const TrackAssignInstance& instance_;
+  Interval region_;
+  std::vector<std::size_t> members_;  ///< segment indices, in order
+  std::vector<std::size_t> order_;    ///< left-to-right sequence
+  std::vector<Piece> pieces_;
+  std::vector<std::vector<std::size_t>> piece_of_;  ///< member -> piece ids
+  std::vector<int> min_track_;
+  std::vector<int> max_track_;
+};
+
+}  // namespace
+
+TrackAssignResult track_assign_graph(const TrackAssignInstance& instance) {
+  assert(instance.stitch != nullptr);
+  TrackAssignResult result;
+  result.tracks.resize(instance.segments.size());
+  if (instance.segments.empty()) return result;
+
+  // Split the panel into regions between stitching lines.
+  std::vector<Interval> regions;
+  Coord start = instance.x_span.lo;
+  for (Coord x = instance.x_span.lo; x <= instance.x_span.hi; ++x) {
+    if (!instance.stitch->is_stitch_column(x)) continue;
+    if (x > start) regions.push_back({start, x - 1});
+    start = x + 1;
+  }
+  if (start <= instance.x_span.hi) regions.push_back({start, instance.x_span.hi});
+  if (regions.empty()) {
+    // Degenerate: every track is a stitching line; nothing can be assigned.
+    for (auto& t : result.tracks) t.ripped = true;
+    result.total_ripped = static_cast<int>(result.tracks.size());
+    return result;
+  }
+
+  // Distribute segments to regions, longest first, by remaining capacity at
+  // the segment's rows.
+  const Coord row_min = instance.segments[0].rows.lo;
+  Coord row_max = instance.segments[0].rows.hi;
+  Coord row_lo = row_min;
+  for (const auto& s : instance.segments) {
+    row_lo = std::min(row_lo, s.rows.lo);
+    row_max = std::max(row_max, s.rows.hi);
+  }
+  const auto rows = static_cast<std::size_t>(row_max - row_lo + 1);
+  std::vector<std::vector<int>> load(regions.size(), std::vector<int>(rows, 0));
+
+  std::vector<std::size_t> order(instance.segments.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return instance.segments[a].rows.length() >
+           instance.segments[b].rows.length();
+  });
+
+  std::vector<std::vector<std::size_t>> region_members(regions.size());
+  for (const std::size_t idx : order) {
+    const auto& seg = instance.segments[idx];
+    std::size_t best_region = 0;
+    int best_slack = std::numeric_limits<int>::min();
+    for (std::size_t g = 0; g < regions.size(); ++g) {
+      int peak = 0;
+      for (Coord r = seg.rows.lo; r <= seg.rows.hi; ++r)
+        peak = std::max(peak, load[g][static_cast<std::size_t>(r - row_lo)]);
+      const int slack = regions[g].length() - peak;
+      if (slack > best_slack) {
+        best_slack = slack;
+        best_region = g;
+      }
+    }
+    region_members[best_region].push_back(idx);
+    for (Coord r = seg.rows.lo; r <= seg.rows.hi; ++r)
+      ++load[best_region][static_cast<std::size_t>(r - row_lo)];
+  }
+
+  for (std::size_t g = 0; g < regions.size(); ++g) {
+    RegionSolver solver(instance, regions[g], std::move(region_members[g]));
+    solver.solve(result);
+  }
+  return result;
+}
+
+}  // namespace mebl::assign

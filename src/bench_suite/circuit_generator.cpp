@@ -1,0 +1,137 @@
+#include "bench_suite/circuit_generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <unordered_set>
+
+namespace mebl::bench_suite {
+
+using geom::Coord;
+using geom::Point;
+
+std::vector<BenchmarkSpec> mcnc_suite() {
+  return {
+      {"Struct", 4903, 4904, 3, 1920, 5471, 36},
+      {"Primary1", 7522, 4988, 3, 904, 2941, 36},
+      {"Primary2", 10438, 6488, 3, 3029, 11226, 36},
+      {"S5378", 435, 239, 3, 1694, 4818, 36},
+      {"S9234", 404, 225, 3, 1486, 4260, 36},
+      {"S13207", 660, 365, 3, 3781, 10776, 36},
+      {"S15850", 705, 389, 3, 4472, 12793, 36},
+      {"S38417", 1144, 619, 3, 11309, 32344, 36},
+      {"S38584", 1295, 672, 3, 14754, 42931, 36},
+  };
+}
+
+std::vector<BenchmarkSpec> faraday_suite() {
+  return {
+      {"Dma", 408.4, 408.4, 6, 13256, 73982, 32},
+      {"Dsp1", 706, 706, 6, 28447, 144872, 32},
+      {"Dsp2", 642.8, 642.8, 6, 28431, 144703, 32},
+      {"Risc1", 1003.6, 1003.6, 6, 34034, 196677, 32},
+      {"Risc2", 959.6, 959.6, 6, 34034, 196670, 32},
+  };
+}
+
+const BenchmarkSpec* find_spec(const std::string& name) {
+  static const std::vector<BenchmarkSpec> all = [] {
+    auto specs = mcnc_suite();
+    const auto faraday = faraday_suite();
+    specs.insert(specs.end(), faraday.begin(), faraday.end());
+    return specs;
+  }();
+  const auto lower = [](std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(c));
+    return s;
+  };
+  for (const auto& spec : all)
+    if (lower(spec.name) == lower(name)) return &spec;
+  return nullptr;
+}
+
+GeneratedCircuit generate_circuit(const BenchmarkSpec& spec,
+                                  const GeneratorConfig& config,
+                                  std::uint64_t seed) {
+  assert(spec.nets >= 1 && spec.pins >= spec.nets);
+  util::Rng rng(seed ^ std::hash<std::string>{}(spec.name));
+
+  // Extent: area = pins / density, split by the paper's aspect ratio, and
+  // rounded up to whole tiles.
+  const double aspect = spec.um_width / spec.um_height;
+  const double area = static_cast<double>(spec.pins) / config.pin_density;
+  Coord width = static_cast<Coord>(std::lround(std::sqrt(area * aspect)));
+  Coord height = static_cast<Coord>(std::lround(std::sqrt(area / aspect)));
+  const auto round_tiles = [&](Coord v) {
+    return ((v + config.tile_size - 1) / config.tile_size) * config.tile_size;
+  };
+  width = std::max(round_tiles(width), 2 * config.tile_size);
+  height = std::max(round_tiles(height), 2 * config.tile_size);
+
+  grid::StitchPlan plan(width, config.stitch_pitch, config.stitch_epsilon,
+                        config.escape_halfwidth);
+  GeneratedCircuit circuit{
+      spec,
+      grid::RoutingGrid(width, height, spec.layers, config.tile_size,
+                        std::move(plan)),
+      netlist::Netlist{}};
+
+  // Degree distribution: every net gets 2 pins; the surplus is dealt out in
+  // geometrically-sized chunks so a few nets become high-fanout, as in
+  // placed standard-cell designs.
+  std::vector<int> degree(static_cast<std::size_t>(spec.nets), 2);
+  int surplus = spec.pins - 2 * spec.nets;
+  assert(surplus >= 0);
+  while (surplus > 0) {
+    const auto net =
+        static_cast<std::size_t>(rng.uniform_int(0, spec.nets - 1));
+    int chunk = 1;
+    while (chunk < surplus && chunk < config.max_degree / 4 && rng.chance(0.5))
+      ++chunk;
+    chunk = std::min(chunk, config.max_degree - degree[net]);
+    if (chunk <= 0) continue;
+    degree[net] += chunk;
+    surplus -= chunk;
+  }
+
+  // Pin placement: each net is a cloud around a uniformly placed centre;
+  // spread is exponential for local nets and chip-scale for the semi-global
+  // fraction. Every pin lands on a distinct free track point.
+  std::unordered_set<Point> used;
+  used.reserve(static_cast<std::size_t>(spec.pins) * 2);
+  const auto place_pin = [&](netlist::NetId net, Point center, double spread) {
+    for (int attempt = 0;; ++attempt) {
+      const double sx = spread * (1.0 + 0.25 * attempt);
+      Point p{static_cast<Coord>(std::lround(center.x + rng.normalish() * sx)),
+              static_cast<Coord>(std::lround(center.y + rng.normalish() * sx))};
+      p.x = std::clamp<Coord>(p.x, 0, width - 1);
+      p.y = std::clamp<Coord>(p.y, 0, height - 1);
+      // Placements keep most pins off stitching-line columns; the rare
+      // remainder become the tolerated fixed-pin via violations.
+      if (circuit.grid.stitch().is_stitch_column(p.x) &&
+          !rng.chance(config.pin_on_line_fraction))
+        continue;
+      if (used.insert(p).second) {
+        circuit.netlist.add_pin(net, p);
+        return;
+      }
+    }
+  };
+
+  for (int n = 0; n < spec.nets; ++n) {
+    const netlist::NetId net =
+        circuit.netlist.add_net(spec.name + "_n" + std::to_string(n));
+    const Point center{static_cast<Coord>(rng.uniform_int(0, width - 1)),
+                       static_cast<Coord>(rng.uniform_int(0, height - 1))};
+    const bool global_net = rng.chance(config.global_net_fraction);
+    const double spread =
+        global_net ? static_cast<double>(std::min(width, height)) / 4.0
+                   : config.local_spread * (0.5 - std::log(1.0 - rng.uniform01()));
+    for (int d = 0; d < degree[static_cast<std::size_t>(n)]; ++d)
+      place_pin(net, center, spread);
+  }
+  return circuit;
+}
+
+}  // namespace mebl::bench_suite

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace mebl::bench_suite {
+
+/// Published characteristics of one benchmark circuit (Tables I and II of
+/// the paper). The MCNC / Faraday suites themselves are not redistributable;
+/// the generator below synthesizes circuits with these exact net/pin/layer
+/// counts and aspect ratios (see DESIGN.md, substitution table).
+struct BenchmarkSpec {
+  std::string name;
+  double um_width = 0.0;   ///< paper's layout width in micrometres
+  double um_height = 0.0;  ///< paper's layout height in micrometres
+  int layers = 3;          ///< routing layers
+  int nets = 0;
+  int pins = 0;
+  int feature_nm = 36;  ///< shrunk minimum feature size used by the paper
+};
+
+/// The nine MCNC circuits of Table I.
+[[nodiscard]] std::vector<BenchmarkSpec> mcnc_suite();
+
+/// The five Faraday circuits of Table II.
+[[nodiscard]] std::vector<BenchmarkSpec> faraday_suite();
+
+/// Look up a spec by (case-insensitive) name across both suites.
+[[nodiscard]] const BenchmarkSpec* find_spec(const std::string& name);
+
+/// Generator knobs. Track extents are derived from the target pin density
+/// and the spec's aspect ratio, so circuits stay routable at laptop scale
+/// while preserving the paper's relative sizes.
+struct GeneratorConfig {
+  double pin_density = 0.06;  ///< pins per track point (area = pins/density)
+  geom::Coord tile_size = 30;
+  geom::Coord stitch_pitch = 15;  ///< paper: 15 routing pitches between lines
+  geom::Coord stitch_epsilon = 1;  ///< tracks adjacent to lines are unfriendly
+  geom::Coord escape_halfwidth = 2;
+  /// Mean half-extent (tracks) of a local net's pin cloud.
+  double local_spread = 8.0;
+  /// Fraction of nets that are semi-global (pin cloud spans ~1/4 chip).
+  double global_net_fraction = 0.06;
+  /// Upper bound on a single net's pin count.
+  int max_degree = 24;
+  /// Fraction of pins allowed to sit on a stitching-line column. Real
+  /// placements keep cell pins off the lines; the residue models the fixed
+  /// pins whose via violations the paper tolerates (Tables III/VII/VIII
+  /// report them as #VV).
+  double pin_on_line_fraction = 0.01;
+};
+
+/// A generated circuit: grid plus netlist (pins placed on distinct tracks).
+struct GeneratedCircuit {
+  BenchmarkSpec spec;
+  grid::RoutingGrid grid;
+  netlist::Netlist netlist;
+};
+
+/// Deterministically synthesize a circuit matching `spec` (same #nets,
+/// #pins, #layers; extent from density and aspect ratio). The same
+/// (spec, config, seed) triple always produces the identical circuit.
+[[nodiscard]] GeneratedCircuit generate_circuit(const BenchmarkSpec& spec,
+                                                const GeneratorConfig& config,
+                                                std::uint64_t seed);
+
+}  // namespace mebl::bench_suite

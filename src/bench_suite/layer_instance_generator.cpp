@@ -1,0 +1,73 @@
+#include "bench_suite/layer_instance_generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mebl::bench_suite {
+
+std::vector<assign::SegmentProfile> generate_layer_instance(
+    const LayerInstanceConfig& config, util::Rng& rng) {
+  assert(config.rows >= 2 && config.segments >= 1);
+  std::vector<assign::SegmentProfile> segments;
+  segments.reserve(static_cast<std::size_t>(config.segments));
+  for (int s = 0; s < config.segments; ++s) {
+    // Geometric length with the configured mean, clipped to the panel.
+    const double u = rng.uniform01();
+    const int length = std::clamp<int>(
+        1 + static_cast<int>(-std::log(1.0 - u) * (config.mean_length - 1.0)),
+        1, config.rows);
+    const auto lo =
+        static_cast<geom::Coord>(rng.uniform_int(0, config.rows - length));
+    segments.push_back(assign::SegmentProfile{
+        {lo, lo + length - 1}, static_cast<netlist::NetId>(s)});
+  }
+  return segments;
+}
+
+DensityStats measure_density(
+    const std::vector<std::vector<assign::SegmentProfile>>& instances) {
+  DensityStats stats;
+  if (instances.empty()) return stats;
+  double sum_max_seg = 0.0, sum_avg_seg = 0.0;
+  double sum_max_end = 0.0, sum_avg_end = 0.0;
+  for (const auto& segments : instances) {
+    geom::Coord lo = 0, hi = 0;
+    if (!segments.empty()) {
+      lo = segments[0].span.lo;
+      hi = segments[0].span.hi;
+      for (const auto& s : segments) {
+        lo = std::min(lo, s.span.lo);
+        hi = std::max(hi, s.span.hi);
+      }
+    }
+    const auto rows = static_cast<std::size_t>(hi - lo + 1);
+    std::vector<int> density(rows, 0), ends(rows, 0);
+    for (const auto& s : segments) {
+      for (geom::Coord r = s.span.lo; r <= s.span.hi; ++r)
+        ++density[static_cast<std::size_t>(r - lo)];
+      ++ends[static_cast<std::size_t>(s.span.lo - lo)];
+      ++ends[static_cast<std::size_t>(s.span.hi - lo)];
+    }
+    int max_seg = 0, max_end = 0;
+    double total_seg = 0.0, total_end = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      max_seg = std::max(max_seg, density[r]);
+      max_end = std::max(max_end, ends[r]);
+      total_seg += density[r];
+      total_end += ends[r];
+    }
+    sum_max_seg += max_seg;
+    sum_avg_seg += total_seg / static_cast<double>(rows);
+    sum_max_end += max_end;
+    sum_avg_end += total_end / static_cast<double>(rows);
+  }
+  const auto n = static_cast<double>(instances.size());
+  stats.max_segment_density = sum_max_seg / n;
+  stats.avg_segment_density = sum_avg_seg / n;
+  stats.max_line_end_density = sum_max_end / n;
+  stats.avg_line_end_density = sum_avg_end / n;
+  return stats;
+}
+
+}  // namespace mebl::bench_suite

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "assign/conflict_graph.hpp"
+#include "util/rng.hpp"
+
+namespace mebl::bench_suite {
+
+/// Knobs for the random layer-assignment instances of Tables V/VI. The
+/// defaults are tuned so the measured density statistics land close to the
+/// paper's Table V (max/avg segment density ~11.7/5.7, line-end density
+/// ~6.1/2.0).
+struct LayerInstanceConfig {
+  int rows = 24;             ///< global tiles per panel
+  int segments = 24;         ///< intervals per instance
+  double mean_length = 5.7;  ///< mean segment length in tiles (geometric)
+};
+
+/// One random panel instance: segments with tile-row spans.
+[[nodiscard]] std::vector<assign::SegmentProfile> generate_layer_instance(
+    const LayerInstanceConfig& config, util::Rng& rng);
+
+/// Density statistics of an instance set (the columns of Table V).
+struct DensityStats {
+  double max_segment_density = 0.0;
+  double avg_segment_density = 0.0;
+  double max_line_end_density = 0.0;
+  double avg_line_end_density = 0.0;
+};
+
+/// Average the per-instance max/avg densities over a set of instances.
+[[nodiscard]] DensityStats measure_density(
+    const std::vector<std::vector<assign::SegmentProfile>>& instances);
+
+}  // namespace mebl::bench_suite

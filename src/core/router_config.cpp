@@ -1,0 +1,24 @@
+#include "core/router_config.hpp"
+
+namespace mebl::core {
+
+RouterConfig RouterConfig::stitch_aware() {
+  RouterConfig config;  // defaults are the stitch-aware settings
+  config.detail.astar.alpha = 1.0;
+  config.detail.astar.beta = 10.0;
+  config.detail.astar.gamma = 5.0;
+  return config;
+}
+
+RouterConfig RouterConfig::baseline() {
+  RouterConfig config;
+  config.global.stitch_aware_capacity = false;
+  config.global.vertex_cost = false;
+  config.layer_algorithm = LayerAlgorithm::kMaxSpanningTree;
+  config.track_algorithm = TrackAlgorithm::kBaseline;
+  config.detail.astar.stitch_cost = false;
+  config.detail.stitch_net_ordering = false;
+  return config;
+}
+
+}  // namespace mebl::core

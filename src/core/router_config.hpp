@@ -1,0 +1,46 @@
+#pragma once
+
+#include "assign/track_assign.hpp"
+#include "detail/detailed_router.hpp"
+#include "global/global_router.hpp"
+
+namespace mebl::core {
+
+/// Layer-assignment heuristic selection (Table VI comparison).
+enum class LayerAlgorithm {
+  kMaxSpanningTree,  ///< baseline of [4]
+  kColorableSubset,  ///< ours (iterative max-weight k-colorable subsets)
+};
+
+/// Track-assignment algorithm selection (Table VII comparison).
+enum class TrackAlgorithm {
+  kBaseline,  ///< stitch-oblivious first-fit (baseline router)
+  kIlp,       ///< exact multicommodity-flow ILP (eqs. 5-9)
+  kGraph,     ///< graph-based dogleg heuristic (SIII-C2)
+};
+
+/// Full pipeline configuration. The default constructs the paper's
+/// stitch-aware router; `baseline()` constructs the comparison router of
+/// Table III (conventional objectives at every stage).
+struct RouterConfig {
+  global::GlobalRouterConfig global;
+  LayerAlgorithm layer_algorithm = LayerAlgorithm::kColorableSubset;
+  TrackAlgorithm track_algorithm = TrackAlgorithm::kGraph;
+  assign::IlpTrackOptions ilp;
+  /// Wall-clock budget for all ILP panels of one circuit; once exceeded the
+  /// remaining panels fall back to the graph heuristic and the result is
+  /// flagged (the paper reports such circuits as NA).
+  double ilp_budget_seconds = 60.0;
+  detail::DetailedConfig detail;
+
+  /// The paper's stitch-aware configuration (alpha=1, beta=10, gamma=5).
+  static RouterConfig stitch_aware();
+
+  /// The baseline router of Table III: conventional resource estimation,
+  /// conventional layer/track assignment, no stitch costs or ordering in
+  /// detailed routing. Hard constraints (no vertical routing on lines, vias
+  /// on lines only at pins) remain enforced, as in the paper's baseline.
+  static RouterConfig baseline();
+};
+
+}  // namespace mebl::core

@@ -1,0 +1,150 @@
+#include "core/stitch_router.hpp"
+
+#include <algorithm>
+
+#include "assign/conflict_graph.hpp"
+#include "assign/layer_assign.hpp"
+#include "netlist/decompose.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mebl::core {
+
+using geom::LayerId;
+using geom::Orientation;
+
+StitchAwareRouter::StitchAwareRouter(const grid::RoutingGrid& grid,
+                                     const netlist::Netlist& netlist,
+                                     RouterConfig config)
+    : grid_(&grid), netlist_(&netlist), config_(std::move(config)) {}
+
+void StitchAwareRouter::assign_layers(assign::RoutePlan& plan) const {
+  const auto assign_panel = [&](const std::vector<std::size_t>& run_ids,
+                                const std::vector<LayerId>& layers,
+                                bool column_panel) {
+    if (run_ids.empty()) return;
+    const int k = static_cast<int>(layers.size());
+    if (k == 1) {
+      for (const std::size_t id : run_ids) plan.runs[id].layer = layers[0];
+      return;
+    }
+    std::vector<assign::SegmentProfile> profiles;
+    profiles.reserve(run_ids.size());
+    for (const std::size_t id : run_ids)
+      profiles.push_back(
+          assign::SegmentProfile{plan.runs[id].span, plan.runs[id].net});
+    const auto graph = assign::build_conflict_graph(profiles, column_panel);
+    const auto assignment =
+        config_.layer_algorithm == LayerAlgorithm::kColorableSubset
+            ? assign::assign_layers_ours(graph, k)
+            : assign::assign_layers_mst(graph, k);
+    const auto slot = assign::order_groups_for_vias(graph, assignment.group, k);
+    for (std::size_t i = 0; i < run_ids.size(); ++i)
+      plan.runs[run_ids[i]].layer =
+          layers[static_cast<std::size_t>(slot[static_cast<std::size_t>(
+              assignment.group[i])])];
+  };
+
+  const auto v_layers = grid_->layers_with(Orientation::kVertical);
+  for (int tx = 0; tx < grid_->tiles_x(); ++tx)
+    assign_panel(assign::runs_in_column_panel(plan, tx), v_layers, true);
+  const auto h_layers = grid_->layers_with(Orientation::kHorizontal);
+  for (int ty = 0; ty < grid_->tiles_y(); ++ty)
+    assign_panel(assign::runs_in_row_panel(plan, ty), h_layers, false);
+}
+
+void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
+                                      RoutingResult& result) const {
+  const auto v_layers = grid_->layers_with(Orientation::kVertical);
+  util::Timer ilp_timer;
+
+  for (int tx = 0; tx < grid_->tiles_x(); ++tx) {
+    const auto panel_runs = assign::runs_in_column_panel(plan, tx);
+    if (panel_runs.empty()) continue;
+    for (const LayerId layer : v_layers) {
+      assign::TrackAssignInstance instance;
+      instance.x_span = grid_->tile_x_span(tx);
+      instance.stitch = &grid_->stitch();
+      std::vector<std::size_t> members;
+      for (const std::size_t id : panel_runs) {
+        const auto& run = plan.runs[id];
+        if (run.layer != layer) continue;
+        members.push_back(id);
+        instance.segments.push_back(assign::TrackSegment{
+            id, run.span, run.lo_continuation, run.hi_continuation, run.net});
+      }
+      if (instance.segments.empty()) continue;
+
+      assign::TrackAssignResult assigned;
+      switch (config_.track_algorithm) {
+        case TrackAlgorithm::kBaseline:
+          assigned = assign::track_assign_baseline(instance);
+          break;
+        case TrackAlgorithm::kGraph:
+          assigned = assign::track_assign_graph(instance);
+          break;
+        case TrackAlgorithm::kIlp: {
+          if (ilp_timer.seconds() > config_.ilp_budget_seconds) {
+            result.ilp_budget_exceeded = true;
+            assigned = assign::track_assign_graph(instance);
+          } else {
+            assigned = assign::track_assign_ilp(instance, config_.ilp);
+            result.ilp_nodes += assigned.ilp_nodes;
+            if (!assigned.solved) {
+              result.ilp_budget_exceeded = true;
+              assigned = assign::track_assign_graph(instance);
+            }
+          }
+          break;
+        }
+      }
+
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        auto& run = plan.runs[members[i]];
+        run.pieces = assigned.tracks[i].pieces;
+        run.ripped = assigned.tracks[i].ripped;
+        run.bad_ends = assigned.tracks[i].bad_ends;
+      }
+      result.track_bad_ends += assigned.total_bad_ends;
+      result.track_ripped += assigned.total_ripped;
+    }
+  }
+  result.ilp_seconds = ilp_timer.seconds();
+}
+
+RoutingResult StitchAwareRouter::run() {
+  RoutingResult result;
+  const auto subnets = netlist::decompose_all(*netlist_);
+
+  util::Timer timer;
+  global::GlobalRouter global_router(*grid_, config_.global);
+  result.global = global_router.route(subnets);
+  result.times.global_seconds = timer.seconds();
+
+  timer.reset();
+  result.plan = assign::extract_runs(result.global, *grid_);
+  assign_layers(result.plan);
+  result.times.layer_seconds = timer.seconds();
+
+  timer.reset();
+  assign_tracks(result.plan, result);
+  result.times.track_seconds = timer.seconds();
+
+  timer.reset();
+  result.grid = std::make_shared<detail::GridGraph>(*grid_);
+  detail::DetailedRouter detailed(*result.grid, config_.detail);
+  detailed.claim_pins(*netlist_);
+  result.detail = detailed.route_all(subnets, result.plan);
+  result.times.detail_seconds = timer.seconds();
+
+  result.metrics =
+      eval::compute_metrics(*result.grid, *netlist_, subnets, result.detail);
+  util::log_info() << "routed " << result.metrics.routed_nets << "/"
+                   << result.metrics.total_nets << " nets, #SP="
+                   << result.metrics.short_polygons << ", #VV="
+                   << result.metrics.via_violations << ", WL="
+                   << result.metrics.wirelength;
+  return result;
+}
+
+}  // namespace mebl::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+
+#include "core/router_config.hpp"
+#include "eval/metrics.hpp"
+
+namespace mebl::core {
+
+/// Per-stage wall-clock breakdown of one routing run.
+struct StageTimes {
+  double global_seconds = 0.0;
+  double layer_seconds = 0.0;
+  double track_seconds = 0.0;
+  double detail_seconds = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    return global_seconds + layer_seconds + track_seconds + detail_seconds;
+  }
+};
+
+/// Everything a routing run produces: the per-stage artifacts, the final
+/// occupancy grid, and the table metrics.
+struct RoutingResult {
+  global::GlobalResult global;
+  assign::RoutePlan plan;
+  detail::DetailedResult detail;
+  eval::RouteMetrics metrics;
+  StageTimes times;
+
+  /// Final routed geometry (kept alive for plotting / re-analysis).
+  std::shared_ptr<detail::GridGraph> grid;
+
+  // --- track-assignment stage statistics ---
+  int track_bad_ends = 0;
+  int track_ripped = 0;
+  /// Set when the ILP budget ran out and panels fell back to the heuristic
+  /// (reported as NA in the Table VII harness).
+  bool ilp_budget_exceeded = false;
+  std::int64_t ilp_nodes = 0;
+  double ilp_seconds = 0.0;
+};
+
+/// The complete two-pass bottom-up stitch-aware routing flow (paper Fig. 6):
+/// global routing -> stitch-aware layer assignment -> short-polygon-avoiding
+/// track assignment -> stitch-aware detailed routing with rip-up/reroute.
+class StitchAwareRouter {
+ public:
+  StitchAwareRouter(const grid::RoutingGrid& grid,
+                    const netlist::Netlist& netlist,
+                    RouterConfig config = RouterConfig::stitch_aware());
+
+  /// Execute the full pipeline.
+  [[nodiscard]] RoutingResult run();
+
+ private:
+  void assign_layers(assign::RoutePlan& plan) const;
+  void assign_tracks(assign::RoutePlan& plan, RoutingResult& result) const;
+
+  const grid::RoutingGrid* grid_;
+  const netlist::Netlist* netlist_;
+  RouterConfig config_;
+};
+
+}  // namespace mebl::core

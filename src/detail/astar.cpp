@@ -1,0 +1,218 @@
+#include "detail/astar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace mebl::detail {
+
+using geom::Coord;
+using geom::Orientation;
+using geom::Point;
+using geom::Point3;
+using geom::Rect;
+
+AStarRouter::AStarRouter(GridGraph& grid, AStarConfig config)
+    : grid_(&grid), config_(config) {
+  // Prefix sums of escape columns: any route from x1 to x2 must enter at
+  // least one node in every escape column strictly between them (stitching
+  // lines span the full layout height), paying gamma each — an admissible
+  // heuristic term that keeps A* focused despite the escape costs.
+  const auto& rg = grid.routing_grid();
+  escape_prefix_.assign(static_cast<std::size_t>(rg.width()) + 1, 0);
+  for (Coord x = 0; x < rg.width(); ++x)
+    escape_prefix_[static_cast<std::size_t>(x) + 1] =
+        escape_prefix_[static_cast<std::size_t>(x)] +
+        (rg.stitch().in_escape_region(x) ? 1 : 0);
+}
+
+double AStarRouter::escape_between(Coord x1, Coord x2) const {
+  const Coord lo = std::min(x1, x2);
+  const Coord hi = std::max(x1, x2);
+  if (hi - lo <= 1) return 0.0;
+  return static_cast<double>(escape_prefix_[static_cast<std::size_t>(hi)] -
+                             escape_prefix_[static_cast<std::size_t>(lo) + 1]);
+}
+
+namespace {
+struct HeapEntry {
+  double f;
+  double g;
+  std::int32_t state;
+  friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+    return a.f > b.f;
+  }
+};
+}  // namespace
+
+void AStarRouter::add_node_penalty(Point3 node, double penalty) {
+  node_penalty_[grid_->index(node)] += penalty;
+}
+
+bool AStarRouter::route(netlist::NetId net, Point a, Point b, const Rect& box) {
+  return search(net, a, b, box, /*foreign_penalty=*/-1.0, nullptr,
+                /*claim=*/true);
+}
+
+bool AStarRouter::probe(netlist::NetId net, Point a, Point b, const Rect& box,
+                        double foreign_penalty,
+                        const std::unordered_set<std::size_t>* hard) {
+  assert(foreign_penalty > 0.0);
+  return search(net, a, b, box, foreign_penalty, hard, /*claim=*/false);
+}
+
+bool AStarRouter::search(netlist::NetId net, Point a, Point b, const Rect& box,
+                         double foreign_penalty,
+                         const std::unordered_set<std::size_t>* hard,
+                         bool claim) {
+  const auto& rg = grid_->routing_grid();
+  const auto& stitch = rg.stitch();
+  assert(box.contains(a) && box.contains(b));
+  const int w = box.width();
+  const int h = box.height();
+  const int layers = rg.num_layers();
+
+  const std::size_t num_states =
+      static_cast<std::size_t>(w) * h * static_cast<std::size_t>(layers);
+  if (stamp_.size() < num_states) {
+    stamp_.assign(num_states, 0);
+    g_cost_.resize(num_states);
+    parent_.resize(num_states);
+    epoch_ = 0;
+  }
+  ++epoch_;
+
+  const auto state_of = [&](Point3 p) {
+    return static_cast<std::int32_t>(
+        (static_cast<std::size_t>(p.layer) * h + (p.y - box.ylo)) * w +
+        (p.x - box.xlo));
+  };
+  const auto point_of = [&](std::int32_t s) {
+    const auto u = static_cast<std::size_t>(s);
+    return Point3{static_cast<Coord>(box.xlo + u % w),
+                  static_cast<Coord>(box.ylo + (u / w) % h),
+                  static_cast<geom::LayerId>(u / (static_cast<std::size_t>(w) * h))};
+  };
+  const auto visit = [&](std::int32_t s) -> bool {
+    auto& st = stamp_[static_cast<std::size_t>(s)];
+    if (st == epoch_) return false;
+    st = epoch_;
+    return true;
+  };
+  const auto heuristic = [&](Point3 p) {
+    double est =
+        config_.alpha * (manhattan(p.xy(), b) +
+                         config_.via_length * static_cast<double>(p.layer));
+    if (config_.stitch_cost)
+      est += config_.gamma * escape_between(p.x, b.x);
+    return est;
+  };
+
+  const Point3 start{a.x, a.y, 0};
+  const Point3 goal{b.x, b.y, 0};
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  const std::int32_t start_state = state_of(start);
+  stamp_[static_cast<std::size_t>(start_state)] = epoch_;
+  g_cost_[static_cast<std::size_t>(start_state)] = 0.0;
+  parent_[static_cast<std::size_t>(start_state)] = -1;
+  heap.push({heuristic(start), 0.0, start_state});
+
+  const auto is_pin_xy = [&](Coord x, Coord y) {
+    return (x == a.x && y == a.y) || (x == b.x && y == b.y);
+  };
+
+  std::int32_t goal_state = -1;
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.g > g_cost_[static_cast<std::size_t>(top.state)]) continue;
+    ++nodes_expanded_;
+    const Point3 p = point_of(top.state);
+    if (p == goal) {
+      goal_state = top.state;
+      break;
+    }
+
+    // Enumerate legal moves from p.
+    Point3 next[4];
+    int count = 0;
+    if (p.layer >= 1) {
+      const Orientation dir = rg.layer_dir(p.layer);
+      if (dir == Orientation::kHorizontal) {
+        next[count++] = {static_cast<Coord>(p.x - 1), p.y, p.layer};
+        next[count++] = {static_cast<Coord>(p.x + 1), p.y, p.layer};
+      } else if (grid_->vertical_move_allowed(p.x)) {
+        next[count++] = {p.x, static_cast<Coord>(p.y - 1), p.layer};
+        next[count++] = {p.x, static_cast<Coord>(p.y + 1), p.layer};
+      }
+    }
+    // Layer hops (vias). Vias on a stitching column are allowed only at the
+    // fixed pin positions (tolerated via violations).
+    if (grid_->via_allowed(p.x) || is_pin_xy(p.x, p.y)) {
+      if (p.layer + 1 < layers)
+        next[count++] = {p.x, p.y, static_cast<geom::LayerId>(p.layer + 1)};
+      if (p.layer >= 1)
+        next[count++] = {p.x, p.y, static_cast<geom::LayerId>(p.layer - 1)};
+    }
+
+    for (int m = 0; m < count; ++m) {
+      const Point3 q = next[m];
+      if (q.x < box.xlo || q.x > box.xhi || q.y < box.ylo || q.y > box.yhi)
+        continue;
+      // The pin layer is only enterable at this subnet's own pins.
+      if (q.layer == 0 && !is_pin_xy(q.x, q.y)) continue;
+
+      const netlist::NetId owner = grid_->owner(q);
+      const bool foreign = owner != -1 && owner != net;
+      if (foreign) {
+        if (foreign_penalty < 0.0) continue;  // normal mode: blocked
+        // Probe mode: pin-layer nodes and designated hard nodes stay
+        // blocked; everything else is rip-up-able at a price.
+        if (q.layer == 0) continue;
+        if (hard != nullptr && hard->count(grid_->index(q)) != 0) continue;
+      }
+
+      const bool z_move = q.layer != p.layer;
+      double step;
+      if (owner == net) {
+        step = config_.own_net_step;  // ride existing wire
+      } else {
+        step = config_.alpha * (z_move ? config_.via_length : 1.0);
+        if (config_.stitch_cost) {
+          if (z_move && stitch.in_unfriendly_region(q.x))
+            step += beta_scale_ * config_.beta;  // C_vsu
+          if (stitch.in_escape_region(q.x))
+            step += config_.gamma;  // C_esc
+          if (!node_penalty_.empty()) {
+            const auto it = node_penalty_.find(grid_->index(q));
+            if (it != node_penalty_.end()) step += beta_scale_ * it->second;
+          }
+        }
+        if (foreign) step += foreign_penalty;
+      }
+
+      const std::int32_t qs = state_of(q);
+      const double ng = top.g + step;
+      if (visit(qs) || ng < g_cost_[static_cast<std::size_t>(qs)]) {
+        g_cost_[static_cast<std::size_t>(qs)] = ng;
+        parent_[static_cast<std::size_t>(qs)] = top.state;
+        heap.push({ng + heuristic(q), ng, qs});
+      }
+    }
+  }
+
+  if (goal_state < 0) return false;
+
+  last_path_.clear();
+  for (std::int32_t s = goal_state; s != -1;
+       s = parent_[static_cast<std::size_t>(s)])
+    last_path_.push_back(point_of(s));
+  std::reverse(last_path_.begin(), last_path_.end());
+  if (claim)
+    for (const Point3 p : last_path_) grid_->claim(p, net);
+  return true;
+}
+
+}  // namespace mebl::detail

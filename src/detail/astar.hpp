@@ -1,0 +1,92 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "detail/grid_graph.hpp"
+
+namespace mebl::detail {
+
+/// Cost weights for the stitch-aware detailed-routing search (paper
+/// eq. (10)): C_grid(j) = C_grid(i) + alpha*C_wl + beta*C_vsu + gamma*C_esc.
+/// The paper's experiments use alpha=1, beta=10, gamma=5 with beta >> gamma.
+struct AStarConfig {
+  double alpha = 1.0;  ///< wirelength weight
+  double beta = 10.0;  ///< via-in-stitch-unfriendly-region cost
+  double gamma = 5.0;  ///< escape-region cost
+  /// Wirelength equivalent of one layer hop (via).
+  double via_length = 2.0;
+  /// Master switch for the beta/gamma stitch terms (the Table VIII
+  /// "w/o stitch consideration" ablation turns them off).
+  bool stitch_cost = true;
+  /// Cost of stepping along nodes the net already owns (wire reuse).
+  double own_net_step = 0.01;
+};
+
+/// Grid-level A* router. Hard MEBL constraints are enforced structurally:
+/// no vertical move on a stitching-line column (wires cross lines only in
+/// the x-direction) and no via on a line except at the subnet's fixed pin
+/// positions.
+class AStarRouter {
+ public:
+  AStarRouter(GridGraph& grid, AStarConfig config);
+
+  /// Route `net` from pin `a` to pin `b` (both on the pin layer), confined
+  /// to `box` (track coordinates). On success the path's nodes are claimed
+  /// for the net and true is returned; on failure the grid is unchanged.
+  bool route(netlist::NetId net, geom::Point a, geom::Point b,
+             const geom::Rect& box);
+
+  /// Rip-up probing mode: like route(), but nodes owned by *other* nets are
+  /// passable at `foreign_penalty` per node (except pin-layer nodes and the
+  /// nodes in `hard`, which stay blocked). Nothing is claimed; the caller
+  /// reads last_path(), rips the blockers, and re-claims. Returns true when
+  /// a path exists.
+  bool probe(netlist::NetId net, geom::Point a, geom::Point b,
+             const geom::Rect& box, double foreign_penalty,
+             const std::unordered_set<std::size_t>* hard);
+
+  /// Add a static extra cost on a node (e.g. the line-crossing positions
+  /// next to stitch-unfriendly pins, where a crossing wire would become a
+  /// short polygon). Cumulative.
+  void add_node_penalty(geom::Point3 node, double penalty);
+
+  /// Temporarily scale the beta (via-in-unfriendly-region) term; the SP
+  /// cleanup pass uses this to reroute offenders more strictly.
+  void set_beta_scale(double scale) noexcept { beta_scale_ = scale; }
+
+  /// Nodes claimed by the most recent successful route() call.
+  [[nodiscard]] const std::vector<geom::Point3>& last_path() const noexcept {
+    return last_path_;
+  }
+
+  /// Total nodes expanded over the router's lifetime (performance metric).
+  [[nodiscard]] std::int64_t nodes_expanded() const noexcept {
+    return nodes_expanded_;
+  }
+
+ private:
+  bool search(netlist::NetId net, geom::Point a, geom::Point b,
+              const geom::Rect& box, double foreign_penalty,
+              const std::unordered_set<std::size_t>* hard, bool claim);
+
+  /// Escape-region columns strictly between x1 and x2 (heuristic term).
+  [[nodiscard]] double escape_between(geom::Coord x1, geom::Coord x2) const;
+
+  GridGraph* grid_;
+  AStarConfig config_;
+  std::vector<int> escape_prefix_;
+  double beta_scale_ = 1.0;
+  std::unordered_map<std::size_t, double> node_penalty_;
+
+  // Epoch-stamped scratch buffers reused across searches.
+  std::vector<std::uint32_t> stamp_;
+  std::vector<double> g_cost_;
+  std::vector<std::int32_t> parent_;
+  std::uint32_t epoch_ = 0;
+  std::vector<geom::Point3> last_path_;
+  std::int64_t nodes_expanded_ = 0;
+};
+
+}  // namespace mebl::detail

@@ -1,0 +1,582 @@
+#include "detail/detailed_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "detail/net_ordering.hpp"
+#include "util/log.hpp"
+
+namespace mebl::detail {
+
+using geom::Coord;
+using geom::LayerId;
+using geom::Orientation;
+using geom::Point;
+using geom::Point3;
+using geom::Rect;
+
+DetailedRouter::DetailedRouter(GridGraph& grid, DetailedConfig config)
+    : grid_(&grid), config_(config), astar_(grid, config.astar) {}
+
+void DetailedRouter::claim_pins(const netlist::Netlist& netlist) {
+  const auto& rg = grid_->routing_grid();
+  const auto& stitch = rg.stitch();
+  for (const auto& pin : netlist.pins()) {
+    const Point3 pad{pin.pos.x, pin.pos.y, 0};
+    const Point3 access{pin.pos.x, pin.pos.y, 1};
+    grid_->claim(pad, pin.net);
+    // Reserve the via-access node on the first routing layer: a foreign
+    // wire crossing it would permanently seal the pin off.
+    grid_->claim(access, pin.net);
+    pin_nodes_.insert(grid_->index(pad));
+    pin_nodes_.insert(grid_->index(access));
+
+    // Short-polygon guard: the pin's via is fixed. If the pin sits inside a
+    // stitch unfriendly region, a horizontal wire leaving it *across* the
+    // adjacent line becomes a short polygon — penalize the line-column
+    // nodes in the pin's row so the search prefers leaving the other way.
+    const Coord d = stitch.distance_to_line(pin.pos.x);
+    if (d > 0 && d <= stitch.epsilon()) {
+      for (const Coord line : stitch.lines()) {
+        if (std::abs(line - pin.pos.x) != d) continue;
+        // The guard must beat the typical avoidance detour (a via pair plus
+        // a few tracks), so it is priced well above a single beta.
+        for (const LayerId l : rg.layers_with(Orientation::kHorizontal))
+          astar_.add_node_penalty({line, pin.pos.y, l},
+                                  4.0 * config_.astar.beta);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// True when a horizontal wire running from `from_x` to `end_x` (with a via
+/// landing at `end_x`) would be a short polygon: it crosses a stitching line
+/// whose unfriendly region contains `end_x`.
+bool leg_end_is_bad(Coord end_x, Coord from_x, const grid::StitchPlan& stitch) {
+  if (end_x == from_x) return false;
+  const Coord d = stitch.distance_to_line(end_x);
+  if (d == 0 || d > stitch.epsilon()) return false;
+  for (const Coord line : stitch.lines()) {
+    if (std::abs(line - end_x) != d) continue;
+    // Crossing: the line lies strictly between the leg's endpoints.
+    if ((from_x < line && line < end_x) || (end_x < line && line < from_x))
+      return true;
+  }
+  return false;
+}
+
+/// Collects the nodes of a planned route, validating availability and the
+/// hard stitch constraints; the caller claims them only if every leg fits.
+/// Horizontal legs whose via-landing endpoints would create short polygons
+/// abort the realization (the A* fallback's cost model avoids them).
+class LegBuilder {
+ public:
+  LegBuilder(const GridGraph& grid, netlist::NetId net, Point pin_a,
+             Point pin_b, bool check_bad_ends)
+      : grid_(&grid),
+        net_(net),
+        pin_a_(pin_a),
+        pin_b_(pin_b),
+        check_bad_ends_(check_bad_ends) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] const std::vector<Point3>& nodes() const noexcept {
+    return nodes_;
+  }
+
+  void add(Point3 p) {
+    if (!ok_) return;
+    if (!grid_->routing_grid().in_bounds(p) || !grid_->is_free_or(p, net_))
+      ok_ = false;
+    else
+      nodes_.push_back(p);
+  }
+
+  /// Horizontal wire from x0 to x1; both endpoints land vias (junctions,
+  /// stacks, or pins). `check` asks for the short-polygon test — used only
+  /// for legs whose position the *realizer* chose; legs dictated by the
+  /// track assignment are followed verbatim so the assignment's quality
+  /// (good or bad) flows through to the final geometry, as in the paper's
+  /// flow where detailed routing never overrides assigned tracks.
+  void add_horizontal(Coord x0, Coord x1, Coord y, LayerId layer,
+                      bool check = false) {
+    if (check_bad_ends_ && x0 != x1) {
+      const auto& stitch = grid_->routing_grid().stitch();
+      // Leg ends landing on the subnet's pins are always checked: the pin
+      // via is fixed, but the *approach direction* is the realizer's
+      // choice (a search can reach the pin without crossing the line).
+      const auto end_checked = [&](Coord end, Coord from) {
+        const bool at_pin = (end == pin_a_.x && y == pin_a_.y) ||
+                            (end == pin_b_.x && y == pin_b_.y);
+        return (check || at_pin) && leg_end_is_bad(end, from, stitch);
+      };
+      if (end_checked(x0, x1) || end_checked(x1, x0)) {
+        ok_ = false;
+        return;
+      }
+    }
+    for (Coord x = std::min(x0, x1); x <= std::max(x0, x1) && ok_; ++x)
+      add({x, y, layer});
+  }
+
+  void add_vertical(Coord y0, Coord y1, Coord x, LayerId layer) {
+    if (y0 != y1 && !grid_->vertical_move_allowed(x)) {
+      ok_ = false;
+      return;
+    }
+    for (Coord y = std::min(y0, y1); y <= std::max(y0, y1) && ok_; ++y)
+      add({x, y, layer});
+  }
+
+  /// Via stack between two layers at (x, y). Stacks on stitching columns
+  /// are legal only at this subnet's pins (tolerated via violations).
+  void add_stack(Coord x, Coord y, LayerId l0, LayerId l1) {
+    if (l0 == l1) return;
+    const bool at_pin = (x == pin_a_.x && y == pin_a_.y) ||
+                        (x == pin_b_.x && y == pin_b_.y);
+    if (!grid_->via_allowed(x) && !at_pin) {
+      ok_ = false;
+      return;
+    }
+    for (LayerId l = std::min(l0, l1); l <= std::max(l0, l1) && ok_; ++l)
+      add({x, y, l});
+  }
+
+ private:
+  const GridGraph* grid_;
+  netlist::NetId net_;
+  Point pin_a_;
+  Point pin_b_;
+  bool check_bad_ends_;
+  std::vector<Point3> nodes_;
+  bool ok_ = true;
+};
+
+/// Track of a vertical run at a given tile row (rows outside the run's span
+/// clamp to the nearest piece).
+Coord piece_track(const assign::GlobalRun& run, Coord row) {
+  assert(!run.pieces.empty());
+  for (const auto& [rows, x] : run.pieces)
+    if (rows.contains(row)) return x;
+  return row < run.pieces.front().first.lo ? run.pieces.front().second
+                                           : run.pieces.back().second;
+}
+
+/// Nearest routing layer with the given orientation to `layer`.
+/// `prefer_high` breaks ties upward (layer 1 carries the pin via-access
+/// reservations, so routing above it conflicts less); the realizer retries
+/// with the opposite preference when the first attempt is blocked.
+LayerId nearest_layer(const grid::RoutingGrid& rg, LayerId layer,
+                      Orientation dir, bool prefer_high = true) {
+  LayerId best = -1;
+  for (const LayerId l : rg.layers_with(dir)) {
+    if (best == -1) {
+      best = l;
+      continue;
+    }
+    const int dl = std::abs(l - layer);
+    const int db = std::abs(best - layer);
+    if (dl < db || (dl == db && prefer_high)) best = l;
+  }
+  return best;
+}
+
+}  // namespace
+
+bool DetailedRouter::try_realize(std::size_t idx, bool prefer_high) {
+  const assign::RoutePlan& plan = *plan_;
+  const netlist::Subnet& subnet = (*subnets_)[idx];
+  if (idx >= plan.runs_of_path.size()) return false;
+  const auto& run_ids = plan.runs_of_path[idx];
+  if (run_ids.empty()) return false;
+  for (const std::size_t id : run_ids) {
+    const auto& run = plan.runs[id];
+    if (run.layer < 1) return false;  // layer assignment incomplete
+    if (run.dir == Orientation::kVertical && (run.ripped || run.pieces.empty()))
+      return false;  // ripped segment: route directly with A*
+  }
+
+  const auto& rg = grid_->routing_grid();
+  LegBuilder legs(*grid_, subnet.net, subnet.a, subnet.b,
+                  config_.astar.stitch_cost);
+  Point cur = subnet.a;
+  LayerId cur_layer = 0;
+
+  for (std::size_t i = 0; i < run_ids.size() && legs.ok(); ++i) {
+    const auto& run = plan.runs[run_ids[i]];
+    if (run.dir == Orientation::kVertical) {
+      const LayerId lv = run.layer;
+      const Coord entry_row = std::clamp<Coord>(rg.tile_of_y(cur.y),
+                                                run.span.lo, run.span.hi);
+      const Coord x_entry = piece_track(run, entry_row);
+      if (cur.x != x_entry) {
+        const LayerId lh = nearest_layer(rg, lv, Orientation::kHorizontal, prefer_high);
+        legs.add_stack(cur.x, cur.y, cur_layer, lh);
+        legs.add_horizontal(cur.x, x_entry, cur.y, lh);
+        cur_layer = lh;
+        cur.x = x_entry;
+      }
+      legs.add_stack(cur.x, cur.y, cur_layer, lv);
+      cur_layer = lv;
+
+      // Exit row: toward the next horizontal run's panel, or the pin.
+      Coord y_exit;
+      if (i + 1 < run_ids.size()) {
+        const auto& next = plan.runs[run_ids[i + 1]];
+        const geom::Interval span = rg.tile_y_span(next.fixed_tile);
+        y_exit = std::clamp(subnet.b.y, span.lo, span.hi);
+      } else {
+        y_exit = subnet.b.y;
+      }
+      const int step = y_exit > cur.y ? 1 : -1;
+      while (cur.y != y_exit && legs.ok()) {
+        const Coord ny = cur.y + step;
+        const Coord nx = piece_track(
+            run, std::clamp<Coord>(rg.tile_of_y(ny), run.span.lo, run.span.hi));
+        if (nx != cur.x) {
+          // Dogleg: jog horizontally on the nearest horizontal layer.
+          const LayerId lh = nearest_layer(rg, lv, Orientation::kHorizontal, prefer_high);
+          legs.add_stack(cur.x, cur.y, lv, lh);
+          legs.add_horizontal(cur.x, nx, cur.y, lh);
+          legs.add_stack(nx, cur.y, lh, lv);
+          cur.x = nx;
+        }
+        legs.add_vertical(cur.y, ny, cur.x, lv);
+        cur.y = ny;
+      }
+    } else {
+      const LayerId lh = run.layer;
+      Coord x_target;
+      if (i + 1 < run_ids.size()) {
+        const auto& next = plan.runs[run_ids[i + 1]];  // vertical
+        const Coord row = std::clamp<Coord>(run.fixed_tile, next.span.lo,
+                                            next.span.hi);
+        x_target = piece_track(next, row);
+      } else {
+        x_target = subnet.b.x;
+      }
+      legs.add_stack(cur.x, cur.y, cur_layer, lh);
+      legs.add_horizontal(cur.x, x_target, cur.y, lh);
+      cur_layer = lh;
+      cur.x = x_target;
+    }
+  }
+
+  // Final L to the target pin: horizontal first, then vertical at b.x.
+  // These legs are the realizer's own choice, so they are SP-checked.
+  if (legs.ok() && cur.x != subnet.b.x) {
+    const LayerId lh = nearest_layer(rg, cur_layer, Orientation::kHorizontal, prefer_high);
+    legs.add_stack(cur.x, cur.y, cur_layer, lh);
+    legs.add_horizontal(cur.x, subnet.b.x, cur.y, lh, /*check=*/true);
+    cur_layer = lh;
+    cur.x = subnet.b.x;
+  }
+  if (legs.ok() && cur.y != subnet.b.y) {
+    const LayerId lv = nearest_layer(rg, cur_layer, Orientation::kVertical, prefer_high);
+    legs.add_stack(cur.x, cur.y, cur_layer, lv);
+    legs.add_vertical(cur.y, subnet.b.y, cur.x, lv);
+    cur_layer = lv;
+    cur.y = subnet.b.y;
+  }
+  if (legs.ok()) legs.add_stack(subnet.b.x, subnet.b.y, cur_layer, 0);
+  if (!legs.ok()) return false;
+
+  for (const Point3 p : legs.nodes()) grid_->claim(p, subnet.net);
+  nodes_of_subnet_[idx] = legs.nodes();
+  return true;
+}
+
+bool DetailedRouter::try_pattern(std::size_t idx) {
+  const auto& subnet = (*subnets_)[idx];
+  const auto& rg = grid_->routing_grid();
+  const LayerId lh = nearest_layer(rg, 2, Orientation::kHorizontal);
+  const LayerId lv = nearest_layer(rg, lh, Orientation::kVertical);
+
+  for (const bool horizontal_first : {true, false}) {
+    LegBuilder legs(*grid_, subnet.net, subnet.a, subnet.b,
+                    config_.astar.stitch_cost);
+    if (horizontal_first) {
+      legs.add_stack(subnet.a.x, subnet.a.y, 0, lh);
+      legs.add_horizontal(subnet.a.x, subnet.b.x, subnet.a.y, lh,
+                          /*check=*/true);
+      if (subnet.a.y != subnet.b.y) {
+        legs.add_stack(subnet.b.x, subnet.a.y, lh, lv);
+        legs.add_vertical(subnet.a.y, subnet.b.y, subnet.b.x, lv);
+        legs.add_stack(subnet.b.x, subnet.b.y, lv, 0);
+      } else {
+        legs.add_stack(subnet.b.x, subnet.b.y, lh, 0);
+      }
+    } else {
+      legs.add_stack(subnet.a.x, subnet.a.y, 0, lv);
+      legs.add_vertical(subnet.a.y, subnet.b.y, subnet.a.x, lv);
+      if (subnet.a.x != subnet.b.x) {
+        legs.add_stack(subnet.a.x, subnet.b.y, lv, lh);
+        legs.add_horizontal(subnet.a.x, subnet.b.x, subnet.b.y, lh,
+                            /*check=*/true);
+        legs.add_stack(subnet.b.x, subnet.b.y, lh, 0);
+      } else {
+        legs.add_stack(subnet.b.x, subnet.b.y, lv, 0);
+      }
+    }
+    if (!legs.ok()) continue;
+    for (const Point3 p : legs.nodes()) grid_->claim(p, subnet.net);
+    nodes_of_subnet_[idx] = legs.nodes();
+    return true;
+  }
+  return false;
+}
+
+bool DetailedRouter::route_subnet(std::size_t idx, bool allow_realize) {
+  const auto& subnet = (*subnets_)[idx];
+  if (allow_realize &&
+      (try_realize(idx, /*prefer_high=*/true) ||
+       try_realize(idx, /*prefer_high=*/false))) {
+    result_->subnet_routed[idx] = true;
+    method_[idx] = RouteMethod::kRealized;
+    ++result_->planned_realized;
+    return true;
+  }
+  // Cheap L-shape pattern attempt before the full search (the LegBuilder
+  // enforces every hard constraint and rejects would-be short polygons).
+  if (try_pattern(idx)) {
+    result_->subnet_routed[idx] = true;
+    method_[idx] = RouteMethod::kSearch;
+    ++result_->pattern_routed;
+    return true;
+  }
+  const Rect extent = grid_->routing_grid().extent();
+  Coord margin = config_.base_margin;
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    const Rect box = subnet.bbox().inflated(margin).intersect(extent);
+    if (astar_.route(subnet.net, subnet.a, subnet.b, box)) {
+      nodes_of_subnet_[idx] = astar_.last_path();
+      result_->subnet_routed[idx] = true;
+      method_[idx] = RouteMethod::kSearch;
+      ++result_->astar_routed;
+      return true;
+    }
+    margin *= 4;
+  }
+  result_->subnet_routed[idx] = false;
+  return false;
+}
+
+std::vector<std::size_t> DetailedRouter::rip_net(netlist::NetId net) {
+  std::vector<std::size_t> ripped;
+  for (const std::size_t idx :
+       subnets_of_net_[static_cast<std::size_t>(net)]) {
+    if (!result_->subnet_routed[idx] && nodes_of_subnet_[idx].empty()) {
+      ripped.push_back(idx);  // failed subnet: nothing to release
+      continue;
+    }
+    for (const Point3 p : nodes_of_subnet_[idx])
+      if (pin_nodes_.count(grid_->index(p)) == 0) grid_->release(p);
+    nodes_of_subnet_[idx].clear();
+    result_->subnet_routed[idx] = false;
+    ripped.push_back(idx);
+  }
+  return ripped;
+}
+
+void DetailedRouter::rescue_failed(const std::vector<netlist::Subnet>& subnets) {
+  const Rect extent = grid_->routing_grid().extent();
+  for (int round = 0; round < config_.ripup_rounds; ++round) {
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < subnets.size(); ++i)
+      if (!result_->subnet_routed[i]) failed.push_back(i);
+    if (failed.empty()) return;
+
+    bool progress = false;
+    for (const std::size_t idx : failed) {
+      if (result_->subnet_routed[idx]) continue;  // rescued as a rip victim
+      const auto& subnet = subnets[idx];
+      const Rect box = subnet.bbox()
+                           .inflated(config_.base_margin * 8)
+                           .intersect(extent);
+      if (!astar_.probe(subnet.net, subnet.a, subnet.b, box,
+                        config_.ripup_foreign_penalty, &pin_nodes_))
+        continue;
+      const std::vector<Point3> path = astar_.last_path();
+      std::unordered_set<netlist::NetId> blockers;
+      for (const Point3 p : path) {
+        const netlist::NetId owner = grid_->owner(p);
+        if (owner != -1 && owner != subnet.net) blockers.insert(owner);
+      }
+      if (blockers.empty() ||
+          static_cast<int>(blockers.size()) > config_.ripup_max_blockers)
+        continue;
+
+      std::vector<std::size_t> victims;
+      for (const netlist::NetId net : blockers) {
+        const auto ripped = rip_net(net);
+        victims.insert(victims.end(), ripped.begin(), ripped.end());
+      }
+      for (const Point3 p : path) grid_->claim(p, subnet.net);
+      nodes_of_subnet_[idx] = path;
+      result_->subnet_routed[idx] = true;
+      method_[idx] = RouteMethod::kSearch;
+      ++result_->ripup_rescued;
+      progress = true;
+      // Reroute the victims immediately, smallest first.
+      std::stable_sort(victims.begin(), victims.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return subnets[a].bbox().area() <
+                                subnets[b].bbox().area();
+                       });
+      for (const std::size_t victim : victims)
+        route_subnet(victim, /*allow_realize=*/true);
+    }
+    if (!progress) return;
+  }
+}
+
+namespace {
+
+/// A short-polygon end site: the wire-end node and its owning net.
+struct SpSite {
+  Point3 node;
+  netlist::NetId net;
+};
+
+/// All short-polygon end sites in the current occupancy.
+std::vector<SpSite> short_polygon_sites(const GridGraph& grid) {
+  const auto& rg = grid.routing_grid();
+  const auto& stitch = rg.stitch();
+  std::vector<SpSite> sites;
+  const auto has_via = [&](Point3 p, netlist::NetId net) {
+    if (p.layer > 0 &&
+        grid.owner({p.x, p.y, static_cast<LayerId>(p.layer - 1)}) == net)
+      return true;
+    return p.layer + 1 < rg.num_layers() &&
+           grid.owner({p.x, p.y, static_cast<LayerId>(p.layer + 1)}) == net;
+  };
+  for (const LayerId layer : rg.layers_with(Orientation::kHorizontal)) {
+    for (Coord y = 0; y < rg.height(); ++y) {
+      Coord x = 0;
+      while (x < rg.width()) {
+        const netlist::NetId net = grid.owner({x, y, layer});
+        if (net == -1) {
+          ++x;
+          continue;
+        }
+        Coord end = x;
+        while (end + 1 < rg.width() && grid.owner({end + 1, y, layer}) == net)
+          ++end;
+        if (end > x) {
+          for (const Coord s : stitch.lines_cutting({x, end})) {
+            if (s - x <= stitch.epsilon() && has_via({x, y, layer}, net))
+              sites.push_back({{x, y, layer}, net});
+            if (end - s <= stitch.epsilon() && has_via({end, y, layer}, net))
+              sites.push_back({{end, y, layer}, net});
+          }
+        }
+        x = end + 1;
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace
+
+void DetailedRouter::cleanup_short_polygons() {
+  if (!config_.astar.stitch_cost) return;
+  for (int round = 0; round < config_.sp_cleanup_rounds; ++round) {
+    const auto sites = short_polygon_sites(*grid_);
+    if (sites.empty()) return;
+    // A net is cleaned only when at least one of its short-polygon ends
+    // lies on *search-routed* geometry. Realized geometry follows the track
+    // assignment verbatim; the detailed stage does not override it (its
+    // quality is the assignment stage's responsibility, as in the paper).
+    std::unordered_set<netlist::NetId> eligible;
+    for (const SpSite& site : sites) {
+      for (const std::size_t idx :
+           subnets_of_net_[static_cast<std::size_t>(site.net)]) {
+        if (method_[idx] != RouteMethod::kSearch) continue;
+        const auto& nodes = nodes_of_subnet_[idx];
+        if (std::find(nodes.begin(), nodes.end(), site.node) != nodes.end()) {
+          eligible.insert(site.net);
+          break;
+        }
+      }
+    }
+    if (eligible.empty()) return;
+    std::vector<netlist::NetId> offenders(eligible.begin(), eligible.end());
+    std::sort(offenders.begin(), offenders.end());  // deterministic order
+    astar_.set_beta_scale(config_.sp_cleanup_beta_scale);
+    for (const netlist::NetId net : offenders) {
+      // Save the net's geometry so a failed reroute can be undone.
+      std::vector<std::pair<std::size_t, std::vector<Point3>>> saved;
+      for (const std::size_t idx :
+           subnets_of_net_[static_cast<std::size_t>(net)])
+        if (result_->subnet_routed[idx])
+          saved.emplace_back(idx, nodes_of_subnet_[idx]);
+
+      std::vector<RouteMethod> prior_method(method_);
+
+      const auto victims = rip_net(net);
+      bool ok = true;
+      for (const std::size_t idx : victims)
+        // Realized subnets re-realize their assigned geometry verbatim;
+        // only the search-routed ones get a fresh, stricter search.
+        if (!route_subnet(idx, /*allow_realize=*/prior_method[idx] ==
+                                   RouteMethod::kRealized))
+          ok = false;
+
+      if (!ok) {
+        // Restore the original geometry and bookkeeping.
+        rip_net(net);
+        for (auto& [idx, nodes] : saved) {
+          for (const Point3 p : nodes) grid_->claim(p, net);
+          nodes_of_subnet_[idx] = std::move(nodes);
+          result_->subnet_routed[idx] = true;
+          method_[idx] = prior_method[idx];
+        }
+      } else {
+        ++result_->sp_cleanup_nets;
+      }
+    }
+    astar_.set_beta_scale(1.0);
+  }
+}
+
+DetailedResult DetailedRouter::route_all(
+    const std::vector<netlist::Subnet>& subnets,
+    const assign::RoutePlan& plan) {
+  DetailedResult result;
+  result.subnet_routed.assign(subnets.size(), false);
+
+  subnets_ = &subnets;
+  plan_ = &plan;
+  result_ = &result;
+  nodes_of_subnet_.assign(subnets.size(), {});
+  method_.assign(subnets.size(), RouteMethod::kNone);
+  netlist::NetId max_net = -1;
+  for (const auto& subnet : subnets) max_net = std::max(max_net, subnet.net);
+  subnets_of_net_.assign(static_cast<std::size_t>(max_net + 1), {});
+  for (std::size_t i = 0; i < subnets.size(); ++i)
+    subnets_of_net_[static_cast<std::size_t>(subnets[i].net)].push_back(i);
+
+  const auto order = order_subnets(subnets, plan, config_.stitch_net_ordering);
+  for (const std::size_t idx : order) route_subnet(idx, /*allow_realize=*/true);
+
+  rescue_failed(subnets);
+  cleanup_short_polygons();
+
+  result.routed = std::count(result.subnet_routed.begin(),
+                             result.subnet_routed.end(), true);
+  result.failed = static_cast<std::int64_t>(subnets.size()) - result.routed;
+  util::log_info() << "detailed routing: " << result.routed << "/"
+                   << subnets.size() << " subnets (realized "
+                   << result.planned_realized << ", A* "
+                   << result.astar_routed << ", rescued "
+                   << result.ripup_rescued << ", SP-cleaned nets "
+                   << result.sp_cleanup_nets << ")";
+  return result;
+}
+
+}  // namespace mebl::detail

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <unordered_set>
+
+#include "assign/panel.hpp"
+#include "detail/astar.hpp"
+
+namespace mebl::detail {
+
+/// Detailed-routing stage configuration (Table VIII ablations toggle the
+/// stitch pieces).
+struct DetailedConfig {
+  AStarConfig astar;
+  /// Order subnets by planned bad ends (paper SIII-D2). Off = baseline
+  /// bottom-up (smallest bbox first) ordering.
+  bool stitch_net_ordering = true;
+  /// Margin in tracks added around a subnet's bbox for the first A* attempt.
+  geom::Coord base_margin = 8;
+  /// Each retry multiplies the margin by 4; after the last retry the subnet
+  /// goes to the rip-up pass.
+  int max_retries = 1;
+  /// Rip-up & reroute rounds for subnets that could not be routed — part of
+  /// the second bottom-up pass of the framework (Fig. 6).
+  int ripup_rounds = 2;
+  /// Maximum number of blocking nets ripped to rescue one failed subnet.
+  int ripup_max_blockers = 4;
+  /// Per-node price of crossing a foreign wire in the rip-up probe.
+  double ripup_foreign_penalty = 40.0;
+  /// Short-polygon cleanup iterations: nets owning short polygons are
+  /// ripped and rerouted with a stricter (scaled-beta) cost. Runs only when
+  /// the stitch costs are enabled.
+  int sp_cleanup_rounds = 3;
+  double sp_cleanup_beta_scale = 8.0;
+};
+
+/// Per-stage statistics of a detailed-routing run.
+struct DetailedResult {
+  std::vector<bool> subnet_routed;
+  std::int64_t routed = 0;
+  std::int64_t failed = 0;
+  /// Subnets realized directly from their layer/track assignment.
+  std::int64_t planned_realized = 0;
+  /// Subnets routed by the cheap L-shape pattern probe.
+  std::int64_t pattern_routed = 0;
+  /// Subnets that needed the A* search (no plan, ripped runs, or conflicts).
+  std::int64_t astar_routed = 0;
+  /// Subnets rescued (or re-routed) by the rip-up pass.
+  std::int64_t ripup_rescued = 0;
+  /// Nets rerouted by the short-polygon cleanup.
+  std::int64_t sp_cleanup_nets = 0;
+};
+
+/// Second-pass detailed router: realizes each subnet's assigned segments as
+/// grid geometry when conflict-free, falls back to the stitch-aware A*
+/// search, rescues failed subnets by ripping up and rerouting blocking nets,
+/// and finally reroutes nets that still own short polygons with a stricter
+/// cost (the framework's failed-net rip-up/reroute pass).
+class DetailedRouter {
+ public:
+  DetailedRouter(GridGraph& grid, DetailedConfig config = {});
+
+  /// Claim every pin's pin-layer node and its via-access node on layer 1,
+  /// and install the short-polygon guard penalties for pins inside stitch
+  /// unfriendly regions. Call once before routing.
+  void claim_pins(const netlist::Netlist& netlist);
+
+  /// Route all subnets. `plan` carries the layer/track assignment; runs
+  /// without assignment (or with ripped tracks) are routed directly.
+  DetailedResult route_all(const std::vector<netlist::Subnet>& subnets,
+                           const assign::RoutePlan& plan);
+
+  [[nodiscard]] const GridGraph& grid() const noexcept { return *grid_; }
+  [[nodiscard]] AStarRouter& astar() noexcept { return astar_; }
+
+ private:
+  /// L-shape pattern probe: try the two one-bend routes on fixed layers.
+  bool try_pattern(std::size_t idx);
+
+  /// Attempt to realize the planned runs of subnet `idx` directly as
+  /// geometry. Returns false (leaving the grid untouched) when any needed
+  /// node is blocked, the plan is incomplete, or the geometry would create
+  /// a short polygon the A* cost model could avoid.
+  bool try_realize(std::size_t idx, bool prefer_high = true);
+
+  /// Route one subnet (realization first, then A* with growing windows).
+  /// Updates occupancy, bookkeeping, and the result counters.
+  bool route_subnet(std::size_t idx, bool allow_realize);
+
+  /// Release all geometry of `net` (sparing pin reservations) and mark its
+  /// subnets unrouted. Returns the ripped subnet indices.
+  std::vector<std::size_t> rip_net(netlist::NetId net);
+
+  /// Rip-up & reroute pass for currently failed subnets.
+  void rescue_failed(const std::vector<netlist::Subnet>& subnets);
+
+  /// Reroute nets owning short polygons with scaled beta.
+  void cleanup_short_polygons();
+
+  GridGraph* grid_;
+  DetailedConfig config_;
+  AStarRouter astar_;
+
+  const std::vector<netlist::Subnet>* subnets_ = nullptr;
+  const assign::RoutePlan* plan_ = nullptr;
+  DetailedResult* result_ = nullptr;
+  enum class RouteMethod : std::uint8_t { kNone, kRealized, kSearch };
+  std::vector<RouteMethod> method_;
+  std::vector<std::vector<geom::Point3>> nodes_of_subnet_;
+  std::vector<std::vector<std::size_t>> subnets_of_net_;
+  std::unordered_set<std::size_t> pin_nodes_;
+};
+
+}  // namespace mebl::detail

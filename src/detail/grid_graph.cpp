@@ -1,0 +1,33 @@
+#include "detail/grid_graph.hpp"
+
+#include <cassert>
+
+namespace mebl::detail {
+
+GridGraph::GridGraph(const grid::RoutingGrid& grid)
+    : grid_(&grid),
+      owner_(static_cast<std::size_t>(grid.num_layers()) * grid.width() *
+                 grid.height(),
+             -1) {}
+
+void GridGraph::claim(geom::Point3 p, netlist::NetId net) {
+  assert(grid_->in_bounds(p));
+  assert(net >= 0);
+  netlist::NetId& slot = owner_[index(p)];
+  assert(slot == -1 || slot == net);
+  if (slot == -1) {
+    slot = net;
+    ++occupied_;
+  }
+}
+
+void GridGraph::release(geom::Point3 p) {
+  assert(grid_->in_bounds(p));
+  netlist::NetId& slot = owner_[index(p)];
+  if (slot != -1) {
+    slot = -1;
+    --occupied_;
+  }
+}
+
+}  // namespace mebl::detail

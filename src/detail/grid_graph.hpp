@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mebl::detail {
+
+/// Occupancy model of the full 3-D detailed-routing grid.
+///
+/// A node is (x, y, layer); layer 0 is the pin layer. Each node is either
+/// free (owner -1) or owned by exactly one net. Routed geometry is the set
+/// of owned nodes: same-net adjacency along a layer's preferred direction is
+/// wire, same-net adjacency across layers is a via.
+class GridGraph {
+ public:
+  explicit GridGraph(const grid::RoutingGrid& grid);
+
+  [[nodiscard]] const grid::RoutingGrid& routing_grid() const noexcept {
+    return *grid_;
+  }
+
+  [[nodiscard]] netlist::NetId owner(geom::Point3 p) const {
+    return owner_[index(p)];
+  }
+  [[nodiscard]] bool is_free(geom::Point3 p) const { return owner(p) == -1; }
+  [[nodiscard]] bool is_free_or(geom::Point3 p, netlist::NetId net) const {
+    const netlist::NetId o = owner(p);
+    return o == -1 || o == net;
+  }
+
+  /// Claim a node for a net. Claiming a node already owned by the same net
+  /// is a no-op; claiming another net's node is a programming error.
+  void claim(geom::Point3 p, netlist::NetId net);
+
+  /// Release a node (rip-up). Releasing a free node is a no-op.
+  void release(geom::Point3 p);
+
+  /// Number of nodes currently owned by any net.
+  [[nodiscard]] std::int64_t occupied_nodes() const noexcept {
+    return occupied_;
+  }
+
+  // --- stitch-constraint queries (hard constraints of SII-A) ---------------
+
+  /// A wire may move vertically at x only off stitching-line columns.
+  [[nodiscard]] bool vertical_move_allowed(geom::Coord x) const {
+    return !grid_->stitch().is_stitch_column(x);
+  }
+
+  /// A via at x is allowed off stitching lines; on a line it is a via
+  /// violation, tolerated only at fixed pin locations.
+  [[nodiscard]] bool via_allowed(geom::Coord x) const {
+    return !grid_->stitch().is_stitch_column(x);
+  }
+
+  [[nodiscard]] std::size_t index(geom::Point3 p) const {
+    return (static_cast<std::size_t>(p.layer) * grid_->height() + p.y) *
+               grid_->width() +
+           p.x;
+  }
+
+ private:
+  const grid::RoutingGrid* grid_;
+  std::vector<netlist::NetId> owner_;
+  std::int64_t occupied_ = 0;
+};
+
+}  // namespace mebl::detail

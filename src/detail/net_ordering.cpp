@@ -1,0 +1,39 @@
+#include "detail/net_ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mebl::detail {
+
+int subnet_bad_ends(const assign::RoutePlan& plan, std::size_t path_index) {
+  int bad = 0;
+  if (path_index >= plan.runs_of_path.size()) return 0;
+  for (const std::size_t r : plan.runs_of_path[path_index])
+    bad += plan.runs[r].bad_ends;
+  return bad;
+}
+
+std::vector<std::size_t> order_subnets(
+    const std::vector<netlist::Subnet>& subnets, const assign::RoutePlan& plan,
+    bool stitch_aware) {
+  std::vector<std::size_t> order(subnets.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<int> bad(subnets.size(), 0);
+  if (stitch_aware)
+    for (std::size_t i = 0; i < subnets.size(); ++i)
+      bad[i] = subnet_bad_ends(plan, i);
+
+  std::vector<std::int64_t> area(subnets.size());
+  for (std::size_t i = 0; i < subnets.size(); ++i)
+    area[i] = subnets[i].bbox().area();
+
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (bad[a] != bad[b]) return bad[a] > bad[b];
+                     return area[a] < area[b];
+                   });
+  return order;
+}
+
+}  // namespace mebl::detail

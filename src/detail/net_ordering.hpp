@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+#include "assign/panel.hpp"
+
+namespace mebl::detail {
+
+/// Stitch-aware net ordering (paper SIII-D2): subnets whose planned runs
+/// carry more bad ends are routed first so they can still grab the routing
+/// resources that avoid short polygons; ties (and the non-stitch-aware
+/// baseline) fall back to the bottom-up rule of routing smaller-bbox subnets
+/// first.
+[[nodiscard]] std::vector<std::size_t> order_subnets(
+    const std::vector<netlist::Subnet>& subnets, const assign::RoutePlan& plan,
+    bool stitch_aware);
+
+/// Bad ends accumulated over all runs of one subnet's planned route.
+[[nodiscard]] int subnet_bad_ends(const assign::RoutePlan& plan,
+                                  std::size_t path_index);
+
+}  // namespace mebl::detail

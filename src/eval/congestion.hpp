@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detail/grid_graph.hpp"
+
+namespace mebl::eval {
+
+/// Per-GCell utilization of a routed design: how full each tile's routing
+/// resources are, split by direction, plus stitch-specific pressure (use of
+/// escape-region tracks). Useful for diagnosing where short polygons and
+/// routing failures concentrate (the hotspots of Fig. 15).
+struct CongestionMap {
+  int tiles_x = 0;
+  int tiles_y = 0;
+  /// Horizontal / vertical wire nodes per tile, normalized by that tile's
+  /// track capacity (0 = empty, 1 = every track fully used).
+  std::vector<double> horizontal;  ///< size tiles_x * tiles_y, row-major
+  std::vector<double> vertical;
+  /// Fraction of the tile's escape-region nodes (vertical layers) in use.
+  std::vector<double> escape_use;
+
+  [[nodiscard]] double h_at(int tx, int ty) const {
+    return horizontal[static_cast<std::size_t>(ty) * tiles_x + tx];
+  }
+  [[nodiscard]] double v_at(int tx, int ty) const {
+    return vertical[static_cast<std::size_t>(ty) * tiles_x + tx];
+  }
+  [[nodiscard]] double escape_at(int tx, int ty) const {
+    return escape_use[static_cast<std::size_t>(ty) * tiles_x + tx];
+  }
+
+  /// Maximum utilization over all tiles and both directions.
+  [[nodiscard]] double peak() const;
+  /// Mean utilization over all tiles and both directions.
+  [[nodiscard]] double mean() const;
+};
+
+/// Measure utilization of the routed occupancy grid.
+[[nodiscard]] CongestionMap measure_congestion(const detail::GridGraph& grid);
+
+/// Render the map as an ASCII heat grid ('.' empty .. '9'/'#' saturated),
+/// one character per tile; `vertical` selects the direction.
+[[nodiscard]] std::string ascii_heatmap(const CongestionMap& map,
+                                        bool vertical);
+
+/// Render as an SVG heatmap (red intensity = utilization).
+[[nodiscard]] std::string svg_heatmap(const CongestionMap& map, bool vertical,
+                                      double pixels_per_tile = 8.0);
+
+}  // namespace mebl::eval

@@ -1,0 +1,115 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+namespace mebl::eval {
+
+using geom::Coord;
+using geom::LayerId;
+using geom::Orientation;
+using geom::Point3;
+using netlist::NetId;
+
+namespace {
+
+/// True when (x, y, layer) has a same-net neighbour across a layer
+/// boundary, i.e. a via lands there.
+bool has_via(const detail::GridGraph& grid, Point3 p, NetId net) {
+  const auto& rg = grid.routing_grid();
+  if (p.layer > 0) {
+    const Point3 below{p.x, p.y, static_cast<LayerId>(p.layer - 1)};
+    if (grid.owner(below) == net) return true;
+  }
+  if (p.layer + 1 < rg.num_layers()) {
+    const Point3 above{p.x, p.y, static_cast<LayerId>(p.layer + 1)};
+    if (grid.owner(above) == net) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int count_short_polygons(const detail::GridGraph& grid) {
+  const auto& rg = grid.routing_grid();
+  const auto& stitch = rg.stitch();
+  int count = 0;
+  for (const LayerId layer : rg.layers_with(Orientation::kHorizontal)) {
+    for (Coord y = 0; y < rg.height(); ++y) {
+      Coord x = 0;
+      while (x < rg.width()) {
+        const NetId net = grid.owner({x, y, layer});
+        if (net == -1) {
+          ++x;
+          continue;
+        }
+        Coord end = x;
+        while (end + 1 < rg.width() && grid.owner({end + 1, y, layer}) == net)
+          ++end;
+        if (end > x) {  // an actual wire, not an isolated via landing
+          for (const Coord s : stitch.lines_cutting({x, end})) {
+            // Left piece short with a landing via?
+            if (s - x <= stitch.epsilon() && has_via(grid, {x, y, layer}, net))
+              ++count;
+            // Right piece short with a landing via?
+            if (end - s <= stitch.epsilon() &&
+                has_via(grid, {end, y, layer}, net))
+              ++count;
+          }
+        }
+        x = end + 1;
+      }
+    }
+  }
+  return count;
+}
+
+RouteMetrics compute_metrics(const detail::GridGraph& grid,
+                             const netlist::Netlist& netlist,
+                             const std::vector<netlist::Subnet>& subnets,
+                             const detail::DetailedResult& outcome) {
+  const auto& rg = grid.routing_grid();
+  const auto& stitch = rg.stitch();
+  RouteMetrics metrics;
+
+  for (LayerId layer = 0; layer < rg.num_layers(); ++layer) {
+    for (Coord y = 0; y < rg.height(); ++y) {
+      for (Coord x = 0; x < rg.width(); ++x) {
+        const NetId net = grid.owner({x, y, layer});
+        if (net == -1) continue;
+        // Wire adjacencies (count each once: toward +x / +y).
+        if (layer >= 1) {
+          if (x + 1 < rg.width() && grid.owner({x + 1, y, layer}) == net)
+            ++metrics.wirelength;
+          if (y + 1 < rg.height() && grid.owner({x, y + 1, layer}) == net) {
+            ++metrics.wirelength;
+            // An actual vertical *wire* exists only on vertical layers;
+            // same-net y-adjacency on a horizontal layer is two stacked
+            // horizontal wires, which may legally cross a line.
+            if (stitch.is_stitch_column(x) &&
+                rg.layer_dir(layer) == Orientation::kVertical)
+              ++metrics.vertical_violations;
+          }
+        }
+        // Vias (count each once: toward the layer above).
+        if (layer + 1 < rg.num_layers() &&
+            grid.owner({x, y, static_cast<LayerId>(layer + 1)}) == net) {
+          ++metrics.vias;
+          if (stitch.is_stitch_column(x)) ++metrics.via_violations;
+        }
+      }
+    }
+  }
+
+  metrics.short_polygons = count_short_polygons(grid);
+
+  metrics.total_nets = static_cast<int>(netlist.num_nets());
+  std::vector<bool> net_ok(netlist.num_nets(), true);
+  for (std::size_t i = 0; i < subnets.size(); ++i)
+    if (i < outcome.subnet_routed.size() && !outcome.subnet_routed[i])
+      net_ok[static_cast<std::size_t>(subnets[i].net)] = false;
+  metrics.routed_nets =
+      static_cast<int>(std::count(net_ok.begin(), net_ok.end(), true));
+  return metrics;
+}
+
+}  // namespace mebl::eval

@@ -1,0 +1,96 @@
+#include "eval/svg_writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mebl::eval {
+
+using geom::Coord;
+using geom::LayerId;
+using geom::Rect;
+
+namespace {
+const char* layer_color(LayerId layer) {
+  static const char* kColors[] = {"#888888", "#1f77b4", "#d62728", "#2ca02c",
+                                  "#9467bd", "#ff7f0e", "#17becf"};
+  return kColors[static_cast<std::size_t>(layer) % std::size(kColors)];
+}
+}  // namespace
+
+std::string render_svg(const detail::GridGraph& grid,
+                       const SvgOptions& options) {
+  const auto& rg = grid.routing_grid();
+  Rect window = options.window;
+  if (window.empty()) window = rg.extent();
+  const double s = options.pixels_per_track;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='"
+      << window.width() * s << "' height='" << window.height() * s << "'>\n";
+  svg << "<rect width='100%' height='100%' fill='white'/>\n";
+
+  const auto px = [&](Coord x) { return (x - window.xlo) * s; };
+  const auto py = [&](Coord y) { return (window.yhi - y) * s; };  // y up
+
+  // Wires: draw same-net adjacencies as line segments per layer.
+  for (LayerId layer = 1; layer < rg.num_layers(); ++layer) {
+    svg << "<g stroke='" << layer_color(layer) << "' stroke-width='"
+        << 0.6 * s << "' stroke-linecap='square' opacity='0.8'>\n";
+    for (Coord y = window.ylo; y <= window.yhi; ++y) {
+      for (Coord x = window.xlo; x <= window.xhi; ++x) {
+        const netlist::NetId net = grid.owner({x, y, layer});
+        if (net == -1) continue;
+        if (x + 1 <= window.xhi && grid.owner({x + 1, y, layer}) == net)
+          svg << "<line x1='" << px(x) << "' y1='" << py(y) << "' x2='"
+              << px(x + 1) << "' y2='" << py(y) << "'/>\n";
+        if (y + 1 <= window.yhi && grid.owner({x, y + 1, layer}) == net)
+          svg << "<line x1='" << px(x) << "' y1='" << py(y) << "' x2='"
+              << px(x) << "' y2='" << py(y + 1) << "'/>\n";
+      }
+    }
+    svg << "</g>\n";
+  }
+
+  if (options.draw_vias) {
+    svg << "<g fill='black'>\n";
+    for (Coord y = window.ylo; y <= window.yhi; ++y) {
+      for (Coord x = window.xlo; x <= window.xhi; ++x) {
+        for (LayerId layer = 0; layer + 1 < rg.num_layers(); ++layer) {
+          const netlist::NetId net = grid.owner({x, y, layer});
+          if (net != -1 &&
+              grid.owner({x, y, static_cast<LayerId>(layer + 1)}) == net) {
+            svg << "<rect x='" << px(x) - 0.45 * s << "' y='"
+                << py(y) - 0.45 * s << "' width='" << 0.9 * s << "' height='"
+                << 0.9 * s << "'/>\n";
+            break;
+          }
+        }
+      }
+    }
+    svg << "</g>\n";
+  }
+
+  if (options.draw_stitch_lines) {
+    svg << "<g stroke='red' stroke-width='" << 0.3 * s
+        << "' stroke-dasharray='" << 2 * s << "," << s << "'>\n";
+    for (const Coord line : rg.stitch().lines()) {
+      if (line < window.xlo || line > window.xhi) continue;
+      svg << "<line x1='" << px(line) << "' y1='0' x2='" << px(line)
+          << "' y2='" << window.height() * s << "'/>\n";
+    }
+    svg << "</g>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+bool write_svg(const detail::GridGraph& grid, const std::string& path,
+               const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render_svg(grid, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace mebl::eval

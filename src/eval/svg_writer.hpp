@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "detail/grid_graph.hpp"
+
+namespace mebl::eval {
+
+/// Options for the SVG layout plotter (Figs. 15-16 of the paper).
+struct SvgOptions {
+  double pixels_per_track = 2.0;
+  /// Clip window in track coordinates; empty = whole layout.
+  geom::Rect window;
+  bool draw_stitch_lines = true;
+  bool draw_vias = true;
+};
+
+/// Render the routed occupancy grid as an SVG document: one colour per
+/// layer, dashed red stitching lines, black via markers. Returns the SVG
+/// text (callers write it to disk).
+[[nodiscard]] std::string render_svg(const detail::GridGraph& grid,
+                                     const SvgOptions& options = {});
+
+/// Convenience: render and write to `path`. Returns false on I/O failure.
+bool write_svg(const detail::GridGraph& grid, const std::string& path,
+               const SvgOptions& options = {});
+
+}  // namespace mebl::eval

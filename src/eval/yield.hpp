@@ -1,0 +1,56 @@
+#pragma once
+
+#include "detail/grid_graph.hpp"
+#include "raster/defect.hpp"
+
+namespace mebl::eval {
+
+/// MEBL yield model: connects the routed geometry's stitch-induced hazards
+/// to the rasterization defect mechanism of SII-A.
+///
+/// The paper motivates the short-polygon constraint with yield: a short
+/// polygon's irregular pixels are a large fraction of its area, so each one
+/// carries a defect probability that falls with the cut piece's length.
+/// This model walks the routed layout, measures every short polygon's
+/// actual piece length, converts it to a defect probability through the
+/// `raster::short_polygon_experiment` curve (calibrated once per call), and
+/// combines them Poisson-style into a chip kill probability. Via violations
+/// (vias cut by lines) are charged a fixed, higher probability.
+struct YieldModel {
+  /// Defect probability of a via cut by a stitching line (severe pattern
+  /// distortion per Fig. 1(b)).
+  double via_violation_defect_prob = 0.20;
+  /// Scale from a short polygon's pixel error ratio to its defect
+  /// probability (error pixels misalign the landing via; not every
+  /// misalignment kills the connection).
+  double error_ratio_to_defect = 0.5;
+  /// Rasterization pixels per routing track (beam grid resolution).
+  int pixels_per_track = 4;
+  /// Wire width in pixels for the calibration raster.
+  int wire_width_px = 3;
+};
+
+/// One short polygon found in the layout with its modeled defect risk.
+struct ShortPolygonRisk {
+  geom::Point3 end;          ///< the hazardous wire end
+  geom::Coord piece_tracks;  ///< length of the cut-off piece in tracks
+  double error_ratio;        ///< rasterized error-pixel share of the piece
+  double defect_prob;        ///< modeled probability this SP kills the net
+};
+
+/// Full yield report of a routed design.
+struct YieldReport {
+  std::vector<ShortPolygonRisk> short_polygons;
+  int via_violations = 0;
+  /// Expected number of stitch-induced defects (sum of probabilities).
+  double expected_defects = 0.0;
+  /// Poisson-style chip yield estimate: exp(-expected_defects).
+  double yield = 1.0;
+};
+
+/// Analyze the routed occupancy grid under the given model. Deterministic;
+/// the rasterization curve is computed once per distinct piece length.
+[[nodiscard]] YieldReport estimate_yield(const detail::GridGraph& grid,
+                                         const YieldModel& model = {});
+
+}  // namespace mebl::eval

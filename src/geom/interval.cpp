@@ -1,0 +1,70 @@
+#include "geom/interval.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace mebl::geom {
+
+std::ostream& operator<<(std::ostream& os, Interval iv) {
+  return os << '[' << iv.lo << ',' << iv.hi << ']';
+}
+
+void IntervalSet::insert(Interval iv) {
+  if (iv.empty()) return;
+  std::vector<Interval> next;
+  next.reserve(members_.size() + 1);
+  bool placed = false;
+  for (const Interval& m : members_) {
+    if (m.hi + 1 < iv.lo) {
+      next.push_back(m);
+    } else if (iv.hi + 1 < m.lo) {
+      if (!placed) {
+        next.push_back(iv);
+        placed = true;
+      }
+      next.push_back(m);
+    } else {
+      // Overlapping or adjacent: absorb into iv.
+      iv = {std::min(iv.lo, m.lo), std::max(iv.hi, m.hi)};
+    }
+  }
+  if (!placed) next.push_back(iv);
+  members_ = std::move(next);
+}
+
+void IntervalSet::erase(Interval iv) {
+  if (iv.empty()) return;
+  std::vector<Interval> next;
+  next.reserve(members_.size() + 1);
+  for (const Interval& m : members_) {
+    if (!m.overlaps(iv)) {
+      next.push_back(m);
+      continue;
+    }
+    if (m.lo < iv.lo) next.push_back({m.lo, iv.lo - 1});
+    if (iv.hi < m.hi) next.push_back({iv.hi + 1, m.hi});
+  }
+  members_ = std::move(next);
+}
+
+bool IntervalSet::contains(Coord v) const noexcept {
+  auto it = std::partition_point(members_.begin(), members_.end(),
+                                 [v](const Interval& m) { return m.hi < v; });
+  return it != members_.end() && it->contains(v);
+}
+
+bool IntervalSet::overlaps(Interval iv) const noexcept {
+  if (iv.empty()) return false;
+  auto it = std::partition_point(
+      members_.begin(), members_.end(),
+      [&](const Interval& m) { return m.hi < iv.lo; });
+  return it != members_.end() && it->overlaps(iv);
+}
+
+Coord IntervalSet::total_length() const noexcept {
+  Coord total = 0;
+  for (const Interval& m : members_) total += m.length();
+  return total;
+}
+
+}  // namespace mebl::geom

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace mebl::geom {
+
+/// Closed integer interval [lo, hi] in track units. Intervals with
+/// lo > hi are empty. Used for wire segment spans, panel occupancy, and
+/// the interval-graph machinery in layer assignment.
+struct Interval {
+  Coord lo = 0;
+  Coord hi = -1;  // default-constructed interval is empty
+
+  [[nodiscard]] constexpr bool empty() const noexcept { return lo > hi; }
+  [[nodiscard]] constexpr Coord length() const noexcept {
+    return empty() ? 0 : hi - lo + 1;
+  }
+  [[nodiscard]] constexpr bool contains(Coord v) const noexcept {
+    return lo <= v && v <= hi;
+  }
+  [[nodiscard]] constexpr bool contains(Interval other) const noexcept {
+    return other.empty() || (lo <= other.lo && other.hi <= hi);
+  }
+  /// True when the two closed intervals share at least one integer point.
+  [[nodiscard]] constexpr bool overlaps(Interval other) const noexcept {
+    return !empty() && !other.empty() && lo <= other.hi && other.lo <= hi;
+  }
+  [[nodiscard]] constexpr Interval intersect(Interval other) const noexcept {
+    return {lo > other.lo ? lo : other.lo, hi < other.hi ? hi : other.hi};
+  }
+  /// Smallest interval containing both (the hull; gaps are filled).
+  [[nodiscard]] constexpr Interval hull(Interval other) const noexcept {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return {lo < other.lo ? lo : other.lo, hi > other.hi ? hi : other.hi};
+  }
+
+  friend constexpr bool operator==(Interval, Interval) = default;
+  friend constexpr auto operator<=>(Interval, Interval) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, Interval iv);
+
+/// Sorted set of pairwise-disjoint closed intervals with union/query
+/// operations. Used to track free tracks in a panel and the stitch
+/// unfriendly regions along the x axis.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Insert an interval, merging with any overlapping or adjacent members.
+  void insert(Interval iv);
+
+  /// Remove all points of `iv` from the set, splitting members as needed.
+  void erase(Interval iv);
+
+  [[nodiscard]] bool contains(Coord v) const noexcept;
+  [[nodiscard]] bool overlaps(Interval iv) const noexcept;
+
+  /// Total number of integer points covered.
+  [[nodiscard]] Coord total_length() const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+  [[nodiscard]] const std::vector<Interval>& members() const noexcept {
+    return members_;
+  }
+
+ private:
+  std::vector<Interval> members_;  // sorted by lo, disjoint, non-adjacent
+};
+
+}  // namespace mebl::geom

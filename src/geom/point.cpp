@@ -1,0 +1,19 @@
+#include "geom/point.hpp"
+
+#include <ostream>
+
+namespace mebl::geom {
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, Point3 p) {
+  return os << '(' << p.x << ',' << p.y << ",L" << p.layer << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, Orientation o) {
+  return os << (o == Orientation::kHorizontal ? 'H' : 'V');
+}
+
+}  // namespace mebl::geom

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iosfwd>
+
+namespace mebl::geom {
+
+/// Integer coordinate in routing-track units. One unit == one routing pitch.
+using Coord = std::int32_t;
+
+/// Layer index. Layer 0 is the pin layer; layers >= 1 are routing layers.
+using LayerId = std::int16_t;
+
+/// 2-D point on a single layer's track grid.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr bool operator==(Point, Point) = default;
+  friend constexpr auto operator<=>(Point, Point) = default;
+};
+
+/// 3-D routing-grid location: (x, y) on layer `layer`.
+struct Point3 {
+  Coord x = 0;
+  Coord y = 0;
+  LayerId layer = 0;
+
+  [[nodiscard]] constexpr Point xy() const noexcept { return {x, y}; }
+
+  friend constexpr bool operator==(Point3, Point3) = default;
+  friend constexpr auto operator<=>(Point3, Point3) = default;
+};
+
+/// Manhattan (L1) distance between two points.
+[[nodiscard]] constexpr Coord manhattan(Point a, Point b) noexcept {
+  const Coord dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const Coord dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// Manhattan distance between 3-D points; each layer hop counts `via_cost`.
+[[nodiscard]] constexpr Coord manhattan(Point3 a, Point3 b,
+                                        Coord via_cost = 1) noexcept {
+  const Coord dl = a.layer > b.layer ? a.layer - b.layer : b.layer - a.layer;
+  return manhattan(a.xy(), b.xy()) + via_cost * dl;
+}
+
+std::ostream& operator<<(std::ostream& os, Point p);
+std::ostream& operator<<(std::ostream& os, Point3 p);
+
+/// Wire direction conventions used throughout the router. Stitching lines
+/// are vertical, so kHorizontal wires cross them and kVertical wires can
+/// only run *between* them (vertical routing constraint).
+enum class Orientation : std::uint8_t { kHorizontal, kVertical };
+
+[[nodiscard]] constexpr Orientation flip(Orientation o) noexcept {
+  return o == Orientation::kHorizontal ? Orientation::kVertical
+                                       : Orientation::kHorizontal;
+}
+
+std::ostream& operator<<(std::ostream& os, Orientation o);
+
+}  // namespace mebl::geom
+
+template <>
+struct std::hash<mebl::geom::Point> {
+  std::size_t operator()(mebl::geom::Point p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+        static_cast<std::uint32_t>(p.y));
+  }
+};
+
+template <>
+struct std::hash<mebl::geom::Point3> {
+  std::size_t operator()(mebl::geom::Point3 p) const noexcept {
+    std::uint64_t k =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+        static_cast<std::uint32_t>(p.y);
+    k ^= static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.layer))
+         * 0x9e3779b97f4a7c15ULL;
+    return std::hash<std::uint64_t>{}(k);
+  }
+};

@@ -1,0 +1,12 @@
+#include "geom/rect.hpp"
+
+#include <ostream>
+
+namespace mebl::geom {
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.xlo << ',' << r.ylo << " .. " << r.xhi << ',' << r.yhi
+            << ']';
+}
+
+}  // namespace mebl::geom

@@ -1,0 +1,68 @@
+#pragma once
+
+#include "geom/interval.hpp"
+#include "geom/point.hpp"
+
+namespace mebl::geom {
+
+/// Closed axis-aligned rectangle [xlo,xhi] x [ylo,yhi] in track units.
+/// A degenerate rectangle (xlo==xhi or ylo==yhi) models a wire centerline.
+struct Rect {
+  Coord xlo = 0, ylo = 0;
+  Coord xhi = -1, yhi = -1;  // default-constructed rect is empty
+
+  constexpr Rect() = default;
+  constexpr Rect(Coord xl, Coord yl, Coord xh, Coord yh) noexcept
+      : xlo(xl), ylo(yl), xhi(xh), yhi(yh) {}
+
+  [[nodiscard]] static constexpr Rect bounding(Point a, Point b) noexcept {
+    return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+            a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y};
+  }
+
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return xlo > xhi || ylo > yhi;
+  }
+  [[nodiscard]] constexpr Coord width() const noexcept {
+    return empty() ? 0 : xhi - xlo + 1;
+  }
+  [[nodiscard]] constexpr Coord height() const noexcept {
+    return empty() ? 0 : yhi - ylo + 1;
+  }
+  [[nodiscard]] constexpr std::int64_t area() const noexcept {
+    return static_cast<std::int64_t>(width()) * height();
+  }
+  [[nodiscard]] constexpr Interval x_span() const noexcept { return {xlo, xhi}; }
+  [[nodiscard]] constexpr Interval y_span() const noexcept { return {ylo, yhi}; }
+
+  [[nodiscard]] constexpr bool contains(Point p) const noexcept {
+    return xlo <= p.x && p.x <= xhi && ylo <= p.y && p.y <= yhi;
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& r) const noexcept {
+    return r.empty() || (xlo <= r.xlo && r.xhi <= xhi && ylo <= r.ylo && r.yhi <= yhi);
+  }
+  [[nodiscard]] constexpr bool overlaps(const Rect& r) const noexcept {
+    return !empty() && !r.empty() && xlo <= r.xhi && r.xlo <= xhi &&
+           ylo <= r.yhi && r.ylo <= yhi;
+  }
+  [[nodiscard]] constexpr Rect intersect(const Rect& r) const noexcept {
+    return {xlo > r.xlo ? xlo : r.xlo, ylo > r.ylo ? ylo : r.ylo,
+            xhi < r.xhi ? xhi : r.xhi, yhi < r.yhi ? yhi : r.yhi};
+  }
+  [[nodiscard]] constexpr Rect hull(const Rect& r) const noexcept {
+    if (empty()) return r;
+    if (r.empty()) return *this;
+    return {xlo < r.xlo ? xlo : r.xlo, ylo < r.ylo ? ylo : r.ylo,
+            xhi > r.xhi ? xhi : r.xhi, yhi > r.yhi ? yhi : r.yhi};
+  }
+  /// Expand by `margin` tracks on every side (clamping is the caller's job).
+  [[nodiscard]] constexpr Rect inflated(Coord margin) const noexcept {
+    return {xlo - margin, ylo - margin, xhi + margin, yhi + margin};
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace mebl::geom

@@ -1,0 +1,258 @@
+#include "global/global_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+#include <queue>
+
+#include "util/log.hpp"
+
+namespace mebl::global {
+
+using geom::Rect;
+using grid::GCellId;
+
+GlobalRouter::GlobalRouter(const grid::RoutingGrid& grid,
+                           GlobalRouterConfig config)
+    : grid_(&grid),
+      config_(config),
+      graph_(grid, config.stitch_aware_capacity) {}
+
+namespace {
+
+/// Search state: tile plus the orientation of the move that entered it
+/// (0 = start, 1 = horizontal, 2 = vertical). Direction matters because
+/// line-end (vertex) costs are incurred where vertical runs start and end.
+constexpr int kDirStart = 0;
+constexpr int kDirH = 1;
+constexpr int kDirV = 2;
+
+struct HeapEntry {
+  double f;
+  double g;
+  int state;
+  friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+    return a.f > b.f;
+  }
+};
+
+}  // namespace
+
+std::vector<GCellId> GlobalRouter::search(GCellId from, GCellId to,
+                                          const Rect& region) const {
+  if (from == to) return {from};
+  const int w = region.width();
+  const int h = region.height();
+  const auto in_region = [&](int tx, int ty) {
+    return tx >= region.xlo && tx <= region.xhi && ty >= region.ylo &&
+           ty <= region.yhi;
+  };
+  assert(in_region(from.tx, from.ty) && in_region(to.tx, to.ty));
+
+  const auto state_of = [&](int tx, int ty, int dir) {
+    return ((ty - region.ylo) * w + (tx - region.xlo)) * 3 + dir;
+  };
+  const std::size_t num_states = static_cast<std::size_t>(w) * h * 3;
+  std::vector<double> dist(num_states,
+                           std::numeric_limits<double>::infinity());
+  std::vector<int> parent(num_states, -1);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  const auto heuristic = [&](int tx, int ty) {
+    return static_cast<double>(std::abs(tx - to.tx) + std::abs(ty - to.ty));
+  };
+  const int start = state_of(from.tx, from.ty, kDirStart);
+  dist[static_cast<std::size_t>(start)] = 0.0;
+  heap.push({heuristic(from.tx, from.ty), 0.0, start});
+
+  static constexpr int kDx[4] = {1, -1, 0, 0};
+  static constexpr int kDy[4] = {0, 0, 1, -1};
+
+  int goal_state = -1;
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.g > dist[static_cast<std::size_t>(top.state)]) continue;
+    const int cell = top.state / 3;
+    const int dir = top.state % 3;
+    const int tx = region.xlo + cell % w;
+    const int ty = region.ylo + cell / w;
+    if (tx == to.tx && ty == to.ty) {
+      goal_state = top.state;
+      break;
+    }
+    for (int m = 0; m < 4; ++m) {
+      const int nx = tx + kDx[m];
+      const int ny = ty + kDy[m];
+      if (!in_region(nx, ny)) continue;
+      const bool horizontal = m < 2;
+      double step = 1.0;
+      // Edge congestion.
+      if (horizontal)
+        step += graph_.h_cost(std::min(tx, nx), ty);
+      else
+        step += graph_.v_cost(tx, std::min(ty, ny));
+      // Bend penalty.
+      if (dir != kDirStart && ((dir == kDirH) != horizontal))
+        step += config_.turn_cost;
+      // Line-end (vertex) congestion: a vertical run starts at the current
+      // tile when a vertical move follows a horizontal one (or the start),
+      // and ends there when a horizontal move follows a vertical one.
+      if (config_.vertex_cost) {
+        if (!horizontal && dir != kDirV)
+          step += config_.vertex_cost_weight * graph_.vertex_cost(tx, ty);
+        if (horizontal && dir == kDirV)
+          step += config_.vertex_cost_weight * graph_.vertex_cost(tx, ty);
+        // Arriving at the target vertically leaves a line end there.
+        if (!horizontal && nx == to.tx && ny == to.ty)
+          step += config_.vertex_cost_weight * graph_.vertex_cost(nx, ny);
+      }
+      const int next = state_of(nx, ny, horizontal ? kDirH : kDirV);
+      const double ng = top.g + step;
+      if (ng < dist[static_cast<std::size_t>(next)]) {
+        dist[static_cast<std::size_t>(next)] = ng;
+        parent[static_cast<std::size_t>(next)] = top.state;
+        heap.push({ng + heuristic(nx, ny), ng, next});
+      }
+    }
+  }
+  if (goal_state < 0) return {};
+
+  std::vector<GCellId> tiles;
+  for (int s = goal_state; s != -1; s = parent[static_cast<std::size_t>(s)]) {
+    const int cell = s / 3;
+    const GCellId id{region.xlo + cell % w, region.ylo + cell / w};
+    if (tiles.empty() || !(tiles.back() == id)) tiles.push_back(id);
+  }
+  std::reverse(tiles.begin(), tiles.end());
+  return tiles;
+}
+
+void GlobalRouter::commit(const TilePath& path, int sign) {
+  const auto& tiles = path.tiles;
+  for (std::size_t i = 0; i + 1 < tiles.size(); ++i) {
+    const GCellId a = tiles[i];
+    const GCellId b = tiles[i + 1];
+    if (a.ty == b.ty)
+      graph_.add_h_demand(std::min(a.tx, b.tx), a.ty, sign);
+    else
+      graph_.add_v_demand(a.tx, std::min(a.ty, b.ty), sign);
+  }
+  // Vertical line ends: both end tiles of every maximal vertical run.
+  std::size_t i = 0;
+  while (i + 1 < tiles.size()) {
+    if (tiles[i].tx == tiles[i + 1].tx) {  // vertical run starts
+      const std::size_t run_start = i;
+      while (i + 1 < tiles.size() && tiles[i].tx == tiles[i + 1].tx) ++i;
+      graph_.add_vertex_demand(tiles[run_start].tx, tiles[run_start].ty, sign);
+      graph_.add_vertex_demand(tiles[i].tx, tiles[i].ty, sign);
+    } else {
+      ++i;
+    }
+  }
+}
+
+GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets) {
+  GlobalResult result;
+  result.paths.resize(subnets.size());
+
+  // Bottom-up multilevel schedule: bucket subnets by the level at which
+  // they become local, then route level by level.
+  std::vector<Rect> tile_bboxes;
+  tile_bboxes.reserve(subnets.size());
+  for (const auto& subnet : subnets) {
+    const Rect bbox = subnet.bbox();
+    tile_bboxes.push_back(Rect{grid_->tile_of_x(bbox.xlo),
+                               grid_->tile_of_y(bbox.ylo),
+                               grid_->tile_of_x(bbox.xhi),
+                               grid_->tile_of_y(bbox.yhi)});
+  }
+  const MultilevelScheduler scheduler(graph_.tiles_x(), graph_.tiles_y());
+  const auto buckets = scheduler.schedule(tile_bboxes);
+
+  const Rect full{0, 0, graph_.tiles_x() - 1, graph_.tiles_y() - 1};
+  for (int level = 0; level < scheduler.num_levels(); ++level) {
+    for (const std::size_t idx : buckets[static_cast<std::size_t>(level)]) {
+      const auto& subnet = subnets[idx];
+      TilePath& path = result.paths[idx];
+      path.net = subnet.net;
+      path.pin_a = subnet.a;
+      path.pin_b = subnet.b;
+      // Allow one tile of margin around the cluster for detours.
+      const Rect region =
+          scheduler.cluster_region(tile_bboxes[idx], level).inflated(1).intersect(
+              full);
+      const GCellId from{grid_->tile_of_x(subnet.a.x),
+                         grid_->tile_of_y(subnet.a.y)};
+      const GCellId to{grid_->tile_of_x(subnet.b.x),
+                       grid_->tile_of_y(subnet.b.y)};
+      path.tiles = search(from, to, region);
+      if (path.tiles.empty()) path.tiles = search(from, to, full);
+      path.routed = !path.tiles.empty();
+      if (path.routed) commit(path, +1);
+    }
+  }
+
+  // Rip-up & reroute subnets crossing overflowed edges or vertices. The
+  // congestion weight escalates each pass (negotiated-congestion style) so
+  // stubborn overflows eventually justify longer detours.
+  const double base_vertex_weight = config_.vertex_cost_weight;
+  for (int pass = 0; pass < config_.reroute_passes; ++pass) {
+    if (graph_.total_edge_overflow() == 0 &&
+        graph_.total_vertex_overflow() == 0)
+      break;
+    config_.vertex_cost_weight = base_vertex_weight * (1 << (pass + 1));
+    int rerouted = 0;
+    for (auto& path : result.paths) {
+      if (!path.routed) continue;
+      bool congested = false;
+      for (std::size_t i = 0; i + 1 < path.tiles.size() && !congested; ++i) {
+        const GCellId a = path.tiles[i];
+        const GCellId b = path.tiles[i + 1];
+        if (a.ty == b.ty) {
+          const int tx = std::min(a.tx, b.tx);
+          congested = graph_.h_demand(tx, a.ty) > graph_.h_capacity(tx, a.ty);
+        } else {
+          const int ty = std::min(a.ty, b.ty);
+          congested = graph_.v_demand(a.tx, ty) > graph_.v_capacity(a.tx, ty);
+        }
+      }
+      if (config_.vertex_cost && !congested) {
+        for (const GCellId t : path.tiles) {
+          if (graph_.vertex_demand(t.tx, t.ty) >
+              graph_.vertex_capacity(t.tx, t.ty)) {
+            congested = true;
+            break;
+          }
+        }
+      }
+      if (!congested) continue;
+      commit(path, -1);
+      // Search within the current path's neighbourhood; detours of a few
+      // tiles suffice to move line ends out of hot tiles.
+      Rect region;
+      for (const GCellId t : path.tiles)
+        region = region.hull(Rect{t.tx, t.ty, t.tx, t.ty});
+      region = region.inflated(4).intersect(full);
+      auto tiles = search(path.tiles.front(), path.tiles.back(), region);
+      if (!tiles.empty()) path.tiles = std::move(tiles);
+      commit(path, +1);
+      ++rerouted;
+    }
+    util::log_info() << "global reroute pass " << pass << ": " << rerouted
+                     << " subnets";
+    if (rerouted == 0) break;
+  }
+  config_.vertex_cost_weight = base_vertex_weight;
+
+  for (const auto& path : result.paths)
+    if (path.routed)
+      result.wirelength += static_cast<std::int64_t>(path.tiles.size()) - 1;
+  result.total_vertex_overflow = graph_.total_vertex_overflow();
+  result.max_vertex_overflow = graph_.max_vertex_overflow();
+  result.total_edge_overflow = graph_.total_edge_overflow();
+  return result;
+}
+
+}  // namespace mebl::global

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <vector>
+
+#include "global/multilevel.hpp"
+#include "global/routing_graph.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mebl::global {
+
+/// Global-router knobs; the Table III / Table IV ablations toggle these.
+struct GlobalRouterConfig {
+  /// Derive vertical edge capacities from the stitch plan (tracks on
+  /// stitching lines are unusable). Off = conventional-lithography resource
+  /// estimation (the baseline router's model).
+  bool stitch_aware_capacity = true;
+  /// Price line-end (vertex) congestion, eq. (2)-(3). Off = the "w/o line
+  /// end consideration" column of Table IV.
+  bool vertex_cost = true;
+  /// Multiplier on the vertex (line-end) congestion term. Line-end capacity
+  /// is scarcer than edge capacity (a handful of safe tracks per tile), so
+  /// pricing it at parity lets overflow through; the paper's near-zero TVOF
+  /// needs the term to dominate small detours.
+  double vertex_cost_weight = 8.0;
+  /// Rip-up & reroute passes over subnets crossing overflowed resources.
+  int reroute_passes = 6;
+  /// Extra cost per bend, to prefer straight global routes.
+  double turn_cost = 0.5;
+};
+
+/// Global route of one 2-pin subnet: a 4-connected GCell path from the tile
+/// of pin_a to the tile of pin_b (single tile when both pins share one).
+struct TilePath {
+  netlist::NetId net = -1;
+  geom::Point pin_a;
+  geom::Point pin_b;
+  std::vector<grid::GCellId> tiles;
+  bool routed = false;
+};
+
+/// Aggregate result of the global-routing stage.
+struct GlobalResult {
+  std::vector<TilePath> paths;  ///< parallel to the input subnet vector
+  std::int64_t wirelength = 0;  ///< total inter-tile hops
+  int total_vertex_overflow = 0;   ///< TVOF, Table IV
+  int max_vertex_overflow = 0;     ///< MVOF, Table IV
+  int total_edge_overflow = 0;
+};
+
+/// Stitch-aware global router (paper SIII-A): congestion-driven path search
+/// on the GCell graph pricing both edge congestion and line-end (vertex)
+/// congestion, scheduled by the bottom-up multilevel framework, with rip-up
+/// and reroute of subnets through overflowed resources.
+class GlobalRouter {
+ public:
+  GlobalRouter(const grid::RoutingGrid& grid, GlobalRouterConfig config = {});
+
+  /// Route all subnets (produced by netlist::decompose_all). Demands
+  /// accumulate in graph(); call once per instance.
+  GlobalResult route(const std::vector<netlist::Subnet>& subnets);
+
+  [[nodiscard]] const RoutingGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const grid::RoutingGrid& grid() const noexcept { return *grid_; }
+
+ private:
+  /// Shortest-path search for one subnet confined to `region` (in tile
+  /// coordinates). Returns an empty vector when no path exists.
+  [[nodiscard]] std::vector<grid::GCellId> search(grid::GCellId from,
+                                                  grid::GCellId to,
+                                                  const geom::Rect& region) const;
+
+  void commit(const TilePath& path, int sign);
+
+  const grid::RoutingGrid* grid_;
+  GlobalRouterConfig config_;
+  RoutingGraph graph_;
+};
+
+}  // namespace mebl::global

@@ -1,0 +1,50 @@
+#include "global/multilevel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mebl::global {
+
+MultilevelScheduler::MultilevelScheduler(int tiles_x, int tiles_y)
+    : tiles_x_(tiles_x), tiles_y_(tiles_y) {
+  assert(tiles_x >= 1 && tiles_y >= 1);
+  int level = 0;
+  while ((1 << level) < std::max(tiles_x, tiles_y)) ++level;
+  num_levels_ = level + 1;  // level `level` has a single cluster
+}
+
+int MultilevelScheduler::level_of(const geom::Rect& tile_bbox) const {
+  assert(!tile_bbox.empty());
+  for (int level = 0; level < num_levels_; ++level) {
+    const int size = 1 << level;
+    if (tile_bbox.xlo / size == tile_bbox.xhi / size &&
+        tile_bbox.ylo / size == tile_bbox.yhi / size)
+      return level;
+  }
+  return num_levels_ - 1;
+}
+
+geom::Rect MultilevelScheduler::cluster_region(const geom::Rect& tile_bbox,
+                                               int level) const {
+  const int size = 1 << level;
+  const geom::Coord cx = tile_bbox.xlo / size;
+  const geom::Coord cy = tile_bbox.ylo / size;
+  geom::Rect region{cx * size, cy * size, (cx + 1) * size - 1,
+                    (cy + 1) * size - 1};
+  // A bbox that straddles clusters at this level (only at the top) is
+  // clipped by hulling with itself before clamping to the grid.
+  region = region.hull(tile_bbox);
+  return region.intersect(
+      geom::Rect{0, 0, tiles_x_ - 1, tiles_y_ - 1});
+}
+
+std::vector<std::vector<std::size_t>> MultilevelScheduler::schedule(
+    const std::vector<geom::Rect>& tile_bboxes) const {
+  std::vector<std::vector<std::size_t>> buckets(
+      static_cast<std::size_t>(num_levels_));
+  for (std::size_t i = 0; i < tile_bboxes.size(); ++i)
+    buckets[static_cast<std::size_t>(level_of(tile_bboxes[i]))].push_back(i);
+  return buckets;
+}
+
+}  // namespace mebl::global

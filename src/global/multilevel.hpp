@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mebl::global {
+
+/// Bottom-up multilevel schedule (paper SII-B, Fig. 6).
+///
+/// The coarsening scheme repeatedly merges 2x2 groups of tiles. A subnet is
+/// *local at level L* when its GCell bounding box fits inside a single level-L
+/// cluster; the two-pass bottom-up framework routes subnets in ascending
+/// level order so that local nets are routed before longer ones.
+class MultilevelScheduler {
+ public:
+  /// `tiles_x`/`tiles_y`: GCell grid extent. The number of levels is the
+  /// smallest L with 2^L clusters covering the whole grid.
+  MultilevelScheduler(int tiles_x, int tiles_y);
+
+  [[nodiscard]] int num_levels() const noexcept { return num_levels_; }
+
+  /// Level at which a subnet whose GCell bbox is `tile_bbox` becomes local.
+  [[nodiscard]] int level_of(const geom::Rect& tile_bbox) const;
+
+  /// Cluster region (in tile coordinates, clipped to the grid) containing
+  /// `tile_bbox` at the given level. Routing for a local net is confined to
+  /// this region (plus any margin the router adds).
+  [[nodiscard]] geom::Rect cluster_region(const geom::Rect& tile_bbox,
+                                          int level) const;
+
+  /// Bucket subnet indices by routing level: result[L] lists the indices of
+  /// `tile_bboxes` that become local at level L.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> schedule(
+      const std::vector<geom::Rect>& tile_bboxes) const;
+
+ private:
+  int tiles_x_;
+  int tiles_y_;
+  int num_levels_;
+};
+
+}  // namespace mebl::global

@@ -1,0 +1,78 @@
+#include "global/routing_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mebl::global {
+
+RoutingGraph::RoutingGraph(const grid::RoutingGrid& grid, bool stitch_aware)
+    : tiles_x_(grid.tiles_x()), tiles_y_(grid.tiles_y()) {
+  const grid::CapacityModel model(grid);
+  h_cap_.resize(static_cast<std::size_t>(std::max(0, tiles_x_ - 1)) * tiles_y_);
+  v_cap_.resize(static_cast<std::size_t>(tiles_x_) * std::max(0, tiles_y_ - 1));
+  h_dem_.assign(h_cap_.size(), 0);
+  v_dem_.assign(v_cap_.size(), 0);
+  vert_cap_.resize(static_cast<std::size_t>(tiles_x_) * tiles_y_);
+  vert_dem_.assign(vert_cap_.size(), 0);
+
+  for (int ty = 0; ty < tiles_y_; ++ty)
+    for (int tx = 0; tx + 1 < tiles_x_; ++tx)
+      h_cap_[h_index(tx, ty)] = model.horizontal_edge_capacity(tx, ty);
+  for (int ty = 0; ty + 1 < tiles_y_; ++ty)
+    for (int tx = 0; tx < tiles_x_; ++tx)
+      v_cap_[v_index(tx, ty)] = stitch_aware
+                                    ? model.vertical_edge_capacity(tx, ty)
+                                    : model.vertical_edge_capacity_no_stitch(tx, ty);
+  for (int ty = 0; ty < tiles_y_; ++ty)
+    for (int tx = 0; tx < tiles_x_; ++tx)
+      vert_cap_[t_index(tx, ty)] = model.line_end_capacity(tx, ty);
+}
+
+void RoutingGraph::add_h_demand(int tx, int ty, int delta) {
+  auto& d = h_dem_[h_index(tx, ty)];
+  d += delta;
+  assert(d >= 0);
+}
+
+void RoutingGraph::add_v_demand(int tx, int ty, int delta) {
+  auto& d = v_dem_[v_index(tx, ty)];
+  d += delta;
+  assert(d >= 0);
+}
+
+void RoutingGraph::add_vertex_demand(int tx, int ty, int delta) {
+  auto& d = vert_dem_[t_index(tx, ty)];
+  d += delta;
+  assert(d >= 0);
+}
+
+double RoutingGraph::psi(int demand, int capacity) {
+  if (capacity <= 0) return demand > 0 ? 1e9 : 0.0;
+  return std::exp2(static_cast<double>(demand) / capacity) - 1.0;
+}
+
+int RoutingGraph::total_vertex_overflow() const {
+  int total = 0;
+  for (std::size_t i = 0; i < vert_dem_.size(); ++i)
+    total += std::max(0, vert_dem_[i] - vert_cap_[i]);
+  return total;
+}
+
+int RoutingGraph::max_vertex_overflow() const {
+  int best = 0;
+  for (std::size_t i = 0; i < vert_dem_.size(); ++i)
+    best = std::max(best, vert_dem_[i] - vert_cap_[i]);
+  return std::max(0, best);
+}
+
+int RoutingGraph::total_edge_overflow() const {
+  int total = 0;
+  for (std::size_t i = 0; i < h_dem_.size(); ++i)
+    total += std::max(0, h_dem_[i] - h_cap_[i]);
+  for (std::size_t i = 0; i < v_dem_.size(); ++i)
+    total += std::max(0, v_dem_[i] - v_cap_[i]);
+  return total;
+}
+
+}  // namespace mebl::global

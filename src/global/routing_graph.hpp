@@ -1,0 +1,97 @@
+#pragma once
+
+#include <vector>
+
+#include "grid/gcell.hpp"
+
+namespace mebl::global {
+
+/// Congestion state of the global-routing graph (paper SIII-A, Fig. 7).
+///
+/// Vertices are GCells; edges join 4-neighbouring GCells. Each edge carries
+/// a capacity (wires that can cross the shared tile boundary — reduced by
+/// stitching lines for vertical crossings when `stitch_aware` is set) and a
+/// demand. Each vertex additionally carries a *line-end capacity* (vertical
+/// tracks outside stitch unfriendly regions) and a line-end demand; the
+/// stitch-aware router prices both (eqs. 1-3).
+class RoutingGraph {
+ public:
+  RoutingGraph(const grid::RoutingGrid& grid, bool stitch_aware);
+
+  [[nodiscard]] int tiles_x() const noexcept { return tiles_x_; }
+  [[nodiscard]] int tiles_y() const noexcept { return tiles_y_; }
+
+  // --- edges ---------------------------------------------------------------
+  // h-edge (tx,ty): boundary between (tx,ty) and (tx+1,ty), 0 <= tx < X-1.
+  // v-edge (tx,ty): boundary between (tx,ty) and (tx,ty+1), 0 <= ty < Y-1.
+
+  [[nodiscard]] int h_capacity(int tx, int ty) const {
+    return h_cap_[h_index(tx, ty)];
+  }
+  [[nodiscard]] int v_capacity(int tx, int ty) const {
+    return v_cap_[v_index(tx, ty)];
+  }
+  [[nodiscard]] int h_demand(int tx, int ty) const {
+    return h_dem_[h_index(tx, ty)];
+  }
+  [[nodiscard]] int v_demand(int tx, int ty) const {
+    return v_dem_[v_index(tx, ty)];
+  }
+  void add_h_demand(int tx, int ty, int delta);
+  void add_v_demand(int tx, int ty, int delta);
+
+  /// Congestion cost psi_e = 2^(d/c) - 1 of the edge *after* adding `extra`
+  /// wires (the router prices the marginal wire with extra = 1).
+  [[nodiscard]] double h_cost(int tx, int ty, int extra = 1) const {
+    return psi(h_dem_[h_index(tx, ty)] + extra, h_cap_[h_index(tx, ty)]);
+  }
+  [[nodiscard]] double v_cost(int tx, int ty, int extra = 1) const {
+    return psi(v_dem_[v_index(tx, ty)] + extra, v_cap_[v_index(tx, ty)]);
+  }
+
+  // --- vertices (line ends) --------------------------------------------------
+
+  [[nodiscard]] int vertex_capacity(int tx, int ty) const {
+    return vert_cap_[t_index(tx, ty)];
+  }
+  [[nodiscard]] int vertex_demand(int tx, int ty) const {
+    return vert_dem_[t_index(tx, ty)];
+  }
+  void add_vertex_demand(int tx, int ty, int delta);
+
+  /// Line-end congestion cost psi_v = 2^(d/c) - 1 after `extra` more ends.
+  [[nodiscard]] double vertex_cost(int tx, int ty, int extra = 1) const {
+    return psi(vert_dem_[t_index(tx, ty)] + extra, vert_cap_[t_index(tx, ty)]);
+  }
+
+  // --- overflow metrics (Table IV) -------------------------------------------
+
+  /// Total vertex overflow: sum over tiles of max(0, demand - capacity).
+  [[nodiscard]] int total_vertex_overflow() const;
+  /// Maximum vertex overflow over all tiles.
+  [[nodiscard]] int max_vertex_overflow() const;
+  /// Total edge overflow over both edge directions.
+  [[nodiscard]] int total_edge_overflow() const;
+
+ private:
+  [[nodiscard]] std::size_t h_index(int tx, int ty) const {
+    return static_cast<std::size_t>(ty) * (tiles_x_ - 1) + tx;
+  }
+  [[nodiscard]] std::size_t v_index(int tx, int ty) const {
+    return static_cast<std::size_t>(ty) * tiles_x_ + tx;
+  }
+  [[nodiscard]] std::size_t t_index(int tx, int ty) const {
+    return static_cast<std::size_t>(ty) * tiles_x_ + tx;
+  }
+
+  /// psi = 2^(d/c) - 1; a zero-capacity resource is priced effectively
+  /// infinite (but finite, so routing can still complete when forced).
+  [[nodiscard]] static double psi(int demand, int capacity);
+
+  int tiles_x_;
+  int tiles_y_;
+  std::vector<int> h_cap_, v_cap_, h_dem_, v_dem_;
+  std::vector<int> vert_cap_, vert_dem_;
+};
+
+}  // namespace mebl::global

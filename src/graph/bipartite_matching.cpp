@@ -1,0 +1,78 @@
+#include "graph/bipartite_matching.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace mebl::graph {
+
+// Classic O(n^3) Hungarian algorithm with row/column potentials.
+// Implementation follows the standard 1-indexed formulation with a virtual
+// row 0 used as the starting column anchor.
+std::vector<std::size_t> min_weight_perfect_matching(
+    const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  if (n == 0) return {};
+  for (const auto& row : cost) {
+    assert(row.size() == n);
+    (void)row;
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> match_of_col(n + 1, 0);  // row matched to column j
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match_of_col[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match_of_col[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match_of_col[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match_of_col[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      match_of_col[j0] = match_of_col[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<std::size_t> match_of_left(n);
+  for (std::size_t j = 1; j <= n; ++j) match_of_left[match_of_col[j] - 1] = j - 1;
+  return match_of_left;
+}
+
+double matching_weight(const std::vector<std::vector<double>>& cost,
+                       const std::vector<std::size_t>& match_of_left) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < match_of_left.size(); ++i)
+    total += cost[i][match_of_left[i]];
+  return total;
+}
+
+}  // namespace mebl::graph

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+namespace mebl::graph {
+
+/// Minimum-weight perfect matching on a complete bipartite graph
+/// (Hungarian / Kuhn–Munkres algorithm, O(n^3)).
+///
+/// `cost` is a square matrix: cost[i][j] is the weight of matching left
+/// vertex i to right vertex j. Returns match_of_left: for each left vertex
+/// the index of its matched right vertex.
+///
+/// The stitch-aware layer assigner uses this to merge the coloring groups of
+/// successive k-colorable vertex sets with minimum total conflict-edge
+/// weight (paper SIII-B, Fig. 9(d)).
+[[nodiscard]] std::vector<std::size_t> min_weight_perfect_matching(
+    const std::vector<std::vector<double>>& cost);
+
+/// Total weight of a matching under the given cost matrix.
+[[nodiscard]] double matching_weight(
+    const std::vector<std::vector<double>>& cost,
+    const std::vector<std::size_t>& match_of_left);
+
+}  // namespace mebl::graph

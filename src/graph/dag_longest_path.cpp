@@ -1,0 +1,68 @@
+#include "graph/dag_longest_path.hpp"
+
+#include <cassert>
+
+namespace mebl::graph {
+
+void Dag::add_arc(NodeId from, NodeId to, std::int64_t length) {
+  assert(from >= 0 && static_cast<std::size_t>(from) < adj_.size());
+  assert(to >= 0 && static_cast<std::size_t>(to) < adj_.size());
+  adj_[static_cast<std::size_t>(from)].push_back(Arc{to, length});
+}
+
+std::optional<std::vector<std::optional<std::int64_t>>> Dag::longest_from(
+    NodeId source) const {
+  const std::size_t n = adj_.size();
+  // Iterative DFS topological order restricted to nodes reachable from
+  // source, with cycle detection via colors.
+  enum class Color : unsigned char { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<NodeId> order;  // reverse-topological
+  order.reserve(n);
+
+  struct Frame {
+    NodeId node;
+    std::size_t next_arc;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({source, 0});
+  color[static_cast<std::size_t>(source)] = Color::kGray;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& arcs = adj_[static_cast<std::size_t>(frame.node)];
+    if (frame.next_arc < arcs.size()) {
+      const NodeId next = arcs[frame.next_arc++].to;
+      switch (color[static_cast<std::size_t>(next)]) {
+        case Color::kWhite:
+          color[static_cast<std::size_t>(next)] = Color::kGray;
+          stack.push_back({next, 0});
+          break;
+        case Color::kGray:
+          return std::nullopt;  // cycle
+        case Color::kBlack:
+          break;
+      }
+    } else {
+      color[static_cast<std::size_t>(frame.node)] = Color::kBlack;
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  std::vector<std::optional<std::int64_t>> dist(n);
+  dist[static_cast<std::size_t>(source)] = 0;
+  // Relax in topological order (reverse of the post-order we collected).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    const auto du = dist[static_cast<std::size_t>(u)];
+    if (!du) continue;
+    for (const Arc& arc : adj_[static_cast<std::size_t>(u)]) {
+      auto& dv = dist[static_cast<std::size_t>(arc.to)];
+      const std::int64_t candidate = *du + arc.length;
+      if (!dv || candidate > *dv) dv = candidate;
+    }
+  }
+  return dist;
+}
+
+}  // namespace mebl::graph

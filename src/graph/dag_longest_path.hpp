@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/shortest_path.hpp"
+
+namespace mebl::graph {
+
+/// Directed acyclic graph with integer arc lengths, supporting
+/// longest-path queries. The graph-based track assigner uses this on the
+/// minimum / maximum track constraint graphs (paper SIII-C2, Fig. 11) to
+/// compute the feasible track window of every interval.
+class Dag {
+ public:
+  explicit Dag(std::size_t num_nodes) : adj_(num_nodes) {}
+
+  void add_arc(NodeId from, NodeId to, std::int64_t length);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adj_.size(); }
+
+  /// Longest distance from `source` to every node (unreachable nodes get
+  /// std::nullopt in the result). Returns std::nullopt for the whole query
+  /// if the graph has a cycle reachable from `source`.
+  [[nodiscard]] std::optional<std::vector<std::optional<std::int64_t>>>
+  longest_from(NodeId source) const;
+
+ private:
+  struct Arc {
+    NodeId to;
+    std::int64_t length;
+  };
+  std::vector<std::vector<Arc>> adj_;
+};
+
+}  // namespace mebl::graph

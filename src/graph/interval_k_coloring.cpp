@@ -1,0 +1,106 @@
+#include "graph/interval_k_coloring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "graph/min_cost_flow.hpp"
+
+namespace mebl::graph {
+
+namespace {
+// Fixed-point scale for converting double weights to the integer costs the
+// min-cost-flow solver needs. 2^20 keeps three significant decimal digits
+// for weights up to ~2^23 without overflow in the flow network.
+constexpr std::int64_t kScale = 1 << 20;
+}  // namespace
+
+KColorableSubset max_weight_k_colorable_subset(
+    const std::vector<WeightedInterval>& intervals, int k) {
+  assert(k >= 1);
+  KColorableSubset result;
+  if (intervals.empty()) return result;
+
+  // Coordinate-compress {lo, hi+1} of every interval; consecutive
+  // coordinates become the "line" arcs of capacity k.
+  std::vector<geom::Coord> coords;
+  coords.reserve(intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    assert(!iv.span.empty());
+    assert(iv.weight >= 0.0);
+    coords.push_back(iv.span.lo);
+    coords.push_back(iv.span.hi + 1);
+  }
+  std::sort(coords.begin(), coords.end());
+  coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+  const auto node_of = [&](geom::Coord c) {
+    return static_cast<NodeId>(
+        std::lower_bound(coords.begin(), coords.end(), c) - coords.begin());
+  };
+
+  const std::size_t n = coords.size();
+  MinCostFlow flow(n);
+  // Line arcs let unused color slots pass over every point.
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    flow.add_arc(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), k, 0);
+  // Interval arcs: selecting interval i routes one unit across its span and
+  // "earns" its weight (negative cost).
+  std::vector<std::size_t> arc_of_interval(intervals.size());
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const auto& iv = intervals[i];
+    arc_of_interval[i] =
+        flow.add_arc(node_of(iv.span.lo), node_of(iv.span.hi + 1), 1,
+                     -static_cast<std::int64_t>(std::llround(iv.weight * kScale)));
+  }
+
+  flow.solve(0, static_cast<NodeId>(n - 1), k);
+
+  // Decompose the flow into k source->sink chains; each chain is one color
+  // class (intervals on the same chain are disjoint by construction).
+  // remaining[node] -> list of (next_node, interval_index or -1, count).
+  struct Hop {
+    NodeId to;
+    std::ptrdiff_t interval;  // -1 for a line arc
+    std::int64_t units;
+  };
+  std::vector<std::vector<Hop>> hops(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::int64_t f = flow.flow_on(i);  // line arcs were added first
+    if (f > 0)
+      hops[i].push_back(Hop{static_cast<NodeId>(i + 1), -1, f});
+  }
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (flow.flow_on(arc_of_interval[i]) > 0) {
+      hops[static_cast<std::size_t>(node_of(intervals[i].span.lo))].push_back(
+          Hop{node_of(intervals[i].span.hi + 1),
+              static_cast<std::ptrdiff_t>(i), 1});
+    }
+  }
+
+  for (int color = 0; color < k; ++color) {
+    NodeId at = 0;
+    while (static_cast<std::size_t>(at) + 1 < n) {
+      auto& out = hops[static_cast<std::size_t>(at)];
+      // Prefer interval hops so every selected interval lands on some chain.
+      auto it = std::find_if(out.begin(), out.end(),
+                             [](const Hop& h) { return h.interval >= 0; });
+      if (it == out.end())
+        it = std::find_if(out.begin(), out.end(),
+                          [](const Hop& h) { return h.units > 0; });
+      assert(it != out.end());  // conservation guarantees a way forward
+      if (it->interval >= 0) {
+        const auto idx = static_cast<std::size_t>(it->interval);
+        result.chosen.push_back(idx);
+        result.color_of_chosen.push_back(color);
+        result.total_weight += intervals[idx].weight;
+      }
+      const NodeId next = it->to;
+      if (--it->units == 0) out.erase(it);
+      at = next;
+    }
+  }
+  return result;
+}
+
+}  // namespace mebl::graph

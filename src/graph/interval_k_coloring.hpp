@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/interval.hpp"
+
+namespace mebl::graph {
+
+/// A weighted interval for the Carlisle–Lloyd k-colorable subset problem.
+struct WeightedInterval {
+  geom::Interval span;  // closed interval in track units
+  double weight = 0.0;
+};
+
+/// Result of max-weight k-colorable subset selection: the chosen interval
+/// indices and a color in [0, k) for each chosen interval such that
+/// same-colored intervals are pairwise disjoint.
+struct KColorableSubset {
+  std::vector<std::size_t> chosen;  // indices into the input vector
+  std::vector<int> color_of_chosen;  // parallel to `chosen`
+  double total_weight = 0.0;
+};
+
+/// Carlisle–Lloyd: maximum-weight k-colorable subset of intervals, solved
+/// exactly with min-cost flow on the coordinate-compressed line network
+/// (paper SIII-B cites [2]; this is the polynomial-time core of our layer
+/// assignment heuristic).
+///
+/// Weights must be non-negative. Two intervals conflict when they share an
+/// integer point (closed-interval overlap).
+[[nodiscard]] KColorableSubset max_weight_k_colorable_subset(
+    const std::vector<WeightedInterval>& intervals, int k);
+
+}  // namespace mebl::graph

@@ -1,0 +1,119 @@
+#include "graph/min_cost_flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace mebl::graph {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}
+
+MinCostFlow::MinCostFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t MinCostFlow::add_arc(NodeId from, NodeId to, std::int64_t capacity,
+                                 std::int64_t cost) {
+  assert(capacity >= 0);
+  assert(from != to);
+  auto& fwd_list = graph_[static_cast<std::size_t>(from)];
+  auto& rev_list = graph_[static_cast<std::size_t>(to)];
+  fwd_list.push_back(Arc{to, capacity, cost, rev_list.size()});
+  rev_list.push_back(Arc{from, 0, -cost, fwd_list.size() - 1});
+  handles_.push_back(ArcRef{from, fwd_list.size() - 1, capacity});
+  return handles_.size() - 1;
+}
+
+MinCostFlow::Result MinCostFlow::solve(NodeId s, NodeId t,
+                                       std::int64_t flow_limit) {
+  const std::size_t n = graph_.size();
+  Result result;
+
+  // Initial potentials via Bellman-Ford (handles negative arc costs).
+  std::vector<std::int64_t> potential(n, kInf);
+  potential[static_cast<std::size_t>(s)] = 0;
+  for (std::size_t round = 0; round + 1 < n || round == 0; ++round) {
+    bool changed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (potential[u] >= kInf) continue;
+      for (const Arc& arc : graph_[u]) {
+        if (arc.capacity <= 0) continue;
+        const std::int64_t nd = potential[u] + arc.cost;
+        if (nd < potential[static_cast<std::size_t>(arc.to)]) {
+          potential[static_cast<std::size_t>(arc.to)] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<std::int64_t> dist(n);
+  std::vector<NodeId> prev_node(n);
+  std::vector<std::size_t> prev_arc(n);
+
+  while (result.flow < flow_limit) {
+    // Dijkstra with reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[static_cast<std::size_t>(s)] = 0;
+    using Entry = std::pair<std::int64_t, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.emplace(0, s);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[static_cast<std::size_t>(u)]) continue;
+      for (std::size_t i = 0; i < graph_[static_cast<std::size_t>(u)].size(); ++i) {
+        const Arc& arc = graph_[static_cast<std::size_t>(u)][i];
+        if (arc.capacity <= 0 || potential[static_cast<std::size_t>(arc.to)] >= kInf)
+          continue;
+        const std::int64_t reduced =
+            arc.cost + potential[static_cast<std::size_t>(u)] -
+            potential[static_cast<std::size_t>(arc.to)];
+        assert(reduced >= 0);
+        const std::int64_t nd = d + reduced;
+        if (nd < dist[static_cast<std::size_t>(arc.to)]) {
+          dist[static_cast<std::size_t>(arc.to)] = nd;
+          prev_node[static_cast<std::size_t>(arc.to)] = u;
+          prev_arc[static_cast<std::size_t>(arc.to)] = i;
+          heap.emplace(nd, arc.to);
+        }
+      }
+    }
+    if (dist[static_cast<std::size_t>(t)] >= kInf) break;  // t unreachable
+
+    for (std::size_t v = 0; v < n; ++v)
+      if (dist[v] < kInf) potential[v] += dist[v];
+
+    // Find the bottleneck along the augmenting path.
+    std::int64_t push = flow_limit - result.flow;
+    for (NodeId v = t; v != s;
+         v = prev_node[static_cast<std::size_t>(v)]) {
+      const Arc& arc =
+          graph_[static_cast<std::size_t>(prev_node[static_cast<std::size_t>(v)])]
+                [prev_arc[static_cast<std::size_t>(v)]];
+      push = std::min(push, arc.capacity);
+    }
+    // Apply it.
+    for (NodeId v = t; v != s;
+         v = prev_node[static_cast<std::size_t>(v)]) {
+      Arc& arc =
+          graph_[static_cast<std::size_t>(prev_node[static_cast<std::size_t>(v)])]
+                [prev_arc[static_cast<std::size_t>(v)]];
+      arc.capacity -= push;
+      graph_[static_cast<std::size_t>(arc.to)][arc.reverse].capacity += push;
+      result.cost += push * arc.cost;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+std::int64_t MinCostFlow::flow_on(std::size_t arc_handle) const {
+  const ArcRef& ref = handles_.at(arc_handle);
+  const Arc& arc = graph_[static_cast<std::size_t>(ref.node)][ref.index];
+  return ref.original_capacity - arc.capacity;
+}
+
+}  // namespace mebl::graph

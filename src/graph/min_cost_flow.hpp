@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/shortest_path.hpp"
+
+namespace mebl::graph {
+
+/// Minimum-cost maximum-flow solver (successive shortest augmenting paths
+/// with Bellman–Ford potentials, then Dijkstra with reduced costs).
+/// Supports negative arc costs as long as the graph has no negative cycle —
+/// which is the case for the Carlisle–Lloyd interval-selection networks
+/// where interval arcs carry cost = -weight.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t num_nodes);
+
+  /// Add a directed arc; returns an arc handle for flow queries.
+  /// Capacities must be non-negative.
+  std::size_t add_arc(NodeId from, NodeId to, std::int64_t capacity,
+                      std::int64_t cost);
+
+  struct Result {
+    std::int64_t flow = 0;
+    std::int64_t cost = 0;
+  };
+
+  /// Push up to `flow_limit` units from s to t at minimum total cost.
+  /// May be called once per instance.
+  Result solve(NodeId s, NodeId t, std::int64_t flow_limit);
+
+  /// Flow currently assigned to the arc returned by add_arc.
+  [[nodiscard]] std::int64_t flow_on(std::size_t arc_handle) const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return graph_.size(); }
+
+ private:
+  struct Arc {
+    NodeId to;
+    std::int64_t capacity;  // residual capacity
+    std::int64_t cost;
+    std::size_t reverse;  // index of the reverse arc in graph_[to]
+  };
+
+  std::vector<std::vector<Arc>> graph_;
+  struct ArcRef {
+    NodeId node;
+    std::size_t index;
+    std::int64_t original_capacity;
+  };
+  std::vector<ArcRef> handles_;
+};
+
+}  // namespace mebl::graph

@@ -1,0 +1,70 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace mebl::graph {
+
+void AdjacencyGraph::add_arc(NodeId from, NodeId to, double weight) {
+  assert(weight >= 0.0);
+  adj_[static_cast<std::size_t>(from)].push_back(Arc{to, weight});
+}
+
+void AdjacencyGraph::add_edge(NodeId a, NodeId b, double weight) {
+  add_arc(a, b, weight);
+  add_arc(b, a, weight);
+}
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
+  std::vector<NodeId> path;
+  if (!reached(target)) return path;
+  for (NodeId v = target; v != -1; v = parent[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+namespace {
+
+ShortestPathTree run_dijkstra(const AdjacencyGraph& graph, NodeId source,
+                              NodeId target /* -1 = all */) {
+  const std::size_t n = graph.num_nodes();
+  ShortestPathTree tree;
+  tree.dist.assign(n, ShortestPathTree::infinity());
+  tree.parent.assign(n, -1);
+
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  tree.dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > tree.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    if (u == target) break;
+    for (const auto& arc : graph.arcs_from(u)) {
+      const double nd = d + arc.weight;
+      if (nd < tree.dist[static_cast<std::size_t>(arc.to)]) {
+        tree.dist[static_cast<std::size_t>(arc.to)] = nd;
+        tree.parent[static_cast<std::size_t>(arc.to)] = u;
+        heap.emplace(nd, arc.to);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra(const AdjacencyGraph& graph, NodeId source) {
+  return run_dijkstra(graph, source, -1);
+}
+
+ShortestPathTree dijkstra(const AdjacencyGraph& graph, NodeId source,
+                          NodeId target) {
+  return run_dijkstra(graph, source, target);
+}
+
+}  // namespace mebl::graph

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mebl::graph {
+
+using NodeId = std::int32_t;
+
+/// Weighted directed graph in adjacency-list form, the substrate for the
+/// shortest-path queries of the global router.
+class AdjacencyGraph {
+ public:
+  struct Arc {
+    NodeId to;
+    double weight;
+  };
+
+  explicit AdjacencyGraph(std::size_t num_nodes) : adj_(num_nodes) {}
+
+  void add_arc(NodeId from, NodeId to, double weight);
+  /// Add arcs in both directions with the same weight.
+  void add_edge(NodeId a, NodeId b, double weight);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adj_.size(); }
+  [[nodiscard]] const std::vector<Arc>& arcs_from(NodeId n) const {
+    return adj_[static_cast<std::size_t>(n)];
+  }
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+};
+
+/// Result of a single-source shortest-path run. `dist[v]` is infinity() for
+/// unreachable v; `parent[v]` is -1 for the source and unreachable nodes.
+struct ShortestPathTree {
+  std::vector<double> dist;
+  std::vector<NodeId> parent;
+
+  static constexpr double infinity() noexcept {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] bool reached(NodeId v) const {
+    return dist[static_cast<std::size_t>(v)] < infinity();
+  }
+
+  /// Path from the source to `target`, inclusive. Empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> path_to(NodeId target) const;
+};
+
+/// Dijkstra from `source` over non-negative arc weights.
+[[nodiscard]] ShortestPathTree dijkstra(const AdjacencyGraph& graph,
+                                        NodeId source);
+
+/// Dijkstra that stops as soon as `target` is settled (other distances may
+/// be partial).
+[[nodiscard]] ShortestPathTree dijkstra(const AdjacencyGraph& graph,
+                                        NodeId source, NodeId target);
+
+}  // namespace mebl::graph

@@ -1,0 +1,58 @@
+#include "graph/spanning_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mebl::graph {
+
+DisjointSets::DisjointSets(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+NodeId DisjointSets::find(NodeId v) {
+  NodeId root = v;
+  while (parent_[static_cast<std::size_t>(root)] != root)
+    root = parent_[static_cast<std::size_t>(root)];
+  while (parent_[static_cast<std::size_t>(v)] != root) {
+    const NodeId next = parent_[static_cast<std::size_t>(v)];
+    parent_[static_cast<std::size_t>(v)] = root;
+    v = next;
+  }
+  return root;
+}
+
+bool DisjointSets::unite(NodeId a, NodeId b) {
+  NodeId ra = find(a);
+  NodeId rb = find(b);
+  if (ra == rb) return false;
+  if (size_[static_cast<std::size_t>(ra)] < size_[static_cast<std::size_t>(rb)])
+    std::swap(ra, rb);
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+  --num_sets_;
+  return true;
+}
+
+std::vector<std::size_t> maximum_spanning_forest(
+    std::size_t num_nodes, const std::vector<WeightedEdge>& edges) {
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return edges[i].weight > edges[j].weight;
+  });
+
+  DisjointSets sets(num_nodes);
+  std::vector<std::size_t> chosen;
+  chosen.reserve(num_nodes > 0 ? num_nodes - 1 : 0);
+  for (std::size_t idx : order) {
+    const WeightedEdge& e = edges[idx];
+    assert(e.a >= 0 && static_cast<std::size_t>(e.a) < num_nodes);
+    assert(e.b >= 0 && static_cast<std::size_t>(e.b) < num_nodes);
+    if (sets.unite(e.a, e.b)) chosen.push_back(idx);
+  }
+  return chosen;
+}
+
+}  // namespace mebl::graph

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/shortest_path.hpp"
+
+namespace mebl::graph {
+
+/// Undirected weighted edge for spanning-tree construction.
+struct WeightedEdge {
+  NodeId a;
+  NodeId b;
+  double weight;
+};
+
+/// Disjoint-set (union-find) with path compression and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n);
+
+  [[nodiscard]] NodeId find(NodeId v);
+  /// Merge the sets of a and b; returns false if already joined.
+  bool unite(NodeId a, NodeId b);
+  [[nodiscard]] std::size_t num_sets() const noexcept { return num_sets_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::int32_t> size_;
+  std::size_t num_sets_;
+};
+
+/// Maximum spanning forest via Kruskal: returns indices into `edges` of the
+/// chosen edges. Used by the baseline layer-assignment heuristic of [4],
+/// which k-colors a maximum spanning tree of the segment conflict graph.
+[[nodiscard]] std::vector<std::size_t> maximum_spanning_forest(
+    std::size_t num_nodes, const std::vector<WeightedEdge>& edges);
+
+}  // namespace mebl::graph

@@ -1,0 +1,52 @@
+#include "grid/routing_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mebl::grid {
+
+using geom::Coord;
+using geom::Interval;
+using geom::LayerId;
+using geom::Orientation;
+
+RoutingGrid::RoutingGrid(Coord width, Coord height, int num_routing_layers,
+                         Coord tile_size, StitchPlan plan)
+    : width_(width),
+      height_(height),
+      num_routing_layers_(num_routing_layers),
+      tile_size_(tile_size),
+      stitch_(std::move(plan)) {
+  assert(width > 0 && height > 0);
+  assert(num_routing_layers >= 2);  // at least one H and one V layer
+  assert(tile_size > 0);
+  assert(stitch_.width() == width);
+  tiles_x_ = static_cast<int>((width + tile_size - 1) / tile_size);
+  tiles_y_ = static_cast<int>((height + tile_size - 1) / tile_size);
+}
+
+Orientation RoutingGrid::layer_dir(LayerId layer) const noexcept {
+  assert(layer >= 1 && layer <= num_routing_layers_);
+  return layer % 2 == 1 ? Orientation::kHorizontal : Orientation::kVertical;
+}
+
+std::vector<LayerId> RoutingGrid::layers_with(Orientation dir) const {
+  std::vector<LayerId> out;
+  for (LayerId l = 1; l <= num_routing_layers_; ++l)
+    if (layer_dir(l) == dir) out.push_back(l);
+  return out;
+}
+
+Interval RoutingGrid::tile_x_span(int tx) const noexcept {
+  assert(tx >= 0 && tx < tiles_x_);
+  const Coord lo = static_cast<Coord>(tx) * tile_size_;
+  return {lo, std::min<Coord>(lo + tile_size_ - 1, width_ - 1)};
+}
+
+Interval RoutingGrid::tile_y_span(int ty) const noexcept {
+  assert(ty >= 0 && ty < tiles_y_);
+  const Coord lo = static_cast<Coord>(ty) * tile_size_;
+  return {lo, std::min<Coord>(lo + tile_size_ - 1, height_ - 1)};
+}
+
+}  // namespace mebl::grid

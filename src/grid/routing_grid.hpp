@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "grid/stitch_plan.hpp"
+
+namespace mebl::grid {
+
+/// Static description of the routing fabric: layout extent in tracks, the
+/// routing layer stack with preferred directions, the GCell tiling used by
+/// global routing / assignment, and the stitching-line plan.
+///
+/// Layer conventions:
+///  * layer 0 is the pin layer (pins only; no routing on it);
+///  * routing layers 1..num_routing_layers alternate preferred direction,
+///    layer 1 horizontal (HVH for 3 layers, HVHVHV for 6 — matching the
+///    MCNC / Faraday setups in the paper).
+class RoutingGrid {
+ public:
+  RoutingGrid(geom::Coord width, geom::Coord height, int num_routing_layers,
+              geom::Coord tile_size, StitchPlan plan);
+
+  [[nodiscard]] geom::Coord width() const noexcept { return width_; }
+  [[nodiscard]] geom::Coord height() const noexcept { return height_; }
+  [[nodiscard]] geom::Rect extent() const noexcept {
+    return {0, 0, width_ - 1, height_ - 1};
+  }
+  [[nodiscard]] bool in_bounds(geom::Point p) const noexcept {
+    return extent().contains(p);
+  }
+  [[nodiscard]] bool in_bounds(geom::Point3 p) const noexcept {
+    return extent().contains(p.xy()) && p.layer >= 0 && p.layer <= num_routing_layers_;
+  }
+
+  /// Total layer count including the pin layer 0.
+  [[nodiscard]] int num_layers() const noexcept { return num_routing_layers_ + 1; }
+  [[nodiscard]] int num_routing_layers() const noexcept {
+    return num_routing_layers_;
+  }
+
+  /// Preferred direction of a routing layer (layer >= 1).
+  [[nodiscard]] geom::Orientation layer_dir(geom::LayerId layer) const noexcept;
+
+  /// Routing layers with the given preferred direction, ascending.
+  [[nodiscard]] std::vector<geom::LayerId> layers_with(
+      geom::Orientation dir) const;
+
+  // --- GCell tiling --------------------------------------------------------
+
+  [[nodiscard]] geom::Coord tile_size() const noexcept { return tile_size_; }
+  [[nodiscard]] int tiles_x() const noexcept { return tiles_x_; }
+  [[nodiscard]] int tiles_y() const noexcept { return tiles_y_; }
+  [[nodiscard]] int tile_of_x(geom::Coord x) const noexcept {
+    return static_cast<int>(x / tile_size_);
+  }
+  [[nodiscard]] int tile_of_y(geom::Coord y) const noexcept {
+    return static_cast<int>(y / tile_size_);
+  }
+  /// Track range covered by tile column tx (clipped to the layout).
+  [[nodiscard]] geom::Interval tile_x_span(int tx) const noexcept;
+  /// Track range covered by tile row ty (clipped to the layout).
+  [[nodiscard]] geom::Interval tile_y_span(int ty) const noexcept;
+
+  [[nodiscard]] const StitchPlan& stitch() const noexcept { return stitch_; }
+
+ private:
+  geom::Coord width_;
+  geom::Coord height_;
+  int num_routing_layers_;
+  geom::Coord tile_size_;
+  int tiles_x_;
+  int tiles_y_;
+  StitchPlan stitch_;
+};
+
+}  // namespace mebl::grid

@@ -1,0 +1,92 @@
+#include "grid/stitch_plan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mebl::grid {
+
+using geom::Coord;
+using geom::Interval;
+
+StitchPlan::StitchPlan(Coord width, Coord pitch, Coord epsilon,
+                       Coord escape_halfwidth)
+    : width_(width),
+      pitch_(pitch),
+      epsilon_(epsilon),
+      escape_halfwidth_(escape_halfwidth) {
+  assert(width > 0);
+  assert(pitch > 0);
+  assert(epsilon >= 0);
+  assert(escape_halfwidth >= 0);
+  for (Coord x = pitch; x < width; x += pitch) lines_.push_back(x);
+}
+
+StitchPlan StitchPlan::none(Coord width) {
+  StitchPlan plan;
+  plan.width_ = width;
+  plan.pitch_ = width + 1;  // no line fits
+  return plan;
+}
+
+StitchPlan StitchPlan::from_lines(Coord width, std::vector<Coord> lines,
+                                  Coord epsilon, Coord escape_halfwidth) {
+  assert(width > 0);
+  StitchPlan plan;
+  plan.width_ = width;
+  plan.epsilon_ = epsilon;
+  plan.escape_halfwidth_ = escape_halfwidth;
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  for (const Coord x : lines)
+    if (x > 0 && x < width) plan.lines_.push_back(x);
+  // Nominal pitch: the smallest stripe width (only informational for
+  // non-uniform plans).
+  plan.pitch_ = width + 1;
+  Coord prev = 0;
+  for (const Coord x : plan.lines_) {
+    plan.pitch_ = std::min(plan.pitch_, x - prev);
+    prev = x;
+  }
+  if (!plan.lines_.empty())
+    plan.pitch_ = std::min(plan.pitch_, width - plan.lines_.back());
+  return plan;
+}
+
+bool StitchPlan::is_stitch_column(Coord x) const noexcept {
+  return std::binary_search(lines_.begin(), lines_.end(), x);
+}
+
+Coord StitchPlan::distance_to_line(Coord x) const noexcept {
+  if (lines_.empty()) return std::numeric_limits<Coord>::max() / 2;
+  auto it = std::lower_bound(lines_.begin(), lines_.end(), x);
+  Coord best = std::numeric_limits<Coord>::max() / 2;
+  if (it != lines_.end()) best = std::min(best, *it - x);
+  if (it != lines_.begin()) best = std::min(best, x - *std::prev(it));
+  return best;
+}
+
+std::vector<Coord> StitchPlan::lines_cutting(Interval span) const {
+  std::vector<Coord> cut;
+  if (span.empty()) return cut;
+  auto it = std::upper_bound(lines_.begin(), lines_.end(), span.lo);
+  for (; it != lines_.end() && *it < span.hi; ++it) cut.push_back(*it);
+  return cut;
+}
+
+Coord StitchPlan::free_tracks(Interval span) const noexcept {
+  if (span.empty()) return 0;
+  auto lo = std::lower_bound(lines_.begin(), lines_.end(), span.lo);
+  auto hi = std::upper_bound(lines_.begin(), lines_.end(), span.hi);
+  return span.length() - static_cast<Coord>(hi - lo);
+}
+
+Coord StitchPlan::line_end_capacity(Interval span) const noexcept {
+  if (span.empty()) return 0;
+  Coord capacity = 0;
+  for (Coord x = span.lo; x <= span.hi; ++x)
+    if (!in_unfriendly_region(x)) ++capacity;
+  return capacity;
+}
+
+}  // namespace mebl::grid

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/interval.hpp"
+#include "geom/point.hpp"
+
+namespace mebl::grid {
+
+/// Placement of the MEBL stitching lines over a layout and the derived
+/// keep-out geometry.
+///
+/// Stitching lines are vertical (the beam stripes run top-to-bottom) and are
+/// uniformly distributed across the layout, `pitch` tracks apart (the paper
+/// uses 15 routing pitches). Around each line:
+///
+///  * the line column itself is forbidden for vertical wires and vias
+///    (hard via / vertical-routing constraints);
+///  * tracks within `epsilon` of a line form the *stitch unfriendly region* —
+///    a vertical line end there, whose horizontal wire crosses the line,
+///    creates a short polygon (soft constraint, minimized);
+///  * tracks within `escape_halfwidth` of a line form the *escape region*
+///    that the detailed router keeps lightly used so nets crossing the line
+///    can escape without creating short polygons (paper SIII-D1: the four
+///    tracks nearest a line, i.e. halfwidth 2).
+class StitchPlan {
+ public:
+  /// Lines at x = pitch, 2*pitch, ... strictly inside (0, width).
+  StitchPlan(geom::Coord width, geom::Coord pitch, geom::Coord epsilon = 1,
+             geom::Coord escape_halfwidth = 2);
+
+  /// A plan with no stitching lines (conventional-lithography baseline).
+  static StitchPlan none(geom::Coord width);
+
+  /// A plan with explicitly placed (possibly non-uniform) lines — MEBL
+  /// systems whose stripe widths vary, or hand-written test fixtures.
+  /// Lines outside (0, width) are discarded; duplicates are merged.
+  static StitchPlan from_lines(geom::Coord width,
+                               std::vector<geom::Coord> lines,
+                               geom::Coord epsilon = 1,
+                               geom::Coord escape_halfwidth = 2);
+
+  [[nodiscard]] const std::vector<geom::Coord>& lines() const noexcept {
+    return lines_;
+  }
+  [[nodiscard]] geom::Coord width() const noexcept { return width_; }
+  [[nodiscard]] geom::Coord pitch() const noexcept { return pitch_; }
+  [[nodiscard]] geom::Coord epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] geom::Coord escape_halfwidth() const noexcept {
+    return escape_halfwidth_;
+  }
+
+  /// True when column x carries a stitching line.
+  [[nodiscard]] bool is_stitch_column(geom::Coord x) const noexcept;
+
+  /// Distance in tracks from x to the nearest stitching line
+  /// (returns a value larger than the layout width when there are no lines).
+  [[nodiscard]] geom::Coord distance_to_line(geom::Coord x) const noexcept;
+
+  /// True when x lies in a stitch unfriendly region (distance <= epsilon,
+  /// including the line column itself).
+  [[nodiscard]] bool in_unfriendly_region(geom::Coord x) const noexcept {
+    return distance_to_line(x) <= epsilon_;
+  }
+
+  /// True when x lies in an escape region (0 < distance <= escape_halfwidth).
+  [[nodiscard]] bool in_escape_region(geom::Coord x) const noexcept {
+    const geom::Coord d = distance_to_line(x);
+    return d > 0 && d <= escape_halfwidth_;
+  }
+
+  /// Stitching lines strictly inside the open interval (span.lo, span.hi):
+  /// exactly the lines that *cut* a horizontal wire spanning `span`.
+  [[nodiscard]] std::vector<geom::Coord> lines_cutting(
+      geom::Interval span) const;
+
+  /// Number of tracks in [span.lo, span.hi] not on any stitching line —
+  /// the vertical wire capacity of that x-range.
+  [[nodiscard]] geom::Coord free_tracks(geom::Interval span) const noexcept;
+
+  /// Number of tracks in [span.lo, span.hi] outside every stitch unfriendly
+  /// region — the *line-end capacity* of that x-range (paper SIII-A).
+  [[nodiscard]] geom::Coord line_end_capacity(
+      geom::Interval span) const noexcept;
+
+ private:
+  StitchPlan() = default;
+
+  geom::Coord width_ = 0;
+  geom::Coord pitch_ = 0;
+  geom::Coord epsilon_ = 1;
+  geom::Coord escape_halfwidth_ = 2;
+  std::vector<geom::Coord> lines_;  // sorted ascending
+};
+
+}  // namespace mebl::grid

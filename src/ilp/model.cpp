@@ -1,0 +1,58 @@
+#include "ilp/model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mebl::ilp {
+
+VarId Model::add_binary(double objective_coeff, std::string name) {
+  obj_.push_back(objective_coeff);
+  names_.push_back(std::move(name));
+  return static_cast<VarId>(obj_.size() - 1);
+}
+
+void Model::add_constraint(std::vector<Term> terms, Sense sense, double rhs) {
+  for ([[maybe_unused]] const Term& t : terms)
+    assert(t.var >= 0 && static_cast<std::size_t>(t.var) < obj_.size());
+  constraints_.push_back(Constraint{std::move(terms), sense, rhs});
+}
+
+void Model::add_sum_constraint(const std::vector<VarId>& vars, Sense sense,
+                               double rhs) {
+  std::vector<Term> terms;
+  terms.reserve(vars.size());
+  for (VarId v : vars) terms.push_back(Term{v, 1.0});
+  add_constraint(std::move(terms), sense, rhs);
+}
+
+double Model::objective_value(const std::vector<std::uint8_t>& assignment) const {
+  assert(assignment.size() == obj_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < obj_.size(); ++i)
+    if (assignment[i] != 0) total += obj_[i];
+  return total;
+}
+
+bool Model::is_feasible(const std::vector<std::uint8_t>& assignment) const {
+  assert(assignment.size() == obj_.size());
+  constexpr double kTol = 1e-9;
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const Term& t : c.terms)
+      if (assignment[static_cast<std::size_t>(t.var)] != 0) lhs += t.coeff;
+    switch (c.sense) {
+      case Sense::kLe:
+        if (lhs > c.rhs + kTol) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < c.rhs - kTol) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - c.rhs) > kTol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace mebl::ilp

@@ -1,0 +1,51 @@
+#include "netlist/decompose.hpp"
+
+#include <limits>
+
+namespace mebl::netlist {
+
+std::vector<Subnet> decompose_net(const Netlist& netlist, NetId id) {
+  const Net& net = netlist.net(id);
+  std::vector<Subnet> subnets;
+  const std::size_t n = net.pins.size();
+  if (n < 2) return subnets;
+  subnets.reserve(n - 1);
+
+  // Prim's MST on the complete Manhattan graph over the pins. Pin counts per
+  // net are small (tens at most), so O(n^2) is fine and allocation-light.
+  std::vector<geom::Point> pts;
+  pts.reserve(n);
+  for (PinId p : net.pins) pts.push_back(netlist.pin(p).pos);
+
+  std::vector<bool> in_tree(n, false);
+  std::vector<geom::Coord> best(n, std::numeric_limits<geom::Coord>::max());
+  std::vector<std::size_t> parent(n, 0);
+  best[0] = 0;
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    std::size_t u = n;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!in_tree[i] && (u == n || best[i] < best[u])) u = i;
+    in_tree[u] = true;
+    if (u != 0) subnets.push_back(Subnet{id, pts[parent[u]], pts[u]});
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const geom::Coord d = manhattan(pts[u], pts[v]);
+      if (d < best[v]) {
+        best[v] = d;
+        parent[v] = u;
+      }
+    }
+  }
+  return subnets;
+}
+
+std::vector<Subnet> decompose_all(const Netlist& netlist) {
+  std::vector<Subnet> all;
+  for (const Net& net : netlist.nets()) {
+    auto subnets = decompose_net(netlist, net.id);
+    all.insert(all.end(), subnets.begin(), subnets.end());
+  }
+  return all;
+}
+
+}  // namespace mebl::netlist

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace mebl::netlist {
+
+/// Decompose a multi-pin net into 2-pin subnets along a Manhattan-distance
+/// minimum spanning tree over its pins (Prim). Nets with fewer than two pins
+/// yield no subnets.
+[[nodiscard]] std::vector<Subnet> decompose_net(const Netlist& netlist,
+                                                NetId id);
+
+/// Decompose every net of the netlist; subnets are grouped net by net in
+/// netlist order.
+[[nodiscard]] std::vector<Subnet> decompose_all(const Netlist& netlist);
+
+}  // namespace mebl::netlist

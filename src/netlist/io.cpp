@@ -1,0 +1,123 @@
+#include "netlist/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace mebl::netlist {
+
+void write_design(std::ostream& out, const Design& design) {
+  const auto& grid = design.grid;
+  const auto& stitch = grid.stitch();
+  out << "mebl 1\n";
+  out << "grid " << grid.width() << ' ' << grid.height() << ' '
+      << grid.num_routing_layers() << ' ' << grid.tile_size() << '\n';
+  // A uniform plan round-trips through its pitch; anything else is written
+  // as an explicit line list.
+  bool uniform = true;
+  {
+    geom::Coord expect = stitch.pitch();
+    for (const geom::Coord x : stitch.lines()) {
+      if (x != expect) {
+        uniform = false;
+        break;
+      }
+      expect += stitch.pitch();
+    }
+    if (uniform && !stitch.lines().empty() &&
+        stitch.lines().front() != stitch.pitch())
+      uniform = false;
+  }
+  if (uniform && !stitch.lines().empty()) {
+    out << "stitch " << stitch.pitch() << ' ' << stitch.epsilon() << ' '
+        << stitch.escape_halfwidth() << '\n';
+  } else {
+    out << "stitch_lines " << stitch.epsilon() << ' '
+        << stitch.escape_halfwidth() << ' ' << stitch.lines().size();
+    for (const geom::Coord x : stitch.lines()) out << ' ' << x;
+    out << '\n';
+  }
+  for (const Net& net : design.netlist.nets()) {
+    out << "net " << net.name << ' ' << net.pins.size();
+    for (const PinId pin : net.pins) {
+      const geom::Point p = design.netlist.pin(pin).pos;
+      out << ' ' << p.x << ' ' << p.y;
+    }
+    out << '\n';
+  }
+}
+
+bool save_design(const std::string& path, const Design& design) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_design(out, design);
+  return static_cast<bool>(out);
+}
+
+std::optional<Design> read_design(std::istream& in) {
+  const auto fail = [](const char* why) -> std::optional<Design> {
+    util::log_warn() << "read_design: " << why;
+    return std::nullopt;
+  };
+
+  std::string word;
+  int version = 0;
+  if (!(in >> word >> version) || word != "mebl" || version != 1)
+    return fail("missing or unsupported 'mebl <version>' header");
+
+  geom::Coord width = 0, height = 0, tile = 0;
+  int layers = 0;
+  if (!(in >> word >> width >> height >> layers >> tile) || word != "grid" ||
+      width <= 0 || height <= 0 || layers < 2 || tile <= 0)
+    return fail("malformed 'grid' record");
+
+  if (!(in >> word)) return fail("missing stitch record");
+  std::optional<grid::StitchPlan> plan;
+  if (word == "stitch") {
+    geom::Coord pitch = 0, epsilon = 0, escape = 0;
+    if (!(in >> pitch >> epsilon >> escape) || pitch <= 0 || epsilon < 0)
+      return fail("malformed 'stitch' record");
+    plan = grid::StitchPlan(width, pitch, epsilon, escape);
+  } else if (word == "stitch_lines") {
+    geom::Coord epsilon = 0, escape = 0;
+    std::size_t count = 0;
+    if (!(in >> epsilon >> escape >> count) || epsilon < 0)
+      return fail("malformed 'stitch_lines' record");
+    std::vector<geom::Coord> lines(count);
+    for (auto& x : lines)
+      if (!(in >> x)) return fail("truncated 'stitch_lines' record");
+    plan = grid::StitchPlan::from_lines(width, std::move(lines), epsilon,
+                                        escape);
+  } else {
+    return fail("expected 'stitch' or 'stitch_lines'");
+  }
+
+  Design design{grid::RoutingGrid(width, height, layers, tile, *plan),
+                Netlist{}};
+  while (in >> word) {
+    if (word != "net") return fail("expected 'net' record");
+    std::string name;
+    std::size_t pins = 0;
+    if (!(in >> name >> pins)) return fail("malformed 'net' record");
+    const NetId id = design.netlist.add_net(std::move(name));
+    for (std::size_t i = 0; i < pins; ++i) {
+      geom::Point p;
+      if (!(in >> p.x >> p.y)) return fail("truncated pin list");
+      if (!design.grid.in_bounds(p)) return fail("pin out of bounds");
+      design.netlist.add_pin(id, p);
+    }
+  }
+  return design;
+}
+
+std::optional<Design> load_design(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    util::log_warn() << "load_design: cannot open " << path;
+    return std::nullopt;
+  }
+  return read_design(in);
+}
+
+}  // namespace mebl::netlist

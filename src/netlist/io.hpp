@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "grid/routing_grid.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mebl::netlist {
+
+/// A routing problem instance: the fabric plus the netlist. This is the
+/// unit the text format round-trips, so benchmark circuits can be archived
+/// and exchanged without the generator.
+struct Design {
+  grid::RoutingGrid grid;
+  Netlist netlist;
+};
+
+/// Plain-text design format ("MEBL1"):
+///
+///   mebl 1
+///   grid <width> <height> <routing_layers> <tile_size>
+///   stitch <pitch> <epsilon> <escape_halfwidth>        (uniform plan)  OR
+///   stitch_lines <epsilon> <escape_halfwidth> <n> <x1> ... <xn>
+///   net <name> <num_pins> <x1> <y1> ...
+///   ...
+///
+/// Whitespace-separated, one `net` record per net, deterministic order.
+void write_design(std::ostream& out, const Design& design);
+
+/// Serialize to a file. Returns false on I/O failure.
+bool save_design(const std::string& path, const Design& design);
+
+/// Parse a design; returns std::nullopt on malformed input (the reason is
+/// reported through util::log_warn).
+[[nodiscard]] std::optional<Design> read_design(std::istream& in);
+
+/// Load from a file; std::nullopt when unreadable or malformed.
+[[nodiscard]] std::optional<Design> load_design(const std::string& path);
+
+}  // namespace mebl::netlist

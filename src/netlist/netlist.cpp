@@ -1,0 +1,38 @@
+#include "netlist/netlist.hpp"
+
+#include <cassert>
+
+namespace mebl::netlist {
+
+NetId Netlist::add_net(std::string name) {
+  const NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back(Net{std::move(name), id, {}});
+  return id;
+}
+
+PinId Netlist::add_pin(NetId net, geom::Point pos) {
+  assert(net >= 0 && net < static_cast<NetId>(nets_.size()));
+  const PinId id = static_cast<PinId>(pins_.size());
+  pins_.push_back(Pin{pos, net});
+  nets_[net].pins.push_back(id);
+  return id;
+}
+
+void Netlist::move_pin(PinId pin, geom::Point pos) {
+  assert(pin >= 0 && pin < static_cast<PinId>(pins_.size()));
+  pins_[static_cast<std::size_t>(pin)].pos = pos;
+}
+
+geom::Rect Netlist::net_bbox(NetId id) const {
+  geom::Rect box;
+  for (PinId p : net(id).pins)
+    box = box.hull(geom::Rect::bounding(pins_[p].pos, pins_[p].pos));
+  return box;
+}
+
+geom::Coord Netlist::net_hpwl(NetId id) const {
+  const geom::Rect box = net_bbox(id);
+  return box.empty() ? 0 : (box.width() - 1) + (box.height() - 1);
+}
+
+}  // namespace mebl::netlist

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace mebl::netlist {
+
+using NetId = std::int32_t;
+using PinId = std::int32_t;
+
+/// Fixed terminal of a net. Pins sit on the pin layer (layer 0) at a track
+/// intersection; the router must bring a via stack / wire to each pin. Pins
+/// may fall on stitching-line columns — the paper tolerates via violations
+/// only at such fixed pins.
+struct Pin {
+  geom::Point pos;
+  NetId net = -1;
+
+  friend constexpr bool operator==(const Pin&, const Pin&) = default;
+};
+
+/// A net: a named set of pins to be electrically connected.
+struct Net {
+  std::string name;
+  NetId id = -1;
+  std::vector<PinId> pins;
+
+  [[nodiscard]] std::size_t degree() const noexcept { return pins.size(); }
+};
+
+/// Netlist over a routing grid: nets, pins, and lookup helpers.
+class Netlist {
+ public:
+  Netlist() = default;
+
+  /// Create an empty net; returns its id.
+  NetId add_net(std::string name);
+
+  /// Add a pin to a net; returns the pin id.
+  PinId add_pin(NetId net, geom::Point pos);
+
+  /// Relocate an existing pin (used by placement refinement).
+  void move_pin(PinId pin, geom::Point pos);
+
+  [[nodiscard]] const std::vector<Net>& nets() const noexcept { return nets_; }
+  [[nodiscard]] const std::vector<Pin>& pins() const noexcept { return pins_; }
+  [[nodiscard]] const Net& net(NetId id) const { return nets_.at(id); }
+  [[nodiscard]] const Pin& pin(PinId id) const { return pins_.at(id); }
+  [[nodiscard]] std::size_t num_nets() const noexcept { return nets_.size(); }
+  [[nodiscard]] std::size_t num_pins() const noexcept { return pins_.size(); }
+
+  /// Bounding box of a net's pins.
+  [[nodiscard]] geom::Rect net_bbox(NetId id) const;
+
+  /// Half-perimeter wirelength lower bound of a net.
+  [[nodiscard]] geom::Coord net_hpwl(NetId id) const;
+
+ private:
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+};
+
+/// A 2-pin connection produced by multi-pin net decomposition. Detailed and
+/// global routing operate on these.
+struct Subnet {
+  NetId net = -1;
+  geom::Point a;
+  geom::Point b;
+
+  [[nodiscard]] geom::Coord hpwl() const noexcept { return manhattan(a, b); }
+  [[nodiscard]] geom::Rect bbox() const noexcept {
+    return geom::Rect::bounding(a, b);
+  }
+};
+
+}  // namespace mebl::netlist

@@ -1,0 +1,70 @@
+#include "place/pin_refine.hpp"
+
+#include <unordered_set>
+
+namespace mebl::place {
+
+using geom::Coord;
+using geom::Point;
+
+namespace {
+
+bool hazardous(const grid::StitchPlan& stitch, Coord x,
+               const PinRefineConfig& config) {
+  if (stitch.is_stitch_column(x)) return true;
+  return config.clear_unfriendly_regions && stitch.in_unfriendly_region(x);
+}
+
+}  // namespace
+
+PinRefineStats refine_pins(const grid::RoutingGrid& grid,
+                           netlist::Netlist& netlist,
+                           const PinRefineConfig& config) {
+  const auto& stitch = grid.stitch();
+  PinRefineStats stats;
+
+  std::unordered_set<Point> occupied;
+  occupied.reserve(netlist.num_pins() * 2);
+  for (const auto& pin : netlist.pins()) occupied.insert(pin.pos);
+
+  for (netlist::PinId id = 0;
+       id < static_cast<netlist::PinId>(netlist.num_pins()); ++id) {
+    const Point pos = netlist.pin(id).pos;
+    const bool on_line = stitch.is_stitch_column(pos.x);
+    const bool unfriendly = stitch.in_unfriendly_region(pos.x);
+    if (on_line) ++stats.pins_on_lines_before;
+    if (unfriendly && !on_line) ++stats.pins_unfriendly_before;
+    if (!hazardous(stitch, pos.x, config)) continue;
+
+    // Candidate displacements by increasing distance, deterministic order
+    // (right then left at each distance).
+    Point best{-1, -1};
+    for (Coord d = 1; d <= config.max_displacement && best.x < 0; ++d) {
+      for (const Coord nx : {pos.x + d, pos.x - d}) {
+        const Point candidate{nx, pos.y};
+        if (nx < 0 || nx >= grid.width()) continue;
+        if (hazardous(stitch, nx, config)) continue;
+        if (occupied.count(candidate) != 0) continue;
+        best = candidate;
+        break;
+      }
+    }
+    if (best.x < 0) continue;  // nothing within the displacement budget
+
+    occupied.erase(pos);
+    occupied.insert(best);
+    netlist.move_pin(id, best);
+    ++stats.pins_moved;
+    stats.total_displacement += manhattan(pos, best);
+  }
+
+  for (const auto& pin : netlist.pins()) {
+    if (stitch.is_stitch_column(pin.pos.x))
+      ++stats.pins_on_lines_after;
+    else if (stitch.in_unfriendly_region(pin.pos.x))
+      ++stats.pins_unfriendly_after;
+  }
+  return stats;
+}
+
+}  // namespace mebl::place

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "grid/routing_grid.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mebl::place {
+
+/// Stitch-aware placement refinement — the paper's stated future work
+/// (SV: "stitch-aware algorithms should be also desirable in the placement
+/// stage ... to remove the via violations due to the fixed pin positions").
+///
+/// This pass post-processes a placement at the pin level: pins sitting on a
+/// stitching line (guaranteed via violations) or inside a stitch unfriendly
+/// region (short-polygon hazards) are nudged to the nearest free track
+/// outside the hazard, within a bounded displacement.
+struct PinRefineConfig {
+  /// Maximum displacement in tracks. Cell-level legality in a real flow
+  /// bounds how far a pin can move; a few tracks is realistic.
+  geom::Coord max_displacement = 3;
+  /// Also move pins that are merely inside unfriendly regions (not only the
+  /// hard on-line cases).
+  bool clear_unfriendly_regions = true;
+};
+
+/// Outcome of a refinement pass.
+struct PinRefineStats {
+  int pins_on_lines_before = 0;
+  int pins_on_lines_after = 0;
+  int pins_unfriendly_before = 0;
+  int pins_unfriendly_after = 0;
+  int pins_moved = 0;
+  std::int64_t total_displacement = 0;
+};
+
+/// Refine `netlist` in place. Pins move only horizontally (the hazard is an
+/// x-distance to a vertical line) to the nearest free track; occupied
+/// candidate positions are skipped so pins stay unique. Deterministic.
+[[nodiscard]] PinRefineStats refine_pins(const grid::RoutingGrid& grid,
+                                         netlist::Netlist& netlist,
+                                         const PinRefineConfig& config = {});
+
+}  // namespace mebl::place

@@ -1,0 +1,12 @@
+#include "raster/bitmap.hpp"
+
+// Bitmap is a header-only template; this translation unit exists so the
+// raster library always has at least one object per header group and to
+// host explicit instantiations for the common pixel types.
+
+namespace mebl::raster {
+
+template class Bitmap<double>;
+template class Bitmap<std::uint8_t>;
+
+}  // namespace mebl::raster

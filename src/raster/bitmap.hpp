@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mebl::raster {
+
+/// Dense row-major 2-D image used by the MEBL data-preparation pipeline
+/// (rendering produces a Bitmap<double> of gray levels; dithering produces a
+/// Bitmap<std::uint8_t> of on/off beam pixels).
+template <typename T>
+class Bitmap {
+ public:
+  Bitmap() = default;
+  Bitmap(int width, int height, T fill = T{})
+      : width_(width), height_(height),
+        data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              fill) {
+    assert(width >= 0 && height >= 0);
+  }
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] bool in_bounds(int x, int y) const noexcept {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  [[nodiscard]] T& at(int x, int y) {
+    assert(in_bounds(x, y));
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  [[nodiscard]] const T& at(int x, int y) const {
+    assert(in_bounds(x, y));
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  [[nodiscard]] const std::vector<T>& data() const noexcept { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+using GrayBitmap = Bitmap<double>;
+using BinaryBitmap = Bitmap<std::uint8_t>;
+
+}  // namespace mebl::raster

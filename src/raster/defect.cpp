@@ -1,0 +1,78 @@
+#include "raster/defect.hpp"
+
+#include <algorithm>
+
+namespace mebl::raster {
+
+DefectReport analyze_window(const GrayBitmap& gray, const BinaryBitmap& exposure,
+                            int x0, int y0, int x1, int y1) {
+  DefectReport report;
+  x0 = std::max(0, x0);
+  y0 = std::max(0, y0);
+  x1 = std::min(x1, gray.width());
+  y1 = std::min(y1, gray.height());
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const bool ideal = gray.at(x, y) >= 0.5;
+      const bool actual = exposure.at(x, y) != 0;
+      if (ideal) ++report.pattern_pixels;
+      if (ideal != actual) {
+        ++report.error_pixels;
+        if (ideal)
+          ++report.missing_pixels;
+        else
+          ++report.spurious_pixels;
+      }
+    }
+  }
+  return report;
+}
+
+DefectReport analyze(const GrayBitmap& gray, const BinaryBitmap& exposure) {
+  return analyze_window(gray, exposure, 0, 0, gray.width(), gray.height());
+}
+
+DefectReport short_polygon_experiment(int cut_px, int length_px, int width_px,
+                                      double edge_bias, DitherKernel kernel) {
+  const int margin = 2;
+  const int img_w = length_px + 2 * margin;
+  const int img_h = width_px + 2 * margin + 1;
+
+  // One horizontal wire. `edge_bias` (default 0: pixel-aligned edges) can
+  // push the long edges mid-pixel to additionally exercise the Fig. 3(b)
+  // boundary irregularity.
+  const FeatureRect wire{static_cast<double>(margin),
+                         margin + edge_bias,
+                         static_cast<double>(margin + length_px),
+                         margin + edge_bias + width_px};
+
+  // The stripe boundary is not aligned to the beam pixel grid (the overlay
+  // error of SII-A): it cuts the wire mid-pixel, `cut_px` pixels plus half
+  // a pixel from its left end. Each side is written by a different beam
+  // pass — rendered and error-diffused independently — and a pixel is
+  // exposed when either pass writes it.
+  const double cut_x = margin + cut_px + 0.5;
+  FeatureRect left = wire;
+  left.xhi = std::min(left.xhi, cut_x);
+  FeatureRect right = wire;
+  right.xlo = std::max(right.xlo, cut_x);
+
+  const GrayBitmap gray_full = render({wire}, img_w, img_h);
+  const BinaryBitmap exposed_left = dither(render({left}, img_w, img_h), kernel);
+  const BinaryBitmap exposed_right = dither(render({right}, img_w, img_h), kernel);
+
+  BinaryBitmap combined(img_w, img_h, 0);
+  for (int y = 0; y < img_h; ++y)
+    for (int x = 0; x < img_w; ++x)
+      combined.at(x, y) =
+          (exposed_left.at(x, y) != 0 || exposed_right.at(x, y) != 0) ? 1 : 0;
+
+  // Defects of the *short piece* only: the window up to and including the
+  // cut pixel. The truncated error diffusion of the left pass concentrates
+  // its irregular pixels here; for a short piece they are a large fraction
+  // of its area (Fig. 4), for a long piece a negligible one.
+  return analyze_window(gray_full, combined, 0, 0,
+                        static_cast<int>(cut_x) + 1, img_h);
+}
+
+}  // namespace mebl::raster

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "raster/dither.hpp"
+#include "raster/render.hpp"
+
+namespace mebl::raster {
+
+/// Pixel-level comparison of the dithered exposure against the ideal
+/// pattern, quantifying the short-polygon defect mechanism of Fig. 4.
+struct DefectReport {
+  int pattern_pixels = 0;   ///< pixels that should be exposed (ideal >= 1/2)
+  int error_pixels = 0;     ///< pixels where dithered exposure != ideal
+  int missing_pixels = 0;   ///< should be on but are off
+  int spurious_pixels = 0;  ///< should be off but are on
+
+  /// Fraction of the pattern's pixels that are wrong — the paper's argument
+  /// is that for a *short* polygon this ratio is large enough to distort the
+  /// pattern and misalign the landing via.
+  [[nodiscard]] double error_ratio() const noexcept {
+    return pattern_pixels == 0
+               ? 0.0
+               : static_cast<double>(error_pixels) / pattern_pixels;
+  }
+};
+
+/// Compare `exposure` to the ideal binarization of `gray` (threshold 1/2)
+/// restricted to the pixel window [x0,x1) x [y0,y1).
+[[nodiscard]] DefectReport analyze_window(const GrayBitmap& gray,
+                                          const BinaryBitmap& exposure, int x0,
+                                          int y0, int x1, int y1);
+
+/// Whole-image analysis.
+[[nodiscard]] DefectReport analyze(const GrayBitmap& gray,
+                                   const BinaryBitmap& exposure);
+
+/// End-to-end simulation of the paper's Fig. 4 experiment: render a
+/// horizontal wire of `length_px` x `width_px` cut by a stripe boundary
+/// `cut_px` (+1/2, sub-pixel overlay error) pixels from its left end,
+/// expose each side in a separate beam pass (independent error diffusion),
+/// combine the exposures, and report the defects of the short left piece.
+/// Short pieces come out with a much larger error ratio than long ones —
+/// the short-polygon failure mechanism. `edge_bias` > 0 additionally
+/// un-aligns the wire's long edges from the pixel grid (Fig. 3(b)).
+[[nodiscard]] DefectReport short_polygon_experiment(int cut_px, int length_px,
+                                                    int width_px,
+                                                    double edge_bias = 0.0,
+                                                    DitherKernel kernel = DitherKernel::kFloydSteinberg);
+
+}  // namespace mebl::raster

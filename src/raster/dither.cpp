@@ -1,0 +1,38 @@
+#include "raster/dither.hpp"
+
+namespace mebl::raster {
+
+BinaryBitmap dither(const GrayBitmap& gray, DitherKernel kernel) {
+  const int w = gray.width();
+  const int h = gray.height();
+  BinaryBitmap out(w, h, 0);
+  GrayBitmap work = gray;  // accumulates diffused error
+
+  const auto spread = [&](int x, int y, double err, double fraction) {
+    if (work.in_bounds(x, y)) work.at(x, y) += err * fraction;
+  };
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double v = work.at(x, y);
+      const std::uint8_t on = v >= 0.5 ? 1 : 0;
+      out.at(x, y) = on;
+      const double err = v - static_cast<double>(on);
+      switch (kernel) {
+        case DitherKernel::kRightDown:
+          spread(x + 1, y, err, 0.5);
+          spread(x, y + 1, err, 0.5);
+          break;
+        case DitherKernel::kFloydSteinberg:
+          spread(x + 1, y, err, 7.0 / 16.0);
+          spread(x - 1, y + 1, err, 3.0 / 16.0);
+          spread(x, y + 1, err, 5.0 / 16.0);
+          spread(x + 1, y + 1, err, 1.0 / 16.0);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mebl::raster

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "raster/bitmap.hpp"
+
+namespace mebl::raster {
+
+/// Error-diffusion kernel selection for the dithering step (paper SII-A,
+/// second rasterization step).
+enum class DitherKernel {
+  /// Distribute the quantization error to the right and lower neighbours in
+  /// equal halves — the scheme illustrated in Fig. 3 of the paper.
+  kRightDown,
+  /// Classic Floyd–Steinberg (7/16 right, 3/16 down-left, 5/16 down,
+  /// 1/16 down-right), the standard choice in MEBL data-prep flows.
+  kFloydSteinberg,
+};
+
+/// Transform a gray-level bitmap into an on/off beam bitmap with error
+/// diffusion: each pixel is thresholded at 1/2 and its quantization error is
+/// diffused to unprocessed neighbours (raster scan order, left-to-right then
+/// top-to-bottom).
+[[nodiscard]] BinaryBitmap dither(const GrayBitmap& gray,
+                                  DitherKernel kernel = DitherKernel::kFloydSteinberg);
+
+}  // namespace mebl::raster

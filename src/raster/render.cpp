@@ -1,0 +1,34 @@
+#include "raster/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mebl::raster {
+
+GrayBitmap render(const std::vector<FeatureRect>& features, int width,
+                  int height) {
+  GrayBitmap gray(width, height, 0.0);
+  for (const FeatureRect& f : features) {
+    if (!f.valid()) continue;
+    const int x0 = std::max(0, static_cast<int>(std::floor(f.xlo)));
+    const int x1 = std::min(width - 1, static_cast<int>(std::ceil(f.xhi)) - 1);
+    const int y0 = std::max(0, static_cast<int>(std::floor(f.ylo)));
+    const int y1 = std::min(height - 1, static_cast<int>(std::ceil(f.yhi)) - 1);
+    for (int y = y0; y <= y1; ++y) {
+      const double cover_y =
+          std::min<double>(y + 1, f.yhi) - std::max<double>(y, f.ylo);
+      for (int x = x0; x <= x1; ++x) {
+        const double cover_x =
+            std::min<double>(x + 1, f.xhi) - std::max<double>(x, f.xlo);
+        gray.at(x, y) += std::max(0.0, cover_x) * std::max(0.0, cover_y);
+      }
+    }
+  }
+  // Butt-joined / overlapping rects describe one polygon: saturate.
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      gray.at(x, y) = std::min(1.0, gray.at(x, y));
+  return gray;
+}
+
+}  // namespace mebl::raster

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "raster/bitmap.hpp"
+
+namespace mebl::raster {
+
+/// Axis-aligned rectangle in continuous pixel coordinates (a layout feature
+/// to be exposed). Polygons are modeled as unions of such rectangles, which
+/// is exact for Manhattan routing shapes.
+struct FeatureRect {
+  double xlo = 0.0, ylo = 0.0, xhi = 0.0, yhi = 0.0;
+
+  [[nodiscard]] bool valid() const noexcept { return xlo < xhi && ylo < yhi; }
+};
+
+/// Rendering: slice the layout into pixels and convert features into
+/// gray-level intensity proportional to the pattern coverage of each pixel
+/// (paper SII-A, first rasterization step).
+///
+/// Overlapping feature rects saturate at intensity 1 (they describe the same
+/// exposed polygon, not double exposure).
+[[nodiscard]] GrayBitmap render(const std::vector<FeatureRect>& features,
+                                int width, int height);
+
+}  // namespace mebl::raster

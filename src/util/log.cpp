@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace mebl::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+LogLevel Log::level() noexcept { return g_level; }
+void Log::set_sink(std::ostream* sink) noexcept { g_sink = sink; }
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out << "[mebl " << tag(level) << "] " << message << '\n';
+}
+
+}  // namespace mebl::util

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace mebl::util {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal leveled logger. The routing stages use it for progress and
+/// anomaly reporting; benches set the threshold to kWarn so table output
+/// stays clean.
+class Log {
+ public:
+  /// Global threshold; messages below it are dropped.
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Redirect output (default std::cerr). Pass nullptr to restore default.
+  static void set_sink(std::ostream* sink) noexcept;
+
+  /// Emit one line with a level tag. Thread-compatible (single writer).
+  static void write(LogLevel level, const std::string& message);
+};
+
+namespace log_detail {
+class Line {
+ public:
+  explicit Line(LogLevel level) : level_(level) {}
+  Line(const Line&) = delete;
+  Line& operator=(const Line&) = delete;
+  ~Line() { Log::write(level_, stream_.str()); }
+  template <typename T>
+  Line& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+inline log_detail::Line log_debug() { return log_detail::Line(LogLevel::kDebug); }
+inline log_detail::Line log_info() { return log_detail::Line(LogLevel::kInfo); }
+inline log_detail::Line log_warn() { return log_detail::Line(LogLevel::kWarn); }
+inline log_detail::Line log_error() { return log_detail::Line(LogLevel::kError); }
+
+}  // namespace mebl::util

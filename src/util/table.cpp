@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace mebl::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rules_.push_back(rows_.size()); }
+
+std::string Table::fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::str(const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto hline = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  const auto emit = [&](const std::vector<std::string>& cells, bool left_first) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = width[c] - cells[c].size();
+      // First column (circuit names) left-aligned, numbers right-aligned.
+      if (c == 0 && left_first)
+        s += " " + cells[c] + std::string(pad, ' ') + " |";
+      else
+        s += " " + std::string(pad, ' ') + cells[c] + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+  out << hline() << emit(headers_, false) << hline();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(rules_.begin(), rules_.end(), r) != rules_.end()) out << hline();
+    out << emit(rows_[r], true);
+  }
+  out << hline();
+  return out.str();
+}
+
+}  // namespace mebl::util

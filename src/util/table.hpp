@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace mebl::util {
+
+/// Plain-text table printer used by the bench harnesses to emit the paper's
+/// tables in aligned, diff-friendly form.
+///
+///   Table t{"Circuit", "Rout. (%)", "#VV", "#SP", "CPU (s)"};
+///   t.add_row("S38417", "99.08", "35", "122", "6");
+///   std::cout << t.str();
+class Table {
+ public:
+  /// Construct with column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  template <typename... Cells>
+  explicit Table(Cells&&... headers)
+      : Table(std::vector<std::string>{std::string(headers)...}) {}
+
+  /// Append a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  template <typename... Cells>
+  void add_row(Cells&&... cells) {
+    add_row(std::vector<std::string>{to_cell(cells)...});
+  }
+
+  /// Insert a horizontal rule before the next added row (used to set the
+  /// summary "Comp." row apart, as in the paper).
+  void add_rule();
+
+  /// Render the table with a title line, header, and column alignment.
+  [[nodiscard]] std::string str(const std::string& title = {}) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+
+  /// Numeric formatting helpers for table cells.
+  static std::string fixed(double v, int digits);
+  static std::string ratio(double v) { return fixed(v, 3); }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(double v) { return fixed(v, 2); }
+  template <typename T>
+  static std::string to_cell(T v) {
+    if constexpr (std::is_arithmetic_v<T>)
+      return std::to_string(v);
+    else
+      return std::string(v);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> rules_;  // row indices preceded by a rule
+};
+
+}  // namespace mebl::util

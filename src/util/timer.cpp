@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only in practice; this translation unit pins the vtable-free class
+// into the util library so every module links the same definition.

@@ -1,0 +1,75 @@
+#include "graph/bipartite_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace mebl::graph {
+namespace {
+
+bool is_permutation_matching(const std::vector<std::size_t>& match) {
+  std::vector<bool> seen(match.size(), false);
+  for (const auto m : match) {
+    if (m >= match.size() || seen[m]) return false;
+    seen[m] = true;
+  }
+  return true;
+}
+
+TEST(Matching, Identity2x2) {
+  const std::vector<std::vector<double>> cost{{0.0, 10.0}, {10.0, 0.0}};
+  const auto match = min_weight_perfect_matching(cost);
+  EXPECT_EQ(match[0], 0u);
+  EXPECT_EQ(match[1], 1u);
+  EXPECT_DOUBLE_EQ(matching_weight(cost, match), 0.0);
+}
+
+TEST(Matching, CrossIsCheaper) {
+  const std::vector<std::vector<double>> cost{{5.0, 1.0}, {1.0, 5.0}};
+  const auto match = min_weight_perfect_matching(cost);
+  EXPECT_EQ(match[0], 1u);
+  EXPECT_EQ(match[1], 0u);
+  EXPECT_DOUBLE_EQ(matching_weight(cost, match), 2.0);
+}
+
+TEST(Matching, EmptyInput) {
+  EXPECT_TRUE(min_weight_perfect_matching({}).empty());
+}
+
+TEST(Matching, SingleElement) {
+  const auto match = min_weight_perfect_matching({{7.0}});
+  ASSERT_EQ(match.size(), 1u);
+  EXPECT_EQ(match[0], 0u);
+}
+
+TEST(Matching, MatchesBruteForceOnRandom4x4) {
+  util::Rng rng(31);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::vector<double>> cost(4, std::vector<double>(4));
+    for (auto& row : cost)
+      for (auto& c : row) c = static_cast<double>(rng.uniform_int(0, 50));
+    const auto match = min_weight_perfect_matching(cost);
+    ASSERT_TRUE(is_permutation_matching(match));
+    const double got = matching_weight(cost, match);
+
+    std::vector<std::size_t> perm(4);
+    std::iota(perm.begin(), perm.end(), 0);
+    double best = 1e18;
+    do {
+      best = std::min(best, matching_weight(cost, perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_DOUBLE_EQ(got, best) << "round " << round;
+  }
+}
+
+TEST(Matching, HandlesNegativeCosts) {
+  const std::vector<std::vector<double>> cost{{-5.0, 0.0}, {0.0, -5.0}};
+  const auto match = min_weight_perfect_matching(cost);
+  EXPECT_DOUBLE_EQ(matching_weight(cost, match), -10.0);
+}
+
+}  // namespace
+}  // namespace mebl::graph

@@ -1,0 +1,105 @@
+#include "bench_suite/circuit_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace mebl::bench_suite {
+namespace {
+
+TEST(CircuitGenerator, SuitesMatchPaperTables) {
+  const auto mcnc = mcnc_suite();
+  ASSERT_EQ(mcnc.size(), 9u);
+  EXPECT_EQ(mcnc[0].name, "Struct");
+  EXPECT_EQ(mcnc[0].nets, 1920);
+  EXPECT_EQ(mcnc[0].pins, 5471);
+  EXPECT_EQ(mcnc[0].layers, 3);
+  EXPECT_EQ(mcnc[8].name, "S38584");
+  EXPECT_EQ(mcnc[8].pins, 42931);
+
+  const auto faraday = faraday_suite();
+  ASSERT_EQ(faraday.size(), 5u);
+  EXPECT_EQ(faraday[0].name, "Dma");
+  EXPECT_EQ(faraday[0].layers, 6);
+  EXPECT_EQ(faraday[3].nets, 34034);
+}
+
+TEST(CircuitGenerator, FindSpecIsCaseInsensitive) {
+  EXPECT_NE(find_spec("s38417"), nullptr);
+  EXPECT_NE(find_spec("DMA"), nullptr);
+  EXPECT_EQ(find_spec("nonexistent"), nullptr);
+}
+
+TEST(CircuitGenerator, GeneratesExactCounts) {
+  const auto spec = *find_spec("S5378");
+  const auto circuit = generate_circuit(spec, {}, 1);
+  EXPECT_EQ(circuit.netlist.num_nets(), static_cast<std::size_t>(spec.nets));
+  EXPECT_EQ(circuit.netlist.num_pins(), static_cast<std::size_t>(spec.pins));
+  EXPECT_EQ(circuit.grid.num_routing_layers(), spec.layers);
+}
+
+TEST(CircuitGenerator, PinsAreUniqueAndInBounds) {
+  const auto spec = *find_spec("S9234");
+  const auto circuit = generate_circuit(spec, {}, 2);
+  std::unordered_set<geom::Point> seen;
+  for (const auto& pin : circuit.netlist.pins()) {
+    EXPECT_TRUE(circuit.grid.in_bounds(pin.pos));
+    EXPECT_TRUE(seen.insert(pin.pos).second);
+  }
+}
+
+TEST(CircuitGenerator, DeterministicForSameSeed) {
+  const auto spec = *find_spec("Primary1");
+  const auto a = generate_circuit(spec, {}, 7);
+  const auto b = generate_circuit(spec, {}, 7);
+  ASSERT_EQ(a.netlist.num_pins(), b.netlist.num_pins());
+  for (std::size_t i = 0; i < a.netlist.num_pins(); ++i)
+    EXPECT_EQ(a.netlist.pins()[i].pos, b.netlist.pins()[i].pos);
+}
+
+TEST(CircuitGenerator, DifferentSeedsDiffer) {
+  const auto spec = *find_spec("Primary1");
+  const auto a = generate_circuit(spec, {}, 7);
+  const auto b = generate_circuit(spec, {}, 8);
+  int same = 0;
+  for (std::size_t i = 0; i < a.netlist.num_pins(); ++i)
+    if (a.netlist.pins()[i].pos == b.netlist.pins()[i].pos) ++same;
+  EXPECT_LT(same, static_cast<int>(a.netlist.num_pins()) / 10);
+}
+
+TEST(CircuitGenerator, EveryNetHasAtLeastTwoPins) {
+  const auto spec = *find_spec("S5378");
+  const auto circuit = generate_circuit(spec, {}, 3);
+  for (const auto& net : circuit.netlist.nets())
+    EXPECT_GE(net.degree(), 2u) << net.name;
+}
+
+TEST(CircuitGenerator, DegreeCapRespected) {
+  GeneratorConfig config;
+  const auto spec = *find_spec("Dma");  // high average degree
+  const auto circuit = generate_circuit(spec, config, 4);
+  for (const auto& net : circuit.netlist.nets())
+    EXPECT_LE(net.degree(), static_cast<std::size_t>(config.max_degree));
+}
+
+TEST(CircuitGenerator, AspectRatioRoughlyPreserved) {
+  const auto spec = *find_spec("Primary2");  // wide circuit (1.6:1)
+  const auto circuit = generate_circuit(spec, {}, 5);
+  const double got = static_cast<double>(circuit.grid.width()) /
+                     static_cast<double>(circuit.grid.height());
+  EXPECT_NEAR(got, spec.um_width / spec.um_height, 0.35);
+}
+
+TEST(CircuitGenerator, DensityNearTarget) {
+  GeneratorConfig config;
+  config.pin_density = 0.06;
+  const auto spec = *find_spec("S13207");
+  const auto circuit = generate_circuit(spec, config, 6);
+  const double density =
+      static_cast<double>(circuit.netlist.num_pins()) /
+      (static_cast<double>(circuit.grid.width()) * circuit.grid.height());
+  EXPECT_NEAR(density, config.pin_density, 0.02);
+}
+
+}  // namespace
+}  // namespace mebl::bench_suite

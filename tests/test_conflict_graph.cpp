@@ -1,0 +1,74 @@
+#include "assign/conflict_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::assign {
+namespace {
+
+TEST(ConflictGraph, NoEdgesForDisjointSegments) {
+  const std::vector<SegmentProfile> segments{{{0, 2}, 0}, {{4, 6}, 1}};
+  const auto graph = build_conflict_graph(segments, true);
+  EXPECT_TRUE(graph.edges.empty());
+}
+
+TEST(ConflictGraph, EdgeForOverlappingSegments) {
+  const std::vector<SegmentProfile> segments{{{0, 4}, 0}, {{3, 6}, 1}};
+  const auto graph = build_conflict_graph(segments, false);
+  ASSERT_EQ(graph.edges.size(), 1u);
+  // D_segment = max density over overlap rows [3,4] = 2.
+  EXPECT_DOUBLE_EQ(graph.edges[0].weight, 2.0);
+}
+
+TEST(ConflictGraph, LineEndTermAddedWhenEndsMeet) {
+  // Segment 0 ends at row 4; segment 1 starts at row 4: both have a line end
+  // in row 4 (end density 2 there).
+  const std::vector<SegmentProfile> segments{{{0, 4}, 0}, {{4, 8}, 1}};
+  const auto without = build_conflict_graph(segments, false);
+  const auto with = build_conflict_graph(segments, true);
+  ASSERT_EQ(without.edges.size(), 1u);
+  ASSERT_EQ(with.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(without.edges[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(with.edges[0].weight, 4.0);  // D_segment 2 + D_end 2
+}
+
+TEST(ConflictGraph, NoEndTermWhenEndsDoNotMeet) {
+  const std::vector<SegmentProfile> segments{{{0, 4}, 0}, {{2, 8}, 1}};
+  const auto with = build_conflict_graph(segments, true);
+  ASSERT_EQ(with.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(with.edges[0].weight, 2.0);  // ends at 0,4 vs 2,8: disjoint
+}
+
+TEST(ConflictGraph, DensityCountsAllCoveringSegments) {
+  // Three segments all covering row 2.
+  const std::vector<SegmentProfile> segments{
+      {{0, 4}, 0}, {{2, 6}, 1}, {{1, 3}, 2}};
+  const auto graph = build_conflict_graph(segments, false);
+  ASSERT_EQ(graph.edges.size(), 3u);
+  for (const auto& e : graph.edges) EXPECT_DOUBLE_EQ(e.weight, 3.0);
+}
+
+TEST(ConflictGraph, VertexWeightsSumIncidentEdges) {
+  const std::vector<SegmentProfile> segments{
+      {{0, 4}, 0}, {{2, 6}, 1}, {{1, 3}, 2}};
+  const auto graph = build_conflict_graph(segments, false);
+  const auto weights = graph.vertex_weights();
+  ASSERT_EQ(weights.size(), 3u);
+  for (const double w : weights) EXPECT_DOUBLE_EQ(w, 6.0);
+}
+
+TEST(ConflictGraph, ColoringCostCountsMonochromaticEdges) {
+  const std::vector<SegmentProfile> segments{{{0, 4}, 0}, {{3, 6}, 1}};
+  const auto graph = build_conflict_graph(segments, false);
+  EXPECT_DOUBLE_EQ(graph.coloring_cost({0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(graph.coloring_cost({0, 1}), 0.0);
+}
+
+TEST(ConflictGraph, EmptyInput) {
+  const auto graph = build_conflict_graph({}, true);
+  EXPECT_TRUE(graph.segments.empty());
+  EXPECT_TRUE(graph.edges.empty());
+  EXPECT_TRUE(graph.vertex_weights().empty());
+}
+
+}  // namespace
+}  // namespace mebl::assign

@@ -1,0 +1,104 @@
+#include "eval/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::eval {
+namespace {
+
+using geom::Coord;
+
+grid::RoutingGrid make_grid() {
+  return grid::RoutingGrid(60, 60, 3, 30, grid::StitchPlan(60, 15));
+}
+
+TEST(Congestion, EmptyGridIsAllZero) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  const auto map = measure_congestion(grid);
+  EXPECT_EQ(map.tiles_x, 2);
+  EXPECT_EQ(map.tiles_y, 2);
+  EXPECT_DOUBLE_EQ(map.peak(), 0.0);
+  EXPECT_DOUBLE_EQ(map.mean(), 0.0);
+}
+
+TEST(Congestion, HorizontalWireCountsInHorizontalMap) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  for (Coord x = 0; x < 30; ++x) grid.claim({x, 5, 1}, 0);
+  const auto map = measure_congestion(grid);
+  // 30 nodes over a 30x30 tile with 2 horizontal layers: 30/1800.
+  EXPECT_NEAR(map.h_at(0, 0), 30.0 / 1800.0, 1e-12);
+  EXPECT_DOUBLE_EQ(map.v_at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(map.h_at(1, 0), 0.0);
+}
+
+TEST(Congestion, VerticalWireCountsInVerticalMap) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  for (Coord y = 0; y < 30; ++y) grid.claim({5, y, 2}, 0);
+  const auto map = measure_congestion(grid);
+  EXPECT_NEAR(map.v_at(0, 0), 30.0 / 900.0, 1e-12);  // one vertical layer
+  EXPECT_DOUBLE_EQ(map.h_at(0, 0), 0.0);
+}
+
+TEST(Congestion, EscapeUseTracksEscapeRegionOnly) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  // x=14 is in the escape region of line 15; x=5 is not.
+  for (Coord y = 0; y < 30; ++y) grid.claim({14, y, 2}, 0);
+  for (Coord y = 0; y < 30; ++y) grid.claim({5, y, 2}, 1);
+  const auto map = measure_congestion(grid);
+  // Tile (0,0) escape columns: {13,14,16,17} around line 15 plus {28,29}
+  // from line 30's left side = 6 columns x 30 rows.
+  EXPECT_NEAR(map.escape_at(0, 0), 30.0 / 180.0, 1e-12);
+}
+
+TEST(Congestion, PeakAndMean) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  for (Coord x = 0; x < 30; ++x)
+    for (Coord y = 0; y < 30; ++y) grid.claim({x, y, 1}, 0);
+  const auto map = measure_congestion(grid);
+  EXPECT_NEAR(map.peak(), 0.5, 1e-12);  // layer 1 full, layer 3 empty
+  EXPECT_GT(map.mean(), 0.0);
+  EXPECT_LT(map.mean(), map.peak() + 1e-12);
+}
+
+TEST(Congestion, AsciiHeatmapShape) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  const auto map = measure_congestion(grid);
+  const std::string art = ascii_heatmap(map, false);
+  // 2 rows of 2 chars plus newlines.
+  EXPECT_EQ(art, "..\n..\n");
+}
+
+TEST(Congestion, AsciiHeatmapSaturates) {
+  CongestionMap map;
+  map.tiles_x = 2;
+  map.tiles_y = 1;
+  map.horizontal = {0.35, 1.5};
+  map.vertical = {0.0, 0.0};
+  map.escape_use = {0.0, 0.0};
+  EXPECT_EQ(ascii_heatmap(map, false), "3#\n");
+}
+
+TEST(Congestion, SvgHeatmapWellFormed) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  const auto map = measure_congestion(grid);
+  const std::string svg = svg_heatmap(map, true);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 4 tiles -> 4 rects.
+  int rects = 0;
+  std::size_t pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_EQ(rects, 4);
+}
+
+}  // namespace
+}  // namespace mebl::eval

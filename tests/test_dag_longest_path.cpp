@@ -1,0 +1,74 @@
+#include "graph/dag_longest_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::graph {
+namespace {
+
+TEST(DagLongestPath, Chain) {
+  Dag dag(4);
+  dag.add_arc(0, 1, 2);
+  dag.add_arc(1, 2, 3);
+  dag.add_arc(2, 3, 4);
+  const auto dist = dag.longest_from(0);
+  ASSERT_TRUE(dist.has_value());
+  EXPECT_EQ((*dist)[3].value(), 9);
+}
+
+TEST(DagLongestPath, PicksLongerOfTwoBranches) {
+  Dag dag(4);
+  dag.add_arc(0, 1, 1);
+  dag.add_arc(1, 3, 1);
+  dag.add_arc(0, 2, 5);
+  dag.add_arc(2, 3, 5);
+  const auto dist = dag.longest_from(0);
+  ASSERT_TRUE(dist.has_value());
+  EXPECT_EQ((*dist)[3].value(), 10);
+}
+
+TEST(DagLongestPath, UnreachableIsNullopt) {
+  Dag dag(3);
+  dag.add_arc(0, 1, 1);
+  const auto dist = dag.longest_from(0);
+  ASSERT_TRUE(dist.has_value());
+  EXPECT_FALSE((*dist)[2].has_value());
+}
+
+TEST(DagLongestPath, CycleDetected) {
+  Dag dag(3);
+  dag.add_arc(0, 1, 1);
+  dag.add_arc(1, 2, 1);
+  dag.add_arc(2, 0, 1);
+  EXPECT_FALSE(dag.longest_from(0).has_value());
+}
+
+TEST(DagLongestPath, CycleOutsideReachableSetIgnored) {
+  Dag dag(4);
+  dag.add_arc(0, 1, 1);
+  dag.add_arc(2, 3, 1);
+  dag.add_arc(3, 2, 1);  // cycle, but not reachable from 0
+  const auto dist = dag.longest_from(0);
+  ASSERT_TRUE(dist.has_value());
+  EXPECT_EQ((*dist)[1].value(), 1);
+}
+
+TEST(DagLongestPath, DiamondTakesMaxOverPaths) {
+  Dag dag(4);
+  dag.add_arc(0, 1, 1);
+  dag.add_arc(0, 2, 2);
+  dag.add_arc(1, 3, 10);
+  dag.add_arc(2, 3, 1);
+  const auto dist = dag.longest_from(0);
+  ASSERT_TRUE(dist.has_value());
+  EXPECT_EQ((*dist)[3].value(), 11);
+}
+
+TEST(DagLongestPath, SourceIsZero) {
+  Dag dag(1);
+  const auto dist = dag.longest_from(0);
+  ASSERT_TRUE(dist.has_value());
+  EXPECT_EQ((*dist)[0].value(), 0);
+}
+
+}  // namespace
+}  // namespace mebl::graph

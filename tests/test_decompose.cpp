@@ -1,0 +1,91 @@
+#include "netlist/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mebl::netlist {
+namespace {
+
+TEST(Decompose, TwoPinNetYieldsOneSubnet) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.add_pin(a, {0, 0});
+  nl.add_pin(a, {5, 5});
+  const auto subnets = decompose_net(nl, a);
+  ASSERT_EQ(subnets.size(), 1u);
+  EXPECT_EQ(subnets[0].net, a);
+  EXPECT_EQ(subnets[0].hpwl(), 10);
+}
+
+TEST(Decompose, SinglePinNetYieldsNothing) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.add_pin(a, {0, 0});
+  EXPECT_TRUE(decompose_net(nl, a).empty());
+}
+
+TEST(Decompose, NPinNetYieldsNMinusOneSubnets) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  for (int i = 0; i < 7; ++i)
+    nl.add_pin(a, {static_cast<geom::Coord>(i * 3), static_cast<geom::Coord>(i % 2)});
+  EXPECT_EQ(decompose_net(nl, a).size(), 6u);
+}
+
+TEST(Decompose, CollinearPinsChainAdjacently) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.add_pin(a, {0, 0});
+  nl.add_pin(a, {10, 0});
+  nl.add_pin(a, {20, 0});
+  const auto subnets = decompose_net(nl, a);
+  ASSERT_EQ(subnets.size(), 2u);
+  // MST must use the two adjacent 10-length edges, not the 20-length one.
+  geom::Coord total = 0;
+  for (const auto& s : subnets) total += s.hpwl();
+  EXPECT_EQ(total, 20);
+}
+
+TEST(Decompose, MstIsMinimalAgainstBruteForceOnTriangles) {
+  // For any 3 pins, MST total = sum of two smallest pairwise distances.
+  util::Rng rng(4);
+  for (int round = 0; round < 200; ++round) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    geom::Point pts[3];
+    for (auto& p : pts) {
+      p = {static_cast<geom::Coord>(rng.uniform_int(0, 30)),
+           static_cast<geom::Coord>(rng.uniform_int(0, 30))};
+      nl.add_pin(a, p);
+    }
+    const auto subnets = decompose_net(nl, a);
+    ASSERT_EQ(subnets.size(), 2u);
+    geom::Coord total = 0;
+    for (const auto& s : subnets) total += s.hpwl();
+    const geom::Coord d01 = manhattan(pts[0], pts[1]);
+    const geom::Coord d02 = manhattan(pts[0], pts[2]);
+    const geom::Coord d12 = manhattan(pts[1], pts[2]);
+    const geom::Coord expect = d01 + d02 + d12 - std::max({d01, d02, d12});
+    EXPECT_EQ(total, expect);
+  }
+}
+
+TEST(Decompose, AllCoversEveryNet) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.add_pin(a, {0, 0});
+  nl.add_pin(a, {1, 1});
+  const NetId b = nl.add_net("b");
+  nl.add_pin(b, {2, 2});
+  nl.add_pin(b, {3, 3});
+  nl.add_pin(b, {4, 4});
+  const auto all = decompose_all(nl);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].net, a);
+  EXPECT_EQ(all[1].net, b);
+  EXPECT_EQ(all[2].net, b);
+}
+
+}  // namespace
+}  // namespace mebl::netlist

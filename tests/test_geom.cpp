@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace mebl::geom {
+namespace {
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_EQ(manhattan(Point{0, 0}, Point{3, 4}), 7);
+  EXPECT_EQ(manhattan(Point{3, 4}, Point{0, 0}), 7);
+  EXPECT_EQ(manhattan(Point{-2, 5}, Point{2, -5}), 14);
+  EXPECT_EQ(manhattan(Point{1, 1}, Point{1, 1}), 0);
+}
+
+TEST(Point, Manhattan3DCountsViaCost) {
+  EXPECT_EQ(manhattan(Point3{0, 0, 0}, Point3{1, 1, 2}, 3), 1 + 1 + 6);
+  EXPECT_EQ(manhattan(Point3{0, 0, 2}, Point3{0, 0, 0}, 5), 10);
+}
+
+TEST(Point, OrientationFlip) {
+  EXPECT_EQ(flip(Orientation::kHorizontal), Orientation::kVertical);
+  EXPECT_EQ(flip(Orientation::kVertical), Orientation::kHorizontal);
+}
+
+TEST(Point, HashDistinguishesCoordinates) {
+  const std::hash<Point> h;
+  EXPECT_NE(h(Point{1, 2}), h(Point{2, 1}));
+}
+
+TEST(Rect, EmptyByDefault) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.width(), 0);
+  EXPECT_EQ(r.area(), 0);
+}
+
+TEST(Rect, BoundingOfTwoPoints) {
+  const Rect r = Rect::bounding(Point{5, 1}, Point{2, 7});
+  EXPECT_EQ(r, Rect(2, 1, 5, 7));
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 7);
+}
+
+TEST(Rect, ContainsPoint) {
+  const Rect r{0, 0, 10, 5};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 5}));
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+  EXPECT_FALSE(r.contains(Point{-1, 0}));
+}
+
+TEST(Rect, OverlapsClosedSemantics) {
+  EXPECT_TRUE(Rect(0, 0, 5, 5).overlaps(Rect(5, 5, 9, 9)));  // touch counts
+  EXPECT_FALSE(Rect(0, 0, 5, 5).overlaps(Rect(6, 0, 9, 5)));
+}
+
+TEST(Rect, IntersectAndHull) {
+  const Rect a{0, 0, 5, 5}, b{3, 2, 9, 9};
+  EXPECT_EQ(a.intersect(b), Rect(3, 2, 5, 5));
+  EXPECT_EQ(a.hull(b), Rect(0, 0, 9, 9));
+  EXPECT_TRUE(a.intersect(Rect{7, 7, 9, 9}).empty());
+}
+
+TEST(Rect, HullWithEmptyIsIdentity) {
+  const Rect a{1, 1, 2, 2};
+  EXPECT_EQ(a.hull(Rect{}), a);
+  EXPECT_EQ(Rect{}.hull(a), a);
+}
+
+TEST(Rect, InflatedGrowsEverySide) {
+  EXPECT_EQ(Rect(2, 2, 4, 4).inflated(2), Rect(0, 0, 6, 6));
+}
+
+TEST(Rect, SpansMatchBounds) {
+  const Rect r{1, 2, 7, 9};
+  EXPECT_EQ(r.x_span(), (Interval{1, 7}));
+  EXPECT_EQ(r.y_span(), (Interval{2, 9}));
+}
+
+}  // namespace
+}  // namespace mebl::geom

@@ -1,0 +1,68 @@
+#include "detail/grid_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::detail {
+namespace {
+
+grid::RoutingGrid make_grid() {
+  return grid::RoutingGrid(60, 60, 3, 30, grid::StitchPlan(60, 15));
+}
+
+TEST(GridGraph, StartsEmpty) {
+  const auto rg = make_grid();
+  GridGraph grid(rg);
+  EXPECT_EQ(grid.occupied_nodes(), 0);
+  EXPECT_TRUE(grid.is_free({5, 5, 1}));
+  EXPECT_EQ(grid.owner({5, 5, 1}), -1);
+}
+
+TEST(GridGraph, ClaimAndRelease) {
+  const auto rg = make_grid();
+  GridGraph grid(rg);
+  grid.claim({5, 5, 1}, 7);
+  EXPECT_EQ(grid.owner({5, 5, 1}), 7);
+  EXPECT_FALSE(grid.is_free({5, 5, 1}));
+  EXPECT_TRUE(grid.is_free_or({5, 5, 1}, 7));
+  EXPECT_FALSE(grid.is_free_or({5, 5, 1}, 8));
+  EXPECT_EQ(grid.occupied_nodes(), 1);
+  grid.release({5, 5, 1});
+  EXPECT_TRUE(grid.is_free({5, 5, 1}));
+  EXPECT_EQ(grid.occupied_nodes(), 0);
+}
+
+TEST(GridGraph, ReclaimBySameNetIsIdempotent) {
+  const auto rg = make_grid();
+  GridGraph grid(rg);
+  grid.claim({3, 3, 2}, 1);
+  grid.claim({3, 3, 2}, 1);
+  EXPECT_EQ(grid.occupied_nodes(), 1);
+}
+
+TEST(GridGraph, LayersAreIndependent) {
+  const auto rg = make_grid();
+  GridGraph grid(rg);
+  grid.claim({3, 3, 1}, 1);
+  EXPECT_TRUE(grid.is_free({3, 3, 2}));
+  EXPECT_TRUE(grid.is_free({3, 3, 0}));
+}
+
+TEST(GridGraph, StitchConstraints) {
+  const auto rg = make_grid();
+  GridGraph grid(rg);
+  EXPECT_FALSE(grid.vertical_move_allowed(15));
+  EXPECT_FALSE(grid.vertical_move_allowed(30));
+  EXPECT_TRUE(grid.vertical_move_allowed(14));
+  EXPECT_FALSE(grid.via_allowed(15));
+  EXPECT_TRUE(grid.via_allowed(16));
+}
+
+TEST(GridGraph, ReleaseFreeNodeIsNoop) {
+  const auto rg = make_grid();
+  GridGraph grid(rg);
+  grid.release({1, 1, 1});
+  EXPECT_EQ(grid.occupied_nodes(), 0);
+}
+
+}  // namespace
+}  // namespace mebl::detail

@@ -1,0 +1,109 @@
+#include "graph/interval_k_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mebl::graph {
+namespace {
+
+using geom::Interval;
+
+/// Check that the coloring is proper: same-colored chosen intervals are
+/// pairwise disjoint.
+void expect_proper(const std::vector<WeightedInterval>& intervals,
+                   const KColorableSubset& subset) {
+  for (std::size_t i = 0; i < subset.chosen.size(); ++i) {
+    for (std::size_t j = i + 1; j < subset.chosen.size(); ++j) {
+      if (subset.color_of_chosen[i] != subset.color_of_chosen[j]) continue;
+      EXPECT_FALSE(intervals[subset.chosen[i]].span.overlaps(
+          intervals[subset.chosen[j]].span))
+          << "same color " << subset.color_of_chosen[i] << " for intervals "
+          << subset.chosen[i] << " and " << subset.chosen[j];
+    }
+  }
+}
+
+TEST(KColorable, DisjointIntervalsAllChosen) {
+  const std::vector<WeightedInterval> intervals{
+      {{0, 1}, 1.0}, {{3, 4}, 2.0}, {{6, 7}, 3.0}};
+  const auto subset = max_weight_k_colorable_subset(intervals, 1);
+  EXPECT_EQ(subset.chosen.size(), 3u);
+  EXPECT_DOUBLE_EQ(subset.total_weight, 6.0);
+  expect_proper(intervals, subset);
+}
+
+TEST(KColorable, OverlapForcesChoiceAtK1) {
+  const std::vector<WeightedInterval> intervals{{{0, 5}, 1.0}, {{3, 9}, 4.0}};
+  const auto subset = max_weight_k_colorable_subset(intervals, 1);
+  ASSERT_EQ(subset.chosen.size(), 1u);
+  EXPECT_EQ(subset.chosen[0], 1u);
+  EXPECT_DOUBLE_EQ(subset.total_weight, 4.0);
+}
+
+TEST(KColorable, K2TakesBothOverlapping) {
+  const std::vector<WeightedInterval> intervals{{{0, 5}, 1.0}, {{3, 9}, 4.0}};
+  const auto subset = max_weight_k_colorable_subset(intervals, 2);
+  EXPECT_EQ(subset.chosen.size(), 2u);
+  expect_proper(intervals, subset);
+}
+
+TEST(KColorable, TriplePointWithK2DropsCheapest) {
+  // Three intervals sharing the point 5; k=2 keeps the two heaviest.
+  const std::vector<WeightedInterval> intervals{
+      {{0, 5}, 3.0}, {{5, 9}, 2.0}, {{4, 6}, 1.0}};
+  const auto subset = max_weight_k_colorable_subset(intervals, 2);
+  EXPECT_EQ(subset.chosen.size(), 2u);
+  EXPECT_DOUBLE_EQ(subset.total_weight, 5.0);
+  expect_proper(intervals, subset);
+}
+
+TEST(KColorable, ClosedIntervalTouchingCounts) {
+  // [0,5] and [5,9] share point 5, so k=1 cannot take both.
+  const std::vector<WeightedInterval> intervals{{{0, 5}, 1.0}, {{5, 9}, 1.0}};
+  const auto subset = max_weight_k_colorable_subset(intervals, 1);
+  EXPECT_EQ(subset.chosen.size(), 1u);
+}
+
+TEST(KColorable, EmptyInput) {
+  const auto subset = max_weight_k_colorable_subset({}, 3);
+  EXPECT_TRUE(subset.chosen.empty());
+  EXPECT_DOUBLE_EQ(subset.total_weight, 0.0);
+}
+
+TEST(KColorable, MatchesBruteForceOnRandomInstances) {
+  util::Rng rng(77);
+  for (int round = 0; round < 60; ++round) {
+    std::vector<WeightedInterval> intervals;
+    const int n = static_cast<int>(rng.uniform_int(1, 9));
+    for (int i = 0; i < n; ++i) {
+      const auto lo = static_cast<geom::Coord>(rng.uniform_int(0, 12));
+      const auto hi =
+          static_cast<geom::Coord>(rng.uniform_int(lo, std::min(lo + 6, 14)));
+      intervals.push_back({{lo, hi}, static_cast<double>(rng.uniform_int(1, 9))});
+    }
+    const int k = static_cast<int>(rng.uniform_int(1, 3));
+    const auto subset = max_weight_k_colorable_subset(intervals, k);
+    expect_proper(intervals, subset);
+
+    // Brute force: best subset with max point-coverage <= k.
+    double best = 0.0;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      int coverage[16] = {};
+      double weight = 0.0;
+      bool valid = true;
+      for (int i = 0; i < n && valid; ++i) {
+        if (!(mask & (1 << i))) continue;
+        weight += intervals[static_cast<std::size_t>(i)].weight;
+        for (geom::Coord p = intervals[static_cast<std::size_t>(i)].span.lo;
+             p <= intervals[static_cast<std::size_t>(i)].span.hi; ++p)
+          if (++coverage[p] > k) valid = false;
+      }
+      if (valid) best = std::max(best, weight);
+    }
+    EXPECT_DOUBLE_EQ(subset.total_weight, best) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace mebl::graph

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "geom/interval.hpp"
+#include "util/rng.hpp"
+
+namespace mebl::geom {
+namespace {
+
+TEST(Interval, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.length(), 0);
+}
+
+TEST(Interval, LengthIsClosed) { EXPECT_EQ((Interval{3, 5}).length(), 3); }
+
+TEST(Interval, OverlapsClosed) {
+  EXPECT_TRUE((Interval{0, 5}).overlaps({5, 9}));
+  EXPECT_FALSE((Interval{0, 5}).overlaps({6, 9}));
+  EXPECT_FALSE(Interval{}.overlaps({0, 9}));
+}
+
+TEST(Interval, IntersectAndHull) {
+  EXPECT_EQ((Interval{0, 5}).intersect({3, 9}), (Interval{3, 5}));
+  EXPECT_TRUE((Interval{0, 2}).intersect({4, 6}).empty());
+  EXPECT_EQ((Interval{0, 2}).hull({4, 6}), (Interval{0, 6}));
+}
+
+TEST(IntervalSet, InsertMergesAdjacent) {
+  IntervalSet set;
+  set.insert({0, 2});
+  set.insert({3, 5});  // adjacent -> merged
+  ASSERT_EQ(set.members().size(), 1u);
+  EXPECT_EQ(set.members()[0], (Interval{0, 5}));
+}
+
+TEST(IntervalSet, InsertMergesOverlapping) {
+  IntervalSet set;
+  set.insert({0, 4});
+  set.insert({8, 10});
+  set.insert({3, 9});  // bridges both
+  ASSERT_EQ(set.members().size(), 1u);
+  EXPECT_EQ(set.members()[0], (Interval{0, 10}));
+}
+
+TEST(IntervalSet, KeepsDisjointSorted) {
+  IntervalSet set;
+  set.insert({10, 12});
+  set.insert({0, 2});
+  set.insert({5, 6});
+  ASSERT_EQ(set.members().size(), 3u);
+  EXPECT_EQ(set.members()[0].lo, 0);
+  EXPECT_EQ(set.members()[1].lo, 5);
+  EXPECT_EQ(set.members()[2].lo, 10);
+}
+
+TEST(IntervalSet, EraseSplits) {
+  IntervalSet set;
+  set.insert({0, 10});
+  set.erase({4, 6});
+  ASSERT_EQ(set.members().size(), 2u);
+  EXPECT_EQ(set.members()[0], (Interval{0, 3}));
+  EXPECT_EQ(set.members()[1], (Interval{7, 10}));
+}
+
+TEST(IntervalSet, ContainsAndOverlaps) {
+  IntervalSet set;
+  set.insert({2, 4});
+  set.insert({8, 9});
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(5));
+  EXPECT_TRUE(set.overlaps({4, 8}));
+  EXPECT_FALSE(set.overlaps({5, 7}));
+}
+
+TEST(IntervalSet, TotalLength) {
+  IntervalSet set;
+  set.insert({0, 4});
+  set.insert({10, 11});
+  EXPECT_EQ(set.total_length(), 7);
+}
+
+/// Property test: the set behaves like a reference bool-vector under a
+/// random insert/erase workload.
+TEST(IntervalSet, MatchesReferenceModelUnderRandomOps) {
+  util::Rng rng(99);
+  constexpr Coord kUniverse = 64;
+  for (int round = 0; round < 50; ++round) {
+    IntervalSet set;
+    std::vector<bool> model(kUniverse, false);
+    for (int op = 0; op < 60; ++op) {
+      const Coord lo = static_cast<Coord>(rng.uniform_int(0, kUniverse - 1));
+      const Coord hi =
+          static_cast<Coord>(rng.uniform_int(lo, std::min<Coord>(lo + 12, kUniverse - 1)));
+      if (rng.chance(0.6)) {
+        set.insert({lo, hi});
+        for (Coord v = lo; v <= hi; ++v) model[static_cast<std::size_t>(v)] = true;
+      } else {
+        set.erase({lo, hi});
+        for (Coord v = lo; v <= hi; ++v) model[static_cast<std::size_t>(v)] = false;
+      }
+      for (Coord v = 0; v < kUniverse; ++v)
+        ASSERT_EQ(set.contains(v), model[static_cast<std::size_t>(v)])
+            << "round " << round << " op " << op << " at " << v;
+      // Invariant: members are sorted, disjoint, non-adjacent.
+      const auto& m = set.members();
+      for (std::size_t i = 0; i + 1 < m.size(); ++i)
+        ASSERT_GT(m[i + 1].lo, m[i].hi + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mebl::geom

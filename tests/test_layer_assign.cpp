@@ -1,0 +1,120 @@
+#include "assign/layer_assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/layer_instance_generator.hpp"
+#include "util/rng.hpp"
+
+namespace mebl::assign {
+namespace {
+
+void expect_valid_grouping(const LayerAssignment& assignment, std::size_t n,
+                           int k) {
+  ASSERT_EQ(assignment.group.size(), n);
+  for (const int g : assignment.group) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, k);
+  }
+}
+
+TEST(LayerAssign, TwoOverlappingSegmentsSplitAcrossTwoLayers) {
+  const std::vector<SegmentProfile> segments{{{0, 4}, 0}, {{2, 6}, 1}};
+  const auto graph = build_conflict_graph(segments, true);
+  for (const auto& assignment :
+       {assign_layers_mst(graph, 2), assign_layers_ours(graph, 2)}) {
+    expect_valid_grouping(assignment, 2, 2);
+    EXPECT_NE(assignment.group[0], assignment.group[1]);
+    EXPECT_DOUBLE_EQ(assignment.cost, 0.0);
+  }
+}
+
+TEST(LayerAssign, SingleLayerPutsEverythingTogether) {
+  const std::vector<SegmentProfile> segments{{{0, 4}, 0}, {{2, 6}, 1}};
+  const auto graph = build_conflict_graph(segments, true);
+  const auto assignment = assign_layers_ours(graph, 1);
+  expect_valid_grouping(assignment, 2, 1);
+  EXPECT_GT(assignment.cost, 0.0);
+}
+
+TEST(LayerAssign, EmptyGraph) {
+  const ConflictGraph graph;
+  EXPECT_TRUE(assign_layers_mst(graph, 3).group.empty());
+  EXPECT_TRUE(assign_layers_ours(graph, 3).group.empty());
+}
+
+TEST(LayerAssign, CostMatchesColoringCost) {
+  util::Rng rng(5);
+  bench_suite::LayerInstanceConfig config;
+  config.segments = 20;
+  const auto segments = bench_suite::generate_layer_instance(config, rng);
+  const auto graph = build_conflict_graph(segments, true);
+  for (int k = 2; k <= 4; ++k) {
+    const auto mst = assign_layers_mst(graph, k);
+    EXPECT_DOUBLE_EQ(mst.cost, graph.coloring_cost(mst.group));
+    const auto ours = assign_layers_ours(graph, k);
+    EXPECT_DOUBLE_EQ(ours.cost, graph.coloring_cost(ours.group));
+  }
+}
+
+TEST(LayerAssign, OursBeatsOrTiesMstOnAverage) {
+  // Table VI's qualitative claim, verified on random instances.
+  util::Rng rng(6);
+  bench_suite::LayerInstanceConfig config;
+  for (int k = 2; k <= 5; ++k) {
+    double mst_total = 0.0, ours_total = 0.0;
+    for (int i = 0; i < 12; ++i) {
+      const auto segments = bench_suite::generate_layer_instance(config, rng);
+      const auto graph = build_conflict_graph(segments, true);
+      mst_total += assign_layers_mst(graph, k).cost;
+      ours_total += assign_layers_ours(graph, k).cost;
+    }
+    EXPECT_LE(ours_total, mst_total) << "k=" << k;
+  }
+}
+
+TEST(LayerAssign, MoreLayersNeverHurt) {
+  util::Rng rng(8);
+  bench_suite::LayerInstanceConfig config;
+  const auto segments = bench_suite::generate_layer_instance(config, rng);
+  const auto graph = build_conflict_graph(segments, true);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int k = 2; k <= 5; ++k) {
+    const auto ours = assign_layers_ours(graph, k);
+    EXPECT_LE(ours.cost, prev) << "k=" << k;
+    prev = ours.cost;
+  }
+}
+
+TEST(LayerAssign, GroupOrderingIsPermutation) {
+  util::Rng rng(10);
+  bench_suite::LayerInstanceConfig config;
+  config.segments = 15;
+  const auto segments = bench_suite::generate_layer_instance(config, rng);
+  const auto graph = build_conflict_graph(segments, true);
+  for (int k = 1; k <= 4; ++k) {
+    const auto assignment = assign_layers_ours(graph, k);
+    const auto slots = order_groups_for_vias(graph, assignment.group, k);
+    ASSERT_EQ(slots.size(), static_cast<std::size_t>(k));
+    std::vector<bool> seen(static_cast<std::size_t>(k), false);
+    for (const int s : slots) {
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, k);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(s)]);
+      seen[static_cast<std::size_t>(s)] = true;
+    }
+  }
+}
+
+TEST(LayerAssign, PaperFig9StyleInstanceOursWins) {
+  // Five mutually structured segments similar to Fig. 8/9: our heuristic
+  // must not be worse than the MST tree coloring at k=3.
+  const std::vector<SegmentProfile> segments{
+      {{0, 3}, 0}, {{2, 5}, 1}, {{4, 9}, 2}, {{5, 8}, 3}, {{7, 11}, 4}};
+  const auto graph = build_conflict_graph(segments, true);
+  const auto mst = assign_layers_mst(graph, 3);
+  const auto ours = assign_layers_ours(graph, 3);
+  EXPECT_LE(ours.cost, mst.cost);
+}
+
+}  // namespace
+}  // namespace mebl::assign

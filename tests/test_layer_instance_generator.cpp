@@ -1,0 +1,72 @@
+#include "bench_suite/layer_instance_generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::bench_suite {
+namespace {
+
+TEST(LayerInstance, GeneratesRequestedSegmentCount) {
+  util::Rng rng(1);
+  LayerInstanceConfig config;
+  const auto segments = generate_layer_instance(config, rng);
+  EXPECT_EQ(segments.size(), static_cast<std::size_t>(config.segments));
+}
+
+TEST(LayerInstance, SegmentsWithinPanelRows) {
+  util::Rng rng(2);
+  LayerInstanceConfig config;
+  const auto segments = generate_layer_instance(config, rng);
+  for (const auto& s : segments) {
+    EXPECT_GE(s.span.lo, 0);
+    EXPECT_LT(s.span.hi, config.rows);
+    EXPECT_FALSE(s.span.empty());
+  }
+}
+
+TEST(LayerInstance, Deterministic) {
+  util::Rng a(3), b(3);
+  LayerInstanceConfig config;
+  const auto first = generate_layer_instance(config, a);
+  const auto second = generate_layer_instance(config, b);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(first[i].span, second[i].span);
+}
+
+TEST(LayerInstance, DensityStatsSane) {
+  util::Rng rng(4);
+  LayerInstanceConfig config;
+  std::vector<std::vector<assign::SegmentProfile>> instances;
+  for (int i = 0; i < 50; ++i)
+    instances.push_back(generate_layer_instance(config, rng));
+  const auto stats = measure_density(instances);
+  EXPECT_GT(stats.avg_segment_density, 1.0);
+  EXPECT_GE(stats.max_segment_density, stats.avg_segment_density);
+  EXPECT_GE(stats.max_line_end_density, stats.avg_line_end_density);
+  // Every segment contributes 2 ends over `rows` rows.
+  EXPECT_NEAR(stats.avg_line_end_density,
+              2.0 * config.segments / config.rows, 0.8);
+}
+
+TEST(LayerInstance, StatsInPaperBallpark) {
+  // Table V reports max/avg segment density 11.68/5.72 and line-end density
+  // 6.06/2.00; the default config must land in the same regime.
+  util::Rng rng(5);
+  LayerInstanceConfig config;
+  std::vector<std::vector<assign::SegmentProfile>> instances;
+  for (int i = 0; i < 50; ++i)
+    instances.push_back(generate_layer_instance(config, rng));
+  const auto stats = measure_density(instances);
+  EXPECT_NEAR(stats.avg_segment_density, 5.72, 3.0);
+  EXPECT_NEAR(stats.max_segment_density, 11.68, 5.0);
+  EXPECT_NEAR(stats.avg_line_end_density, 2.00, 1.5);
+  EXPECT_NEAR(stats.max_line_end_density, 6.06, 3.0);
+}
+
+TEST(LayerInstance, MeasureDensityEmptyInput) {
+  const auto stats = measure_density({});
+  EXPECT_DOUBLE_EQ(stats.avg_segment_density, 0.0);
+}
+
+}  // namespace
+}  // namespace mebl::bench_suite

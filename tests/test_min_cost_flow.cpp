@@ -1,0 +1,87 @@
+#include "graph/min_cost_flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::graph {
+namespace {
+
+TEST(MinCostFlow, SimplePath) {
+  MinCostFlow mcf(3);
+  const auto a = mcf.add_arc(0, 1, 5, 2);
+  const auto b = mcf.add_arc(1, 2, 5, 3);
+  const auto result = mcf.solve(0, 2, 4);
+  EXPECT_EQ(result.flow, 4);
+  EXPECT_EQ(result.cost, 4 * 5);
+  EXPECT_EQ(mcf.flow_on(a), 4);
+  EXPECT_EQ(mcf.flow_on(b), 4);
+}
+
+TEST(MinCostFlow, PrefersCheaperParallelPath) {
+  MinCostFlow mcf(4);
+  const auto cheap1 = mcf.add_arc(0, 1, 1, 1);
+  const auto cheap2 = mcf.add_arc(1, 3, 1, 1);
+  const auto costly = mcf.add_arc(0, 3, 10, 10);
+  const auto result = mcf.solve(0, 3, 2);
+  EXPECT_EQ(result.flow, 2);
+  EXPECT_EQ(result.cost, 2 + 10);
+  EXPECT_EQ(mcf.flow_on(cheap1), 1);
+  EXPECT_EQ(mcf.flow_on(cheap2), 1);
+  EXPECT_EQ(mcf.flow_on(costly), 1);
+}
+
+TEST(MinCostFlow, RespectsCapacity) {
+  MinCostFlow mcf(2);
+  mcf.add_arc(0, 1, 3, 1);
+  const auto result = mcf.solve(0, 1, 100);
+  EXPECT_EQ(result.flow, 3);
+}
+
+TEST(MinCostFlow, NegativeCostsTakenWhenBeneficial) {
+  // Two routes: direct cost 0, or a detour "earning" -5.
+  MinCostFlow mcf(3);
+  const auto direct = mcf.add_arc(0, 2, 1, 0);
+  const auto bonus = mcf.add_arc(0, 1, 1, -5);
+  const auto tail = mcf.add_arc(1, 2, 1, 0);
+  const auto result = mcf.solve(0, 2, 1);
+  EXPECT_EQ(result.flow, 1);
+  EXPECT_EQ(result.cost, -5);
+  EXPECT_EQ(mcf.flow_on(direct), 0);
+  EXPECT_EQ(mcf.flow_on(bonus), 1);
+  EXPECT_EQ(mcf.flow_on(tail), 1);
+}
+
+TEST(MinCostFlow, DisconnectedReturnsZeroFlow) {
+  MinCostFlow mcf(3);
+  mcf.add_arc(0, 1, 1, 1);
+  const auto result = mcf.solve(0, 2, 5);
+  EXPECT_EQ(result.flow, 0);
+  EXPECT_EQ(result.cost, 0);
+}
+
+TEST(MinCostFlow, MinCostNotJustAnyMaxFlow) {
+  // Diamond where the max flow is 2 either way but costs differ.
+  MinCostFlow mcf(4);
+  mcf.add_arc(0, 1, 1, 1);
+  mcf.add_arc(0, 2, 1, 4);
+  mcf.add_arc(1, 3, 1, 1);
+  mcf.add_arc(2, 3, 1, 4);
+  const auto result = mcf.solve(0, 3, 1);
+  EXPECT_EQ(result.flow, 1);
+  EXPECT_EQ(result.cost, 2);
+}
+
+TEST(MinCostFlow, SuccessiveAugmentationReachesOptimum) {
+  // Requires a "rerouting" residual step to reach the optimum for flow 2.
+  MinCostFlow mcf(4);
+  mcf.add_arc(0, 1, 2, 1);
+  mcf.add_arc(1, 3, 1, 1);
+  mcf.add_arc(1, 2, 1, 1);
+  mcf.add_arc(0, 2, 1, 5);
+  mcf.add_arc(2, 3, 2, 1);
+  const auto result = mcf.solve(0, 3, 2);
+  EXPECT_EQ(result.flow, 2);
+  EXPECT_EQ(result.cost, 2 + 3);  // paths 0-1-3 (2) and 0-1-2-3 (3)
+}
+
+}  // namespace
+}  // namespace mebl::graph

@@ -1,0 +1,71 @@
+#include "global/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::global {
+namespace {
+
+TEST(Multilevel, NumLevelsCoversGrid) {
+  EXPECT_EQ(MultilevelScheduler(1, 1).num_levels(), 1);
+  EXPECT_EQ(MultilevelScheduler(2, 2).num_levels(), 2);
+  EXPECT_EQ(MultilevelScheduler(3, 3).num_levels(), 3);   // 4x4 clusters
+  EXPECT_EQ(MultilevelScheduler(16, 16).num_levels(), 5);
+  EXPECT_EQ(MultilevelScheduler(17, 3).num_levels(), 6);  // max dimension rules
+}
+
+TEST(Multilevel, SingleTileBboxIsLevelZero) {
+  const MultilevelScheduler s(8, 8);
+  EXPECT_EQ(s.level_of({3, 3, 3, 3}), 0);
+}
+
+TEST(Multilevel, NeighborTilesAcrossClusterBoundary) {
+  const MultilevelScheduler s(8, 8);
+  // Tiles 3 and 4 are in different level-1 and level-2 clusters; they share
+  // a level-3 cluster (size 8).
+  EXPECT_EQ(s.level_of({3, 0, 4, 0}), 3);
+  // Tiles 2 and 3 share the level-1 cluster [2,3].
+  EXPECT_EQ(s.level_of({2, 0, 3, 0}), 1);
+}
+
+TEST(Multilevel, FullSpanIsTopLevel) {
+  const MultilevelScheduler s(8, 8);
+  EXPECT_EQ(s.level_of({0, 0, 7, 7}), 3);
+}
+
+TEST(Multilevel, ClusterRegionContainsBbox) {
+  const MultilevelScheduler s(8, 8);
+  const geom::Rect bbox{2, 5, 3, 6};
+  for (int level = s.level_of(bbox); level < s.num_levels(); ++level) {
+    const auto region = s.cluster_region(bbox, level);
+    EXPECT_TRUE(region.contains(bbox)) << "level " << level;
+    EXPECT_TRUE((geom::Rect{0, 0, 7, 7}).contains(region));
+  }
+}
+
+TEST(Multilevel, ScheduleBucketsAreCompleteAndDisjoint) {
+  const MultilevelScheduler s(8, 8);
+  const std::vector<geom::Rect> bboxes{
+      {0, 0, 0, 0}, {0, 0, 1, 1}, {0, 0, 7, 7}, {4, 4, 5, 5}, {3, 3, 4, 4}};
+  const auto buckets = s.schedule(bboxes);
+  std::size_t total = 0;
+  std::vector<bool> seen(bboxes.size(), false);
+  for (const auto& bucket : buckets) {
+    for (const auto idx : bucket) {
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, bboxes.size());
+  EXPECT_EQ(buckets[0].size(), 1u);  // only the single-tile bbox
+}
+
+TEST(Multilevel, LocalNetsComeBeforeGlobalNets) {
+  const MultilevelScheduler s(16, 16);
+  const geom::Rect local{5, 5, 5, 5};
+  const geom::Rect global{0, 0, 15, 15};
+  EXPECT_LT(s.level_of(local), s.level_of(global));
+}
+
+}  // namespace
+}  // namespace mebl::global

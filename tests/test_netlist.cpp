@@ -1,0 +1,62 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::netlist {
+namespace {
+
+TEST(Netlist, AddNetsAndPins) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  nl.add_pin(a, {1, 2});
+  nl.add_pin(a, {3, 4});
+  nl.add_pin(b, {5, 6});
+  EXPECT_EQ(nl.num_nets(), 2u);
+  EXPECT_EQ(nl.num_pins(), 3u);
+  EXPECT_EQ(nl.net(a).degree(), 2u);
+  EXPECT_EQ(nl.net(b).degree(), 1u);
+}
+
+TEST(Netlist, PinsKnowTheirNet) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const PinId p = nl.add_pin(a, {7, 8});
+  EXPECT_EQ(nl.pin(p).net, a);
+  EXPECT_EQ(nl.pin(p).pos, (geom::Point{7, 8}));
+}
+
+TEST(Netlist, NetBbox) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.add_pin(a, {1, 9});
+  nl.add_pin(a, {5, 2});
+  nl.add_pin(a, {3, 3});
+  EXPECT_EQ(nl.net_bbox(a), geom::Rect(1, 2, 5, 9));
+}
+
+TEST(Netlist, NetHpwl) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.add_pin(a, {0, 0});
+  nl.add_pin(a, {4, 7});
+  EXPECT_EQ(nl.net_hpwl(a), 11);
+}
+
+TEST(Netlist, HpwlOfSinglePinNetIsZero) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.add_pin(a, {4, 4});
+  EXPECT_EQ(nl.net_hpwl(a), 0);
+}
+
+TEST(Subnet, BboxAndHpwl) {
+  const Subnet s{0, {2, 3}, {7, 1}};
+  EXPECT_EQ(s.hpwl(), 7);
+  EXPECT_EQ(s.bbox(), geom::Rect(2, 1, 7, 3));
+}
+
+}  // namespace
+}  // namespace mebl::netlist

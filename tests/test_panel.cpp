@@ -1,0 +1,126 @@
+#include "assign/panel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::assign {
+namespace {
+
+using geom::Orientation;
+using grid::GCellId;
+
+global::GlobalResult make_result(std::vector<std::vector<GCellId>> paths) {
+  global::GlobalResult result;
+  for (auto& tiles : paths) {
+    global::TilePath path;
+    path.net = static_cast<netlist::NetId>(result.paths.size());
+    path.routed = true;
+    path.tiles = std::move(tiles);
+    result.paths.push_back(std::move(path));
+  }
+  return result;
+}
+
+grid::RoutingGrid make_grid() {
+  return grid::RoutingGrid(300, 300, 3, 30, grid::StitchPlan(300, 15));
+}
+
+TEST(Panel, ExtractsSingleHorizontalRun) {
+  const auto grid = make_grid();
+  const auto result = make_result({{{0, 2}, {1, 2}, {2, 2}}});
+  const auto plan = extract_runs(result, grid);
+  ASSERT_EQ(plan.runs.size(), 1u);
+  EXPECT_EQ(plan.runs[0].dir, Orientation::kHorizontal);
+  EXPECT_EQ(plan.runs[0].fixed_tile, 2);
+  EXPECT_EQ(plan.runs[0].span, (geom::Interval{0, 2}));
+}
+
+TEST(Panel, ExtractsLShape) {
+  const auto grid = make_grid();
+  // Right two tiles, then down two tiles.
+  const auto result = make_result({{{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}}});
+  const auto plan = extract_runs(result, grid);
+  ASSERT_EQ(plan.runs.size(), 2u);
+  EXPECT_EQ(plan.runs[0].dir, Orientation::kHorizontal);
+  EXPECT_EQ(plan.runs[1].dir, Orientation::kVertical);
+  EXPECT_EQ(plan.runs[1].fixed_tile, 2);
+  EXPECT_EQ(plan.runs[1].span, (geom::Interval{0, 2}));
+  // The vertical run's upper (lo) end connects to a wire that came from the
+  // left (continuation toward smaller x); its lower end is terminal.
+  EXPECT_EQ(plan.runs[1].lo_continuation, -1);
+  EXPECT_EQ(plan.runs[1].hi_continuation, 0);
+}
+
+TEST(Panel, ZShapeContinuations) {
+  const auto grid = make_grid();
+  // down, right, down: the middle horizontal run joins two vertical runs.
+  const auto result = make_result(
+      {{{0, 0}, {0, 1}, {1, 1}, {2, 1}, {2, 2}}});
+  const auto plan = extract_runs(result, grid);
+  ASSERT_EQ(plan.runs.size(), 3u);
+  const auto& v1 = plan.runs[0];
+  const auto& v2 = plan.runs[2];
+  EXPECT_EQ(v1.dir, Orientation::kVertical);
+  EXPECT_EQ(v1.span, (geom::Interval{0, 1}));
+  EXPECT_EQ(v1.lo_continuation, 0);    // starts at the pin
+  EXPECT_EQ(v1.hi_continuation, +1);   // wire leaves to larger x
+  EXPECT_EQ(v2.dir, Orientation::kVertical);
+  EXPECT_EQ(v2.lo_continuation, -1);   // wire arrives from smaller x
+  EXPECT_EQ(v2.hi_continuation, 0);
+}
+
+TEST(Panel, UpwardVerticalRunMapsEndsCorrectly) {
+  const auto grid = make_grid();
+  // Path going up (decreasing ty), then right.
+  const auto result = make_result({{{1, 3}, {1, 2}, {1, 1}, {2, 1}}});
+  const auto plan = extract_runs(result, grid);
+  ASSERT_EQ(plan.runs.size(), 2u);
+  const auto& run = plan.runs[0];
+  EXPECT_EQ(run.dir, Orientation::kVertical);
+  EXPECT_EQ(run.span, (geom::Interval{1, 3}));
+  // Path-start (pin) end is at ty=3 (span hi); the wire continues to larger
+  // x at the ty=1 (span lo) end.
+  EXPECT_EQ(run.hi_continuation, 0);
+  EXPECT_EQ(run.lo_continuation, +1);
+}
+
+TEST(Panel, UnroutedAndTrivialPathsYieldNoRuns) {
+  const auto grid = make_grid();
+  auto result = make_result({{{0, 0}}});
+  global::TilePath unrouted;
+  unrouted.net = 9;
+  unrouted.routed = false;
+  result.paths.push_back(unrouted);
+  const auto plan = extract_runs(result, grid);
+  EXPECT_TRUE(plan.runs.empty());
+  EXPECT_EQ(plan.runs_of_path.size(), 2u);
+  EXPECT_TRUE(plan.runs_of_path[0].empty());
+}
+
+TEST(Panel, PanelLookups) {
+  const auto grid = make_grid();
+  const auto result = make_result({
+      {{0, 0}, {0, 1}},          // vertical in column 0
+      {{2, 0}, {2, 1}, {2, 2}},  // vertical in column 2
+      {{0, 3}, {1, 3}},          // horizontal in row 3
+  });
+  const auto plan = extract_runs(result, grid);
+  EXPECT_EQ(runs_in_column_panel(plan, 0).size(), 1u);
+  EXPECT_EQ(runs_in_column_panel(plan, 1).size(), 0u);
+  EXPECT_EQ(runs_in_column_panel(plan, 2).size(), 1u);
+  EXPECT_EQ(runs_in_row_panel(plan, 3).size(), 1u);
+}
+
+TEST(Panel, RunsOfPathPreserveOrder) {
+  const auto grid = make_grid();
+  const auto result =
+      make_result({{{0, 0}, {1, 0}, {1, 1}, {2, 1}, {2, 2}, {3, 2}}});
+  const auto plan = extract_runs(result, grid);
+  ASSERT_EQ(plan.runs_of_path[0].size(), plan.runs.size());
+  // Alternating H/V runs in path order.
+  const auto& ids = plan.runs_of_path[0];
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i)
+    EXPECT_NE(plan.runs[ids[i]].dir, plan.runs[ids[i + 1]].dir);
+}
+
+}  // namespace
+}  // namespace mebl::assign

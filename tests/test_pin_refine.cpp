@@ -1,0 +1,117 @@
+#include "place/pin_refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "bench_suite/circuit_generator.hpp"
+
+namespace mebl::place {
+namespace {
+
+grid::RoutingGrid make_grid() {
+  return grid::RoutingGrid(90, 90, 3, 30, grid::StitchPlan(90, 15));
+}
+
+TEST(PinRefine, MovesPinOffStitchLine) {
+  const auto grid = make_grid();
+  netlist::Netlist nl;
+  const auto a = nl.add_net("a");
+  nl.add_pin(a, {15, 10});  // on the line
+  const auto stats = refine_pins(grid, nl);
+  EXPECT_EQ(stats.pins_on_lines_before, 1);
+  EXPECT_EQ(stats.pins_on_lines_after, 0);
+  EXPECT_EQ(stats.pins_moved, 1);
+  EXPECT_FALSE(grid.stitch().is_stitch_column(nl.pin(0).pos.x));
+}
+
+TEST(PinRefine, ClearsUnfriendlyRegionWhenAsked) {
+  const auto grid = make_grid();
+  netlist::Netlist nl;
+  const auto a = nl.add_net("a");
+  nl.add_pin(a, {16, 10});  // unfriendly (next to line 15)
+  PinRefineConfig config;
+  config.clear_unfriendly_regions = true;
+  const auto stats = refine_pins(grid, nl, config);
+  EXPECT_EQ(stats.pins_unfriendly_before, 1);
+  EXPECT_EQ(stats.pins_unfriendly_after, 0);
+  EXPECT_FALSE(grid.stitch().in_unfriendly_region(nl.pin(0).pos.x));
+}
+
+TEST(PinRefine, LeavesUnfriendlyPinsWhenDisabled) {
+  const auto grid = make_grid();
+  netlist::Netlist nl;
+  const auto a = nl.add_net("a");
+  nl.add_pin(a, {16, 10});
+  PinRefineConfig config;
+  config.clear_unfriendly_regions = false;
+  const auto stats = refine_pins(grid, nl, config);
+  EXPECT_EQ(stats.pins_moved, 0);
+  EXPECT_EQ(nl.pin(0).pos, (geom::Point{16, 10}));
+}
+
+TEST(PinRefine, RespectsDisplacementBudget) {
+  // All escape destinations within 1 track of x=15 are still hazardous
+  // (14 and 16 are unfriendly), so budget 1 cannot fix the pin.
+  const auto grid = make_grid();
+  netlist::Netlist nl;
+  const auto a = nl.add_net("a");
+  nl.add_pin(a, {15, 10});
+  PinRefineConfig config;
+  config.max_displacement = 1;
+  const auto stats = refine_pins(grid, nl, config);
+  EXPECT_EQ(stats.pins_moved, 0);
+  EXPECT_EQ(stats.pins_on_lines_after, 1);
+}
+
+TEST(PinRefine, DoesNotStackPins) {
+  const auto grid = make_grid();
+  netlist::Netlist nl;
+  const auto a = nl.add_net("a");
+  nl.add_pin(a, {15, 10});
+  nl.add_pin(a, {17, 10});  // occupies the natural right-side destination
+  nl.add_pin(a, {13, 10});  // and the left-side one
+  (void)refine_pins(grid, nl);
+  std::unordered_set<geom::Point> seen;
+  for (const auto& pin : nl.pins()) EXPECT_TRUE(seen.insert(pin.pos).second);
+}
+
+TEST(PinRefine, UntouchedPinsStayPut) {
+  const auto grid = make_grid();
+  netlist::Netlist nl;
+  const auto a = nl.add_net("a");
+  nl.add_pin(a, {5, 5});
+  const auto stats = refine_pins(grid, nl);
+  EXPECT_EQ(stats.pins_moved, 0);
+  EXPECT_EQ(nl.pin(0).pos, (geom::Point{5, 5}));
+}
+
+TEST(PinRefine, ReducesHazardsOnGeneratedCircuit) {
+  auto spec = *bench_suite::find_spec("S9234");
+  bench_suite::GeneratorConfig config;
+  config.pin_on_line_fraction = 0.2;  // force plenty of hazards
+  auto circuit = bench_suite::generate_circuit(spec, config, 7);
+  const auto stats = refine_pins(circuit.grid, circuit.netlist);
+  EXPECT_GT(stats.pins_on_lines_before, 0);
+  EXPECT_LT(stats.pins_on_lines_after, stats.pins_on_lines_before);
+  EXPECT_LT(stats.pins_unfriendly_after, stats.pins_unfriendly_before);
+  // Pin count unchanged and pins still unique / in bounds.
+  std::unordered_set<geom::Point> seen;
+  for (const auto& pin : circuit.netlist.pins()) {
+    EXPECT_TRUE(circuit.grid.in_bounds(pin.pos));
+    EXPECT_TRUE(seen.insert(pin.pos).second);
+  }
+}
+
+TEST(PinRefine, DisplacementAccounting) {
+  const auto grid = make_grid();
+  netlist::Netlist nl;
+  const auto a = nl.add_net("a");
+  nl.add_pin(a, {15, 10});
+  const auto stats = refine_pins(grid, nl);
+  EXPECT_EQ(stats.total_displacement, manhattan(geom::Point{15, 10},
+                                                nl.pin(0).pos));
+}
+
+}  // namespace
+}  // namespace mebl::place

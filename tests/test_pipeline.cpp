@@ -1,0 +1,117 @@
+#include "core/stitch_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/circuit_generator.hpp"
+
+namespace mebl::core {
+namespace {
+
+/// A small but non-trivial circuit for end-to-end pipeline tests.
+bench_suite::GeneratedCircuit small_circuit() {
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "unit";
+  spec.um_width = 100;
+  spec.um_height = 100;
+  spec.layers = 3;
+  spec.nets = 150;
+  spec.pins = 420;
+  return bench_suite::generate_circuit(spec, {}, 99);
+}
+
+TEST(Pipeline, StitchAwareRunCompletesWithHighRoutability) {
+  const auto circuit = small_circuit();
+  StitchAwareRouter router(circuit.grid, circuit.netlist,
+                           RouterConfig::stitch_aware());
+  const auto result = router.run();
+  EXPECT_GT(result.metrics.routability_pct(), 90.0);
+  EXPECT_EQ(result.metrics.total_nets, 150);
+  // Hard constraint: never a vertical wire on a stitching line.
+  EXPECT_EQ(result.metrics.vertical_violations, 0);
+}
+
+TEST(Pipeline, BaselineRunCompletes) {
+  const auto circuit = small_circuit();
+  StitchAwareRouter router(circuit.grid, circuit.netlist,
+                           RouterConfig::baseline());
+  const auto result = router.run();
+  EXPECT_GT(result.metrics.routability_pct(), 85.0);
+  EXPECT_EQ(result.metrics.vertical_violations, 0);
+}
+
+TEST(Pipeline, StitchAwareProducesFewerShortPolygons) {
+  const auto circuit = small_circuit();
+  StitchAwareRouter aware(circuit.grid, circuit.netlist,
+                          RouterConfig::stitch_aware());
+  const auto aware_result = aware.run();
+  StitchAwareRouter baseline(circuit.grid, circuit.netlist,
+                             RouterConfig::baseline());
+  const auto baseline_result = baseline.run();
+  EXPECT_LE(aware_result.metrics.short_polygons,
+            baseline_result.metrics.short_polygons);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto circuit = small_circuit();
+  StitchAwareRouter a(circuit.grid, circuit.netlist);
+  StitchAwareRouter b(circuit.grid, circuit.netlist);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.metrics.short_polygons, rb.metrics.short_polygons);
+  EXPECT_EQ(ra.metrics.wirelength, rb.metrics.wirelength);
+  EXPECT_EQ(ra.metrics.vias, rb.metrics.vias);
+  EXPECT_EQ(ra.metrics.routed_nets, rb.metrics.routed_nets);
+}
+
+TEST(Pipeline, IlpTrackAssignmentWorksOnTinyCircuit) {
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "tiny";
+  spec.um_width = 60;
+  spec.um_height = 60;
+  spec.layers = 3;
+  spec.nets = 25;
+  spec.pins = 60;
+  const auto circuit = bench_suite::generate_circuit(spec, {}, 5);
+  auto config = RouterConfig::stitch_aware();
+  config.track_algorithm = TrackAlgorithm::kIlp;
+  config.ilp.time_limit_seconds = 5.0;
+  StitchAwareRouter router(circuit.grid, circuit.netlist, config);
+  const auto result = router.run();
+  EXPECT_GT(result.metrics.routability_pct(), 85.0);
+}
+
+TEST(Pipeline, RunsOnSixLayerStack) {
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "six";
+  spec.um_width = 80;
+  spec.um_height = 80;
+  spec.layers = 6;
+  spec.nets = 120;
+  spec.pins = 420;
+  const auto circuit = bench_suite::generate_circuit(spec, {}, 11);
+  StitchAwareRouter router(circuit.grid, circuit.netlist);
+  const auto result = router.run();
+  EXPECT_GT(result.metrics.routability_pct(), 90.0);
+  EXPECT_EQ(result.metrics.vertical_violations, 0);
+}
+
+TEST(Pipeline, StageTimesPopulated) {
+  const auto circuit = small_circuit();
+  StitchAwareRouter router(circuit.grid, circuit.netlist);
+  const auto result = router.run();
+  EXPECT_GE(result.times.global_seconds, 0.0);
+  EXPECT_GT(result.times.total(), 0.0);
+}
+
+TEST(Pipeline, GridGeometryMatchesMetrics) {
+  const auto circuit = small_circuit();
+  StitchAwareRouter router(circuit.grid, circuit.netlist);
+  const auto result = router.run();
+  ASSERT_NE(result.grid, nullptr);
+  EXPECT_EQ(eval::count_short_polygons(*result.grid),
+            result.metrics.short_polygons);
+  EXPECT_GT(result.grid->occupied_nodes(), 0);
+}
+
+}  // namespace
+}  // namespace mebl::core

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "raster/defect.hpp"
+
+namespace mebl::raster {
+namespace {
+
+TEST(Render, FullyCoveredPixelIsOne) {
+  const auto gray = render({{1.0, 1.0, 3.0, 3.0}}, 4, 4);
+  EXPECT_DOUBLE_EQ(gray.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(gray.at(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(gray.at(0, 0), 0.0);
+}
+
+TEST(Render, PartialCoverageIsProportional) {
+  const auto gray = render({{0.5, 0.0, 1.0, 1.0}}, 2, 1);
+  EXPECT_DOUBLE_EQ(gray.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(gray.at(1, 0), 0.0);
+}
+
+TEST(Render, SubPixelFeature) {
+  const auto gray = render({{0.25, 0.25, 0.75, 0.75}}, 1, 1);
+  EXPECT_DOUBLE_EQ(gray.at(0, 0), 0.25);
+}
+
+TEST(Render, OverlappingFeaturesSaturate) {
+  const auto gray = render({{0.0, 0.0, 1.0, 1.0}, {0.0, 0.0, 1.0, 1.0}}, 1, 1);
+  EXPECT_DOUBLE_EQ(gray.at(0, 0), 1.0);
+}
+
+TEST(Render, FeatureOutsideCanvasClipped) {
+  const auto gray = render({{-5.0, -5.0, 0.5, 0.5}}, 2, 2);
+  EXPECT_DOUBLE_EQ(gray.at(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(gray.at(1, 1), 0.0);
+}
+
+TEST(Dither, UniformBlackStaysBlack) {
+  const GrayBitmap gray(8, 8, 0.0);
+  const auto out = dither(gray);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) EXPECT_EQ(out.at(x, y), 0);
+}
+
+TEST(Dither, UniformWhiteStaysWhite) {
+  const GrayBitmap gray(8, 8, 1.0);
+  const auto out = dither(gray);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) EXPECT_EQ(out.at(x, y), 1);
+}
+
+TEST(Dither, HalfGrayPreservesAverageIntensity) {
+  const GrayBitmap gray(32, 32, 0.5);
+  for (const auto kernel :
+       {DitherKernel::kFloydSteinberg, DitherKernel::kRightDown}) {
+    const auto out = dither(gray, kernel);
+    int on = 0;
+    for (int y = 0; y < 32; ++y)
+      for (int x = 0; x < 32; ++x) on += out.at(x, y);
+    EXPECT_NEAR(static_cast<double>(on) / (32 * 32), 0.5, 0.05);
+  }
+}
+
+TEST(Dither, GrayEdgeProducesIrregularPixels) {
+  // A feature whose top edge sits mid-pixel: the boundary row has gray 0.4
+  // and error diffusion must turn some (not all) of its pixels on.
+  const auto gray = render({{0.0, 0.6, 16.0, 3.0}}, 16, 4);
+  const auto out = dither(gray);
+  int boundary_on = 0;
+  for (int x = 0; x < 16; ++x) boundary_on += out.at(x, 0);
+  EXPECT_GT(boundary_on, 0);
+  EXPECT_LT(boundary_on, 16);
+}
+
+TEST(Defect, PerfectExposureHasNoErrors) {
+  const auto gray = render({{0.0, 0.0, 4.0, 4.0}}, 8, 8);
+  const auto out = dither(gray);
+  const auto report = analyze(gray, out);
+  EXPECT_EQ(report.pattern_pixels, 16);
+  EXPECT_EQ(report.error_pixels, 0);
+  EXPECT_DOUBLE_EQ(report.error_ratio(), 0.0);
+}
+
+TEST(Defect, WindowRestrictsAnalysis) {
+  const auto gray = render({{0.0, 0.0, 4.0, 4.0}}, 8, 8);
+  const auto out = dither(gray);
+  const auto report = analyze_window(gray, out, 0, 0, 2, 2);
+  EXPECT_EQ(report.pattern_pixels, 4);
+}
+
+TEST(Defect, ShortPolygonHasHigherErrorRatioThanLongOne) {
+  // The paper's Fig. 4 mechanism: the piece left of the stripe boundary is
+  // tiny, so its few irregular pixels are a large fraction of its area.
+  const auto short_piece = short_polygon_experiment(/*cut_px=*/2,
+                                                    /*length_px=*/40,
+                                                    /*width_px=*/3);
+  const auto long_piece = short_polygon_experiment(/*cut_px=*/20,
+                                                   /*length_px=*/40,
+                                                   /*width_px=*/3);
+  EXPECT_GE(short_piece.error_ratio(), long_piece.error_ratio());
+  EXPECT_GT(short_piece.error_ratio(), 0.0);
+}
+
+TEST(Defect, MissingPlusSpuriousEqualsErrors) {
+  const auto report = short_polygon_experiment(3, 30, 3);
+  EXPECT_EQ(report.missing_pixels + report.spurious_pixels,
+            report.error_pixels);
+}
+
+}  // namespace
+}  // namespace mebl::raster

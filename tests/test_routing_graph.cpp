@@ -1,0 +1,93 @@
+#include "global/routing_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mebl::global {
+namespace {
+
+grid::RoutingGrid make_grid() {
+  return grid::RoutingGrid(90, 90, 3, 30, grid::StitchPlan(90, 15));
+}
+
+TEST(RoutingGraph, CapacitiesFromGrid) {
+  const auto rg = make_grid();
+  RoutingGraph graph(rg, /*stitch_aware=*/true);
+  EXPECT_EQ(graph.tiles_x(), 3);
+  EXPECT_EQ(graph.tiles_y(), 3);
+  EXPECT_EQ(graph.h_capacity(0, 0), 60);  // 30 tracks x 2 horizontal layers
+  EXPECT_EQ(graph.v_capacity(0, 0), 29);  // line at x=15 removed
+}
+
+TEST(RoutingGraph, StitchObliviousKeepsFullVerticalCapacity) {
+  const auto rg = make_grid();
+  RoutingGraph graph(rg, /*stitch_aware=*/false);
+  EXPECT_EQ(graph.v_capacity(0, 0), 30);
+}
+
+TEST(RoutingGraph, DemandAccounting) {
+  const auto rg = make_grid();
+  RoutingGraph graph(rg, true);
+  EXPECT_EQ(graph.h_demand(0, 0), 0);
+  graph.add_h_demand(0, 0, 3);
+  EXPECT_EQ(graph.h_demand(0, 0), 3);
+  graph.add_h_demand(0, 0, -1);
+  EXPECT_EQ(graph.h_demand(0, 0), 2);
+}
+
+TEST(RoutingGraph, CostGrowsWithDemand) {
+  const auto rg = make_grid();
+  RoutingGraph graph(rg, true);
+  const double empty = graph.h_cost(0, 0);
+  graph.add_h_demand(0, 0, 30);
+  const double half = graph.h_cost(0, 0);
+  graph.add_h_demand(0, 0, 30);
+  const double full = graph.h_cost(0, 0);
+  EXPECT_LT(empty, half);
+  EXPECT_LT(half, full);
+  // psi = 2^(d/c) - 1: at demand == capacity the cost approaches 1.
+  EXPECT_NEAR(full, std::exp2(61.0 / 60.0) - 1.0, 1e-12);
+}
+
+TEST(RoutingGraph, VertexCostUsesLineEndCapacity) {
+  const auto rg = make_grid();
+  RoutingGraph graph(rg, true);
+  EXPECT_EQ(graph.vertex_capacity(0, 0), 26);
+  EXPECT_DOUBLE_EQ(graph.vertex_cost(0, 0, 0), 0.0);
+  graph.add_vertex_demand(0, 0, 26);
+  EXPECT_NEAR(graph.vertex_cost(0, 0, 0), 1.0, 1e-12);
+}
+
+TEST(RoutingGraph, OverflowMetrics) {
+  const auto rg = make_grid();
+  RoutingGraph graph(rg, true);
+  EXPECT_EQ(graph.total_vertex_overflow(), 0);
+  graph.add_vertex_demand(0, 0, 30);  // capacity 26 -> overflow 4
+  graph.add_vertex_demand(1, 0, 27);  // capacity 24 (lines 30,45 + 59) -> 3
+  EXPECT_EQ(graph.total_vertex_overflow(), 7);
+  EXPECT_EQ(graph.max_vertex_overflow(), 4);
+  graph.add_h_demand(0, 0, 61);  // capacity 60 -> overflow 1
+  EXPECT_EQ(graph.total_edge_overflow(), 1);
+}
+
+TEST(RoutingGraph, ZeroCapacityPricedProhibitively) {
+  // A 1-layer-pair grid where a whole column is stitch lines would be
+  // degenerate; emulate by checking the psi guard through a tiny grid whose
+  // vertical capacity is zero after stitch removal.
+  grid::RoutingGrid rg(30, 60, 2, 15, grid::StitchPlan(30, 15));
+  RoutingGraph graph(rg, true);
+  // Column 1 spans x in [15,29] and contains line 15: capacity 14 (not 0),
+  // so instead check the documented behaviour directly via vertex cost on a
+  // zero-capacity vertex. Build the degenerate case: pitch 1 makes every
+  // track a line.
+  grid::RoutingGrid degenerate(4, 8, 2, 4, grid::StitchPlan(4, 1));
+  RoutingGraph dgraph(degenerate, true);
+  EXPECT_EQ(dgraph.v_capacity(0, 0), 1);  // only x=0 is line-free
+  EXPECT_EQ(dgraph.vertex_capacity(0, 0), 0);
+  dgraph.add_vertex_demand(0, 0, 1);
+  EXPECT_GE(dgraph.vertex_cost(0, 0, 0), 1e8);
+}
+
+}  // namespace
+}  // namespace mebl::global

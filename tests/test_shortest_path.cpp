@@ -1,0 +1,69 @@
+#include "graph/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::graph {
+namespace {
+
+TEST(Dijkstra, FindsShortestPathInSmallGraph) {
+  AdjacencyGraph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(tree.dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(tree.dist[4], 4.0);
+  const auto path = tree.path_to(4);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 4);
+}
+
+TEST(Dijkstra, UnreachableNodeHasInfiniteDistance) {
+  AdjacencyGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_FALSE(tree.reached(2));
+  EXPECT_TRUE(tree.path_to(2).empty());
+}
+
+TEST(Dijkstra, SourceDistanceIsZero) {
+  AdjacencyGraph g(2);
+  g.add_edge(0, 1, 3.0);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(tree.dist[0], 0.0);
+  const auto path = tree.path_to(0);
+  ASSERT_EQ(path.size(), 1u);
+}
+
+TEST(Dijkstra, TargetedSearchMatchesFullSearch) {
+  AdjacencyGraph g(6);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 2, 1.0);
+  g.add_edge(2, 5, 1.0);
+  const auto full = dijkstra(g, 0);
+  const auto targeted = dijkstra(g, 0, 5);
+  EXPECT_DOUBLE_EQ(targeted.dist[5], full.dist[5]);
+}
+
+TEST(Dijkstra, DirectedArcsRespectDirection) {
+  AdjacencyGraph g(2);
+  g.add_arc(0, 1, 1.0);
+  const auto from1 = dijkstra(g, 1);
+  EXPECT_FALSE(from1.reached(0));
+}
+
+TEST(Dijkstra, PrefersCheaperMultiEdge) {
+  AdjacencyGraph g(2);
+  g.add_arc(0, 1, 5.0);
+  g.add_arc(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).dist[1], 2.0);
+}
+
+}  // namespace
+}  // namespace mebl::graph

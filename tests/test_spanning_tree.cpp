@@ -1,0 +1,58 @@
+#include "graph/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::graph {
+namespace {
+
+TEST(DisjointSets, UniteAndFind) {
+  DisjointSets sets(4);
+  EXPECT_EQ(sets.num_sets(), 4u);
+  EXPECT_TRUE(sets.unite(0, 1));
+  EXPECT_FALSE(sets.unite(1, 0));
+  EXPECT_EQ(sets.find(0), sets.find(1));
+  EXPECT_NE(sets.find(0), sets.find(2));
+  EXPECT_EQ(sets.num_sets(), 3u);
+}
+
+TEST(DisjointSets, TransitiveUnion) {
+  DisjointSets sets(5);
+  sets.unite(0, 1);
+  sets.unite(2, 3);
+  sets.unite(1, 2);
+  EXPECT_EQ(sets.find(0), sets.find(3));
+  EXPECT_EQ(sets.num_sets(), 2u);
+}
+
+TEST(MaxSpanningForest, PicksHeaviestEdges) {
+  // Triangle: the lightest edge must be dropped.
+  const std::vector<WeightedEdge> edges{{0, 1, 5.0}, {1, 2, 3.0}, {0, 2, 1.0}};
+  const auto chosen = maximum_spanning_forest(3, edges);
+  ASSERT_EQ(chosen.size(), 2u);
+  double total = 0.0;
+  for (const auto idx : chosen) total += edges[idx].weight;
+  EXPECT_DOUBLE_EQ(total, 8.0);
+}
+
+TEST(MaxSpanningForest, HandlesForest) {
+  // Two disconnected components.
+  const std::vector<WeightedEdge> edges{{0, 1, 1.0}, {2, 3, 2.0}};
+  const auto chosen = maximum_spanning_forest(4, edges);
+  EXPECT_EQ(chosen.size(), 2u);
+}
+
+TEST(MaxSpanningForest, EmptyGraph) {
+  EXPECT_TRUE(maximum_spanning_forest(3, {}).empty());
+}
+
+TEST(MaxSpanningForest, SpanningTreeHasNMinusOneEdges) {
+  // Complete graph K5 with arbitrary weights.
+  std::vector<WeightedEdge> edges;
+  for (NodeId a = 0; a < 5; ++a)
+    for (NodeId b = a + 1; b < 5; ++b)
+      edges.push_back({a, b, static_cast<double>(a * 7 + b)});
+  EXPECT_EQ(maximum_spanning_forest(5, edges).size(), 4u);
+}
+
+}  // namespace
+}  // namespace mebl::graph

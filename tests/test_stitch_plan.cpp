@@ -1,0 +1,128 @@
+#include "grid/stitch_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::grid {
+namespace {
+
+using geom::Coord;
+using geom::Interval;
+
+TEST(StitchPlan, LinesAtMultiplesOfPitch) {
+  StitchPlan plan(60, 15);
+  ASSERT_EQ(plan.lines().size(), 3u);
+  EXPECT_EQ(plan.lines()[0], 15);
+  EXPECT_EQ(plan.lines()[1], 30);
+  EXPECT_EQ(plan.lines()[2], 45);
+}
+
+TEST(StitchPlan, NoLineAtLayoutEdges) {
+  StitchPlan plan(45, 15);  // 45 is the width, so only 15 and 30 fit
+  ASSERT_EQ(plan.lines().size(), 2u);
+}
+
+TEST(StitchPlan, NonePlanHasNoLines) {
+  const StitchPlan plan = StitchPlan::none(100);
+  EXPECT_TRUE(plan.lines().empty());
+  EXPECT_FALSE(plan.is_stitch_column(50));
+  EXPECT_FALSE(plan.in_unfriendly_region(50));
+  EXPECT_EQ(plan.free_tracks({0, 99}), 100);
+}
+
+TEST(StitchPlan, IsStitchColumn) {
+  StitchPlan plan(60, 15);
+  EXPECT_TRUE(plan.is_stitch_column(15));
+  EXPECT_TRUE(plan.is_stitch_column(30));
+  EXPECT_FALSE(plan.is_stitch_column(14));
+  EXPECT_FALSE(plan.is_stitch_column(0));
+}
+
+TEST(StitchPlan, DistanceToLine) {
+  StitchPlan plan(60, 15);
+  EXPECT_EQ(plan.distance_to_line(15), 0);
+  EXPECT_EQ(plan.distance_to_line(14), 1);
+  EXPECT_EQ(plan.distance_to_line(16), 1);
+  EXPECT_EQ(plan.distance_to_line(22), 7);
+  EXPECT_EQ(plan.distance_to_line(23), 7);  // closer to 30
+  EXPECT_EQ(plan.distance_to_line(0), 15);
+  EXPECT_EQ(plan.distance_to_line(59), 14);
+}
+
+TEST(StitchPlan, UnfriendlyRegionIsEpsilonWide) {
+  StitchPlan plan(60, 15, /*epsilon=*/1);
+  EXPECT_TRUE(plan.in_unfriendly_region(14));
+  EXPECT_TRUE(plan.in_unfriendly_region(15));
+  EXPECT_TRUE(plan.in_unfriendly_region(16));
+  EXPECT_FALSE(plan.in_unfriendly_region(13));
+  EXPECT_FALSE(plan.in_unfriendly_region(17));
+}
+
+TEST(StitchPlan, EscapeRegionExcludesLineColumn) {
+  StitchPlan plan(60, 15, 1, /*escape_halfwidth=*/2);
+  EXPECT_FALSE(plan.in_escape_region(15));  // the line itself
+  EXPECT_TRUE(plan.in_escape_region(14));
+  EXPECT_TRUE(plan.in_escape_region(13));
+  EXPECT_FALSE(plan.in_escape_region(12));
+  EXPECT_TRUE(plan.in_escape_region(16));
+  EXPECT_TRUE(plan.in_escape_region(17));
+  EXPECT_FALSE(plan.in_escape_region(18));
+}
+
+TEST(StitchPlan, LinesCuttingIsStrictlyInterior) {
+  StitchPlan plan(60, 15);
+  // A wire [15, 30] is cut only by... its endpoints lie ON 15 and 30, so no
+  // strictly interior line exists.
+  EXPECT_TRUE(plan.lines_cutting({15, 30}).empty());
+  const auto cut = plan.lines_cutting({10, 40});
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_EQ(cut[0], 15);
+  EXPECT_EQ(cut[1], 30);
+  EXPECT_TRUE(plan.lines_cutting({16, 29}).empty());
+  EXPECT_TRUE(plan.lines_cutting(Interval{}).empty());
+}
+
+TEST(StitchPlan, FreeTracksExcludesLineColumns) {
+  StitchPlan plan(60, 15);
+  EXPECT_EQ(plan.free_tracks({0, 29}), 29);   // line at 15
+  EXPECT_EQ(plan.free_tracks({15, 15}), 0);   // exactly the line
+  EXPECT_EQ(plan.free_tracks({0, 59}), 57);   // lines at 15, 30, 45
+}
+
+TEST(StitchPlan, LineEndCapacityExcludesUnfriendlyTracks) {
+  StitchPlan plan(60, 15, 1);
+  // Tracks 0..29: unfriendly are 14, 15, 16 and 29 (next to line 30).
+  EXPECT_EQ(plan.line_end_capacity({0, 29}), 26);
+}
+
+
+TEST(StitchPlan, FromLinesNonUniform) {
+  const auto plan = StitchPlan::from_lines(100, {40, 13, 77, 40}, 2, 3);
+  EXPECT_EQ(plan.lines(), (std::vector<Coord>{13, 40, 77}));
+  EXPECT_EQ(plan.epsilon(), 2);
+  EXPECT_EQ(plan.escape_halfwidth(), 3);
+  EXPECT_TRUE(plan.is_stitch_column(40));
+  EXPECT_TRUE(plan.in_unfriendly_region(15));   // distance 2 from 13
+  EXPECT_FALSE(plan.in_unfriendly_region(16));
+}
+
+TEST(StitchPlan, FromLinesDiscardsOutOfRange) {
+  const auto plan = StitchPlan::from_lines(50, {0, -3, 25, 50, 60});
+  EXPECT_EQ(plan.lines(), (std::vector<Coord>{25}));
+}
+
+TEST(StitchPlan, FromLinesEmptyBehavesLikeNone) {
+  const auto plan = StitchPlan::from_lines(50, {});
+  EXPECT_TRUE(plan.lines().empty());
+  EXPECT_EQ(plan.free_tracks({0, 49}), 50);
+}
+
+TEST(StitchPlan, FromLinesCapacityQueries) {
+  const auto plan = StitchPlan::from_lines(60, {10, 50}, 1, 2);
+  EXPECT_EQ(plan.free_tracks({0, 59}), 58);
+  const auto cut = plan.lines_cutting({0, 59});
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_EQ(plan.distance_to_line(30), 20);
+}
+
+}  // namespace
+}  // namespace mebl::grid

@@ -1,0 +1,74 @@
+#include "eval/svg_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace mebl::eval {
+namespace {
+
+grid::RoutingGrid make_grid() {
+  return grid::RoutingGrid(60, 60, 3, 30, grid::StitchPlan(60, 15));
+}
+
+TEST(SvgWriter, EmitsWellFormedDocument) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  const std::string svg = render_svg(grid);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgWriter, DrawsWiresAndVias) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  for (geom::Coord x = 2; x <= 6; ++x) grid.claim({x, 5, 1}, 0);
+  grid.claim({2, 5, 0}, 0);
+  const std::string svg = render_svg(grid);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("<rect x="), std::string::npos);  // via marker
+}
+
+TEST(SvgWriter, DrawsStitchLines) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  const std::string svg = render_svg(grid);
+  EXPECT_NE(svg.find("stroke='red'"), std::string::npos);
+}
+
+TEST(SvgWriter, StitchLinesCanBeDisabled) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  SvgOptions options;
+  options.draw_stitch_lines = false;
+  const std::string svg = render_svg(grid, options);
+  EXPECT_EQ(svg.find("stroke='red'"), std::string::npos);
+}
+
+TEST(SvgWriter, WindowClipsContent) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  for (geom::Coord x = 40; x <= 50; ++x) grid.claim({x, 40, 1}, 0);
+  SvgOptions options;
+  options.window = {0, 0, 20, 20};  // wire is outside
+  options.draw_stitch_lines = false;  // their <line> elements would remain
+  const std::string svg = render_svg(grid, options);
+  EXPECT_EQ(svg.find("<line x1"), std::string::npos);
+}
+
+TEST(SvgWriter, WritesFile) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  const std::string path = ::testing::TempDir() + "/mebl_test.svg";
+  ASSERT_TRUE(write_svg(grid, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("<svg", 0), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mebl::eval

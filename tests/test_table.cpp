@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mebl::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t("Circuit", "#SP");
+  t.add_row("S38417", 122);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Circuit"), std::string::npos);
+  EXPECT_NE(s.find("#SP"), std::string::npos);
+  EXPECT_NE(s.find("S38417"), std::string::npos);
+  EXPECT_NE(s.find("122"), std::string::npos);
+}
+
+TEST(Table, TitleAppearsFirst) {
+  Table t("A");
+  t.add_row("x");
+  const std::string s = t.str("Table III");
+  EXPECT_EQ(s.rfind("Table III", 0), 0u);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t("a", "b", "c");
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row("1", "2", "3");
+  t.add_row("4", "5", "6");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FixedFormatsDigits) {
+  EXPECT_EQ(Table::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fixed(1.0, 3), "1.000");
+  EXPECT_EQ(Table::fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Table, DoubleCellsUseTwoDigits) {
+  Table t("v");
+  t.add_row(3.14159);
+  EXPECT_NE(t.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t("name", "n");
+  t.add_row("a", 1);
+  t.add_row("longer", 22);
+  const std::string s = t.str();
+  // Every rendered line between rules must have the same length.
+  std::size_t expected = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t end = s.find('\n', pos);
+    const std::size_t len = end - pos;
+    if (expected == 0)
+      expected = len;
+    else
+      EXPECT_EQ(len, expected);
+    pos = end + 1;
+  }
+}
+
+TEST(Table, RuleInsertsSeparator) {
+  Table t("x");
+  t.add_row("1");
+  t.add_rule();
+  t.add_row("Comp.");
+  const std::string s = t.str();
+  // 3 rules around header + 1 mid-table + 1 trailing = 5 dashed lines.
+  int dashed = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("+-", pos)) != std::string::npos) {
+    ++dashed;
+    pos = s.find('\n', pos);
+  }
+  EXPECT_EQ(dashed, 4);
+}
+
+}  // namespace
+}  // namespace mebl::util

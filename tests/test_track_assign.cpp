@@ -1,0 +1,219 @@
+#include "assign/track_assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace mebl::assign {
+namespace {
+
+using geom::Coord;
+using geom::Interval;
+
+/// Common validity checks for any track-assignment result:
+/// pieces cover the segment rows exactly, tracks stay in the panel, never on
+/// a stitch column, and no two segments share (row, track).
+void expect_valid(const TrackAssignInstance& instance,
+                  const TrackAssignResult& result) {
+  ASSERT_EQ(result.tracks.size(), instance.segments.size());
+  std::map<std::pair<Coord, Coord>, std::size_t> occupancy;
+  for (std::size_t i = 0; i < instance.segments.size(); ++i) {
+    const auto& seg = instance.segments[i];
+    const auto& track = result.tracks[i];
+    if (track.ripped) {
+      EXPECT_TRUE(track.pieces.empty());
+      continue;
+    }
+    ASSERT_FALSE(track.pieces.empty());
+    Coord expect_row = seg.rows.lo;
+    for (const auto& [rows, x] : track.pieces) {
+      EXPECT_EQ(rows.lo, expect_row);
+      expect_row = rows.hi + 1;
+      EXPECT_GE(x, instance.x_span.lo);
+      EXPECT_LE(x, instance.x_span.hi);
+      EXPECT_FALSE(instance.stitch->is_stitch_column(x));
+      for (Coord r = rows.lo; r <= rows.hi; ++r) {
+        const auto [it, inserted] = occupancy.insert({{r, x}, i});
+        EXPECT_TRUE(inserted) << "segments " << it->second << " and " << i
+                              << " share row " << r << " track " << x;
+      }
+    }
+    EXPECT_EQ(expect_row, seg.rows.hi + 1);
+  }
+}
+
+TrackAssignInstance make_instance(const grid::StitchPlan& stitch,
+                                  Interval x_span,
+                                  std::vector<TrackSegment> segments) {
+  TrackAssignInstance instance;
+  instance.x_span = x_span;
+  instance.stitch = &stitch;
+  instance.segments = std::move(segments);
+  return instance;
+}
+
+TEST(BadEnd, DetectsUnfriendlyEndTowardCrossedLine) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  // Track 16 is next to line 15; a wire leaving to smaller x crosses it.
+  EXPECT_TRUE(is_bad_end(16, -1, stitch));
+  // Leaving toward larger x crosses line 30, which is far: not bad.
+  EXPECT_FALSE(is_bad_end(16, +1, stitch));
+  EXPECT_TRUE(is_bad_end(14, +1, stitch));
+  EXPECT_FALSE(is_bad_end(14, -1, stitch));
+  // No horizontal continuation -> never bad.
+  EXPECT_FALSE(is_bad_end(16, 0, stitch));
+  // Far from any line.
+  EXPECT_FALSE(is_bad_end(22, -1, stitch));
+  EXPECT_FALSE(is_bad_end(22, +1, stitch));
+}
+
+TEST(BadEnd, NoLinesMeansNoBadEnds) {
+  const auto stitch = grid::StitchPlan::none(60);
+  EXPECT_FALSE(is_bad_end(5, -1, stitch));
+}
+
+TEST(TrackAssignBaseline, AssignsDisjointSegmentsToSameTrack) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  auto instance = make_instance(stitch, {0, 13},
+                                {{0, {0, 2}, 0, 0, 0}, {1, {4, 6}, 0, 0, 1}});
+  const auto result = track_assign_baseline(instance);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_ripped, 0);
+  EXPECT_EQ(result.tracks[0].pieces[0].second,
+            result.tracks[1].pieces[0].second);
+}
+
+TEST(TrackAssignBaseline, RipsSegmentsLandingOnStitchColumns) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  // Panel covering exactly the line column 15 plus one free track each side:
+  // first-fit places the 2nd overlapping segment on x=15 -> ripped.
+  auto instance = make_instance(
+      stitch, {14, 16}, {{0, {0, 5}, 0, 0, 0}, {1, {0, 5}, 0, 0, 1}});
+  const auto result = track_assign_baseline(instance);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_ripped, 1);
+}
+
+TEST(TrackAssignBaseline, RipsWhenPanelFull) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  auto instance = make_instance(
+      stitch, {17, 18},
+      {{0, {0, 5}, 0, 0, 0}, {1, {0, 5}, 0, 0, 1}, {2, {0, 5}, 0, 0, 2}});
+  const auto result = track_assign_baseline(instance);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_ripped, 1);
+}
+
+TEST(TrackAssignGraph, AvoidsBadEndWithPlentyOfRoom) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  // A single segment whose lower end's wire leaves to smaller x: tracks 16
+  // (unfriendly next to line 15) must be avoided; any track >= 17 is fine.
+  auto instance =
+      make_instance(stitch, {16, 29}, {{0, {0, 5}, -1, 0, 0}});
+  const auto result = track_assign_graph(instance);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_bad_ends, 0);
+  EXPECT_GE(result.tracks[0].pieces.front().second, 17);
+}
+
+TEST(TrackAssignGraph, PacksDenselyWithoutConflicts) {
+  const grid::StitchPlan stitch(90, 15, 1);
+  std::vector<TrackSegment> segments;
+  for (int i = 0; i < 12; ++i)
+    segments.push_back({static_cast<std::size_t>(i),
+                        {static_cast<Coord>(i % 3), static_cast<Coord>(5 + i % 4)},
+                        i % 2 ? -1 : +1, i % 3 ? +1 : 0,
+                        static_cast<netlist::NetId>(i)});
+  auto instance = make_instance(stitch, {30, 59}, std::move(segments));
+  const auto result = track_assign_graph(instance);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_ripped, 0);
+}
+
+TEST(TrackAssignGraph, OverDensePanelRipsInsteadOfOverlapping) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  std::vector<TrackSegment> segments;
+  for (int i = 0; i < 5; ++i)  // 5 overlapping segments, only 2 free tracks
+    segments.push_back({static_cast<std::size_t>(i), {0, 9}, 0, 0,
+                        static_cast<netlist::NetId>(i)});
+  auto instance = make_instance(stitch, {17, 18}, std::move(segments));
+  const auto result = track_assign_graph(instance);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_ripped, 3);
+}
+
+TEST(TrackAssignGraph, UsesDoglegToResolveConflictingBadEnds) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  // Region [16, 20] between lines 15 and 30 (5 tracks, track 16 unfriendly
+  // on the left, none on the right within span). Two segments whose low ends
+  // both must avoid the left unfriendly track; they overlap partially, so a
+  // dogleg (or careful ordering) is needed.
+  auto instance = make_instance(
+      stitch, {16, 20},
+      {{0, {0, 6}, -1, -1, 0}, {1, {4, 9}, -1, 0, 1}, {2, {0, 3}, 0, 0, 2}});
+  const auto result = track_assign_graph(instance);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_ripped, 0);
+  EXPECT_EQ(result.total_bad_ends, 0);
+}
+
+TEST(TrackAssignGraph, CountsUnavoidableBadEnds) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  // Only unfriendly tracks available: both ends crossing lines -> bad ends
+  // are unavoidable but counted.
+  auto instance = make_instance(stitch, {16, 16}, {{0, {0, 3}, -1, 0, 0}});
+  const auto result = track_assign_graph(instance);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_ripped, 0);
+  EXPECT_EQ(result.total_bad_ends, 1);
+}
+
+TEST(TrackAssignGraph, RandomInstancesAlwaysValid) {
+  const grid::StitchPlan stitch(150, 15, 1);
+  util::Rng rng(44);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<TrackSegment> segments;
+    const int n = static_cast<int>(rng.uniform_int(1, 18));
+    for (int i = 0; i < n; ++i) {
+      const auto lo = static_cast<Coord>(rng.uniform_int(0, 10));
+      const auto hi = static_cast<Coord>(rng.uniform_int(lo, 12));
+      segments.push_back({static_cast<std::size_t>(i), {lo, hi},
+                          static_cast<int>(rng.uniform_int(-1, 1)),
+                          static_cast<int>(rng.uniform_int(-1, 1)),
+                          static_cast<netlist::NetId>(i)});
+    }
+    const auto panel_start = static_cast<Coord>(30 * rng.uniform_int(0, 3));
+    auto instance = make_instance(stitch, {panel_start, panel_start + 29},
+                                  std::move(segments));
+    const auto result = track_assign_graph(instance);
+    expect_valid(instance, result);
+  }
+}
+
+TEST(TrackAssignGraph, BadEndCountsMatchRecount) {
+  const grid::StitchPlan stitch(150, 15, 1);
+  util::Rng rng(45);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<TrackSegment> segments;
+    const int n = static_cast<int>(rng.uniform_int(4, 20));
+    for (int i = 0; i < n; ++i) {
+      const auto lo = static_cast<Coord>(rng.uniform_int(0, 8));
+      const auto hi = static_cast<Coord>(rng.uniform_int(lo, 10));
+      segments.push_back({static_cast<std::size_t>(i), {lo, hi},
+                          static_cast<int>(rng.uniform_int(-1, 1)),
+                          static_cast<int>(rng.uniform_int(-1, 1)),
+                          static_cast<netlist::NetId>(i)});
+    }
+    auto instance = make_instance(stitch, {0, 29}, std::move(segments));
+    const auto result = track_assign_graph(instance);
+    int recount = 0;
+    for (std::size_t i = 0; i < instance.segments.size(); ++i)
+      recount += count_bad_ends(instance.segments[i], result.tracks[i], stitch);
+    EXPECT_EQ(result.total_bad_ends, recount);
+  }
+}
+
+}  // namespace
+}  // namespace mebl::assign

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "assign/track_assign.hpp"
+#include "util/rng.hpp"
+
+namespace mebl::assign {
+namespace {
+
+using geom::Coord;
+using geom::Interval;
+
+TrackAssignInstance make_instance(const grid::StitchPlan& stitch,
+                                  Interval x_span,
+                                  std::vector<TrackSegment> segments) {
+  TrackAssignInstance instance;
+  instance.x_span = x_span;
+  instance.stitch = &stitch;
+  instance.segments = std::move(segments);
+  return instance;
+}
+
+void expect_valid(const TrackAssignInstance& instance,
+                  const TrackAssignResult& result) {
+  ASSERT_EQ(result.tracks.size(), instance.segments.size());
+  std::map<std::pair<Coord, Coord>, std::size_t> occupancy;
+  for (std::size_t i = 0; i < instance.segments.size(); ++i) {
+    const auto& seg = instance.segments[i];
+    const auto& track = result.tracks[i];
+    ASSERT_FALSE(track.ripped);  // the ILP always assigns when it solves
+    Coord expect_row = seg.rows.lo;
+    for (const auto& [rows, x] : track.pieces) {
+      EXPECT_EQ(rows.lo, expect_row);
+      expect_row = rows.hi + 1;
+      EXPECT_FALSE(instance.stitch->is_stitch_column(x));
+      for (Coord r = rows.lo; r <= rows.hi; ++r)
+        EXPECT_TRUE(occupancy.insert({{r, x}, i}).second)
+            << "vertex conflict at row " << r << " track " << x;
+    }
+    EXPECT_EQ(expect_row, seg.rows.hi + 1);
+  }
+}
+
+TEST(TrackAssignIlp, SingleSegmentStraightTrack) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  auto instance = make_instance(stitch, {0, 13}, {{0, {0, 4}, 0, 0, 0}});
+  const auto result = track_assign_ilp(instance);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(result.optimal);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.tracks[0].pieces.size(), 1u);  // no dogleg needed
+  EXPECT_EQ(result.total_bad_ends, 0);
+}
+
+TEST(TrackAssignIlp, AvoidsBadEndViaTrackChoice) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  auto instance = make_instance(stitch, {16, 20}, {{0, {0, 4}, -1, 0, 0}});
+  const auto result = track_assign_ilp(instance);
+  ASSERT_TRUE(result.solved);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_bad_ends, 0);
+  EXPECT_GE(result.tracks[0].pieces.front().second, 17);
+}
+
+TEST(TrackAssignIlp, UsesDoglegWhenStraightTrackImpossible) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  // Both segments must avoid the unfriendly track 16 at their low ends
+  // (rows 0 and 3), but only track 17 is safe and they overlap at rows 3-5:
+  // the only zero-bad-end solution doglegs segment 0 from 17 onto 16.
+  auto instance = make_instance(
+      stitch, {16, 17}, {{0, {0, 5}, -1, 0, 0}, {1, {3, 5}, -1, 0, 1}});
+  const auto result = track_assign_ilp(instance);
+  ASSERT_TRUE(result.solved);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_bad_ends, 0);
+  EXPECT_GE(result.tracks[0].pieces.size(), 2u);  // dogleg happened
+  EXPECT_EQ(result.tracks[0].pieces.front().second, 17);
+  EXPECT_EQ(result.tracks[1].pieces.front().second, 17);
+}
+
+TEST(TrackAssignIlp, PenalizedBadEndWhenUnavoidable) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  auto instance = make_instance(stitch, {16, 16}, {{0, {0, 3}, -1, 0, 0}});
+  const auto result = track_assign_ilp(instance);
+  ASSERT_TRUE(result.solved);
+  expect_valid(instance, result);
+  EXPECT_EQ(result.total_bad_ends, 1);
+}
+
+TEST(TrackAssignIlp, SkipsForbiddenStitchColumns) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  auto instance = make_instance(
+      stitch, {14, 16}, {{0, {0, 3}, 0, 0, 0}, {1, {0, 3}, 0, 0, 1}});
+  const auto result = track_assign_ilp(instance);
+  ASSERT_TRUE(result.solved);
+  expect_valid(instance, result);  // only tracks 14 and 16 usable
+}
+
+TEST(TrackAssignIlp, MinimizesDoglegLength) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  // Nothing forces a dogleg: the optimal solution is straight (weight 0).
+  auto instance = make_instance(
+      stitch, {0, 13},
+      {{0, {0, 3}, 0, 0, 0}, {1, {2, 5}, 0, 0, 1}, {2, {4, 8}, 0, 0, 2}});
+  const auto result = track_assign_ilp(instance);
+  ASSERT_TRUE(result.solved);
+  expect_valid(instance, result);
+  for (const auto& track : result.tracks)
+    EXPECT_EQ(track.pieces.size(), 1u);
+}
+
+TEST(TrackAssignIlp, InfeasibleDensityReportsUnsolved) {
+  const grid::StitchPlan stitch(60, 15, 1);
+  std::vector<TrackSegment> segments;
+  for (int i = 0; i < 3; ++i)  // 3 overlapping segments on 2 tracks
+    segments.push_back({static_cast<std::size_t>(i), {0, 4}, 0, 0,
+                        static_cast<netlist::NetId>(i)});
+  auto instance = make_instance(stitch, {17, 18}, std::move(segments));
+  const auto result = track_assign_ilp(instance);
+  EXPECT_FALSE(result.solved);
+}
+
+TEST(TrackAssignIlp, AgreesWithGraphHeuristicFeasibilityOnRandom) {
+  const grid::StitchPlan stitch(90, 15, 1);
+  util::Rng rng(321);
+  for (int round = 0; round < 12; ++round) {
+    std::vector<TrackSegment> segments;
+    const int n = static_cast<int>(rng.uniform_int(2, 6));
+    for (int i = 0; i < n; ++i) {
+      const auto lo = static_cast<Coord>(rng.uniform_int(0, 4));
+      const auto hi = static_cast<Coord>(rng.uniform_int(lo, 6));
+      segments.push_back({static_cast<std::size_t>(i), {lo, hi},
+                          static_cast<int>(rng.uniform_int(-1, 1)),
+                          static_cast<int>(rng.uniform_int(-1, 1)),
+                          static_cast<netlist::NetId>(i)});
+    }
+    auto instance = make_instance(stitch, {30, 44}, std::move(segments));
+    const auto ilp = track_assign_ilp(instance);
+    ASSERT_TRUE(ilp.solved) << "round " << round;
+    expect_valid(instance, ilp);
+    // The exact ILP never has more bad ends than the heuristic.
+    const auto graph = track_assign_graph(instance);
+    if (graph.total_ripped == 0) {
+      EXPECT_LE(ilp.total_bad_ends, graph.total_bad_ends) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mebl::assign

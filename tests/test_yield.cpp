@@ -1,0 +1,96 @@
+#include "eval/yield.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mebl::eval {
+namespace {
+
+using geom::Coord;
+
+grid::RoutingGrid make_grid() {
+  return grid::RoutingGrid(60, 60, 3, 30, grid::StitchPlan(60, 15));
+}
+
+TEST(Yield, EmptyLayoutHasPerfectYield) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  const auto report = estimate_yield(grid);
+  EXPECT_TRUE(report.short_polygons.empty());
+  EXPECT_EQ(report.via_violations, 0);
+  EXPECT_DOUBLE_EQ(report.expected_defects, 0.0);
+  EXPECT_DOUBLE_EQ(report.yield, 1.0);
+}
+
+TEST(Yield, ShortPolygonContributesRisk) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  // Wire 10..16 on layer 1 cut by line 15, via at the short right end.
+  for (Coord x = 10; x <= 16; ++x) grid.claim({x, 5, 1}, 0);
+  grid.claim({16, 5, 2}, 0);
+  const auto report = estimate_yield(grid);
+  ASSERT_EQ(report.short_polygons.size(), 1u);
+  EXPECT_EQ(report.short_polygons[0].piece_tracks, 1);
+  EXPECT_GT(report.short_polygons[0].error_ratio, 0.0);
+  EXPECT_GT(report.expected_defects, 0.0);
+  EXPECT_LT(report.yield, 1.0);
+}
+
+TEST(Yield, ShorterPieceIsRiskier) {
+  const auto rg = grid::RoutingGrid(120, 60, 3, 30,
+                                    grid::StitchPlan(120, 15, /*epsilon=*/3));
+  detail::GridGraph grid(rg);
+  // Two short polygons cut by lines 15 and 45: piece lengths 1 and 3.
+  for (Coord x = 10; x <= 16; ++x) grid.claim({x, 5, 1}, 0);
+  grid.claim({16, 5, 2}, 0);
+  for (Coord x = 40; x <= 48; ++x) grid.claim({x, 9, 1}, 1);
+  grid.claim({48, 9, 2}, 1);
+  const auto report = estimate_yield(grid);
+  ASSERT_EQ(report.short_polygons.size(), 2u);
+  const auto& a = report.short_polygons[0];  // scan order: y=5 first
+  const auto& b = report.short_polygons[1];
+  EXPECT_LT(a.piece_tracks, b.piece_tracks);
+  EXPECT_GE(a.defect_prob, b.defect_prob);
+}
+
+TEST(Yield, ViaViolationChargedFixedProbability) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  grid.claim({15, 5, 0}, 0);
+  grid.claim({15, 5, 1}, 0);  // via stack on the line
+  YieldModel model;
+  model.via_violation_defect_prob = 0.25;
+  const auto report = estimate_yield(grid, model);
+  EXPECT_EQ(report.via_violations, 1);
+  EXPECT_DOUBLE_EQ(report.expected_defects, 0.25);
+  EXPECT_DOUBLE_EQ(report.yield, std::exp(-0.25));
+}
+
+TEST(Yield, ExpectedDefectsSumOverHazards) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  grid.claim({15, 5, 0}, 0);
+  grid.claim({15, 5, 1}, 0);
+  grid.claim({15, 9, 0}, 1);
+  grid.claim({15, 9, 1}, 1);
+  const auto report = estimate_yield(grid);
+  EXPECT_EQ(report.via_violations, 2);
+  EXPECT_DOUBLE_EQ(report.expected_defects,
+                   2 * YieldModel{}.via_violation_defect_prob);
+}
+
+TEST(Yield, DefectProbClampedToOne) {
+  const auto rg = make_grid();
+  detail::GridGraph grid(rg);
+  for (Coord x = 10; x <= 16; ++x) grid.claim({x, 5, 1}, 0);
+  grid.claim({16, 5, 2}, 0);
+  YieldModel model;
+  model.error_ratio_to_defect = 1e9;  // absurd scale
+  const auto report = estimate_yield(grid, model);
+  ASSERT_EQ(report.short_polygons.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.short_polygons[0].defect_prob, 1.0);
+}
+
+}  // namespace
+}  // namespace mebl::eval
