@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cost_weights.dir/ablation_cost_weights.cpp.o"
+  "CMakeFiles/ablation_cost_weights.dir/ablation_cost_weights.cpp.o.d"
+  "ablation_cost_weights"
+  "ablation_cost_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cost_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_raster_defects.dir/fig4_raster_defects.cpp.o"
+  "CMakeFiles/fig4_raster_defects.dir/fig4_raster_defects.cpp.o.d"
+  "fig4_raster_defects"
+  "fig4_raster_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_raster_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

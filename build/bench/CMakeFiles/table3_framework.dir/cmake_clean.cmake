@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_framework.dir/table3_framework.cpp.o"
+  "CMakeFiles/table3_framework.dir/table3_framework.cpp.o.d"
+  "table3_framework"
+  "table3_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

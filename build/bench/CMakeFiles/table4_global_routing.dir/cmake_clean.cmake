@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_global_routing.dir/table4_global_routing.cpp.o"
+  "CMakeFiles/table4_global_routing.dir/table4_global_routing.cpp.o.d"
+  "table4_global_routing"
+  "table4_global_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_global_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_6_layer_assignment.dir/table5_6_layer_assignment.cpp.o"
+  "CMakeFiles/table5_6_layer_assignment.dir/table5_6_layer_assignment.cpp.o.d"
+  "table5_6_layer_assignment"
+  "table5_6_layer_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_6_layer_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_track_assignment.dir/table7_track_assignment.cpp.o"
+  "CMakeFiles/table7_track_assignment.dir/table7_track_assignment.cpp.o.d"
+  "table7_track_assignment"
+  "table7_track_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_track_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

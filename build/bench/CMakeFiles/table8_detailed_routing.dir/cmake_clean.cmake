@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_detailed_routing.dir/table8_detailed_routing.cpp.o"
+  "CMakeFiles/table8_detailed_routing.dir/table8_detailed_routing.cpp.o.d"
+  "table8_detailed_routing"
+  "table8_detailed_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_detailed_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_rule_audit.dir/design_rule_audit.cpp.o"
+  "CMakeFiles/design_rule_audit.dir/design_rule_audit.cpp.o.d"
+  "design_rule_audit"
+  "design_rule_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_rule_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_route_cli.dir/mebl_route_cli.cpp.o"
+  "CMakeFiles/mebl_route_cli.dir/mebl_route_cli.cpp.o.d"
+  "mebl_route_cli"
+  "mebl_route_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_route_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mebl_route_cli.
+# This may be replaced when dependencies are built.

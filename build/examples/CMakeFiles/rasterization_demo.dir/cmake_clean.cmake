@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasterization_demo.dir/rasterization_demo.cpp.o"
+  "CMakeFiles/rasterization_demo.dir/rasterization_demo.cpp.o.d"
+  "rasterization_demo"
+  "rasterization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasterization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

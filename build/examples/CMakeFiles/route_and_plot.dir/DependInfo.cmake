@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/route_and_plot.cpp" "examples/CMakeFiles/route_and_plot.dir/route_and_plot.cpp.o" "gcc" "examples/CMakeFiles/route_and_plot.dir/route_and_plot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mebl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_detail.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_and_plot.dir/route_and_plot.cpp.o"
+  "CMakeFiles/route_and_plot.dir/route_and_plot.cpp.o.d"
+  "route_and_plot"
+  "route_and_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_and_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/conflict_graph.cpp" "src/CMakeFiles/mebl_assign.dir/assign/conflict_graph.cpp.o" "gcc" "src/CMakeFiles/mebl_assign.dir/assign/conflict_graph.cpp.o.d"
+  "/root/repo/src/assign/layer_assign.cpp" "src/CMakeFiles/mebl_assign.dir/assign/layer_assign.cpp.o" "gcc" "src/CMakeFiles/mebl_assign.dir/assign/layer_assign.cpp.o.d"
+  "/root/repo/src/assign/panel.cpp" "src/CMakeFiles/mebl_assign.dir/assign/panel.cpp.o" "gcc" "src/CMakeFiles/mebl_assign.dir/assign/panel.cpp.o.d"
+  "/root/repo/src/assign/track_assign_baseline.cpp" "src/CMakeFiles/mebl_assign.dir/assign/track_assign_baseline.cpp.o" "gcc" "src/CMakeFiles/mebl_assign.dir/assign/track_assign_baseline.cpp.o.d"
+  "/root/repo/src/assign/track_assign_graph.cpp" "src/CMakeFiles/mebl_assign.dir/assign/track_assign_graph.cpp.o" "gcc" "src/CMakeFiles/mebl_assign.dir/assign/track_assign_graph.cpp.o.d"
+  "/root/repo/src/assign/track_assign_ilp.cpp" "src/CMakeFiles/mebl_assign.dir/assign/track_assign_ilp.cpp.o" "gcc" "src/CMakeFiles/mebl_assign.dir/assign/track_assign_ilp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mebl_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

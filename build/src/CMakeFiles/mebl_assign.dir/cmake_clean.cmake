@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_assign.dir/assign/conflict_graph.cpp.o"
+  "CMakeFiles/mebl_assign.dir/assign/conflict_graph.cpp.o.d"
+  "CMakeFiles/mebl_assign.dir/assign/layer_assign.cpp.o"
+  "CMakeFiles/mebl_assign.dir/assign/layer_assign.cpp.o.d"
+  "CMakeFiles/mebl_assign.dir/assign/panel.cpp.o"
+  "CMakeFiles/mebl_assign.dir/assign/panel.cpp.o.d"
+  "CMakeFiles/mebl_assign.dir/assign/track_assign_baseline.cpp.o"
+  "CMakeFiles/mebl_assign.dir/assign/track_assign_baseline.cpp.o.d"
+  "CMakeFiles/mebl_assign.dir/assign/track_assign_graph.cpp.o"
+  "CMakeFiles/mebl_assign.dir/assign/track_assign_graph.cpp.o.d"
+  "CMakeFiles/mebl_assign.dir/assign/track_assign_ilp.cpp.o"
+  "CMakeFiles/mebl_assign.dir/assign/track_assign_ilp.cpp.o.d"
+  "libmebl_assign.a"
+  "libmebl_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_suite/circuit_generator.cpp" "src/CMakeFiles/mebl_bench_suite.dir/bench_suite/circuit_generator.cpp.o" "gcc" "src/CMakeFiles/mebl_bench_suite.dir/bench_suite/circuit_generator.cpp.o.d"
+  "/root/repo/src/bench_suite/layer_instance_generator.cpp" "src/CMakeFiles/mebl_bench_suite.dir/bench_suite/layer_instance_generator.cpp.o" "gcc" "src/CMakeFiles/mebl_bench_suite.dir/bench_suite/layer_instance_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mebl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_bench_suite.dir/bench_suite/circuit_generator.cpp.o"
+  "CMakeFiles/mebl_bench_suite.dir/bench_suite/circuit_generator.cpp.o.d"
+  "CMakeFiles/mebl_bench_suite.dir/bench_suite/layer_instance_generator.cpp.o"
+  "CMakeFiles/mebl_bench_suite.dir/bench_suite/layer_instance_generator.cpp.o.d"
+  "libmebl_bench_suite.a"
+  "libmebl_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_core.dir/core/router_config.cpp.o"
+  "CMakeFiles/mebl_core.dir/core/router_config.cpp.o.d"
+  "CMakeFiles/mebl_core.dir/core/stitch_router.cpp.o"
+  "CMakeFiles/mebl_core.dir/core/stitch_router.cpp.o.d"
+  "libmebl_core.a"
+  "libmebl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detail/astar.cpp" "src/CMakeFiles/mebl_detail.dir/detail/astar.cpp.o" "gcc" "src/CMakeFiles/mebl_detail.dir/detail/astar.cpp.o.d"
+  "/root/repo/src/detail/detailed_router.cpp" "src/CMakeFiles/mebl_detail.dir/detail/detailed_router.cpp.o" "gcc" "src/CMakeFiles/mebl_detail.dir/detail/detailed_router.cpp.o.d"
+  "/root/repo/src/detail/grid_graph.cpp" "src/CMakeFiles/mebl_detail.dir/detail/grid_graph.cpp.o" "gcc" "src/CMakeFiles/mebl_detail.dir/detail/grid_graph.cpp.o.d"
+  "/root/repo/src/detail/net_ordering.cpp" "src/CMakeFiles/mebl_detail.dir/detail/net_ordering.cpp.o" "gcc" "src/CMakeFiles/mebl_detail.dir/detail/net_ordering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mebl_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_detail.dir/detail/astar.cpp.o"
+  "CMakeFiles/mebl_detail.dir/detail/astar.cpp.o.d"
+  "CMakeFiles/mebl_detail.dir/detail/detailed_router.cpp.o"
+  "CMakeFiles/mebl_detail.dir/detail/detailed_router.cpp.o.d"
+  "CMakeFiles/mebl_detail.dir/detail/grid_graph.cpp.o"
+  "CMakeFiles/mebl_detail.dir/detail/grid_graph.cpp.o.d"
+  "CMakeFiles/mebl_detail.dir/detail/net_ordering.cpp.o"
+  "CMakeFiles/mebl_detail.dir/detail/net_ordering.cpp.o.d"
+  "libmebl_detail.a"
+  "libmebl_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/congestion.cpp" "src/CMakeFiles/mebl_eval.dir/eval/congestion.cpp.o" "gcc" "src/CMakeFiles/mebl_eval.dir/eval/congestion.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/mebl_eval.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/mebl_eval.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/svg_writer.cpp" "src/CMakeFiles/mebl_eval.dir/eval/svg_writer.cpp.o" "gcc" "src/CMakeFiles/mebl_eval.dir/eval/svg_writer.cpp.o.d"
+  "/root/repo/src/eval/yield.cpp" "src/CMakeFiles/mebl_eval.dir/eval/yield.cpp.o" "gcc" "src/CMakeFiles/mebl_eval.dir/eval/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mebl_detail.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_eval.dir/eval/congestion.cpp.o"
+  "CMakeFiles/mebl_eval.dir/eval/congestion.cpp.o.d"
+  "CMakeFiles/mebl_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/mebl_eval.dir/eval/metrics.cpp.o.d"
+  "CMakeFiles/mebl_eval.dir/eval/svg_writer.cpp.o"
+  "CMakeFiles/mebl_eval.dir/eval/svg_writer.cpp.o.d"
+  "CMakeFiles/mebl_eval.dir/eval/yield.cpp.o"
+  "CMakeFiles/mebl_eval.dir/eval/yield.cpp.o.d"
+  "libmebl_eval.a"
+  "libmebl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_geom.dir/geom/interval.cpp.o"
+  "CMakeFiles/mebl_geom.dir/geom/interval.cpp.o.d"
+  "CMakeFiles/mebl_geom.dir/geom/point.cpp.o"
+  "CMakeFiles/mebl_geom.dir/geom/point.cpp.o.d"
+  "CMakeFiles/mebl_geom.dir/geom/rect.cpp.o"
+  "CMakeFiles/mebl_geom.dir/geom/rect.cpp.o.d"
+  "libmebl_geom.a"
+  "libmebl_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/global/global_router.cpp" "src/CMakeFiles/mebl_global.dir/global/global_router.cpp.o" "gcc" "src/CMakeFiles/mebl_global.dir/global/global_router.cpp.o.d"
+  "/root/repo/src/global/multilevel.cpp" "src/CMakeFiles/mebl_global.dir/global/multilevel.cpp.o" "gcc" "src/CMakeFiles/mebl_global.dir/global/multilevel.cpp.o.d"
+  "/root/repo/src/global/routing_graph.cpp" "src/CMakeFiles/mebl_global.dir/global/routing_graph.cpp.o" "gcc" "src/CMakeFiles/mebl_global.dir/global/routing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mebl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

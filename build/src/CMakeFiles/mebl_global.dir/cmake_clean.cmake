@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_global.dir/global/global_router.cpp.o"
+  "CMakeFiles/mebl_global.dir/global/global_router.cpp.o.d"
+  "CMakeFiles/mebl_global.dir/global/multilevel.cpp.o"
+  "CMakeFiles/mebl_global.dir/global/multilevel.cpp.o.d"
+  "CMakeFiles/mebl_global.dir/global/routing_graph.cpp.o"
+  "CMakeFiles/mebl_global.dir/global/routing_graph.cpp.o.d"
+  "libmebl_global.a"
+  "libmebl_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

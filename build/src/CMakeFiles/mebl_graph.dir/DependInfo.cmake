@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite_matching.cpp" "src/CMakeFiles/mebl_graph.dir/graph/bipartite_matching.cpp.o" "gcc" "src/CMakeFiles/mebl_graph.dir/graph/bipartite_matching.cpp.o.d"
+  "/root/repo/src/graph/dag_longest_path.cpp" "src/CMakeFiles/mebl_graph.dir/graph/dag_longest_path.cpp.o" "gcc" "src/CMakeFiles/mebl_graph.dir/graph/dag_longest_path.cpp.o.d"
+  "/root/repo/src/graph/interval_k_coloring.cpp" "src/CMakeFiles/mebl_graph.dir/graph/interval_k_coloring.cpp.o" "gcc" "src/CMakeFiles/mebl_graph.dir/graph/interval_k_coloring.cpp.o.d"
+  "/root/repo/src/graph/min_cost_flow.cpp" "src/CMakeFiles/mebl_graph.dir/graph/min_cost_flow.cpp.o" "gcc" "src/CMakeFiles/mebl_graph.dir/graph/min_cost_flow.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "src/CMakeFiles/mebl_graph.dir/graph/shortest_path.cpp.o" "gcc" "src/CMakeFiles/mebl_graph.dir/graph/shortest_path.cpp.o.d"
+  "/root/repo/src/graph/spanning_tree.cpp" "src/CMakeFiles/mebl_graph.dir/graph/spanning_tree.cpp.o" "gcc" "src/CMakeFiles/mebl_graph.dir/graph/spanning_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mebl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

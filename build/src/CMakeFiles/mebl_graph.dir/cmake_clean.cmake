@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_graph.dir/graph/bipartite_matching.cpp.o"
+  "CMakeFiles/mebl_graph.dir/graph/bipartite_matching.cpp.o.d"
+  "CMakeFiles/mebl_graph.dir/graph/dag_longest_path.cpp.o"
+  "CMakeFiles/mebl_graph.dir/graph/dag_longest_path.cpp.o.d"
+  "CMakeFiles/mebl_graph.dir/graph/interval_k_coloring.cpp.o"
+  "CMakeFiles/mebl_graph.dir/graph/interval_k_coloring.cpp.o.d"
+  "CMakeFiles/mebl_graph.dir/graph/min_cost_flow.cpp.o"
+  "CMakeFiles/mebl_graph.dir/graph/min_cost_flow.cpp.o.d"
+  "CMakeFiles/mebl_graph.dir/graph/shortest_path.cpp.o"
+  "CMakeFiles/mebl_graph.dir/graph/shortest_path.cpp.o.d"
+  "CMakeFiles/mebl_graph.dir/graph/spanning_tree.cpp.o"
+  "CMakeFiles/mebl_graph.dir/graph/spanning_tree.cpp.o.d"
+  "libmebl_graph.a"
+  "libmebl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

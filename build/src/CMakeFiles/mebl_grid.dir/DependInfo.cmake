@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/gcell.cpp" "src/CMakeFiles/mebl_grid.dir/grid/gcell.cpp.o" "gcc" "src/CMakeFiles/mebl_grid.dir/grid/gcell.cpp.o.d"
+  "/root/repo/src/grid/routing_grid.cpp" "src/CMakeFiles/mebl_grid.dir/grid/routing_grid.cpp.o" "gcc" "src/CMakeFiles/mebl_grid.dir/grid/routing_grid.cpp.o.d"
+  "/root/repo/src/grid/stitch_plan.cpp" "src/CMakeFiles/mebl_grid.dir/grid/stitch_plan.cpp.o" "gcc" "src/CMakeFiles/mebl_grid.dir/grid/stitch_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mebl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_grid.dir/grid/gcell.cpp.o"
+  "CMakeFiles/mebl_grid.dir/grid/gcell.cpp.o.d"
+  "CMakeFiles/mebl_grid.dir/grid/routing_grid.cpp.o"
+  "CMakeFiles/mebl_grid.dir/grid/routing_grid.cpp.o.d"
+  "CMakeFiles/mebl_grid.dir/grid/stitch_plan.cpp.o"
+  "CMakeFiles/mebl_grid.dir/grid/stitch_plan.cpp.o.d"
+  "libmebl_grid.a"
+  "libmebl_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_ilp.dir/ilp/branch_and_bound.cpp.o"
+  "CMakeFiles/mebl_ilp.dir/ilp/branch_and_bound.cpp.o.d"
+  "CMakeFiles/mebl_ilp.dir/ilp/model.cpp.o"
+  "CMakeFiles/mebl_ilp.dir/ilp/model.cpp.o.d"
+  "libmebl_ilp.a"
+  "libmebl_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmebl_ilp.a"
+)

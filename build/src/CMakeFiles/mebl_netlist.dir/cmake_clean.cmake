@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_netlist.dir/netlist/decompose.cpp.o"
+  "CMakeFiles/mebl_netlist.dir/netlist/decompose.cpp.o.d"
+  "CMakeFiles/mebl_netlist.dir/netlist/io.cpp.o"
+  "CMakeFiles/mebl_netlist.dir/netlist/io.cpp.o.d"
+  "CMakeFiles/mebl_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/mebl_netlist.dir/netlist/netlist.cpp.o.d"
+  "libmebl_netlist.a"
+  "libmebl_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

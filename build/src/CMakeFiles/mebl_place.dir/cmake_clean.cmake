@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_place.dir/place/pin_refine.cpp.o"
+  "CMakeFiles/mebl_place.dir/place/pin_refine.cpp.o.d"
+  "libmebl_place.a"
+  "libmebl_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

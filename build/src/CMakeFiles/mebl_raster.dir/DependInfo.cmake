@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raster/bitmap.cpp" "src/CMakeFiles/mebl_raster.dir/raster/bitmap.cpp.o" "gcc" "src/CMakeFiles/mebl_raster.dir/raster/bitmap.cpp.o.d"
+  "/root/repo/src/raster/defect.cpp" "src/CMakeFiles/mebl_raster.dir/raster/defect.cpp.o" "gcc" "src/CMakeFiles/mebl_raster.dir/raster/defect.cpp.o.d"
+  "/root/repo/src/raster/dither.cpp" "src/CMakeFiles/mebl_raster.dir/raster/dither.cpp.o" "gcc" "src/CMakeFiles/mebl_raster.dir/raster/dither.cpp.o.d"
+  "/root/repo/src/raster/render.cpp" "src/CMakeFiles/mebl_raster.dir/raster/render.cpp.o" "gcc" "src/CMakeFiles/mebl_raster.dir/raster/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mebl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_raster.dir/raster/bitmap.cpp.o"
+  "CMakeFiles/mebl_raster.dir/raster/bitmap.cpp.o.d"
+  "CMakeFiles/mebl_raster.dir/raster/defect.cpp.o"
+  "CMakeFiles/mebl_raster.dir/raster/defect.cpp.o.d"
+  "CMakeFiles/mebl_raster.dir/raster/dither.cpp.o"
+  "CMakeFiles/mebl_raster.dir/raster/dither.cpp.o.d"
+  "CMakeFiles/mebl_raster.dir/raster/render.cpp.o"
+  "CMakeFiles/mebl_raster.dir/raster/render.cpp.o.d"
+  "libmebl_raster.a"
+  "libmebl_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mebl_util.dir/util/log.cpp.o"
+  "CMakeFiles/mebl_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/mebl_util.dir/util/rng.cpp.o"
+  "CMakeFiles/mebl_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/mebl_util.dir/util/table.cpp.o"
+  "CMakeFiles/mebl_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/mebl_util.dir/util/timer.cpp.o"
+  "CMakeFiles/mebl_util.dir/util/timer.cpp.o.d"
+  "libmebl_util.a"
+  "libmebl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mebl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_astar.cpp" "tests/CMakeFiles/mebl_tests.dir/test_astar.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_astar.cpp.o.d"
+  "/root/repo/tests/test_bipartite_matching.cpp" "tests/CMakeFiles/mebl_tests.dir/test_bipartite_matching.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_bipartite_matching.cpp.o.d"
+  "/root/repo/tests/test_circuit_generator.cpp" "tests/CMakeFiles/mebl_tests.dir/test_circuit_generator.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_circuit_generator.cpp.o.d"
+  "/root/repo/tests/test_conflict_graph.cpp" "tests/CMakeFiles/mebl_tests.dir/test_conflict_graph.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_conflict_graph.cpp.o.d"
+  "/root/repo/tests/test_congestion.cpp" "tests/CMakeFiles/mebl_tests.dir/test_congestion.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_congestion.cpp.o.d"
+  "/root/repo/tests/test_dag_longest_path.cpp" "tests/CMakeFiles/mebl_tests.dir/test_dag_longest_path.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_dag_longest_path.cpp.o.d"
+  "/root/repo/tests/test_decompose.cpp" "tests/CMakeFiles/mebl_tests.dir/test_decompose.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_decompose.cpp.o.d"
+  "/root/repo/tests/test_detailed_router.cpp" "tests/CMakeFiles/mebl_tests.dir/test_detailed_router.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_detailed_router.cpp.o.d"
+  "/root/repo/tests/test_geom.cpp" "tests/CMakeFiles/mebl_tests.dir/test_geom.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_geom.cpp.o.d"
+  "/root/repo/tests/test_global_router.cpp" "tests/CMakeFiles/mebl_tests.dir/test_global_router.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_global_router.cpp.o.d"
+  "/root/repo/tests/test_grid_graph.cpp" "tests/CMakeFiles/mebl_tests.dir/test_grid_graph.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_grid_graph.cpp.o.d"
+  "/root/repo/tests/test_ilp.cpp" "tests/CMakeFiles/mebl_tests.dir/test_ilp.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_ilp.cpp.o.d"
+  "/root/repo/tests/test_interval_k_coloring.cpp" "tests/CMakeFiles/mebl_tests.dir/test_interval_k_coloring.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_interval_k_coloring.cpp.o.d"
+  "/root/repo/tests/test_interval_set.cpp" "tests/CMakeFiles/mebl_tests.dir/test_interval_set.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_interval_set.cpp.o.d"
+  "/root/repo/tests/test_layer_assign.cpp" "tests/CMakeFiles/mebl_tests.dir/test_layer_assign.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_layer_assign.cpp.o.d"
+  "/root/repo/tests/test_layer_instance_generator.cpp" "tests/CMakeFiles/mebl_tests.dir/test_layer_instance_generator.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_layer_instance_generator.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/mebl_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_min_cost_flow.cpp" "tests/CMakeFiles/mebl_tests.dir/test_min_cost_flow.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_min_cost_flow.cpp.o.d"
+  "/root/repo/tests/test_multilevel.cpp" "tests/CMakeFiles/mebl_tests.dir/test_multilevel.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_multilevel.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/mebl_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_netlist_io.cpp" "tests/CMakeFiles/mebl_tests.dir/test_netlist_io.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_netlist_io.cpp.o.d"
+  "/root/repo/tests/test_panel.cpp" "tests/CMakeFiles/mebl_tests.dir/test_panel.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_panel.cpp.o.d"
+  "/root/repo/tests/test_pin_refine.cpp" "tests/CMakeFiles/mebl_tests.dir/test_pin_refine.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_pin_refine.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/mebl_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/mebl_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_raster.cpp" "tests/CMakeFiles/mebl_tests.dir/test_raster.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_raster.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mebl_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing_graph.cpp" "tests/CMakeFiles/mebl_tests.dir/test_routing_graph.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_routing_graph.cpp.o.d"
+  "/root/repo/tests/test_routing_grid.cpp" "tests/CMakeFiles/mebl_tests.dir/test_routing_grid.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_routing_grid.cpp.o.d"
+  "/root/repo/tests/test_shortest_path.cpp" "tests/CMakeFiles/mebl_tests.dir/test_shortest_path.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_shortest_path.cpp.o.d"
+  "/root/repo/tests/test_spanning_tree.cpp" "tests/CMakeFiles/mebl_tests.dir/test_spanning_tree.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_spanning_tree.cpp.o.d"
+  "/root/repo/tests/test_stitch_plan.cpp" "tests/CMakeFiles/mebl_tests.dir/test_stitch_plan.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_stitch_plan.cpp.o.d"
+  "/root/repo/tests/test_svg_writer.cpp" "tests/CMakeFiles/mebl_tests.dir/test_svg_writer.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_svg_writer.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/mebl_tests.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/mebl_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_track_assign.cpp" "tests/CMakeFiles/mebl_tests.dir/test_track_assign.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_track_assign.cpp.o.d"
+  "/root/repo/tests/test_track_assign_ilp.cpp" "tests/CMakeFiles/mebl_tests.dir/test_track_assign_ilp.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_track_assign_ilp.cpp.o.d"
+  "/root/repo/tests/test_yield.cpp" "tests/CMakeFiles/mebl_tests.dir/test_yield.cpp.o" "gcc" "tests/CMakeFiles/mebl_tests.dir/test_yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mebl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_detail.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mebl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
