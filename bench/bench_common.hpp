@@ -6,10 +6,12 @@
 // recorded paper-vs-measured comparison.
 
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_suite/circuit_generator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -106,6 +108,48 @@ inline bench_suite::GeneratedCircuit generate(
 /// Keep table output clean: only warnings and errors on stderr.
 struct QuietLogs {
   QuietLogs() { util::Log::set_level(util::LogLevel::kWarn); }
+};
+
+/// Shared `--trace FILE` / `--stats FILE` handling for the table harnesses:
+/// construct at the top of main with (argc, argv); when either flag is
+/// present the scope enables tracing up front and writes the machine-
+/// readable artifacts when it is destroyed, so every table run can leave a
+/// Chrome/Perfetto trace and a counter dump next to its ASCII table.
+/// Unrelated arguments are ignored (the harnesses have none of their own).
+class TelemetryScope {
+ public:
+  TelemetryScope(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace" && i + 1 < argc)
+        trace_path_ = argv[++i];
+      else if (arg == "--stats" && i + 1 < argc)
+        stats_path_ = argv[++i];
+    }
+    if (!trace_path_.empty()) telemetry::Tracer::enable();
+  }
+
+  ~TelemetryScope() {
+    if (!trace_path_.empty()) {
+      if (telemetry::Tracer::write_chrome_trace_file(trace_path_))
+        std::cerr << "[mebl bench] wrote trace to " << trace_path_ << "\n";
+      else
+        std::cerr << "[mebl bench] cannot write " << trace_path_ << "\n";
+    }
+    if (!stats_path_.empty()) {
+      if (telemetry::write_stats_file(stats_path_))
+        std::cerr << "[mebl bench] wrote stats to " << stats_path_ << "\n";
+      else
+        std::cerr << "[mebl bench] cannot write " << stats_path_ << "\n";
+    }
+  }
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string stats_path_;
 };
 
 }  // namespace mebl::bench_common

@@ -32,7 +32,8 @@ void print_suite(const char* title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mebl::bench_common::TelemetryScope telemetry_scope(argc, argv);
   mebl::bench_common::QuietLogs quiet;
   print_suite("TABLE I: MCNC benchmark circuits",
               mebl::bench_suite::mcnc_suite(),

@@ -8,8 +8,9 @@
 #include "bench_common.hpp"
 #include "core/stitch_router.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mebl;
+  bench_common::TelemetryScope telemetry_scope(argc, argv);
   bench_common::QuietLogs quiet;
 
   util::Table table("Circuit", "Base Rout.(%)", "Base #VV", "Base #SP",

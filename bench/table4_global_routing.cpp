@@ -8,8 +8,9 @@
 #include "global/global_router.hpp"
 #include "netlist/decompose.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mebl;
+  bench_common::TelemetryScope telemetry_scope(argc, argv);
   bench_common::QuietLogs quiet;
 
   util::Table table("Circuit", "w/o TVOF", "w/o MVOF", "w/o WL", "w/o CPU(s)",

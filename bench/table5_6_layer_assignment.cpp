@@ -8,8 +8,9 @@
 #include "bench_common.hpp"
 #include "bench_suite/layer_instance_generator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mebl;
+  bench_common::TelemetryScope telemetry_scope(argc, argv);
   bench_common::QuietLogs quiet;
 
   constexpr int kInstances = 50;

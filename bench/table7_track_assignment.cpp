@@ -40,8 +40,9 @@ Row run(const mebl::bench_suite::GeneratedCircuit& circuit,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mebl;
+  bench_common::TelemetryScope telemetry_scope(argc, argv);
   bench_common::QuietLogs quiet;
 
   util::Table table("Circuit", "w/o Rout.(%)", "w/o #SP", "w/o CPU(s)",

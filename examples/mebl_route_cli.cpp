@@ -17,6 +17,7 @@
 #include "eval/svg_writer.hpp"
 #include "netlist/io.hpp"
 #include "place/pin_refine.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -27,7 +28,9 @@ void usage() {
       "  --refine-pins   run stitch-aware pin refinement before routing\n"
       "  --svg PATH      write the routed layout as SVG\n"
       "  --heatmap       print the vertical congestion heatmap\n"
-      "  --save PATH     write the (possibly refined) design back out\n";
+      "  --save PATH     write the (possibly refined) design back out\n"
+      "  --trace PATH    write a Chrome/Perfetto trace of the routing run\n"
+      "  --stats PATH    write the telemetry counters/histograms as JSON\n";
 }
 
 }  // namespace
@@ -38,6 +41,8 @@ int main(int argc, char** argv) {
   std::string design_path;
   std::string svg_path;
   std::string save_path;
+  std::string trace_path;
+  std::string stats_path;
   bool baseline = false;
   bool refine = false;
   bool heatmap = false;
@@ -53,6 +58,10 @@ int main(int argc, char** argv) {
       svg_path = argv[++i];
     } else if (arg == "--save" && i + 1 < argc) {
       save_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--stats" && i + 1 < argc) {
+      stats_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -99,10 +108,26 @@ int main(int argc, char** argv) {
     std::cout << "saved design to " << save_path << "\n";
   }
 
+  if (!trace_path.empty()) telemetry::Tracer::enable();
   core::StitchAwareRouter router(design->grid, design->netlist,
                                  baseline ? core::RouterConfig::baseline()
                                           : core::RouterConfig::stitch_aware());
   const auto result = router.run();
+  if (!trace_path.empty()) {
+    if (!telemetry::Tracer::write_chrome_trace_file(trace_path)) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote trace to " << trace_path
+              << " (open in ui.perfetto.dev or chrome://tracing)\n";
+  }
+  if (!stats_path.empty()) {
+    if (!telemetry::write_stats_file(stats_path)) {
+      std::cerr << "cannot write " << stats_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote stats to " << stats_path << "\n";
+  }
 
   std::cout << "routability        : " << result.metrics.routability_pct()
             << "% (" << result.metrics.routed_nets << "/"

@@ -4,6 +4,7 @@
 
 #include "assign/track_assign.hpp"
 #include "graph/dag_longest_path.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mebl::assign {
 
@@ -296,6 +297,7 @@ class RegionSolver {
 }  // namespace
 
 TrackAssignResult track_assign_graph(const TrackAssignInstance& instance) {
+  TELEMETRY_SPAN("assign.track.graph");
   assert(instance.stitch != nullptr);
   TrackAssignResult result;
   result.tracks.resize(instance.segments.size());

@@ -5,6 +5,7 @@
 
 #include "assign/track_assign.hpp"
 #include "ilp/branch_and_bound.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mebl::assign {
 
@@ -271,6 +272,7 @@ class IlpBuilder {
 
 TrackAssignResult track_assign_ilp(const TrackAssignInstance& instance,
                                    const IlpTrackOptions& options) {
+  TELEMETRY_SPAN("assign.track.ilp");
   assert(instance.stitch != nullptr);
   return IlpBuilder(instance, options).run();
 }

@@ -5,6 +5,8 @@
 #include "assign/conflict_graph.hpp"
 #include "assign/layer_assign.hpp"
 #include "netlist/decompose.hpp"
+#include "telemetry/keys.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -19,10 +21,13 @@ StitchAwareRouter::StitchAwareRouter(const grid::RoutingGrid& grid,
     : grid_(&grid), netlist_(&netlist), config_(std::move(config)) {}
 
 void StitchAwareRouter::assign_layers(assign::RoutePlan& plan) const {
+  telemetry::Counter& panels = telemetry::counter(telemetry::keys::kLayerPanels);
   const auto assign_panel = [&](const std::vector<std::size_t>& run_ids,
                                 const std::vector<LayerId>& layers,
                                 bool column_panel) {
     if (run_ids.empty()) return;
+    TELEMETRY_SPAN("assign.layer.panel");
+    panels.add(1);
     const int k = static_cast<int>(layers.size());
     if (k == 1) {
       for (const std::size_t id : run_ids) plan.runs[id].layer = layers[0];
@@ -55,6 +60,15 @@ void StitchAwareRouter::assign_layers(assign::RoutePlan& plan) const {
 
 void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
                                       RoutingResult& result) const {
+  using telemetry::counter;
+  namespace keys = telemetry::keys;
+  telemetry::Counter& panels = counter(keys::kTrackPanels);
+  telemetry::Counter& ilp_nodes = counter(keys::kTrackIlpNodes);
+  telemetry::Counter& ilp_fallbacks = counter(keys::kTrackIlpFallbacks);
+  telemetry::Counter& bad_ends = counter(keys::kTrackBadEnds);
+  telemetry::Counter& ripped = counter(keys::kTrackRipped);
+  telemetry::Histogram& panel_ns = telemetry::histogram(keys::kTrackPanelNs);
+
   const auto v_layers = grid_->layers_with(Orientation::kVertical);
   util::Timer ilp_timer;
 
@@ -62,6 +76,8 @@ void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
     const auto panel_runs = assign::runs_in_column_panel(plan, tx);
     if (panel_runs.empty()) continue;
     for (const LayerId layer : v_layers) {
+      TELEMETRY_SPAN("assign.track.panel");
+      const std::uint64_t panel_start_ns = telemetry::now_ns();
       assign::TrackAssignInstance instance;
       instance.x_span = grid_->tile_x_span(tx);
       instance.stitch = &grid_->stitch();
@@ -86,12 +102,14 @@ void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
         case TrackAlgorithm::kIlp: {
           if (ilp_timer.seconds() > config_.ilp_budget_seconds) {
             result.ilp_budget_exceeded = true;
+            ilp_fallbacks.add(1);
             assigned = assign::track_assign_graph(instance);
           } else {
             assigned = assign::track_assign_ilp(instance, config_.ilp);
-            result.ilp_nodes += assigned.ilp_nodes;
+            ilp_nodes.add(assigned.ilp_nodes);
             if (!assigned.solved) {
               result.ilp_budget_exceeded = true;
+              ilp_fallbacks.add(1);
               assigned = assign::track_assign_graph(instance);
             }
           }
@@ -105,40 +123,69 @@ void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
         run.ripped = assigned.tracks[i].ripped;
         run.bad_ends = assigned.tracks[i].bad_ends;
       }
-      result.track_bad_ends += assigned.total_bad_ends;
-      result.track_ripped += assigned.total_ripped;
+      panels.add(1);
+      bad_ends.add(assigned.total_bad_ends);
+      ripped.add(assigned.total_ripped);
+      panel_ns.record_ns(telemetry::now_ns() - panel_start_ns);
     }
   }
-  result.ilp_seconds = ilp_timer.seconds();
+  counter(keys::kTrackIlpNs)
+      .add(static_cast<std::int64_t>(ilp_timer.seconds() * 1e9));
 }
 
 RoutingResult StitchAwareRouter::run() {
+  TELEMETRY_SPAN("pipeline.run");
+  namespace keys = telemetry::keys;
+  const telemetry::StatsSnapshot stats_before = telemetry::snapshot_counters();
+
   RoutingResult result;
   const auto subnets = netlist::decompose_all(*netlist_);
 
+  // The spans and the StageTimes struct report the same boundaries; the
+  // struct stays populated for API compatibility with existing harnesses.
   util::Timer timer;
-  global::GlobalRouter global_router(*grid_, config_.global);
-  result.global = global_router.route(subnets);
+  {
+    TELEMETRY_SPAN("pipeline.global");
+    global::GlobalRouter global_router(*grid_, config_.global);
+    result.global = global_router.route(subnets);
+  }
   result.times.global_seconds = timer.seconds();
 
   timer.reset();
-  result.plan = assign::extract_runs(result.global, *grid_);
-  assign_layers(result.plan);
+  {
+    TELEMETRY_SPAN("pipeline.layer_assign");
+    result.plan = assign::extract_runs(result.global, *grid_);
+    assign_layers(result.plan);
+  }
   result.times.layer_seconds = timer.seconds();
 
   timer.reset();
-  assign_tracks(result.plan, result);
+  {
+    TELEMETRY_SPAN("pipeline.track_assign");
+    assign_tracks(result.plan, result);
+  }
   result.times.track_seconds = timer.seconds();
 
   timer.reset();
-  result.grid = std::make_shared<detail::GridGraph>(*grid_);
-  detail::DetailedRouter detailed(*result.grid, config_.detail);
-  detailed.claim_pins(*netlist_);
-  result.detail = detailed.route_all(subnets, result.plan);
+  {
+    TELEMETRY_SPAN("pipeline.detail");
+    result.grid = std::make_shared<detail::GridGraph>(*grid_);
+    detail::DetailedRouter detailed(*result.grid, config_.detail);
+    detailed.claim_pins(*netlist_);
+    result.detail = detailed.route_all(subnets, result.plan);
+  }
   result.times.detail_seconds = timer.seconds();
 
-  result.metrics =
-      eval::compute_metrics(*result.grid, *netlist_, subnets, result.detail);
+  {
+    TELEMETRY_SPAN("pipeline.metrics");
+    result.metrics =
+        eval::compute_metrics(*result.grid, *netlist_, subnets, result.detail);
+  }
+  telemetry::counter(keys::kShortPolygons).add(result.metrics.short_polygons);
+  telemetry::counter(keys::kViaViolations).add(result.metrics.via_violations);
+  result.stats_ =
+      telemetry::delta(stats_before, telemetry::snapshot_counters());
+
   util::log_info() << "routed " << result.metrics.routed_nets << "/"
                    << result.metrics.total_nets << " nets, #SP="
                    << result.metrics.short_polygons << ", #VV="

@@ -4,6 +4,7 @@
 
 #include "core/router_config.hpp"
 #include "eval/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mebl::core {
 
@@ -31,14 +32,21 @@ struct RoutingResult {
   /// Final routed geometry (kept alive for plotting / re-analysis).
   std::shared_ptr<detail::GridGraph> grid;
 
-  // --- track-assignment stage statistics ---
-  int track_bad_ends = 0;
-  int track_ripped = 0;
   /// Set when the ILP budget ran out and panels fell back to the heuristic
   /// (reported as NA in the Table VII harness).
   bool ilp_budget_exceeded = false;
-  std::int64_t ilp_nodes = 0;
-  double ilp_seconds = 0.0;
+
+  /// Per-run telemetry counter deltas: everything the run burned — rip-ups,
+  /// A* expansions, ILP branch-and-bound nodes, bad ends, short polygons —
+  /// keyed by the names in telemetry/keys.hpp. This replaces the former
+  /// ad-hoc stat fields (ilp_nodes, ilp_seconds, track_bad_ends,
+  /// track_ripped); e.g. stats().value(telemetry::keys::kTrackIlpNodes).
+  [[nodiscard]] const telemetry::StatsSnapshot& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Populated by StitchAwareRouter::run(); exposed through stats().
+  telemetry::StatsSnapshot stats_;
 };
 
 /// The complete two-pass bottom-up stitch-aware routing flow (paper Fig. 6):

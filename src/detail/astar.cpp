@@ -5,6 +5,8 @@
 #include <cmath>
 #include <queue>
 
+#include "telemetry/keys.hpp"
+
 namespace mebl::detail {
 
 using geom::Coord;
@@ -14,7 +16,13 @@ using geom::Point3;
 using geom::Rect;
 
 AStarRouter::AStarRouter(GridGraph& grid, AStarConfig config)
-    : grid_(&grid), config_(config) {
+    : grid_(&grid),
+      config_(config),
+      searches_counter_(&telemetry::counter(telemetry::keys::kAstarSearches)),
+      expansions_counter_(
+          &telemetry::counter(telemetry::keys::kAstarExpansions)),
+      search_ns_histogram_(
+          &telemetry::histogram(telemetry::keys::kAstarSearchNs)) {
   // Prefix sums of escape columns: any route from x1 to x2 must enter at
   // least one node in every escape column strictly between them (stitching
   // lines span the full layout height), paying gamma each — an admissible
@@ -66,6 +74,18 @@ bool AStarRouter::search(netlist::NetId net, Point a, Point b, const Rect& box,
                          double foreign_penalty,
                          const std::unordered_set<std::size_t>* hard,
                          bool claim) {
+  TELEMETRY_SPAN("detail.astar");
+  // Flush this search's expansion delta and latency on every return path.
+  struct Flush {
+    AStarRouter* self;
+    std::uint64_t start_ns;
+    std::int64_t expanded_before;
+    ~Flush() {
+      self->searches_counter_->add(1);
+      self->expansions_counter_->add(self->nodes_expanded_ - expanded_before);
+      self->search_ns_histogram_->record_ns(telemetry::now_ns() - start_ns);
+    }
+  } flush{this, telemetry::now_ns(), nodes_expanded_};
   const auto& rg = grid_->routing_grid();
   const auto& stitch = rg.stitch();
   assert(box.contains(a) && box.contains(b));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "detail/grid_graph.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mebl::detail {
 
@@ -79,6 +80,11 @@ class AStarRouter {
   std::vector<int> escape_prefix_;
   double beta_scale_ = 1.0;
   std::unordered_map<std::size_t, double> node_penalty_;
+
+  // Telemetry endpoints, resolved once at construction (stable addresses).
+  telemetry::Counter* searches_counter_;
+  telemetry::Counter* expansions_counter_;
+  telemetry::Histogram* search_ns_histogram_;
 
   // Epoch-stamped scratch buffers reused across searches.
   std::vector<std::uint32_t> stamp_;

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "detail/net_ordering.hpp"
+#include "telemetry/keys.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace mebl::detail {
@@ -331,6 +333,7 @@ bool DetailedRouter::try_pattern(std::size_t idx) {
 }
 
 bool DetailedRouter::route_subnet(std::size_t idx, bool allow_realize) {
+  TELEMETRY_SPAN("detail.subnet");
   const auto& subnet = (*subnets_)[idx];
   if (allow_realize &&
       (try_realize(idx, /*prefer_high=*/true) ||
@@ -383,6 +386,11 @@ std::vector<std::size_t> DetailedRouter::rip_net(netlist::NetId net) {
 }
 
 void DetailedRouter::rescue_failed(const std::vector<netlist::Subnet>& subnets) {
+  TELEMETRY_SPAN("detail.rescue");
+  telemetry::Counter& rescued =
+      telemetry::counter(telemetry::keys::kRipupRescued);
+  telemetry::Counter& victims_count =
+      telemetry::counter(telemetry::keys::kRipupVictims);
   const Rect extent = grid_->routing_grid().extent();
   for (int round = 0; round < config_.ripup_rounds; ++round) {
     std::vector<std::size_t> failed;
@@ -420,6 +428,8 @@ void DetailedRouter::rescue_failed(const std::vector<netlist::Subnet>& subnets) 
       result_->subnet_routed[idx] = true;
       method_[idx] = RouteMethod::kSearch;
       ++result_->ripup_rescued;
+      rescued.add(1);
+      victims_count.add(static_cast<std::int64_t>(victims.size()));
       progress = true;
       // Reroute the victims immediately, smallest first.
       std::stable_sort(victims.begin(), victims.end(),
@@ -485,6 +495,7 @@ std::vector<SpSite> short_polygon_sites(const GridGraph& grid) {
 
 void DetailedRouter::cleanup_short_polygons() {
   if (!config_.astar.stitch_cost) return;
+  TELEMETRY_SPAN("detail.sp_cleanup");
   for (int round = 0; round < config_.sp_cleanup_rounds; ++round) {
     const auto sites = short_polygon_sites(*grid_);
     if (sites.empty()) return;
@@ -547,6 +558,7 @@ void DetailedRouter::cleanup_short_polygons() {
 DetailedResult DetailedRouter::route_all(
     const std::vector<netlist::Subnet>& subnets,
     const assign::RoutePlan& plan) {
+  TELEMETRY_SPAN("detail.route_all");
   DetailedResult result;
   result.subnet_routed.assign(subnets.size(), false);
 
@@ -561,8 +573,13 @@ DetailedResult DetailedRouter::route_all(
   for (std::size_t i = 0; i < subnets.size(); ++i)
     subnets_of_net_[static_cast<std::size_t>(subnets[i].net)].push_back(i);
 
-  const auto order = order_subnets(subnets, plan, config_.stitch_net_ordering);
-  for (const std::size_t idx : order) route_subnet(idx, /*allow_realize=*/true);
+  {
+    TELEMETRY_SPAN("detail.main_pass");
+    const auto order =
+        order_subnets(subnets, plan, config_.stitch_net_ordering);
+    for (const std::size_t idx : order)
+      route_subnet(idx, /*allow_realize=*/true);
+  }
 
   rescue_failed(subnets);
   cleanup_short_polygons();
@@ -570,6 +587,13 @@ DetailedResult DetailedRouter::route_all(
   result.routed = std::count(result.subnet_routed.begin(),
                              result.subnet_routed.end(), true);
   result.failed = static_cast<std::int64_t>(subnets.size()) - result.routed;
+
+  namespace keys = telemetry::keys;
+  telemetry::counter(keys::kSubnetsRealized).add(result.planned_realized);
+  telemetry::counter(keys::kSubnetsPattern).add(result.pattern_routed);
+  telemetry::counter(keys::kSubnetsAstar).add(result.astar_routed);
+  telemetry::counter(keys::kSubnetsFailed).add(result.failed);
+  telemetry::counter(keys::kSpCleanupNets).add(result.sp_cleanup_nets);
   util::log_info() << "detailed routing: " << result.routed << "/"
                    << subnets.size() << " subnets (realized "
                    << result.planned_realized << ", A* "

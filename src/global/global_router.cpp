@@ -6,6 +6,8 @@
 #include <limits>
 #include <queue>
 
+#include "telemetry/keys.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace mebl::global {
@@ -154,6 +156,7 @@ void GlobalRouter::commit(const TilePath& path, int sign) {
 }
 
 GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets) {
+  TELEMETRY_SPAN("global.route");
   GlobalResult result;
   result.paths.resize(subnets.size());
 
@@ -173,6 +176,7 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets) {
 
   const Rect full{0, 0, graph_.tiles_x() - 1, graph_.tiles_y() - 1};
   for (int level = 0; level < scheduler.num_levels(); ++level) {
+    TELEMETRY_SPAN("global.level");
     for (const std::size_t idx : buckets[static_cast<std::size_t>(level)]) {
       const auto& subnet = subnets[idx];
       TilePath& path = result.paths[idx];
@@ -198,10 +202,16 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets) {
   // congestion weight escalates each pass (negotiated-congestion style) so
   // stubborn overflows eventually justify longer detours.
   const double base_vertex_weight = config_.vertex_cost_weight;
+  telemetry::Counter& rerouted_counter =
+      telemetry::counter(telemetry::keys::kGlobalRerouted);
+  telemetry::Counter& passes_counter =
+      telemetry::counter(telemetry::keys::kGlobalReroutePasses);
   for (int pass = 0; pass < config_.reroute_passes; ++pass) {
     if (graph_.total_edge_overflow() == 0 &&
         graph_.total_vertex_overflow() == 0)
       break;
+    TELEMETRY_SPAN("global.reroute_pass");
+    passes_counter.add(1);
     config_.vertex_cost_weight = base_vertex_weight * (1 << (pass + 1));
     int rerouted = 0;
     for (auto& path : result.paths) {
@@ -240,6 +250,7 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets) {
       commit(path, +1);
       ++rerouted;
     }
+    rerouted_counter.add(rerouted);
     util::log_info() << "global reroute pass " << pass << ": " << rerouted
                      << " subnets";
     if (rerouted == 0) break;

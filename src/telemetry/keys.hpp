@@ -1,0 +1,44 @@
+#pragma once
+
+// Canonical telemetry counter / histogram names used by the routing
+// pipeline, so producers (stages) and consumers (stats dumps, benches,
+// tests) agree on spelling. Stage code may still mint ad-hoc names; the
+// ones here are the documented, stable surface.
+
+namespace mebl::telemetry::keys {
+
+// global routing
+inline constexpr char kGlobalRerouted[] = "global.reroute.subnets";
+inline constexpr char kGlobalReroutePasses[] = "global.reroute.passes";
+
+// layer assignment
+inline constexpr char kLayerPanels[] = "assign.layer.panels";
+
+// track assignment
+inline constexpr char kTrackPanels[] = "assign.track.panels";
+inline constexpr char kTrackIlpNodes[] = "assign.track.ilp_nodes";
+inline constexpr char kTrackIlpNs[] = "assign.track.ilp_ns";
+inline constexpr char kTrackIlpFallbacks[] = "assign.track.ilp_fallbacks";
+inline constexpr char kTrackBadEnds[] = "assign.track.bad_ends";
+inline constexpr char kTrackRipped[] = "assign.track.ripped";
+
+// detailed routing
+inline constexpr char kAstarSearches[] = "detail.astar.searches";
+inline constexpr char kAstarExpansions[] = "detail.astar.expansions";
+inline constexpr char kRipupRescued[] = "detail.ripup.rescued";
+inline constexpr char kRipupVictims[] = "detail.ripup.victims";
+inline constexpr char kSpCleanupNets[] = "detail.sp_cleanup.nets";
+inline constexpr char kSubnetsRealized[] = "detail.subnets.realized";
+inline constexpr char kSubnetsPattern[] = "detail.subnets.pattern";
+inline constexpr char kSubnetsAstar[] = "detail.subnets.astar";
+inline constexpr char kSubnetsFailed[] = "detail.subnets.failed";
+
+// evaluation
+inline constexpr char kShortPolygons[] = "eval.short_polygons";
+inline constexpr char kViaViolations[] = "eval.via_violations";
+
+// histograms
+inline constexpr char kAstarSearchNs[] = "detail.astar.search_ns";
+inline constexpr char kTrackPanelNs[] = "assign.track.panel_ns";
+
+}  // namespace mebl::telemetry::keys

@@ -1,0 +1,261 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace mebl::telemetry {
+
+namespace {
+
+std::atomic<ClockFn> g_clock{nullptr};
+
+// Registries use std::map for node stability: counter()/histogram() hand
+// out references that must survive later insertions.
+std::mutex g_registry_mutex;
+std::map<std::string, Counter>& counter_registry() {
+  static auto* registry = new std::map<std::string, Counter>();
+  return *registry;
+}
+std::map<std::string, Histogram>& histogram_registry() {
+  static auto* registry = new std::map<std::string, Histogram>();
+  return *registry;
+}
+
+std::mutex g_events_mutex;
+std::vector<SpanEvent>& event_buffer() {
+  static auto* events = new std::vector<SpanEvent>();
+  return *events;
+}
+
+// Small dense thread ids (1, 2, ... in order of first span) keep traces and
+// tests readable; std::thread::id hashes would churn between runs.
+std::atomic<std::uint32_t> g_next_tid{1};
+thread_local std::uint32_t t_tid = 0;
+thread_local std::int32_t t_depth = 0;
+
+std::uint32_t this_thread_tid() {
+  if (t_tid == 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+/// "ts":12.345 — microseconds with fixed 3-decimal (nanosecond) precision,
+/// via integer math so output is byte-stable across platforms.
+void write_us(std::ostream& out, std::uint64_t ns) {
+  out << ns / 1000 << '.';
+  const auto rem = static_cast<unsigned>(ns % 1000);
+  out << static_cast<char>('0' + rem / 100)
+      << static_cast<char>('0' + rem / 10 % 10)
+      << static_cast<char>('0' + rem % 10);
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  if (const ClockFn clock = g_clock.load(std::memory_order_relaxed))
+    return clock();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_clock_for_testing(ClockFn clock) {
+  g_clock.store(clock, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  return counter_registry()[std::string(name)];
+}
+
+void Histogram::record_ns(std::uint64_t ns) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  const std::uint64_t us = ns / 1000;
+  int bucket = 0;
+  while (bucket + 1 < kBuckets && (1ull << bucket) <= us) ++bucket;
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::array<std::int64_t, Histogram::kBuckets> Histogram::buckets()
+    const noexcept {
+  std::array<std::int64_t, kBuckets> out{};
+  for (int i = 0; i < kBuckets; ++i)
+    out[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  return out;
+}
+
+Histogram& histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  return histogram_registry()[std::string(name)];
+}
+
+std::int64_t StatsSnapshot::value(std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  return it != counters.end() && it->first == name ? it->second : 0;
+}
+
+StatsSnapshot snapshot_counters() {
+  StatsSnapshot snapshot;
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  snapshot.counters.reserve(counter_registry().size());
+  for (const auto& [name, ctr] : counter_registry())
+    snapshot.counters.emplace_back(name, ctr.value());
+  return snapshot;  // std::map iteration is already name-sorted
+}
+
+StatsSnapshot delta(const StatsSnapshot& before, const StatsSnapshot& after) {
+  StatsSnapshot out;
+  out.counters.reserve(after.counters.size());
+  for (const auto& [name, value] : after.counters)
+    out.counters.emplace_back(name, value - before.value(name));
+  return out;
+}
+
+void write_stats_json(const StatsSnapshot& stats, std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : stats.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+void write_stats_json(std::ostream& out) {
+  const StatsSnapshot stats = snapshot_counters();
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : stats.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  {
+    const std::lock_guard<std::mutex> lock(g_registry_mutex);
+    first = true;
+    for (const auto& [name, histo] : histogram_registry()) {
+      out << (first ? "\n" : ",\n") << "    \"" << name
+          << "\": {\"count\": " << histo.count()
+          << ", \"total_ns\": " << histo.total_ns() << ", \"buckets\": [";
+      const auto buckets = histo.buckets();
+      bool first_bucket = true;
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        if (buckets[static_cast<std::size_t>(i)] == 0) continue;
+        out << (first_bucket ? "" : ", ") << "[" << i << ", "
+            << buckets[static_cast<std::size_t>(i)] << "]";
+        first_bucket = false;
+      }
+      out << "]}";
+      first = false;
+    }
+  }
+  out << "\n  }\n}\n";
+}
+
+bool write_stats_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_stats_json(out);
+  return out.good();
+}
+
+std::atomic<bool> Tracer::enabled_{false};
+
+void Tracer::enable() noexcept {
+  enabled_.store(true, std::memory_order_relaxed);
+}
+void Tracer::disable() noexcept {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(g_events_mutex);
+  event_buffer().clear();
+}
+
+void Tracer::record(const SpanEvent& event) {
+  const std::lock_guard<std::mutex> lock(g_events_mutex);
+  event_buffer().push_back(event);
+}
+
+std::vector<SpanEvent> Tracer::events() {
+  std::vector<SpanEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(g_events_mutex);
+    out = event_buffer();
+  }
+  std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+    return std::strcmp(a.name, b.name) < 0;
+  });
+  return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) {
+  const auto sorted = events();
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanEvent& event : sorted) {
+    out << (first ? "\n" : ",\n")
+        << "{\"name\": \"" << event.name
+        << "\", \"cat\": \"mebl\", \"ph\": \"X\", \"ts\": ";
+    write_us(out, event.start_ns);
+    out << ", \"dur\": ";
+    write_us(out, event.dur_ns);
+    out << ", \"pid\": 1, \"tid\": " << event.tid
+        << ", \"args\": {\"depth\": " << event.depth << "}}";
+    first = false;
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return out.good();
+}
+
+void Span::begin(const char* name) {
+  name_ = name;
+  depth_ = t_depth++;
+  active_ = true;
+  start_ns_ = now_ns();
+}
+
+void Span::end() {
+  const std::uint64_t end_ns = now_ns();
+  --t_depth;
+  // Spans opened before a disable() still record; spans opened while the
+  // tracer was off never reach here. Either way depth stays balanced.
+  Tracer::record(SpanEvent{name_, this_thread_tid(), depth_, start_ns_,
+                           end_ns - start_ns_});
+}
+
+void reset_for_testing() {
+  Tracer::disable();
+  Tracer::clear();
+  set_clock_for_testing(nullptr);
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (auto& [name, ctr] : counter_registry())
+    ctr.value_.store(0, std::memory_order_relaxed);
+  for (auto& [name, histo] : histogram_registry()) {
+    histo.count_.store(0, std::memory_order_relaxed);
+    histo.total_ns_.store(0, std::memory_order_relaxed);
+    for (auto& bucket : histo.buckets_)
+      bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mebl::telemetry

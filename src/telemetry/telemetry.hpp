@@ -1,0 +1,192 @@
+#pragma once
+
+// mebl::telemetry — span-based tracing, named counters, and latency
+// histograms for the routing pipeline.
+//
+// Three independent facilities share one nanosecond clock:
+//
+//  * Tracer / Span / TELEMETRY_SPAN("stage.name") — RAII scopes that record
+//    Chrome-trace ("chrome://tracing" / Perfetto) compatible complete
+//    events with thread id and nesting depth. Recording is off by default;
+//    a disabled span is one relaxed atomic load.
+//  * counter("name") — process-wide monotonic int64 counters (rip-ups, A*
+//    expansions, ILP branch-and-bound nodes, ...). Always on: an add is one
+//    relaxed atomic increment. Hot paths cache the returned reference,
+//    which is stable for the process lifetime.
+//  * histogram("name") — log2-bucketed latency histograms (record_ns).
+//
+// Everything is thread-safe. Counter/histogram registration and span
+// recording take a mutex; increments and disabled-span construction do not.
+// JSON exports are deterministic (name-sorted, fixed number formatting) and
+// byte-stable under a fixed clock (set_clock_for_testing).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mebl::telemetry {
+
+/// Monotonic nanosecond clock behind every telemetry timestamp. Tests
+/// install a deterministic stub; pass nullptr to restore the steady clock.
+using ClockFn = std::uint64_t (*)();
+
+[[nodiscard]] std::uint64_t now_ns();
+void set_clock_for_testing(ClockFn clock);
+
+// ---------------------------------------------------------------- counters
+
+/// Monotonic named counter. Obtain via counter(); add() is wait-free.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend void reset_for_testing();
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// The process-wide counter `name`, created at zero on first use. The
+/// reference stays valid (and the counter registered) for the process
+/// lifetime, including across reset_for_testing(), which only zeroes it.
+[[nodiscard]] Counter& counter(std::string_view name);
+
+// -------------------------------------------------------------- histograms
+
+/// Latency histogram with log2(microsecond) buckets: bucket 0 counts
+/// samples under 1us, bucket i samples in [2^(i-1), 2^i) us, the last
+/// bucket everything above. Obtain via histogram(); record_ns is wait-free.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void record_ns(std::uint64_t ns) noexcept;
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::array<std::int64_t, kBuckets> buckets() const noexcept;
+
+ private:
+  friend void reset_for_testing();
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+};
+
+/// The process-wide histogram `name`; same lifetime rules as counter().
+[[nodiscard]] Histogram& histogram(std::string_view name);
+
+// --------------------------------------------------------- stats snapshots
+
+/// Point-in-time copy of every registered counter, name-sorted. Subtracting
+/// two snapshots (delta) isolates one run's activity from process totals.
+struct StatsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+
+  /// Value of `name`, or 0 when the counter is absent.
+  [[nodiscard]] std::int64_t value(std::string_view name) const noexcept;
+};
+
+[[nodiscard]] StatsSnapshot snapshot_counters();
+
+/// after - before, keeping every counter present in `after`.
+[[nodiscard]] StatsSnapshot delta(const StatsSnapshot& before,
+                                  const StatsSnapshot& after);
+
+/// Deterministic JSON dump: {"counters": {...}} for a snapshot, plus
+/// {"histograms": {...}} in the whole-registry overload.
+void write_stats_json(const StatsSnapshot& stats, std::ostream& out);
+void write_stats_json(std::ostream& out);
+[[nodiscard]] bool write_stats_file(const std::string& path);
+
+// ------------------------------------------------------------------ tracer
+
+/// One completed span, as recorded by the tracer.
+struct SpanEvent {
+  const char* name;       ///< static string passed to TELEMETRY_SPAN
+  std::uint32_t tid;      ///< small per-thread id (1, 2, ... by first use)
+  std::int32_t depth;     ///< nesting depth within the thread (0 = root)
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// Global span recorder. enable() before the traced region, then export
+/// with write_chrome_trace*() — the output opens directly in Perfetto
+/// (ui.perfetto.dev) or chrome://tracing.
+class Tracer {
+ public:
+  static void enable() noexcept;
+  static void disable() noexcept;
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drop every recorded event (leaves the enabled flag untouched).
+  static void clear();
+
+  /// Snapshot of the recorded events, sorted by (start, -duration, name)
+  /// so parents precede their children deterministically.
+  [[nodiscard]] static std::vector<SpanEvent> events();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}, "X" phase events,
+  /// microsecond timestamps). Deterministic for a given event set.
+  static void write_chrome_trace(std::ostream& out);
+  [[nodiscard]] static bool write_chrome_trace_file(const std::string& path);
+
+ private:
+  friend class Span;
+  static void record(const SpanEvent& event);
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII tracing scope; use through TELEMETRY_SPAN. When the tracer is
+/// disabled, construction is a single relaxed load and nothing is recorded
+/// at destruction (spans open across an enable() are likewise dropped).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Tracer::enabled()) begin(name);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::int32_t depth_ = 0;
+  bool active_ = false;
+};
+
+/// Zero every counter and histogram, drop all trace events, disable the
+/// tracer, and restore the real clock. Registered counter/histogram
+/// references stay valid. Tests only.
+void reset_for_testing();
+
+}  // namespace mebl::telemetry
+
+#define MEBL_TELEMETRY_CONCAT_IMPL(a, b) a##b
+#define MEBL_TELEMETRY_CONCAT(a, b) MEBL_TELEMETRY_CONCAT_IMPL(a, b)
+
+/// Trace the rest of the enclosing scope as a span named `name` (a string
+/// literal or other static string).
+#define TELEMETRY_SPAN(name)                                       \
+  ::mebl::telemetry::Span MEBL_TELEMETRY_CONCAT(mebl_telemetry_span_, \
+                                                __LINE__)(name)

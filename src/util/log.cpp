@@ -1,11 +1,16 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace mebl::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// One mutex guards both the sink pointer and the stream write, so a line is
+// emitted atomically to the sink that was current when it started.
+std::mutex g_sink_mutex;
 std::ostream* g_sink = nullptr;
 
 const char* tag(LogLevel level) {
@@ -20,12 +25,21 @@ const char* tag(LogLevel level) {
 }
 }  // namespace
 
-void Log::set_level(LogLevel level) noexcept { g_level = level; }
-LogLevel Log::level() noexcept { return g_level; }
-void Log::set_sink(std::ostream* sink) noexcept { g_sink = sink; }
+void Log::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+void Log::set_sink(std::ostream* sink) noexcept {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = sink;
+}
 
 void Log::write(LogLevel level, const std::string& message) {
-  if (level < g_level || g_level == LogLevel::kOff) return;
+  const LogLevel threshold = g_level.load(std::memory_order_relaxed);
+  if (level < threshold || threshold == LogLevel::kOff) return;
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
   out << "[mebl " << tag(level) << "] " << message << '\n';
 }

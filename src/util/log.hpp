@@ -12,6 +12,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Minimal leveled logger. The routing stages use it for progress and
 /// anomaly reporting; benches set the threshold to kWarn so table output
 /// stays clean.
+///
+/// Thread-safety guarantee: all static members may be called concurrently
+/// from any number of threads. The level is an atomic (a racing set_level
+/// applies to subsequent messages); the sink pointer and the actual stream
+/// write share one mutex, so concurrent write() calls emit whole,
+/// non-interleaved lines and never observe a half-installed sink. A stream
+/// passed to set_sink must outlive its use as the sink, and must not be
+/// written to directly by other threads while installed.
 class Log {
  public:
   /// Global threshold; messages below it are dropped.
@@ -21,7 +29,7 @@ class Log {
   /// Redirect output (default std::cerr). Pass nullptr to restore default.
   static void set_sink(std::ostream* sink) noexcept;
 
-  /// Emit one line with a level tag. Thread-compatible (single writer).
+  /// Emit one line with a level tag. Thread-safe (serialized per line).
   static void write(LogLevel level, const std::string& message);
 };
 

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "bench_suite/circuit_generator.hpp"
+#include "telemetry/keys.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mebl::core {
 namespace {
@@ -101,6 +106,65 @@ TEST(Pipeline, StageTimesPopulated) {
   const auto result = router.run();
   EXPECT_GE(result.times.global_seconds, 0.0);
   EXPECT_GT(result.times.total(), 0.0);
+}
+
+TEST(Pipeline, StatsSnapshotCarriesPerRunCounters) {
+  namespace keys = telemetry::keys;
+  const auto circuit = small_circuit();
+  StitchAwareRouter router(circuit.grid, circuit.netlist);
+  const auto result = router.run();
+
+  // The snapshot isolates this run: the short-polygon counter delta equals
+  // the run's own metric even though the process counter accumulates.
+  EXPECT_EQ(result.stats().value(keys::kShortPolygons),
+            result.metrics.short_polygons);
+  EXPECT_GT(result.stats().value(keys::kAstarSearches), 0);
+  EXPECT_GE(result.stats().value(keys::kAstarExpansions), 0);
+  EXPECT_GT(result.stats().value(keys::kLayerPanels), 0);
+  EXPECT_GT(result.stats().value(keys::kTrackPanels), 0);
+  // Registered even when the run never touched the ILP.
+  EXPECT_EQ(result.stats().value(keys::kTrackIlpNodes), 0);
+
+  // A second run's snapshot is again per-run, not cumulative.
+  StitchAwareRouter again(circuit.grid, circuit.netlist);
+  const auto result2 = again.run();
+  EXPECT_EQ(result2.stats().value(keys::kShortPolygons),
+            result2.metrics.short_polygons);
+}
+
+TEST(Pipeline, TracingEmitsNestedStageSpans) {
+  telemetry::Tracer::clear();
+  telemetry::Tracer::enable();
+  const auto circuit = small_circuit();
+  StitchAwareRouter router(circuit.grid, circuit.netlist);
+  const auto result = router.run();
+  telemetry::Tracer::disable();
+  const auto events = telemetry::Tracer::events();
+  telemetry::Tracer::clear();
+
+  const auto count_of = [&](const std::string& name) {
+    return std::count_if(events.begin(), events.end(),
+                         [&](const telemetry::SpanEvent& event) {
+                           return name == event.name;
+                         });
+  };
+  // The four top-level pipeline stages, nested under pipeline.run.
+  EXPECT_EQ(count_of("pipeline.run"), 1);
+  EXPECT_EQ(count_of("pipeline.global"), 1);
+  EXPECT_EQ(count_of("pipeline.layer_assign"), 1);
+  EXPECT_EQ(count_of("pipeline.track_assign"), 1);
+  EXPECT_EQ(count_of("pipeline.detail"), 1);
+  // Per-panel and per-subnet spans nest below the stages.
+  EXPECT_GT(count_of("assign.track.panel"), 0);
+  EXPECT_GT(count_of("detail.subnet"), 0);
+  const auto max_depth =
+      std::max_element(events.begin(), events.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.depth < b.depth;
+                       })
+          ->depth;
+  EXPECT_GE(max_depth, 2);
+  EXPECT_GT(result.metrics.routed_nets, 0);
 }
 
 TEST(Pipeline, GridGeometryMatchesMetrics) {

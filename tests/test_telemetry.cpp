@@ -1,0 +1,217 @@
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "telemetry/keys.hpp"
+
+namespace mebl::telemetry {
+namespace {
+
+// Deterministic clock stub: every now_ns() call advances one microsecond.
+std::uint64_t g_fake_now_ns = 0;
+std::uint64_t fake_clock() { return g_fake_now_ns += 1000; }
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_for_testing();
+    g_fake_now_ns = 0;
+  }
+  void TearDown() override { reset_for_testing(); }
+};
+
+TEST_F(TelemetryTest, SpanNestingAndOrdering) {
+  set_clock_for_testing(&fake_clock);
+  Tracer::enable();
+  {
+    TELEMETRY_SPAN("outer");  // starts at 1000
+    {
+      TELEMETRY_SPAN("inner");  // starts at 2000, ends at 3000
+    }
+    TELEMETRY_SPAN("inner2");  // starts at 4000, ends at 5000
+  }                            // outer ends at 6000
+
+  const auto events = Tracer::events();
+  ASSERT_EQ(events.size(), 3u);
+
+  // Sorted by start time: parents before children.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_STREQ(events[2].name, "inner2");
+
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 1);
+
+  EXPECT_EQ(events[0].start_ns, 1000u);
+  EXPECT_EQ(events[0].dur_ns, 5000u);
+  EXPECT_EQ(events[1].start_ns, 2000u);
+  EXPECT_EQ(events[1].dur_ns, 1000u);
+  EXPECT_EQ(events[2].start_ns, 4000u);
+  EXPECT_EQ(events[2].dur_ns, 1000u);
+
+  // Children are contained in the parent span.
+  EXPECT_GE(events[1].start_ns, events[0].start_ns);
+  EXPECT_LE(events[1].start_ns + events[1].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+
+  // All on the same thread.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[0].tid, events[2].tid);
+}
+
+TEST_F(TelemetryTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(Tracer::enabled());
+  {
+    TELEMETRY_SPAN("ghost");
+    TELEMETRY_SPAN("ghost2");
+  }
+  EXPECT_TRUE(Tracer::events().empty());
+
+  // Spans opened while disabled stay inert even if tracing turns on before
+  // they close.
+  {
+    TELEMETRY_SPAN("opened_while_disabled");
+    Tracer::enable();
+  }
+  EXPECT_TRUE(Tracer::events().empty());
+
+  // Depth bookkeeping survives the disabled period: the next recorded
+  // root span is still depth 0.
+  {
+    TELEMETRY_SPAN("root");
+  }
+  const auto events = Tracer::events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].depth, 0);
+}
+
+TEST_F(TelemetryTest, CountersAccumulateAndSnapshot) {
+  Counter& rips = counter("test.rips");
+  EXPECT_EQ(rips.value(), 0);
+  rips.add(3);
+  rips.add();
+  EXPECT_EQ(rips.value(), 4);
+  // counter() returns the same object for the same name.
+  counter("test.rips").add(6);
+  EXPECT_EQ(rips.value(), 10);
+
+  // Counters count regardless of tracer state.
+  EXPECT_FALSE(Tracer::enabled());
+
+  const StatsSnapshot before = snapshot_counters();
+  EXPECT_EQ(before.value("test.rips"), 10);
+  EXPECT_EQ(before.value("test.absent"), 0);
+
+  rips.add(5);
+  counter("test.other").add(2);
+  const StatsSnapshot diff = delta(before, snapshot_counters());
+  EXPECT_EQ(diff.value("test.rips"), 5);
+  EXPECT_EQ(diff.value("test.other"), 2);
+}
+
+TEST_F(TelemetryTest, CountersAreThreadSafe) {
+  Counter& shared = counter("test.mt");
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&shared] {
+      for (int i = 0; i < kAddsPerThread; ++i) shared.add(1);
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(shared.value(), kThreads * kAddsPerThread);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsByLog2Microseconds) {
+  Histogram& h = histogram("test.latency");
+  h.record_ns(500);        // < 1us -> bucket 0
+  h.record_ns(1500);       // 1us  -> bucket 1
+  h.record_ns(3'000'000);  // 3000us -> bucket 12 (2^12 = 4096 > 3000)
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.total_ns(), 500u + 1500u + 3'000'000u);
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets[0], 1);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[12], 1);
+}
+
+TEST_F(TelemetryTest, ChromeTraceJsonIsByteStableUnderFixedClock) {
+  const auto run_once = [] {
+    reset_for_testing();
+    g_fake_now_ns = 0;
+    set_clock_for_testing(&fake_clock);
+    Tracer::enable();
+    {
+      TELEMETRY_SPAN("pipeline.run");
+      { TELEMETRY_SPAN("pipeline.global"); }
+    }
+    std::ostringstream out;
+    Tracer::write_chrome_trace(out);
+    return out.str();
+  };
+
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second);
+
+  const std::string expected =
+      "{\"traceEvents\": [\n"
+      "{\"name\": \"pipeline.run\", \"cat\": \"mebl\", \"ph\": \"X\", "
+      "\"ts\": 1.000, \"dur\": 3.000, \"pid\": 1, \"tid\": 1, "
+      "\"args\": {\"depth\": 0}},\n"
+      "{\"name\": \"pipeline.global\", \"cat\": \"mebl\", \"ph\": \"X\", "
+      "\"ts\": 2.000, \"dur\": 1.000, \"pid\": 1, \"tid\": 1, "
+      "\"args\": {\"depth\": 1}}\n"
+      "], \"displayTimeUnit\": \"ms\"}\n";
+  EXPECT_EQ(first, expected);
+}
+
+TEST_F(TelemetryTest, StatsJsonIsDeterministicAndSorted) {
+  counter("zeta").add(26);
+  counter("alpha").add(1);
+
+  std::ostringstream out;
+  write_stats_json(snapshot_counters(), out);
+  const std::string json = out.str();
+
+  // Name-sorted regardless of registration order.
+  EXPECT_LT(json.find("\"alpha\": 1"), json.find("\"zeta\": 26"));
+
+  std::ostringstream again;
+  write_stats_json(snapshot_counters(), again);
+  EXPECT_EQ(json, again.str());
+}
+
+TEST_F(TelemetryTest, ResetZeroesButKeepsReferencesValid) {
+  Counter& c = counter("test.sticky");
+  c.add(7);
+  Histogram& h = histogram("test.sticky_ns");
+  h.record_ns(10);
+  reset_for_testing();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  c.add(2);  // the pre-reset reference still points at the live counter
+  EXPECT_EQ(counter("test.sticky").value(), 2);
+}
+
+TEST_F(TelemetryTest, SpansCaptureDistinctThreadIds) {
+  set_clock_for_testing(&fake_clock);
+  Tracer::enable();
+  {
+    TELEMETRY_SPAN("main_thread");
+  }
+  std::thread worker([] { TELEMETRY_SPAN("worker_thread"); });
+  worker.join();
+
+  const auto events = Tracer::events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+}  // namespace
+}  // namespace mebl::telemetry
