@@ -8,9 +8,10 @@
 #include "bench_common.hpp"
 #include "core/stitch_router.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::QuietLogs quiet;
+  const int threads = bench_common::threads_from_args(argc, argv);
 
   struct Setting {
     double beta;
@@ -34,7 +35,7 @@ int main() {
     util::Timer timer;
     for (const auto& spec : specs) {
       const auto circuit = bench_common::generate(spec);
-      auto config = core::RouterConfig::stitch_aware();
+      auto config = core::RouterConfig::stitch_aware().with_threads(threads);
       config.detail.astar.beta = setting.beta;
       config.detail.astar.gamma = setting.gamma;
       core::StitchAwareRouter router(circuit.grid, circuit.netlist, config);

@@ -9,9 +9,10 @@
 #include "core/stitch_router.hpp"
 #include "place/pin_refine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::QuietLogs quiet;
+  const int threads = bench_common::threads_from_args(argc, argv);
 
   util::Table table("Circuit", "raw #VV", "raw #SP", "raw Rout.(%)",
                     "refined #VV", "refined #SP", "refined Rout.(%)",
@@ -24,15 +25,17 @@ int main() {
 
     auto raw = bench_suite::generate_circuit(spec, config,
                                              bench_common::kSeed);
-    core::StitchAwareRouter raw_router(raw.grid, raw.netlist,
-                                       core::RouterConfig::stitch_aware());
+    core::StitchAwareRouter raw_router(
+        raw.grid, raw.netlist,
+        core::RouterConfig::stitch_aware().with_threads(threads));
     const auto raw_result = raw_router.run();
 
     auto refined = bench_suite::generate_circuit(spec, config,
                                                  bench_common::kSeed);
     const auto stats = place::refine_pins(refined.grid, refined.netlist);
-    core::StitchAwareRouter refined_router(refined.grid, refined.netlist,
-                                           core::RouterConfig::stitch_aware());
+    core::StitchAwareRouter refined_router(
+        refined.grid, refined.netlist,
+        core::RouterConfig::stitch_aware().with_threads(threads));
     const auto refined_result = refined_router.run();
 
     table.add_row(spec.name, std::to_string(raw_result.metrics.via_violations),

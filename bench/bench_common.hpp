@@ -95,6 +95,18 @@ inline std::vector<bench_suite::BenchmarkSpec> selected_specs(
   return all;
 }
 
+/// Shared `--threads N` handling for the table harnesses: the worker count
+/// handed to RouterConfig::with_threads (0 = one worker per hardware
+/// thread). The MEBL_THREADS environment variable is the fallback so suite
+/// drivers can set it once. Routed metrics are identical for every value;
+/// only the CPU columns change.
+inline int threads_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--threads") return std::atoi(argv[i + 1]);
+  if (const char* env = std::getenv("MEBL_THREADS")) return std::atoi(env);
+  return 0;
+}
+
 inline bench_suite::GeneratorConfig config_for(
     const bench_suite::BenchmarkSpec& spec) {
   return spec.layers >= 6 ? faraday_config() : mcnc_config();

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
   bench_common::QuietLogs quiet;
+  const int threads = bench_common::threads_from_args(argc, argv);
 
   struct Variant {
     const char* name;
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{spec.name};
     double both_rout = 0.0;
     for (std::size_t v = 0; v < 4; ++v) {
-      auto config = core::RouterConfig::stitch_aware();
+      auto config = core::RouterConfig::stitch_aware().with_threads(threads);
       config.detail.astar.stitch_cost = variants[v].cost;
       config.detail.stitch_net_ordering = variants[v].ordering;
       const auto circuit = bench_common::generate(spec);

@@ -4,10 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
 #include "assign/layer_assign.hpp"
 #include "assign/track_assign.hpp"
 #include "bench_suite/layer_instance_generator.hpp"
 #include "detail/astar.hpp"
+#include "exec/thread_pool.hpp"
 #include "graph/bipartite_matching.hpp"
 #include "graph/interval_k_coloring.hpp"
 #include "util/rng.hpp"
@@ -15,6 +20,10 @@
 namespace {
 
 using namespace mebl;
+
+// Worker count for the exec-pool benchmarks, set by --threads (0 = one
+// worker per hardware thread).
+int g_threads = 0;
 
 void BM_AStarRoute(benchmark::State& state) {
   const auto span = static_cast<geom::Coord>(state.range(0));
@@ -121,6 +130,40 @@ void BM_TrackAssignIlp(benchmark::State& state) {
 }
 BENCHMARK(BM_TrackAssignIlp)->Arg(3)->Arg(5);
 
+void BM_ExecParallelFor(benchmark::State& state) {
+  exec::ThreadPool pool(g_threads);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    pool.parallel_for(0, n, [&](std::size_t i) {
+      double acc = static_cast<double>(i);
+      for (int it = 0; it < 200; ++it) acc = acc * 1.0000001 + 0.5;
+      out[i] = acc;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExecParallelFor)->Arg(64)->Arg(1024)->Arg(16384);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN rejects unknown flags, so peel off --threads by hand
+// before handing the rest to the benchmark library.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = std::atoi(argv[++i]);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

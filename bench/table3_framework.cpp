@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
   bench_common::QuietLogs quiet;
+  const int threads = bench_common::threads_from_args(argc, argv);
 
   util::Table table("Circuit", "Base Rout.(%)", "Base #VV", "Base #SP",
                     "Base CPU(s)", "SA Rout.(%)", "SA #VV", "SA #SP",
@@ -26,14 +27,16 @@ int main(int argc, char** argv) {
     const auto circuit = bench_common::generate(spec);
 
     util::Timer timer;
-    core::StitchAwareRouter baseline(circuit.grid, circuit.netlist,
-                                     core::RouterConfig::baseline());
+    core::StitchAwareRouter baseline(
+        circuit.grid, circuit.netlist,
+        core::RouterConfig::baseline().with_threads(threads));
     const auto base = baseline.run();
     const double base_seconds = timer.seconds();
 
     timer.reset();
-    core::StitchAwareRouter aware(circuit.grid, circuit.netlist,
-                                  core::RouterConfig::stitch_aware());
+    core::StitchAwareRouter aware(
+        circuit.grid, circuit.netlist,
+        core::RouterConfig::stitch_aware().with_threads(threads));
     const auto sa = aware.run();
     const double sa_seconds = timer.seconds();
 

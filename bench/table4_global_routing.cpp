@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "exec/thread_pool.hpp"
 #include "global/global_router.hpp"
 #include "netlist/decompose.hpp"
 
@@ -12,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
   bench_common::QuietLogs quiet;
+  exec::ThreadPool pool(bench_common::threads_from_args(argc, argv));
 
   util::Table table("Circuit", "w/o TVOF", "w/o MVOF", "w/o WL", "w/o CPU(s)",
                     "w/ TVOF", "w/ MVOF", "w/ WL", "w/ CPU(s)");
@@ -26,16 +28,18 @@ int main(int argc, char** argv) {
 
     global::GlobalRouterConfig without;
     without.vertex_cost = false;
+    without.net_batch_size = 32;  // the pipeline's parallel batching default
     util::Timer timer;
     global::GlobalRouter router_wo(circuit.grid, without);
-    const auto result_wo = router_wo.route(subnets);
+    const auto result_wo = router_wo.route(subnets, &pool);
     const double seconds_wo = timer.seconds();
 
     global::GlobalRouterConfig with;
     with.vertex_cost = true;
+    with.net_batch_size = 32;
     timer.reset();
     global::GlobalRouter router_w(circuit.grid, with);
-    const auto result_w = router_w.route(subnets);
+    const auto result_w = router_w.route(subnets, &pool);
     const double seconds_w = timer.seconds();
 
     table.add_row(spec.name, std::to_string(result_wo.total_vertex_overflow),

@@ -7,11 +7,13 @@
 #include "assign/layer_assign.hpp"
 #include "bench_common.hpp"
 #include "bench_suite/layer_instance_generator.hpp"
+#include "exec/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
   bench_common::QuietLogs quiet;
+  exec::ThreadPool pool(bench_common::threads_from_args(argc, argv));
 
   constexpr int kInstances = 50;
   util::Rng rng(bench_common::kSeed);
@@ -39,11 +41,21 @@ int main(int argc, char** argv) {
   std::vector<std::string> ours_row{"Ours"};
   std::vector<std::string> improvement{"Improvement"};
   for (int k = 2; k <= 5; ++k) {
+    // Instances are independent; per-instance costs are summed in instance
+    // order afterwards so the totals are identical for any --threads value.
+    struct Costs {
+      double mst, ours;
+    };
+    const auto costs = exec::parallel_map<Costs>(
+        pool, instances.size(), [&](std::size_t i) {
+          const auto graph = assign::build_conflict_graph(instances[i], true);
+          return Costs{assign::assign_layers_mst(graph, k).cost,
+                       assign::assign_layers_ours(graph, k).cost};
+        });
     double mst_total = 0.0, ours_total = 0.0;
-    for (const auto& segments : instances) {
-      const auto graph = assign::build_conflict_graph(segments, true);
-      mst_total += assign::assign_layers_mst(graph, k).cost;
-      ours_total += assign::assign_layers_ours(graph, k).cost;
+    for (const auto& c : costs) {
+      mst_total += c.mst;
+      ours_total += c.ours;
     }
     mst_row.push_back(util::Table::fixed(mst_total / kInstances, 2));
     ours_row.push_back(util::Table::fixed(ours_total / kInstances, 2));

@@ -20,12 +20,13 @@ struct Row {
 };
 
 Row run(const mebl::bench_suite::GeneratedCircuit& circuit,
-        mebl::core::TrackAlgorithm algorithm) {
+        mebl::core::TrackAlgorithm algorithm, int threads) {
   using namespace mebl;
-  auto config = core::RouterConfig::stitch_aware();
-  config.track_algorithm = algorithm;
+  auto config = core::RouterConfig::stitch_aware()
+                    .with_track_algorithm(algorithm)
+                    .with_ilp_budget(30.0)
+                    .with_threads(threads);
   config.ilp.time_limit_seconds = 5.0;
-  config.ilp_budget_seconds = 30.0;
   util::Timer timer;
   core::StitchAwareRouter router(circuit.grid, circuit.netlist, config);
   const auto result = router.run();
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
   bench_common::QuietLogs quiet;
+  const int threads = bench_common::threads_from_args(argc, argv);
 
   util::Table table("Circuit", "w/o Rout.(%)", "w/o #SP", "w/o CPU(s)",
                     "ILP Rout.(%)", "ILP #SP", "ILP CPU(s)", "Graph Rout.(%)",
@@ -55,9 +57,9 @@ int main(int argc, char** argv) {
 
   for (const auto& spec : bench_common::selected_specs(bench_common::SuiteWeight::kSmall)) {
     const auto circuit = bench_common::generate(spec);
-    const Row baseline = run(circuit, core::TrackAlgorithm::kBaseline);
-    const Row ilp = run(circuit, core::TrackAlgorithm::kIlp);
-    const Row graph = run(circuit, core::TrackAlgorithm::kGraph);
+    const Row baseline = run(circuit, core::TrackAlgorithm::kBaseline, threads);
+    const Row ilp = run(circuit, core::TrackAlgorithm::kIlp, threads);
+    const Row graph = run(circuit, core::TrackAlgorithm::kGraph, threads);
 
     table.add_row(spec.name, util::Table::fixed(baseline.rout, 2),
                   std::to_string(baseline.sp),

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
   bench_common::QuietLogs quiet;
+  const int threads = bench_common::threads_from_args(argc, argv);
 
   util::Table table("Circuit", "w/o Rout.(%)", "w/o #VV", "w/o #SP",
                     "w/o CPU(s)", "w/ Rout.(%)", "w/ #VV", "w/ #SP",
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
   for (const auto& spec : bench_common::selected_specs(bench_common::SuiteWeight::kHeavy)) {
     const auto circuit = bench_common::generate(spec);
 
-    auto config_wo = core::RouterConfig::stitch_aware();
+    auto config_wo = core::RouterConfig::stitch_aware().with_threads(threads);
     config_wo.detail.astar.stitch_cost = false;
     config_wo.detail.stitch_net_ordering = false;
     util::Timer timer;
@@ -33,8 +34,9 @@ int main(int argc, char** argv) {
     const double seconds_wo = timer.seconds();
 
     timer.reset();
-    core::StitchAwareRouter router_w(circuit.grid, circuit.netlist,
-                                     core::RouterConfig::stitch_aware());
+    core::StitchAwareRouter router_w(
+        circuit.grid, circuit.netlist,
+        core::RouterConfig::stitch_aware().with_threads(threads));
     const auto result_w = router_w.run();
     const double seconds_w = timer.seconds();
 

@@ -2,11 +2,12 @@
 // see netlist/io.hpp) and emit metrics, an SVG plot, and congestion
 // heatmaps. This is the adoption path for users with their own designs:
 //
-//   mebl_route_cli design.mebl [--baseline] [--refine-pins] [--svg out.svg]
+//   mebl_route_cli design.mebl [--baseline] [--threads 8] [--svg out.svg]
 //
 // With no file argument a demo design is generated, saved next to the
 // outputs, and routed — so the binary is also a runnable example.
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -25,6 +26,9 @@ void usage() {
   std::cout <<
       "usage: mebl_route_cli [design.mebl] [options]\n"
       "  --baseline      route with the conventional (stitch-oblivious) flow\n"
+      "  --threads N     worker threads (0 = one per hardware thread);\n"
+      "                  results are identical for every N\n"
+      "  --progress      print per-stage progress while routing\n"
       "  --refine-pins   run stitch-aware pin refinement before routing\n"
       "  --svg PATH      write the routed layout as SVG\n"
       "  --heatmap       print the vertical congestion heatmap\n"
@@ -32,6 +36,31 @@ void usage() {
       "  --trace PATH    write a Chrome/Perfetto trace of the routing run\n"
       "  --stats PATH    write the telemetry counters/histograms as JSON\n";
 }
+
+/// --progress: push-style pipeline reporting on stderr. Also the minimal
+/// worked example of the core::ProgressObserver interface.
+class StderrProgress final : public mebl::core::ProgressObserver {
+ public:
+  void on_stage_begin(mebl::core::Stage stage) override {
+    std::cerr << "[stage] " << mebl::core::stage_name(stage) << "...\n";
+  }
+  void on_stage_end(mebl::core::Stage stage, double seconds) override {
+    std::cerr << "[stage] " << mebl::core::stage_name(stage) << " done in "
+              << seconds << " s\n";
+  }
+  void on_nets_routed(std::size_t routed, std::size_t total) override {
+    // Only print every ~5% so big designs do not flood the terminal.
+    if (total == 0) return;
+    const std::size_t step = total < 20 ? 1 : total / 20;
+    if (routed >= last_reported_ + step || routed == total) {
+      last_reported_ = routed;
+      std::cerr << "[global] " << routed << "/" << total << " nets\n";
+    }
+  }
+
+ private:
+  std::size_t last_reported_ = 0;
+};
 
 }  // namespace
 
@@ -46,10 +75,16 @@ int main(int argc, char** argv) {
   bool baseline = false;
   bool refine = false;
   bool heatmap = false;
+  bool progress = false;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--baseline") {
       baseline = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--refine-pins") {
       refine = true;
     } else if (arg == "--heatmap") {
@@ -109,9 +144,12 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_path.empty()) telemetry::Tracer::enable();
-  core::StitchAwareRouter router(design->grid, design->netlist,
-                                 baseline ? core::RouterConfig::baseline()
-                                          : core::RouterConfig::stitch_aware());
+  auto config = baseline ? core::RouterConfig::baseline()
+                         : core::RouterConfig::stitch_aware();
+  config.with_threads(threads);
+  core::StitchAwareRouter router(design->grid, design->netlist, config);
+  StderrProgress reporter;
+  if (progress) router.set_observer(&reporter);
   const auto result = router.run();
   if (!trace_path.empty()) {
     if (!telemetry::Tracer::write_chrome_trace_file(trace_path)) {

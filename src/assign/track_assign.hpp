@@ -1,5 +1,7 @@
 #pragma once
 
+#include <chrono>
+#include <optional>
 #include <vector>
 
 #include "grid/stitch_plan.hpp"
@@ -81,6 +83,10 @@ struct IlpTrackOptions {
   /// removes such edges; a large finite penalty keeps the model feasible in
   /// over-dense panels while still minimizing bad ends first.
   double bad_end_penalty = 1000.0;
+  /// Absolute deadline shared by every panel of one circuit (the router's
+  /// ilp_budget_seconds converted at stage start). The solver aborts
+  /// mid-search once it passes; unset = only the per-panel limits apply.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Exact ILP-based short-polygon-avoiding track assignment (paper SIII-C1):

@@ -41,6 +41,7 @@ class IlpBuilder {
     ilp::SolveOptions solve_options;
     solve_options.time_limit_seconds = options_.time_limit_seconds;
     solve_options.max_nodes = options_.max_nodes;
+    solve_options.deadline = options_.deadline;
     const ilp::Solution solution = ilp::solve(model_, solve_options);
     result.ilp_nodes = solution.nodes_explored;
 

@@ -7,6 +7,10 @@ RouterConfig RouterConfig::stitch_aware() {
   config.detail.astar.alpha = 1.0;
   config.detail.astar.beta = 10.0;
   config.detail.astar.gamma = 5.0;
+  // Batch-synchronous global routing (the parallel unit of work). The batch
+  // size is part of the determinism contract — fixed here, never derived
+  // from the thread count.
+  config.global.net_batch_size = 32;
   return config;
 }
 
@@ -14,6 +18,7 @@ RouterConfig RouterConfig::baseline() {
   RouterConfig config;
   config.global.stitch_aware_capacity = false;
   config.global.vertex_cost = false;
+  config.global.net_batch_size = 32;
   config.layer_algorithm = LayerAlgorithm::kMaxSpanningTree;
   config.track_algorithm = TrackAlgorithm::kBaseline;
   config.detail.astar.stitch_cost = false;

@@ -22,16 +22,57 @@ enum class TrackAlgorithm {
 /// Full pipeline configuration. The default constructs the paper's
 /// stitch-aware router; `baseline()` constructs the comparison router of
 /// Table III (conventional objectives at every stage).
+///
+/// The preferred way to customize a config is the fluent `with_*` builder
+/// chain, which reads as one expression and keeps working when fields move
+/// behind validation later:
+///
+///   auto config = RouterConfig::stitch_aware()
+///                     .with_track_algorithm(TrackAlgorithm::kIlp)
+///                     .with_ilp_budget(30.0)
+///                     .with_threads(8);
+///
+/// Direct field access remains supported for existing callers and for the
+/// knobs without a builder yet.
 struct RouterConfig {
   global::GlobalRouterConfig global;
   LayerAlgorithm layer_algorithm = LayerAlgorithm::kColorableSubset;
   TrackAlgorithm track_algorithm = TrackAlgorithm::kGraph;
   assign::IlpTrackOptions ilp;
-  /// Wall-clock budget for all ILP panels of one circuit; once exceeded the
-  /// remaining panels fall back to the graph heuristic and the result is
-  /// flagged (the paper reports such circuits as NA).
+  /// Wall-clock budget for all ILP panels of one circuit, enforced as one
+  /// absolute deadline shared by every worker: panels that start after it
+  /// fall back to the graph heuristic, and the branch-and-bound aborts
+  /// mid-solve when it passes, so a single over-budget panel cannot blow
+  /// past the budget. Runs that hit the deadline are flagged (the paper
+  /// reports such circuits as NA).
   double ilp_budget_seconds = 60.0;
   detail::DetailedConfig detail;
+  /// Worker threads for the parallel pipeline stages (panel-parallel
+  /// layer/track assignment, net-batch-parallel global routing).
+  /// 0 = std::thread::hardware_concurrency(). Routed results are
+  /// bit-identical for every value — see DESIGN.md §7.
+  int num_threads = 0;
+
+  // ------------------------------------------------------ fluent builders
+
+  RouterConfig& with_layer_algorithm(LayerAlgorithm algorithm) {
+    layer_algorithm = algorithm;
+    return *this;
+  }
+  RouterConfig& with_track_algorithm(TrackAlgorithm algorithm) {
+    track_algorithm = algorithm;
+    return *this;
+  }
+  /// `num_threads` as above; 0 selects hardware concurrency.
+  RouterConfig& with_threads(int threads) {
+    num_threads = threads;
+    return *this;
+  }
+  /// Wall-clock ILP budget (absolute deadline) in seconds.
+  RouterConfig& with_ilp_budget(double seconds) {
+    ilp_budget_seconds = seconds;
+    return *this;
+  }
 
   /// The paper's stitch-aware configuration (alpha=1, beta=10, gamma=5).
   static RouterConfig stitch_aware();

@@ -1,9 +1,13 @@
 #include "core/stitch_router.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 #include "assign/conflict_graph.hpp"
 #include "assign/layer_assign.hpp"
+#include "exec/cancellation.hpp"
+#include "exec/thread_pool.hpp"
 #include "netlist/decompose.hpp"
 #include "telemetry/keys.hpp"
 #include "telemetry/telemetry.hpp"
@@ -20,8 +24,12 @@ StitchAwareRouter::StitchAwareRouter(const grid::RoutingGrid& grid,
                                      RouterConfig config)
     : grid_(&grid), netlist_(&netlist), config_(std::move(config)) {}
 
-void StitchAwareRouter::assign_layers(assign::RoutePlan& plan) const {
+void StitchAwareRouter::assign_layers(assign::RoutePlan& plan,
+                                      exec::ThreadPool& pool) const {
   telemetry::Counter& panels = telemetry::counter(telemetry::keys::kLayerPanels);
+  // Each panel owns a disjoint set of runs, so panels are independent tasks:
+  // a body writes only its own runs' layer slots and the outcome does not
+  // depend on the execution order.
   const auto assign_panel = [&](const std::vector<std::size_t>& run_ids,
                                 const std::vector<LayerId>& layers,
                                 bool column_panel) {
@@ -51,15 +59,24 @@ void StitchAwareRouter::assign_layers(assign::RoutePlan& plan) const {
   };
 
   const auto v_layers = grid_->layers_with(Orientation::kVertical);
-  for (int tx = 0; tx < grid_->tiles_x(); ++tx)
-    assign_panel(assign::runs_in_column_panel(plan, tx), v_layers, true);
+  pool.parallel_for(0, static_cast<std::size_t>(grid_->tiles_x()),
+                    [&](std::size_t tx) {
+                      assign_panel(assign::runs_in_column_panel(
+                                       plan, static_cast<int>(tx)),
+                                   v_layers, true);
+                    });
   const auto h_layers = grid_->layers_with(Orientation::kHorizontal);
-  for (int ty = 0; ty < grid_->tiles_y(); ++ty)
-    assign_panel(assign::runs_in_row_panel(plan, ty), h_layers, false);
+  pool.parallel_for(0, static_cast<std::size_t>(grid_->tiles_y()),
+                    [&](std::size_t ty) {
+                      assign_panel(
+                          assign::runs_in_row_panel(plan, static_cast<int>(ty)),
+                          h_layers, false);
+                    });
 }
 
 void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
-                                      RoutingResult& result) const {
+                                      RoutingResult& result,
+                                      exec::ThreadPool& pool) const {
   using telemetry::counter;
   namespace keys = telemetry::keys;
   telemetry::Counter& panels = counter(keys::kTrackPanels);
@@ -69,68 +86,92 @@ void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
   telemetry::Counter& ripped = counter(keys::kTrackRipped);
   telemetry::Histogram& panel_ns = telemetry::histogram(keys::kTrackPanelNs);
 
+  // Gather every (column panel, vertical layer) instance up front; each is
+  // an independent task writing a disjoint set of runs.
+  struct PanelTask {
+    assign::TrackAssignInstance instance;
+    std::vector<std::size_t> members;
+  };
+  std::vector<PanelTask> tasks;
   const auto v_layers = grid_->layers_with(Orientation::kVertical);
-  util::Timer ilp_timer;
-
   for (int tx = 0; tx < grid_->tiles_x(); ++tx) {
     const auto panel_runs = assign::runs_in_column_panel(plan, tx);
     if (panel_runs.empty()) continue;
     for (const LayerId layer : v_layers) {
-      TELEMETRY_SPAN("assign.track.panel");
-      const std::uint64_t panel_start_ns = telemetry::now_ns();
-      assign::TrackAssignInstance instance;
-      instance.x_span = grid_->tile_x_span(tx);
-      instance.stitch = &grid_->stitch();
-      std::vector<std::size_t> members;
+      PanelTask task;
+      task.instance.x_span = grid_->tile_x_span(tx);
+      task.instance.stitch = &grid_->stitch();
       for (const std::size_t id : panel_runs) {
         const auto& run = plan.runs[id];
         if (run.layer != layer) continue;
-        members.push_back(id);
-        instance.segments.push_back(assign::TrackSegment{
+        task.members.push_back(id);
+        task.instance.segments.push_back(assign::TrackSegment{
             id, run.span, run.lo_continuation, run.hi_continuation, run.net});
       }
-      if (instance.segments.empty()) continue;
-
-      assign::TrackAssignResult assigned;
-      switch (config_.track_algorithm) {
-        case TrackAlgorithm::kBaseline:
-          assigned = assign::track_assign_baseline(instance);
-          break;
-        case TrackAlgorithm::kGraph:
-          assigned = assign::track_assign_graph(instance);
-          break;
-        case TrackAlgorithm::kIlp: {
-          if (ilp_timer.seconds() > config_.ilp_budget_seconds) {
-            result.ilp_budget_exceeded = true;
-            ilp_fallbacks.add(1);
-            assigned = assign::track_assign_graph(instance);
-          } else {
-            assigned = assign::track_assign_ilp(instance, config_.ilp);
-            ilp_nodes.add(assigned.ilp_nodes);
-            if (!assigned.solved) {
-              result.ilp_budget_exceeded = true;
-              ilp_fallbacks.add(1);
-              assigned = assign::track_assign_graph(instance);
-            }
-          }
-          break;
-        }
-      }
-
-      for (std::size_t i = 0; i < members.size(); ++i) {
-        auto& run = plan.runs[members[i]];
-        run.pieces = assigned.tracks[i].pieces;
-        run.ripped = assigned.tracks[i].ripped;
-        run.bad_ends = assigned.tracks[i].bad_ends;
-      }
-      panels.add(1);
-      bad_ends.add(assigned.total_bad_ends);
-      ripped.add(assigned.total_ripped);
-      panel_ns.record_ns(telemetry::now_ns() - panel_start_ns);
+      if (!task.instance.segments.empty()) tasks.push_back(std::move(task));
     }
   }
+
+  // The ILP budget is one absolute deadline shared by every worker: panels
+  // starting after it fall back to the heuristic immediately, and the
+  // branch-and-bound aborts mid-search when it passes (SolveOptions::
+  // deadline), so one over-budget panel cannot overshoot the budget.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.ilp_budget_seconds));
+  auto ilp_options = config_.ilp;
+  ilp_options.deadline = deadline;
+  std::atomic<bool> budget_exceeded{false};
+
+  util::Timer stage_timer;
+  pool.parallel_for(0, tasks.size(), [&](std::size_t t) {
+    PanelTask& task = tasks[t];
+    TELEMETRY_SPAN("assign.track.panel");
+    const std::uint64_t panel_start_ns = telemetry::now_ns();
+
+    assign::TrackAssignResult assigned;
+    switch (config_.track_algorithm) {
+      case TrackAlgorithm::kBaseline:
+        assigned = assign::track_assign_baseline(task.instance);
+        break;
+      case TrackAlgorithm::kGraph:
+        assigned = assign::track_assign_graph(task.instance);
+        break;
+      case TrackAlgorithm::kIlp: {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          budget_exceeded.exchange(true, std::memory_order_acq_rel);
+          ilp_fallbacks.add(1);
+          assigned = assign::track_assign_graph(task.instance);
+        } else {
+          assigned = assign::track_assign_ilp(task.instance, ilp_options);
+          ilp_nodes.add(assigned.ilp_nodes);
+          if (!assigned.solved) {
+            budget_exceeded.exchange(true, std::memory_order_acq_rel);
+            ilp_fallbacks.add(1);
+            assigned = assign::track_assign_graph(task.instance);
+          }
+        }
+        break;
+      }
+    }
+
+    for (std::size_t i = 0; i < task.members.size(); ++i) {
+      auto& run = plan.runs[task.members[i]];
+      run.pieces = assigned.tracks[i].pieces;
+      run.ripped = assigned.tracks[i].ripped;
+      run.bad_ends = assigned.tracks[i].bad_ends;
+    }
+    panels.add(1);
+    bad_ends.add(assigned.total_bad_ends);
+    ripped.add(assigned.total_ripped);
+    panel_ns.record_ns(telemetry::now_ns() - panel_start_ns);
+  });
+
+  if (budget_exceeded.load(std::memory_order_acquire))
+    result.ilp_budget_exceeded = true;
   counter(keys::kTrackIlpNs)
-      .add(static_cast<std::int64_t>(ilp_timer.seconds() * 1e9));
+      .add(static_cast<std::int64_t>(stage_timer.seconds() * 1e9));
 }
 
 RoutingResult StitchAwareRouter::run() {
@@ -141,57 +182,97 @@ RoutingResult StitchAwareRouter::run() {
   RoutingResult result;
   const auto subnets = netlist::decompose_all(*netlist_);
 
+  exec::ThreadPool pool(config_.num_threads);
+  exec::Cancellation cancel;
+  const auto begin_stage = [&](Stage stage) {
+    if (observer_ != nullptr) observer_->on_stage_begin(stage);
+  };
+  const auto end_stage = [&](Stage stage, double seconds) {
+    if (observer_ != nullptr) observer_->on_stage_end(stage, seconds);
+  };
+  // Polled at stage boundaries (and, via the global router's progress hook,
+  // between net batches). Sticky through the Cancellation token.
+  const auto cancelled = [&] {
+    if (observer_ != nullptr && observer_->should_cancel())
+      cancel.request_stop();
+    return cancel.stop_requested();
+  };
+  const auto finalize = [&](bool was_cancelled) -> RoutingResult& {
+    result.cancelled = was_cancelled;
+    result.stats_ =
+        telemetry::delta(stats_before, telemetry::snapshot_counters());
+    return result;
+  };
+
   // The spans and the StageTimes struct report the same boundaries; the
   // struct stays populated for API compatibility with existing harnesses.
   util::Timer timer;
   {
     TELEMETRY_SPAN("pipeline.global");
+    begin_stage(Stage::kGlobal);
     global::GlobalRouter global_router(*grid_, config_.global);
-    result.global = global_router.route(subnets);
+    global::GlobalRouter::ProgressFn progress;
+    if (observer_ != nullptr)
+      progress = [&](std::size_t routed, std::size_t total) {
+        observer_->on_nets_routed(routed, total);
+        if (observer_->should_cancel()) cancel.request_stop();
+      };
+    result.global = global_router.route(subnets, &pool, &cancel, progress);
   }
   result.times.global_seconds = timer.seconds();
+  end_stage(Stage::kGlobal, result.times.global_seconds);
+  if (cancelled()) return finalize(true);
 
   timer.reset();
   {
     TELEMETRY_SPAN("pipeline.layer_assign");
+    begin_stage(Stage::kLayerAssign);
     result.plan = assign::extract_runs(result.global, *grid_);
-    assign_layers(result.plan);
+    assign_layers(result.plan, pool);
   }
   result.times.layer_seconds = timer.seconds();
+  end_stage(Stage::kLayerAssign, result.times.layer_seconds);
+  if (cancelled()) return finalize(true);
 
   timer.reset();
   {
     TELEMETRY_SPAN("pipeline.track_assign");
-    assign_tracks(result.plan, result);
+    begin_stage(Stage::kTrackAssign);
+    assign_tracks(result.plan, result, pool);
   }
   result.times.track_seconds = timer.seconds();
+  end_stage(Stage::kTrackAssign, result.times.track_seconds);
+  if (cancelled()) return finalize(true);
 
   timer.reset();
   {
     TELEMETRY_SPAN("pipeline.detail");
+    begin_stage(Stage::kDetail);
     result.grid = std::make_shared<detail::GridGraph>(*grid_);
     detail::DetailedRouter detailed(*result.grid, config_.detail);
     detailed.claim_pins(*netlist_);
     result.detail = detailed.route_all(subnets, result.plan);
   }
   result.times.detail_seconds = timer.seconds();
+  end_stage(Stage::kDetail, result.times.detail_seconds);
+  if (cancelled()) return finalize(true);
 
   {
     TELEMETRY_SPAN("pipeline.metrics");
+    begin_stage(Stage::kMetrics);
     result.metrics =
         eval::compute_metrics(*result.grid, *netlist_, subnets, result.detail);
+    end_stage(Stage::kMetrics, 0.0);
   }
   telemetry::counter(keys::kShortPolygons).add(result.metrics.short_polygons);
   telemetry::counter(keys::kViaViolations).add(result.metrics.via_violations);
-  result.stats_ =
-      telemetry::delta(stats_before, telemetry::snapshot_counters());
 
   util::log_info() << "routed " << result.metrics.routed_nets << "/"
                    << result.metrics.total_nets << " nets, #SP="
                    << result.metrics.short_polygons << ", #VV="
                    << result.metrics.via_violations << ", WL="
                    << result.metrics.wirelength;
-  return result;
+  return finalize(false);
 }
 
 }  // namespace mebl::core

@@ -2,9 +2,14 @@
 
 #include <memory>
 
+#include "core/progress.hpp"
 #include "core/router_config.hpp"
 #include "eval/metrics.hpp"
 #include "telemetry/telemetry.hpp"
+
+namespace mebl::exec {
+class ThreadPool;
+}  // namespace mebl::exec
 
 namespace mebl::core {
 
@@ -32,42 +37,61 @@ struct RoutingResult {
   /// Final routed geometry (kept alive for plotting / re-analysis).
   std::shared_ptr<detail::GridGraph> grid;
 
-  /// Set when the ILP budget ran out and panels fell back to the heuristic
-  /// (reported as NA in the Table VII harness).
+  /// Set when the ILP budget deadline passed and panels fell back to the
+  /// heuristic (reported as NA in the Table VII harness).
   bool ilp_budget_exceeded = false;
+
+  /// Set when a ProgressObserver cancelled the run; the stages that did not
+  /// run leave their artifacts empty.
+  bool cancelled = false;
 
   /// Per-run telemetry counter deltas: everything the run burned — rip-ups,
   /// A* expansions, ILP branch-and-bound nodes, bad ends, short polygons —
-  /// keyed by the names in telemetry/keys.hpp. This replaces the former
-  /// ad-hoc stat fields (ilp_nodes, ilp_seconds, track_bad_ends,
-  /// track_ripped); e.g. stats().value(telemetry::keys::kTrackIlpNodes).
+  /// keyed by the names in telemetry/keys.hpp; e.g.
+  /// stats().value(telemetry::keys::kTrackIlpNodes).
   [[nodiscard]] const telemetry::StatsSnapshot& stats() const noexcept {
     return stats_;
   }
 
-  /// Populated by StitchAwareRouter::run(); exposed through stats().
+ private:
+  friend class StitchAwareRouter;  // populates the snapshot in run()
   telemetry::StatsSnapshot stats_;
 };
 
 /// The complete two-pass bottom-up stitch-aware routing flow (paper Fig. 6):
 /// global routing -> stitch-aware layer assignment -> short-polygon-avoiding
 /// track assignment -> stitch-aware detailed routing with rip-up/reroute.
+///
+/// The pipeline is parallel at the decomposition boundaries the paper
+/// already defines — panels for layer/track assignment, net batches within
+/// a multilevel level for global routing — on a work-stealing thread pool
+/// sized by RouterConfig::num_threads. Results are bit-identical for every
+/// thread count (DESIGN.md §7).
 class StitchAwareRouter {
  public:
   StitchAwareRouter(const grid::RoutingGrid& grid,
                     const netlist::Netlist& netlist,
                     RouterConfig config = RouterConfig::stitch_aware());
 
+  /// Register a progress observer (stage boundaries, nets routed,
+  /// cancellation). Pass nullptr to detach. The pointer must outlive run().
+  StitchAwareRouter& set_observer(ProgressObserver* observer) {
+    observer_ = observer;
+    return *this;
+  }
+
   /// Execute the full pipeline.
   [[nodiscard]] RoutingResult run();
 
  private:
-  void assign_layers(assign::RoutePlan& plan) const;
-  void assign_tracks(assign::RoutePlan& plan, RoutingResult& result) const;
+  void assign_layers(assign::RoutePlan& plan, exec::ThreadPool& pool) const;
+  void assign_tracks(assign::RoutePlan& plan, RoutingResult& result,
+                     exec::ThreadPool& pool) const;
 
   const grid::RoutingGrid* grid_;
   const netlist::Netlist* netlist_;
   RouterConfig config_;
+  ProgressObserver* observer_ = nullptr;
 };
 
 }  // namespace mebl::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <atomic>
+
+namespace mebl::exec {
+
+/// Cooperative cancellation token shared between a caller and the workers of
+/// a ThreadPool job. request_stop() is sticky: once set, every subsequent
+/// stop_requested() returns true. Tasks that have not started when the stop
+/// arrives are skipped (the pool stops scheduling); tasks already running
+/// finish normally unless they poll the token themselves.
+///
+/// Both operations are lock-free and safe to call from any thread, including
+/// from inside a parallel_for body.
+class Cancellation {
+ public:
+  Cancellation() = default;
+  Cancellation(const Cancellation&) = delete;
+  Cancellation& operator=(const Cancellation&) = delete;
+
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace mebl::exec

@@ -1,0 +1,214 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+namespace mebl::exec {
+
+namespace {
+
+/// Set while a pool worker (or a caller already inside parallel_for) is
+/// executing chunks; nested parallel_for calls detect it and run inline.
+thread_local bool t_inside_parallel_for = false;
+
+/// One contiguous slice of the index range.
+struct Chunk {
+  std::size_t begin;
+  std::size_t end;
+};
+
+}  // namespace
+
+/// One parallel_for invocation. Lives on the caller's stack; workers only
+/// touch it between registering and deregistering under State::mutex, and
+/// the caller does not return before every registered worker has left.
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* body = nullptr;
+  const Cancellation* cancel = nullptr;
+
+  /// Work-stealing deques, one per participant (0 = the calling thread).
+  struct Queue {
+    std::mutex mutex;
+    std::deque<Chunk> chunks;
+  };
+  std::vector<std::unique_ptr<Queue>> queues;
+
+  /// Sticky failure flag: set on the first body exception, stops the
+  /// scheduling of chunks that have not started yet.
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  /// Workers currently inside run_participant (guarded by State::mutex).
+  int active_workers = 0;
+};
+
+/// Worker wake-up / job hand-off coordination for one pool.
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable wake_cv;  ///< workers sleep here between jobs
+  std::condition_variable done_cv;  ///< caller waits for workers to drain
+  Job* job = nullptr;               ///< current job, null when idle
+  std::uint64_t epoch = 0;          ///< bumped per job so workers join once
+  bool shutdown = false;
+
+  /// Serializes parallel_for calls from different external threads: the
+  /// pool runs one job at a time.
+  std::mutex submit_mutex;
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : concurrency_(num_threads > 0 ? num_threads : hardware_threads()),
+      state_(std::make_unique<State>()) {
+  workers_.reserve(static_cast<std::size_t>(concurrency_ - 1));
+  for (int i = 1; i < concurrency_; ++i)
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->shutdown = true;
+  }
+  state_->wake_cv.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_participant(Job& job, std::size_t participant) {
+  const std::size_t num_queues = job.queues.size();
+  for (;;) {
+    Chunk chunk{0, 0};
+    bool found = false;
+    {
+      // Own queue first, newest chunk (LIFO keeps caches warm).
+      Job::Queue& own = *job.queues[participant];
+      const std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.chunks.empty()) {
+        chunk = own.chunks.back();
+        own.chunks.pop_back();
+        found = true;
+      }
+    }
+    // Steal oldest-first from the other queues, round-robin from our
+    // right-hand neighbour so victims spread across participants.
+    for (std::size_t v = 1; !found && v < num_queues; ++v) {
+      Job::Queue& victim = *job.queues[(participant + v) % num_queues];
+      const std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.chunks.empty()) {
+        chunk = victim.chunks.front();
+        victim.chunks.pop_front();
+        found = true;
+      }
+    }
+    if (!found) return;
+
+    if (job.failed.load(std::memory_order_acquire) ||
+        (job.cancel != nullptr && job.cancel->stop_requested()))
+      continue;  // claimed but skipped: scheduling has stopped
+    try {
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        if (job.failed.load(std::memory_order_relaxed) ||
+            (job.cancel != nullptr && job.cancel->stop_requested()))
+          break;
+        (*job.body)(i);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+      job.failed.store(true, std::memory_order_release);
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t participant) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      state_->wake_cv.wait(lock, [&] {
+        return state_->shutdown ||
+               (state_->job != nullptr && state_->epoch != seen_epoch);
+      });
+      if (state_->shutdown) return;
+      seen_epoch = state_->epoch;
+      job = state_->job;
+      ++job->active_workers;
+    }
+    t_inside_parallel_for = true;
+    run_participant(*job, participant);
+    t_inside_parallel_for = false;
+    {
+      const std::lock_guard<std::mutex> lock(state_->mutex);
+      if (--job->active_workers == 0) state_->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              const Cancellation* cancel) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+
+  // Inline paths: single-threaded pools, single-index ranges, and nested
+  // calls from inside a body. Exceptions propagate directly; cancellation
+  // stops before the next index.
+  if (concurrency_ == 1 || n == 1 || t_inside_parallel_for) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (cancel != nullptr && cancel->stop_requested()) return;
+      body(i);
+    }
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.cancel = cancel;
+  const auto participants = static_cast<std::size_t>(concurrency_);
+  // ~4 chunks per participant: coarse enough that scheduling stays cheap,
+  // fine enough that one slow chunk can be compensated by stealing.
+  const std::size_t num_chunks = std::min(n, participants * 4);
+  const std::size_t grain = (n + num_chunks - 1) / num_chunks;
+  job.queues.reserve(participants);
+  for (std::size_t p = 0; p < participants; ++p)
+    job.queues.push_back(std::make_unique<Job::Queue>());
+  std::size_t next = begin;
+  for (std::size_t c = 0; next < end; ++c) {
+    const std::size_t chunk_end = std::min(end, next + grain);
+    job.queues[c % participants]->chunks.push_back(Chunk{next, chunk_end});
+    next = chunk_end;
+  }
+
+  {
+    const std::lock_guard<std::mutex> submit(state_->submit_mutex);
+    {
+      const std::lock_guard<std::mutex> lock(state_->mutex);
+      job.active_workers = 0;
+      state_->job = &job;
+      ++state_->epoch;
+    }
+    state_->wake_cv.notify_all();
+
+    t_inside_parallel_for = true;
+    run_participant(job, 0);
+    t_inside_parallel_for = false;
+
+    // Close the job to late-waking workers, then wait for the registered
+    // ones to drain. Once active_workers hits zero every claimed chunk has
+    // finished, so the stack-allocated job is safe to destroy.
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->job = nullptr;
+    state_->done_cv.wait(lock, [&] { return job.active_workers == 0; });
+  }
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace mebl::exec

@@ -1,0 +1,104 @@
+#pragma once
+
+// mebl::exec — the execution layer of the routing pipeline.
+//
+// A work-stealing thread pool with a blocking parallel_for over index
+// ranges. The pipeline's unit of work is coarse (a panel, a batch of nets),
+// so the scheduler favours simplicity and a strong determinism contract
+// over raw task throughput:
+//
+//  * Every index in [begin, end) is executed exactly once (absent
+//    cancellation), on some participating thread. Which thread runs which
+//    index is unspecified; callers therefore write results *per index* and
+//    merge them in index order after the call returns. Under that
+//    discipline the outcome is bit-identical for any thread count,
+//    including 1 — the repo-wide determinism contract (DESIGN.md §7).
+//  * parallel_for blocks until every index has run; it is a barrier.
+//  * The calling thread participates as a worker, so a pool of
+//    concurrency N spawns only N-1 background threads and
+//    ThreadPool(1) executes everything inline on the caller.
+//  * An exception thrown by the body stops further scheduling; the first
+//    exception is rethrown on the calling thread after the barrier.
+//  * A Cancellation token stops the scheduling of not-yet-started work;
+//    parallel_for then returns normally with the remaining indices unrun
+//    (the only case where "exactly once" becomes "at most once").
+//
+// Scheduling: the range is split into ~4 chunks per participant,
+// distributed round-robin across per-participant deques. A participant
+// pops its own deque LIFO and steals FIFO from the others when empty, so
+// imbalanced chunks (one slow ILP panel) migrate to idle threads.
+//
+// parallel_for is not reentrant from inside a body; nested calls run the
+// inner range inline on the calling worker (same results, no deadlock).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exec/cancellation.hpp"
+
+namespace mebl::exec {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute work (background workers + caller).
+  [[nodiscard]] int concurrency() const noexcept { return concurrency_; }
+
+  /// Hardware concurrency, never less than 1.
+  [[nodiscard]] static int hardware_threads() noexcept {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }
+
+  /// Execute body(i) for every i in [begin, end), blocking until all have
+  /// run. See the header comment for the determinism/exception/cancel
+  /// contract.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    const Cancellation* cancel = nullptr);
+
+  /// parallel_for over the elements of an indexable sequence.
+  template <typename Seq, typename Fn>
+  void parallel_for_each(Seq&& seq, Fn&& fn,
+                         const Cancellation* cancel = nullptr) {
+    const std::function<void(std::size_t)> body = [&](std::size_t i) {
+      fn(seq[i]);
+    };
+    parallel_for(0, seq.size(), body, cancel);
+  }
+
+ private:
+  struct Job;
+  struct State;  // worker wake-up / job hand-off coordination
+
+  void worker_loop(std::size_t participant);
+  /// Pop/steal/execute chunks of `job` until none are reachable.
+  static void run_participant(Job& job, std::size_t participant);
+
+  int concurrency_;
+  std::unique_ptr<State> state_;
+  std::vector<std::thread> workers_;
+};
+
+/// Deterministic map: results[i] = fn(i), computed in parallel, returned in
+/// index order. The canonical way to fan work out and merge it back under
+/// the determinism contract.
+template <typename R, typename Fn>
+[[nodiscard]] std::vector<R> parallel_map(ThreadPool& pool, std::size_t n,
+                                          Fn&& fn,
+                                          const Cancellation* cancel = nullptr) {
+  std::vector<R> results(n);
+  pool.parallel_for(
+      0, n, [&](std::size_t i) { results[i] = fn(i); }, cancel);
+  return results;
+}
+
+}  // namespace mebl::exec

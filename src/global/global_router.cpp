@@ -6,6 +6,8 @@
 #include <limits>
 #include <queue>
 
+#include "exec/cancellation.hpp"
+#include "exec/thread_pool.hpp"
 #include "telemetry/keys.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
@@ -155,10 +157,34 @@ void GlobalRouter::commit(const TilePath& path, int sign) {
   }
 }
 
-GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets) {
+GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
+                                 exec::ThreadPool* pool,
+                                 const exec::Cancellation* cancel,
+                                 const ProgressFn& progress) {
   TELEMETRY_SPAN("global.route");
   GlobalResult result;
   result.paths.resize(subnets.size());
+
+  const auto stop_requested = [&] {
+    return cancel != nullptr && cancel->stop_requested();
+  };
+  // Parallel phase of one batch: body(i) for i in [lo, hi), on the pool
+  // when given. The body only reads the congestion graph (frozen at the
+  // batch start) and writes per-index slots, so the outcome is identical
+  // for any thread count — demands are merged afterwards, in index order,
+  // by the sequential barrier code below.
+  const auto parallel_phase =
+      [&](std::size_t lo, std::size_t hi,
+          const std::function<void(std::size_t)>& body) {
+        if (pool != nullptr) {
+          pool->parallel_for(lo, hi, body, cancel);
+        } else {
+          for (std::size_t i = lo; i < hi && !stop_requested(); ++i) body(i);
+        }
+      };
+  const std::size_t batch = config_.net_batch_size > 0
+                                ? static_cast<std::size_t>(config_.net_batch_size)
+                                : 1;
 
   // Bottom-up multilevel schedule: bucket subnets by the level at which
   // they become local, then route level by level.
@@ -175,26 +201,42 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets) {
   const auto buckets = scheduler.schedule(tile_bboxes);
 
   const Rect full{0, 0, graph_.tiles_x() - 1, graph_.tiles_y() - 1};
-  for (int level = 0; level < scheduler.num_levels(); ++level) {
+  std::size_t committed = 0;
+  for (int level = 0; level < scheduler.num_levels() && !stop_requested();
+       ++level) {
     TELEMETRY_SPAN("global.level");
-    for (const std::size_t idx : buckets[static_cast<std::size_t>(level)]) {
-      const auto& subnet = subnets[idx];
-      TilePath& path = result.paths[idx];
-      path.net = subnet.net;
-      path.pin_a = subnet.a;
-      path.pin_b = subnet.b;
-      // Allow one tile of margin around the cluster for detours.
-      const Rect region =
-          scheduler.cluster_region(tile_bboxes[idx], level).inflated(1).intersect(
-              full);
-      const GCellId from{grid_->tile_of_x(subnet.a.x),
-                         grid_->tile_of_y(subnet.a.y)};
-      const GCellId to{grid_->tile_of_x(subnet.b.x),
-                       grid_->tile_of_y(subnet.b.y)};
-      path.tiles = search(from, to, region);
-      if (path.tiles.empty()) path.tiles = search(from, to, full);
-      path.routed = !path.tiles.empty();
-      if (path.routed) commit(path, +1);
+    const auto& bucket = buckets[static_cast<std::size_t>(level)];
+    for (std::size_t lo = 0; lo < bucket.size() && !stop_requested();
+         lo += batch) {
+      const std::size_t hi = std::min(bucket.size(), lo + batch);
+      parallel_phase(lo, hi, [&](std::size_t i) {
+        const std::size_t idx = bucket[i];
+        const auto& subnet = subnets[idx];
+        TilePath& path = result.paths[idx];
+        path.net = subnet.net;
+        path.pin_a = subnet.a;
+        path.pin_b = subnet.b;
+        // Allow one tile of margin around the cluster for detours.
+        const Rect region = scheduler.cluster_region(tile_bboxes[idx], level)
+                                .inflated(1)
+                                .intersect(full);
+        const GCellId from{grid_->tile_of_x(subnet.a.x),
+                           grid_->tile_of_y(subnet.a.y)};
+        const GCellId to{grid_->tile_of_x(subnet.b.x),
+                         grid_->tile_of_y(subnet.b.y)};
+        path.tiles = search(from, to, region);
+        if (path.tiles.empty()) path.tiles = search(from, to, full);
+        path.routed = !path.tiles.empty();
+      });
+      // Batch barrier: merge the batch's demands in index order.
+      for (std::size_t i = lo; i < hi; ++i) {
+        const TilePath& path = result.paths[bucket[i]];
+        if (path.routed) {
+          commit(path, +1);
+          ++committed;
+        }
+      }
+      if (progress) progress(committed, subnets.size());
     }
   }
 
@@ -206,7 +248,30 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets) {
       telemetry::counter(telemetry::keys::kGlobalRerouted);
   telemetry::Counter& passes_counter =
       telemetry::counter(telemetry::keys::kGlobalReroutePasses);
-  for (int pass = 0; pass < config_.reroute_passes; ++pass) {
+  const auto is_congested = [&](const TilePath& path) {
+    for (std::size_t i = 0; i + 1 < path.tiles.size(); ++i) {
+      const GCellId a = path.tiles[i];
+      const GCellId b = path.tiles[i + 1];
+      if (a.ty == b.ty) {
+        const int tx = std::min(a.tx, b.tx);
+        if (graph_.h_demand(tx, a.ty) > graph_.h_capacity(tx, a.ty))
+          return true;
+      } else {
+        const int ty = std::min(a.ty, b.ty);
+        if (graph_.v_demand(a.tx, ty) > graph_.v_capacity(a.tx, ty))
+          return true;
+      }
+    }
+    if (config_.vertex_cost) {
+      for (const GCellId t : path.tiles)
+        if (graph_.vertex_demand(t.tx, t.ty) > graph_.vertex_capacity(t.tx, t.ty))
+          return true;
+    }
+    return false;
+  };
+
+  for (int pass = 0; pass < config_.reroute_passes && !stop_requested();
+       ++pass) {
     if (graph_.total_edge_overflow() == 0 &&
         graph_.total_vertex_overflow() == 0)
       break;
@@ -214,41 +279,41 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets) {
     passes_counter.add(1);
     config_.vertex_cost_weight = base_vertex_weight * (1 << (pass + 1));
     int rerouted = 0;
-    for (auto& path : result.paths) {
-      if (!path.routed) continue;
-      bool congested = false;
-      for (std::size_t i = 0; i + 1 < path.tiles.size() && !congested; ++i) {
-        const GCellId a = path.tiles[i];
-        const GCellId b = path.tiles[i + 1];
-        if (a.ty == b.ty) {
-          const int tx = std::min(a.tx, b.tx);
-          congested = graph_.h_demand(tx, a.ty) > graph_.h_capacity(tx, a.ty);
-        } else {
-          const int ty = std::min(a.ty, b.ty);
-          congested = graph_.v_demand(a.tx, ty) > graph_.v_capacity(a.tx, ty);
-        }
+    // Batch-synchronous rip-up & reroute: walk the paths in index order,
+    // gathering the next `batch` subnets that are congested against the
+    // *live* demand state; rip the whole gathered batch up, search its
+    // replacements in parallel against the post-rip-up state, then merge
+    // the new demands in index order at the barrier. Batch size 1
+    // reproduces the classic one-net-at-a-time schedule exactly.
+    std::size_t cursor = 0;
+    std::vector<std::size_t> gathered;
+    std::vector<std::vector<GCellId>> fresh;
+    while (cursor < result.paths.size() && !stop_requested()) {
+      gathered.clear();
+      while (cursor < result.paths.size() && gathered.size() < batch) {
+        const TilePath& path = result.paths[cursor];
+        if (path.routed && is_congested(path)) gathered.push_back(cursor);
+        ++cursor;
       }
-      if (config_.vertex_cost && !congested) {
-        for (const GCellId t : path.tiles) {
-          if (graph_.vertex_demand(t.tx, t.ty) >
-              graph_.vertex_capacity(t.tx, t.ty)) {
-            congested = true;
-            break;
-          }
-        }
+      if (gathered.empty()) continue;
+      for (const std::size_t idx : gathered) commit(result.paths[idx], -1);
+      fresh.assign(gathered.size(), {});
+      parallel_phase(0, gathered.size(), [&](std::size_t i) {
+        const TilePath& path = result.paths[gathered[i]];
+        // Search within the current path's neighbourhood; detours of a few
+        // tiles suffice to move line ends out of hot tiles.
+        Rect region;
+        for (const GCellId t : path.tiles)
+          region = region.hull(Rect{t.tx, t.ty, t.tx, t.ty});
+        region = region.inflated(4).intersect(full);
+        fresh[i] = search(path.tiles.front(), path.tiles.back(), region);
+      });
+      for (std::size_t i = 0; i < gathered.size(); ++i) {
+        TilePath& path = result.paths[gathered[i]];
+        if (!fresh[i].empty()) path.tiles = std::move(fresh[i]);
+        commit(path, +1);
+        ++rerouted;
       }
-      if (!congested) continue;
-      commit(path, -1);
-      // Search within the current path's neighbourhood; detours of a few
-      // tiles suffice to move line ends out of hot tiles.
-      Rect region;
-      for (const GCellId t : path.tiles)
-        region = region.hull(Rect{t.tx, t.ty, t.tx, t.ty});
-      region = region.inflated(4).intersect(full);
-      auto tiles = search(path.tiles.front(), path.tiles.back(), region);
-      if (!tiles.empty()) path.tiles = std::move(tiles);
-      commit(path, +1);
-      ++rerouted;
     }
     rerouted_counter.add(rerouted);
     util::log_info() << "global reroute pass " << pass << ": " << rerouted

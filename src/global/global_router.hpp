@@ -1,10 +1,16 @@
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "global/multilevel.hpp"
 #include "global/routing_graph.hpp"
 #include "netlist/netlist.hpp"
+
+namespace mebl::exec {
+class ThreadPool;
+class Cancellation;
+}  // namespace mebl::exec
 
 namespace mebl::global {
 
@@ -26,6 +32,16 @@ struct GlobalRouterConfig {
   int reroute_passes = 6;
   /// Extra cost per bend, to prefer straight global routes.
   double turn_cost = 0.5;
+  /// Subnets per batch in the batch-synchronous schedule: each batch is
+  /// searched in parallel against the congestion state frozen at the batch
+  /// start, then its demands are merged in index order at the batch
+  /// barrier. 1 = classic sequential net-by-net routing (every net sees
+  /// every earlier net's congestion). Larger batches are the parallel unit
+  /// of work; the value changes the routed result slightly (staler
+  /// congestion within a batch) but never its determinism — for a fixed
+  /// batch size the result is bit-identical for any thread count. Part of
+  /// the determinism contract: never derive this from the thread count.
+  int net_batch_size = 1;
 };
 
 /// Global route of one 2-pin subnet: a 4-connected GCell path from the tile
@@ -55,9 +71,22 @@ class GlobalRouter {
  public:
   GlobalRouter(const grid::RoutingGrid& grid, GlobalRouterConfig config = {});
 
+  /// Reports batch completion during routing: (subnets routed so far,
+  /// total subnets).
+  using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
   /// Route all subnets (produced by netlist::decompose_all). Demands
   /// accumulate in graph(); call once per instance.
-  GlobalResult route(const std::vector<netlist::Subnet>& subnets);
+  ///
+  /// `pool` parallelizes the search phase of each net batch (null = run on
+  /// the calling thread; the routed result is identical either way).
+  /// `cancel` stops the scheduling of further batches; already-committed
+  /// paths are kept and the partial result returned. `progress` fires after
+  /// every committed batch.
+  GlobalResult route(const std::vector<netlist::Subnet>& subnets,
+                     exec::ThreadPool* pool = nullptr,
+                     const exec::Cancellation* cancel = nullptr,
+                     const ProgressFn& progress = {});
 
   [[nodiscard]] const RoutingGraph& graph() const noexcept { return graph_; }
   [[nodiscard]] const grid::RoutingGrid& grid() const noexcept { return *grid_; }

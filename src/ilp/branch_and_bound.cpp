@@ -236,7 +236,9 @@ class Search {
     ++nodes_;
     if ((nodes_ & 0x3ff) == 0 &&
         (timer_.seconds() > options_.time_limit_seconds ||
-         nodes_ > options_.max_nodes))
+         nodes_ > options_.max_nodes ||
+         (options_.deadline &&
+          std::chrono::steady_clock::now() > *options_.deadline)))
       return false;
 
     const std::size_t mark = trail_.size();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -23,6 +24,12 @@ enum class SolveStatus {
 struct SolveOptions {
   double time_limit_seconds = std::numeric_limits<double>::infinity();
   std::int64_t max_nodes = std::numeric_limits<std::int64_t>::max();
+  /// Absolute wall-clock deadline, typically shared by many solves (the
+  /// router's per-circuit ILP budget under parallel panel fan-out). Checked
+  /// inside the search alongside time_limit_seconds, so one over-budget
+  /// solve stops mid-search instead of blowing past the budget. Unset =
+  /// no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Optional warm-start assignment: must be feasible; used as the initial
   /// incumbent so pruning starts immediately.
   std::optional<std::vector<std::uint8_t>> warm_start;

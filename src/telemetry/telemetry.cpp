@@ -68,6 +68,17 @@ void set_clock_for_testing(ClockFn clock) {
   g_clock.store(clock, std::memory_order_relaxed);
 }
 
+namespace internal {
+
+std::size_t counter_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return shard;
+}
+
+}  // namespace internal
+
 Counter& counter(std::string_view name) {
   const std::lock_guard<std::mutex> lock(g_registry_mutex);
   return counter_registry()[std::string(name)];
@@ -249,7 +260,7 @@ void reset_for_testing() {
   set_clock_for_testing(nullptr);
   const std::lock_guard<std::mutex> lock(g_registry_mutex);
   for (auto& [name, ctr] : counter_registry())
-    ctr.value_.store(0, std::memory_order_relaxed);
+    for (auto& shard : ctr.shards_) shard.value.store(0, std::memory_order_relaxed);
   for (auto& [name, histo] : histogram_registry()) {
     histo.count_.store(0, std::memory_order_relaxed);
     histo.total_ns_.store(0, std::memory_order_relaxed);

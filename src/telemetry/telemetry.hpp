@@ -11,8 +11,10 @@
 //    a disabled span is one relaxed atomic load.
 //  * counter("name") — process-wide monotonic int64 counters (rip-ups, A*
 //    expansions, ILP branch-and-bound nodes, ...). Always on: an add is one
-//    relaxed atomic increment. Hot paths cache the returned reference,
-//    which is stable for the process lifetime.
+//    relaxed atomic increment on a per-thread shard, so counters shared by
+//    the parallel pipeline (exec::ThreadPool fan-out) do not become cache
+//    contention points; value() sums the shards. Hot paths cache the
+//    returned reference, which is stable for the process lifetime.
 //  * histogram("name") — log2-bucketed latency histograms (record_ns).
 //
 // Everything is thread-safe. Counter/histogram registration and span
@@ -40,19 +42,39 @@ void set_clock_for_testing(ClockFn clock);
 
 // ---------------------------------------------------------------- counters
 
+namespace internal {
+/// Stable shard slot of the calling thread (assigned round-robin on first
+/// use, reduced modulo Counter shard count).
+[[nodiscard]] std::size_t counter_shard() noexcept;
+}  // namespace internal
+
 /// Monotonic named counter. Obtain via counter(); add() is wait-free.
+///
+/// Internally sharded: each thread increments its own cache-line-aligned
+/// slot, and value() sums the shards. The sum is exact whenever the reader
+/// synchronizes with the writers — e.g. after the parallel_for barrier that
+/// ran them, which is when the pipeline takes its snapshots.
 class Counter {
  public:
+  static constexpr std::size_t kShards = 8;
+
   void add(std::int64_t n = 1) noexcept {
-    value_.fetch_add(n, std::memory_order_relaxed);
+    shards_[internal::counter_shard()].value.fetch_add(
+        n, std::memory_order_relaxed);
   }
   [[nodiscard]] std::int64_t value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
+    std::int64_t sum = 0;
+    for (const Shard& shard : shards_)
+      sum += shard.value.load(std::memory_order_relaxed);
+    return sum;
   }
 
  private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> value{0};
+  };
   friend void reset_for_testing();
-  std::atomic<std::int64_t> value_{0};
+  std::array<Shard, kShards> shards_{};
 };
 
 /// The process-wide counter `name`, created at zero on first use. The

@@ -1,0 +1,158 @@
+// Unit tests of the mebl::exec execution layer: exactly-once coverage,
+// deterministic merging, exception propagation, cancellation, nesting.
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/cancellation.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace {
+
+using mebl::exec::Cancellation;
+using mebl::exec::ThreadPool;
+
+class ExecPool : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(GetParam());
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST_P(ExecPool, SubrangeAndEmptyAndSingle) {
+  ThreadPool pool(GetParam());
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(10, 90, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i], i >= 10 && i < 90 ? 1 : 0);
+
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  pool.parallel_for(7, 8, [&](std::size_t i) { EXPECT_EQ(i, 7u); ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST_P(ExecPool, ParallelMapMergesInIndexOrder) {
+  ThreadPool pool(GetParam());
+  const auto squares = mebl::exec::parallel_map<std::size_t>(
+      pool, 1000, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 1000u);
+  for (std::size_t i = 0; i < squares.size(); ++i)
+    ASSERT_EQ(squares[i], i * i);
+}
+
+TEST_P(ExecPool, ForEachVisitsEveryElement) {
+  ThreadPool pool(GetParam());
+  std::vector<int> values(257);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<long long> sum{0};
+  pool.parallel_for_each(values,
+                         [&](int v) { sum.fetch_add(v, std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(), 257LL * 256 / 2);
+}
+
+TEST_P(ExecPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(GetParam());
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [&](std::size_t i) {
+                                   if (i == 123)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+
+  // The pool survives a failed job and runs the next one normally.
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, 64, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST_P(ExecPool, ExceptionStopsSchedulingOfRemainingWork) {
+  ThreadPool pool(GetParam());
+  constexpr std::size_t kN = 100'000;
+  std::atomic<std::size_t> executed{0};
+  try {
+    pool.parallel_for(0, kN, [&](std::size_t) {
+      if (executed.fetch_add(1, std::memory_order_relaxed) == 0)
+        throw std::runtime_error("first");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  // Whole chunks are abandoned once the failure flag is up; with the first
+  // body throwing, nowhere near the full range can have run.
+  EXPECT_LT(executed.load(), kN);
+}
+
+TEST_P(ExecPool, PreCancelledRunsNothing) {
+  ThreadPool pool(GetParam());
+  Cancellation cancel;
+  cancel.request_stop();
+  std::atomic<int> ran{0};
+  pool.parallel_for(
+      0, 1000, [&](std::size_t) { ran.fetch_add(1); }, &cancel);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST_P(ExecPool, CancellationStopsSchedulingUnstartedWork) {
+  ThreadPool pool(GetParam());
+  Cancellation cancel;
+  constexpr std::size_t kN = 100'000;
+  std::atomic<std::size_t> executed{0};
+  pool.parallel_for(
+      0, kN,
+      [&](std::size_t) {
+        if (executed.fetch_add(1, std::memory_order_relaxed) == 0)
+          cancel.request_stop();
+      },
+      &cancel);
+  EXPECT_GE(executed.load(), 1u);
+  EXPECT_LT(executed.load(), kN);
+}
+
+TEST_P(ExecPool, NestedParallelForRunsInline) {
+  ThreadPool pool(GetParam());
+  constexpr std::size_t kOuter = 32, kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(0, kOuter, [&](std::size_t o) {
+    pool.parallel_for(0, kInner, [&](std::size_t i) {
+      hits[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ExecPool, ::testing::Values(1, 2, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST(ExecPoolBasics, DefaultConcurrencyIsHardware) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.concurrency(), ThreadPool::hardware_threads());
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ExecPoolBasics, CancellationIsSticky) {
+  Cancellation cancel;
+  EXPECT_FALSE(cancel.stop_requested());
+  cancel.request_stop();
+  EXPECT_TRUE(cancel.stop_requested());
+  cancel.request_stop();
+  EXPECT_TRUE(cancel.stop_requested());
+}
+
+}  // namespace
