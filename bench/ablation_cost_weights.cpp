@@ -10,6 +10,8 @@
 
 int main(int argc, char** argv) {
   using namespace mebl;
+  bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("ablation_cost_weights", argc, argv);
   bench_common::QuietLogs quiet;
   const int threads = bench_common::threads_from_args(argc, argv);
 
@@ -44,10 +46,19 @@ int main(int argc, char** argv) {
       wl += result.metrics.wirelength;
       rout += result.metrics.routability_pct();
     }
+    const double seconds = timer.seconds();
     table.add_row(util::Table::fixed(setting.beta, 0),
                   util::Table::fixed(setting.gamma, 0), std::to_string(sp),
                   util::Table::fixed(rout / 3.0, 2), std::to_string(wl),
-                  util::Table::fixed(timer.seconds(), 1));
+                  util::Table::fixed(seconds, 1));
+    const std::string variant = "beta=" + util::Table::fixed(setting.beta, 0) +
+                                ",gamma=" +
+                                util::Table::fixed(setting.gamma, 0);
+    report_scope.add("S5378+S9234+S13207", variant,
+                     {{"short_polygons", report::Json(sp)},
+                      {"routability_pct", report::Json(rout / 3.0)},
+                      {"wirelength", report::Json(wl)},
+                      {"seconds", report::Json(seconds)}});
   }
   std::cout << table.str(
       "ABLATION: detailed-routing cost weights (paper: alpha=1, beta=10, "

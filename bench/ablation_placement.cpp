@@ -11,6 +11,8 @@
 
 int main(int argc, char** argv) {
   using namespace mebl;
+  bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("ablation_placement", argc, argv);
   bench_common::QuietLogs quiet;
   const int threads = bench_common::threads_from_args(argc, argv);
 
@@ -37,6 +39,16 @@ int main(int argc, char** argv) {
         refined.grid, refined.netlist,
         core::RouterConfig::stitch_aware().with_threads(threads));
     const auto refined_result = refined_router.run();
+
+    report_scope.add(spec.name, "raw",
+                     report::QualitySummary::from(raw_result, 0.0));
+    {
+      auto metrics = report::QualitySummary::from(refined_result, 0.0)
+                         .to_metrics();
+      metrics["pins_moved"] = report::Json(
+          static_cast<std::int64_t>(stats.pins_moved));
+      report_scope.add(spec.name, "refined", std::move(metrics));
+    }
 
     table.add_row(spec.name, std::to_string(raw_result.metrics.via_violations),
                   std::to_string(raw_result.metrics.short_polygons),

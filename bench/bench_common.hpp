@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_suite/circuit_generator.hpp"
+#include "report/report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -162,6 +163,59 @@ class TelemetryScope {
  private:
   std::string trace_path_;
   std::string stats_path_;
+};
+
+/// Shared `--json FILE` handling: collect one BenchRow per measured
+/// (circuit, variant) configuration and write the machine-readable
+/// mebl.bench_report artifact when the scope is destroyed. With no --json
+/// flag, setting MEBL_BENCH_JSON=1 writes BENCH_<name>.json into the
+/// working directory, so suite drivers can turn every harness into a
+/// regression baseline for `mebl_report diff` with one environment
+/// variable. Rows keep insertion order (the table's row order).
+class ReportScope {
+ public:
+  ReportScope(std::string bench_name, int argc, char** argv) {
+    report_.bench = std::move(bench_name);
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--json" && i + 1 < argc)
+        json_path_ = argv[++i];
+    if (json_path_.empty()) {
+      if (const char* on = std::getenv("MEBL_BENCH_JSON");
+          on != nullptr && on[0] == '1')
+        json_path_ = "BENCH_" + report_.bench + ".json";
+    }
+  }
+
+  ~ReportScope() {
+    if (json_path_.empty()) return;
+    if (report_.write_file(json_path_))
+      std::cerr << "[mebl bench] wrote " << json_path_ << "\n";
+    else
+      std::cerr << "[mebl bench] cannot write " << json_path_ << "\n";
+  }
+
+  ReportScope(const ReportScope&) = delete;
+  ReportScope& operator=(const ReportScope&) = delete;
+
+  /// True when a JSON artifact will be written (lets a harness skip
+  /// collecting when nobody asked).
+  [[nodiscard]] bool enabled() const noexcept { return !json_path_.empty(); }
+
+  /// Record one measured configuration with the shared quality columns.
+  void add(const std::string& circuit, const std::string& variant,
+           const report::QualitySummary& summary) {
+    report_.rows.push_back({circuit, variant, summary.to_metrics()});
+  }
+
+  /// Record one measured configuration with harness-specific metrics.
+  void add(const std::string& circuit, const std::string& variant,
+           report::Json::Object metrics) {
+    report_.rows.push_back({circuit, variant, std::move(metrics)});
+  }
+
+ private:
+  report::BenchReport report_;
+  std::string json_path_;
 };
 
 }  // namespace mebl::bench_common

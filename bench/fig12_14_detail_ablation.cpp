@@ -11,19 +11,22 @@
 int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("fig12_14_detail_ablation", argc,
+                                         argv);
   bench_common::QuietLogs quiet;
   const int threads = bench_common::threads_from_args(argc, argv);
 
   struct Variant {
     const char* name;
+    const char* key;  ///< stable (circuit, variant) key in the JSON artifact
     bool cost;
     bool ordering;
   };
   const Variant variants[] = {
-      {"neither", false, false},
-      {"cost only (Fig.12/13)", true, false},
-      {"ordering only (Fig.14)", false, true},
-      {"both (full)", true, true},
+      {"neither", "neither", false, false},
+      {"cost only (Fig.12/13)", "cost-only", true, false},
+      {"ordering only (Fig.14)", "ordering-only", false, true},
+      {"both (full)", "both", true, true},
   };
 
   util::Table table("Circuit", "neither #SP", "cost #SP", "ordering #SP",
@@ -42,6 +45,11 @@ int main(int argc, char** argv) {
       const auto result = router.run();
       row.push_back(std::to_string(result.metrics.short_polygons));
       totals[v] += result.metrics.short_polygons;
+      report_scope.add(spec.name, variants[v].key,
+                       {{"short_polygons",
+                         report::Json(result.metrics.short_polygons)},
+                        {"routability_pct",
+                         report::Json(result.metrics.routability_pct())}});
       if (v == 3) both_rout = result.metrics.routability_pct();
     }
     row.push_back(util::Table::fixed(both_rout, 2));

@@ -6,11 +6,13 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "raster/defect.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mebl;
+  bench_common::ReportScope report_scope("fig4_raster_defects", argc, argv);
 
   util::Table table("Cut piece (px)", "Pattern px", "Error px",
                     "Error ratio (%)", "Kernel");
@@ -19,12 +21,20 @@ int main() {
     const char* name =
         kernel == raster::DitherKernel::kFloydSteinberg ? "Floyd-Steinberg"
                                                         : "Right+Down";
+    const char* key =
+        kernel == raster::DitherKernel::kFloydSteinberg ? "floyd-steinberg"
+                                                        : "right-down";
     for (const int cut : {1, 2, 3, 5, 8, 12, 20, 32}) {
       const auto report = raster::short_polygon_experiment(
           cut, /*length_px=*/64, /*width_px=*/3, /*edge_bias=*/0.0, kernel);
       table.add_row(std::to_string(cut), std::to_string(report.pattern_pixels),
                     std::to_string(report.error_pixels),
                     util::Table::fixed(100.0 * report.error_ratio(), 1), name);
+      report_scope.add(
+          "cut=" + std::to_string(cut), key,
+          {{"pattern_pixels", report::Json(report.pattern_pixels)},
+           {"error_pixels", report::Json(report.error_pixels)},
+           {"error_ratio", report::Json(report.error_ratio())}});
     }
     table.add_rule();
   }

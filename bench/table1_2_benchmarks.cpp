@@ -10,9 +10,10 @@
 
 namespace {
 
-void print_suite(const char* title,
+void print_suite(const char* title, const char* variant,
                  const std::vector<mebl::bench_suite::BenchmarkSpec>& specs,
-                 const mebl::bench_suite::GeneratorConfig& config) {
+                 const mebl::bench_suite::GeneratorConfig& config,
+                 mebl::bench_common::ReportScope& report_scope) {
   mebl::util::Table table("Circuit", "Size (um^2)", "Tracks", "#Layers",
                           "#Nets", "#Pins");
   for (const auto& spec : specs) {
@@ -26,6 +27,14 @@ void print_suite(const char* title,
     std::snprintf(tracks, sizeof tracks, "%dx%d", circuit.grid.width(),
                   circuit.grid.height());
     table.add_row(spec.name, size, tracks, spec.layers, spec.nets, spec.pins);
+
+    mebl::report::Json::Object metrics;
+    metrics["tracks_x"] = static_cast<std::int64_t>(circuit.grid.width());
+    metrics["tracks_y"] = static_cast<std::int64_t>(circuit.grid.height());
+    metrics["layers"] = spec.layers;
+    metrics["nets"] = spec.nets;
+    metrics["pins"] = spec.pins;
+    report_scope.add(spec.name, variant, std::move(metrics));
   }
   std::cout << table.str(title) << "\n";
 }
@@ -34,12 +43,14 @@ void print_suite(const char* title,
 
 int main(int argc, char** argv) {
   mebl::bench_common::TelemetryScope telemetry_scope(argc, argv);
+  mebl::bench_common::ReportScope report_scope("table1_2_benchmarks", argc,
+                                               argv);
   mebl::bench_common::QuietLogs quiet;
-  print_suite("TABLE I: MCNC benchmark circuits",
+  print_suite("TABLE I: MCNC benchmark circuits", "mcnc",
               mebl::bench_suite::mcnc_suite(),
-              mebl::bench_common::mcnc_config());
-  print_suite("TABLE II: Faraday benchmark circuits",
+              mebl::bench_common::mcnc_config(), report_scope);
+  print_suite("TABLE II: Faraday benchmark circuits", "faraday",
               mebl::bench_suite::faraday_suite(),
-              mebl::bench_common::faraday_config());
+              mebl::bench_common::faraday_config(), report_scope);
   return 0;
 }

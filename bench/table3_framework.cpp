@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("table3_framework", argc, argv);
   bench_common::QuietLogs quiet;
   const int threads = bench_common::threads_from_args(argc, argv);
 
@@ -39,6 +40,11 @@ int main(int argc, char** argv) {
         core::RouterConfig::stitch_aware().with_threads(threads));
     const auto sa = aware.run();
     const double sa_seconds = timer.seconds();
+
+    report_scope.add(spec.name, "baseline",
+                     report::QualitySummary::from(base, base_seconds));
+    report_scope.add(spec.name, "stitch-aware",
+                     report::QualitySummary::from(sa, sa_seconds));
 
     table.add_row(spec.name, util::Table::fixed(base.metrics.routability_pct(), 2),
                   std::to_string(base.metrics.via_violations),

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("table4_global_routing", argc, argv);
   bench_common::QuietLogs quiet;
   exec::ThreadPool pool(bench_common::threads_from_args(argc, argv));
 
@@ -41,6 +42,21 @@ int main(int argc, char** argv) {
     global::GlobalRouter router_w(circuit.grid, with);
     const auto result_w = router_w.route(subnets, &pool);
     const double seconds_w = timer.seconds();
+
+    const auto global_metrics = [](const global::GlobalResult& result,
+                                   double seconds) {
+      report::Json::Object metrics;
+      metrics["total_vertex_overflow"] = result.total_vertex_overflow;
+      metrics["max_vertex_overflow"] = result.max_vertex_overflow;
+      metrics["total_edge_overflow"] = result.total_edge_overflow;
+      metrics["wirelength"] = result.wirelength;
+      metrics["seconds"] = seconds;
+      return metrics;
+    };
+    report_scope.add(spec.name, "no-vertex-cost",
+                     global_metrics(result_wo, seconds_wo));
+    report_scope.add(spec.name, "vertex-cost",
+                     global_metrics(result_w, seconds_w));
 
     table.add_row(spec.name, std::to_string(result_wo.total_vertex_overflow),
                   std::to_string(result_wo.max_vertex_overflow),

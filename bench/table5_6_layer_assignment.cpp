@@ -12,6 +12,8 @@
 int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("table5_6_layer_assignment", argc,
+                                         argv);
   bench_common::QuietLogs quiet;
   exec::ThreadPool pool(bench_common::threads_from_args(argc, argv));
 
@@ -59,6 +61,11 @@ int main(int argc, char** argv) {
     }
     mst_row.push_back(util::Table::fixed(mst_total / kInstances, 2));
     ours_row.push_back(util::Table::fixed(ours_total / kInstances, 2));
+    const std::string instance = "k=" + std::to_string(k);
+    report_scope.add(instance, "mst",
+                     {{"avg_cost", report::Json(mst_total / kInstances)}});
+    report_scope.add(instance, "ours",
+                     {{"avg_cost", report::Json(ours_total / kInstances)}});
     improvement.push_back(util::Table::fixed(
         mst_total > 0 ? 100.0 * (mst_total - ours_total) / mst_total : 0.0, 2) +
         "%");

@@ -44,6 +44,8 @@ Row run(const mebl::bench_suite::GeneratedCircuit& circuit,
 int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("table7_track_assignment", argc,
+                                         argv);
   bench_common::QuietLogs quiet;
   const int threads = bench_common::threads_from_args(argc, argv);
 
@@ -60,6 +62,19 @@ int main(int argc, char** argv) {
     const Row baseline = run(circuit, core::TrackAlgorithm::kBaseline, threads);
     const Row ilp = run(circuit, core::TrackAlgorithm::kIlp, threads);
     const Row graph = run(circuit, core::TrackAlgorithm::kGraph, threads);
+
+    const auto row_metrics = [](const Row& row) {
+      report::Json::Object metrics;
+      metrics["routability_pct"] = row.rout;
+      metrics["via_violations"] = row.vv;
+      metrics["short_polygons"] = row.sp;
+      metrics["seconds"] = row.cpu;
+      metrics["budget_exceeded"] = static_cast<std::int64_t>(row.na ? 1 : 0);
+      return metrics;
+    };
+    report_scope.add(spec.name, "baseline", row_metrics(baseline));
+    if (!ilp.na) report_scope.add(spec.name, "ilp", row_metrics(ilp));
+    report_scope.add(spec.name, "graph", row_metrics(graph));
 
     table.add_row(spec.name, util::Table::fixed(baseline.rout, 2),
                   std::to_string(baseline.sp),

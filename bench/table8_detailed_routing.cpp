@@ -10,6 +10,8 @@
 int main(int argc, char** argv) {
   using namespace mebl;
   bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("table8_detailed_routing", argc,
+                                         argv);
   bench_common::QuietLogs quiet;
   const int threads = bench_common::threads_from_args(argc, argv);
 
@@ -39,6 +41,11 @@ int main(int argc, char** argv) {
         core::RouterConfig::stitch_aware().with_threads(threads));
     const auto result_w = router_w.run();
     const double seconds_w = timer.seconds();
+
+    report_scope.add(spec.name, "stitch-oblivious",
+                     report::QualitySummary::from(result_wo, seconds_wo));
+    report_scope.add(spec.name, "stitch-aware",
+                     report::QualitySummary::from(result_w, seconds_w));
 
     table.add_row(spec.name,
                   util::Table::fixed(result_wo.metrics.routability_pct(), 2),

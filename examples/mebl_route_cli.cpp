@@ -1,11 +1,14 @@
 // Standalone routing driver: route a design file (the "MEBL1" text format,
-// see netlist/io.hpp) and emit metrics, an SVG plot, and congestion
-// heatmaps. This is the adoption path for users with their own designs:
+// see netlist/io.hpp) and emit metrics, an SVG plot, run reports, and
+// spatial heatmaps. This is the adoption path for users with their own
+// designs:
 //
 //   mebl_route_cli design.mebl [--baseline] [--threads 8] [--svg out.svg]
+//                  [--report run.json] [--heatmap dir/]
 //
-// With no file argument a demo design is generated, saved next to the
-// outputs, and routed — so the binary is also a runnable example.
+// With no file argument a demo design is generated (--demo picks which),
+// saved next to the outputs, and routed — so the binary is also a runnable
+// example.
 
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +21,8 @@
 #include "eval/svg_writer.hpp"
 #include "netlist/io.hpp"
 #include "place/pin_refine.hpp"
+#include "report/report.hpp"
+#include "report/spatial.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -25,16 +30,27 @@ namespace {
 void usage() {
   std::cout <<
       "usage: mebl_route_cli [design.mebl] [options]\n"
-      "  --baseline      route with the conventional (stitch-oblivious) flow\n"
-      "  --threads N     worker threads (0 = one per hardware thread);\n"
-      "                  results are identical for every N\n"
-      "  --progress      print per-stage progress while routing\n"
-      "  --refine-pins   run stitch-aware pin refinement before routing\n"
-      "  --svg PATH      write the routed layout as SVG\n"
-      "  --heatmap       print the vertical congestion heatmap\n"
-      "  --save PATH     write the (possibly refined) design back out\n"
-      "  --trace PATH    write a Chrome/Perfetto trace of the routing run\n"
-      "  --stats PATH    write the telemetry counters/histograms as JSON\n";
+      "  --baseline          route with the conventional (stitch-oblivious) flow\n"
+      "  --demo NAME         circuit to generate when no design file is given\n"
+      "                      (default S9234; e.g. Struct, Primary1, S13207)\n"
+      "  --threads N         worker threads (0 = one per hardware thread);\n"
+      "                      results are identical for every N\n"
+      "  --progress          print per-stage progress while routing\n"
+      "  --refine-pins       run stitch-aware pin refinement before routing\n"
+      "  --svg PATH          write the routed layout as SVG\n"
+      "  --heatmap DIR       write congestion/via-density heatmaps (CSV + SVG)\n"
+      "                      into DIR; '-' prints the ASCII congestion map\n"
+      "  --report PATH       write the run quality report (JSON) to PATH\n"
+      "  --report-canonical  omit wall-clock data from the report, making the\n"
+      "                      bytes reproducible across runs and thread counts\n"
+      "  --save PATH         write the (possibly refined) design back out\n"
+      "  --trace PATH        write a Chrome/Perfetto trace of the routing run\n"
+      "  --stats PATH        write the telemetry counters/histograms as JSON\n"
+      "\n"
+      "All output sinks compose: one routing run feeds --report, --heatmap,\n"
+      "--svg, --trace, --stats, and --progress simultaneously. The report's\n"
+      "stage counter snapshots are taken at the same stage boundaries the\n"
+      "progress observer reports.\n";
 }
 
 /// --progress: push-style pipeline reporting on stderr. Also the minimal
@@ -68,27 +84,36 @@ int main(int argc, char** argv) {
   using namespace mebl;
 
   std::string design_path;
+  std::string demo_name = "S9234";
   std::string svg_path;
   std::string save_path;
   std::string trace_path;
   std::string stats_path;
+  std::string report_path;
+  std::string heatmap_dir;
   bool baseline = false;
   bool refine = false;
-  bool heatmap = false;
   bool progress = false;
+  bool report_canonical = false;
   int threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--baseline") {
       baseline = true;
+    } else if (arg == "--demo" && i + 1 < argc) {
+      demo_name = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--refine-pins") {
       refine = true;
-    } else if (arg == "--heatmap") {
-      heatmap = true;
+    } else if (arg == "--heatmap" && i + 1 < argc) {
+      heatmap_dir = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--report-canonical") {
+      report_canonical = true;
     } else if (arg == "--svg" && i + 1 < argc) {
       svg_path = argv[++i];
     } else if (arg == "--save" && i + 1 < argc) {
@@ -121,9 +146,14 @@ int main(int argc, char** argv) {
               << "x" << design->grid.height() << " tracks, "
               << design->netlist.num_nets() << " nets\n";
   } else {
-    std::cout << "no design given; generating the S9234-like demo circuit\n";
-    auto circuit =
-        bench_suite::generate_circuit(*bench_suite::find_spec("S9234"), {}, 1);
+    const auto* spec = bench_suite::find_spec(demo_name);
+    if (spec == nullptr) {
+      std::cerr << "unknown demo circuit '" << demo_name << "'\n";
+      return 2;
+    }
+    std::cout << "no design given; generating the " << demo_name
+              << "-like demo circuit\n";
+    auto circuit = bench_suite::generate_circuit(*spec, {}, 1);
     design = netlist::Design{circuit.grid, std::move(circuit.netlist)};
   }
 
@@ -149,7 +179,9 @@ int main(int argc, char** argv) {
   config.with_threads(threads);
   core::StitchAwareRouter router(design->grid, design->netlist, config);
   StderrProgress reporter;
-  if (progress) router.set_observer(&reporter);
+  if (progress) router.add_observer(&reporter);
+  report::RunReportBuilder report_builder;
+  if (!report_path.empty()) router.add_observer(&report_builder);
   const auto result = router.run();
   if (!trace_path.empty()) {
     if (!telemetry::Tracer::write_chrome_trace_file(trace_path)) {
@@ -165,6 +197,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "wrote stats to " << stats_path << "\n";
+  }
+  if (!report_path.empty()) {
+    const auto report =
+        report_builder.build(result, design->grid, design->netlist);
+    report::WriteOptions options;
+    options.include_timing = !report_canonical;
+    if (!report::write_report_file(report, report_path, options)) {
+      std::cerr << "cannot write " << report_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote run report to " << report_path
+              << (report_canonical ? " (canonical)" : "") << "\n";
   }
 
   std::cout << "routability        : " << result.metrics.routability_pct()
@@ -188,10 +232,16 @@ int main(int argc, char** argv) {
     }
     std::cout << "wrote " << svg_path << "\n";
   }
-  if (heatmap) {
+  if (heatmap_dir == "-") {
     const auto congestion = eval::measure_congestion(*result.grid);
     std::cout << "vertical congestion (peak " << congestion.peak() << "):\n"
               << eval::ascii_heatmap(congestion, /*vertical=*/true);
+  } else if (!heatmap_dir.empty()) {
+    if (!report::write_heatmap_dir(heatmap_dir, *result.grid)) {
+      std::cerr << "cannot write heatmaps into " << heatmap_dir << "\n";
+      return 1;
+    }
+    std::cout << "wrote heatmaps into " << heatmap_dir << "/\n";
   }
   return result.metrics.vertical_violations == 0 ? 0 : 1;
 }

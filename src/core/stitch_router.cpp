@@ -185,16 +185,22 @@ RoutingResult StitchAwareRouter::run() {
   exec::ThreadPool pool(config_.num_threads);
   exec::Cancellation cancel;
   const auto begin_stage = [&](Stage stage) {
-    if (observer_ != nullptr) observer_->on_stage_begin(stage);
+    for (ProgressObserver* observer : observers_)
+      observer->on_stage_begin(stage);
   };
   const auto end_stage = [&](Stage stage, double seconds) {
-    if (observer_ != nullptr) observer_->on_stage_end(stage, seconds);
+    for (ProgressObserver* observer : observers_)
+      observer->on_stage_end(stage, seconds);
+  };
+  const auto any_wants_cancel = [&] {
+    return std::any_of(
+        observers_.begin(), observers_.end(),
+        [](ProgressObserver* observer) { return observer->should_cancel(); });
   };
   // Polled at stage boundaries (and, via the global router's progress hook,
   // between net batches). Sticky through the Cancellation token.
   const auto cancelled = [&] {
-    if (observer_ != nullptr && observer_->should_cancel())
-      cancel.request_stop();
+    if (any_wants_cancel()) cancel.request_stop();
     return cancel.stop_requested();
   };
   const auto finalize = [&](bool was_cancelled) -> RoutingResult& {
@@ -212,12 +218,22 @@ RoutingResult StitchAwareRouter::run() {
     begin_stage(Stage::kGlobal);
     global::GlobalRouter global_router(*grid_, config_.global);
     global::GlobalRouter::ProgressFn progress;
-    if (observer_ != nullptr)
+    if (!observers_.empty())
       progress = [&](std::size_t routed, std::size_t total) {
-        observer_->on_nets_routed(routed, total);
-        if (observer_->should_cancel()) cancel.request_stop();
+        for (ProgressObserver* observer : observers_)
+          observer->on_nets_routed(routed, total);
+        if (any_wants_cancel()) cancel.request_stop();
       };
     result.global = global_router.route(subnets, &pool, &cancel, progress);
+    // Record the global-stage quality counters before the stage boundary so
+    // per-stage report snapshots carry them.
+    telemetry::counter(keys::kGlobalWirelength).add(result.global.wirelength);
+    telemetry::counter(keys::kGlobalVertexOverflow)
+        .add(result.global.total_vertex_overflow);
+    telemetry::counter(keys::kGlobalVertexOverflowMax)
+        .add(result.global.max_vertex_overflow);
+    telemetry::counter(keys::kGlobalEdgeOverflow)
+        .add(result.global.total_edge_overflow);
   }
   result.times.global_seconds = timer.seconds();
   end_stage(Stage::kGlobal, result.times.global_seconds);
@@ -257,15 +273,27 @@ RoutingResult StitchAwareRouter::run() {
   end_stage(Stage::kDetail, result.times.detail_seconds);
   if (cancelled()) return finalize(true);
 
+  timer.reset();
   {
     TELEMETRY_SPAN("pipeline.metrics");
     begin_stage(Stage::kMetrics);
     result.metrics =
         eval::compute_metrics(*result.grid, *netlist_, subnets, result.detail);
-    end_stage(Stage::kMetrics, 0.0);
+    // Counters must land before end_stage fires: stage-boundary observers
+    // (report::RunReportBuilder) snapshot the registry at the boundary, so
+    // anything added later would be missing from the metrics-stage delta.
+    telemetry::counter(keys::kShortPolygons)
+        .add(result.metrics.short_polygons);
+    telemetry::counter(keys::kViaViolations)
+        .add(result.metrics.via_violations);
+    telemetry::counter(keys::kVerticalViolations)
+        .add(result.metrics.vertical_violations);
+    telemetry::counter(keys::kWirelength).add(result.metrics.wirelength);
+    telemetry::counter(keys::kVias).add(result.metrics.vias);
+    telemetry::counter(keys::kRoutedNets).add(result.metrics.routed_nets);
+    telemetry::counter(keys::kTotalNets).add(result.metrics.total_nets);
+    end_stage(Stage::kMetrics, timer.seconds());
   }
-  telemetry::counter(keys::kShortPolygons).add(result.metrics.short_polygons);
-  telemetry::counter(keys::kViaViolations).add(result.metrics.via_violations);
 
   util::log_info() << "routed " << result.metrics.routed_nets << "/"
                    << result.metrics.total_nets << " nets, #SP="

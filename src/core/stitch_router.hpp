@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/progress.hpp"
 #include "core/router_config.hpp"
@@ -73,10 +74,20 @@ class StitchAwareRouter {
                     const netlist::Netlist& netlist,
                     RouterConfig config = RouterConfig::stitch_aware());
 
-  /// Register a progress observer (stage boundaries, nets routed,
-  /// cancellation). Pass nullptr to detach. The pointer must outlive run().
+  /// Replace the observer list with this single observer (stage boundaries,
+  /// nets routed, cancellation). Pass nullptr to detach all. The pointer
+  /// must outlive run().
   StitchAwareRouter& set_observer(ProgressObserver* observer) {
-    observer_ = observer;
+    observers_.clear();
+    if (observer != nullptr) observers_.push_back(observer);
+    return *this;
+  }
+
+  /// Append an observer; every registered observer sees every callback, so
+  /// progress display and report building compose on one run. Cancellation
+  /// is requested when ANY observer's should_cancel() returns true.
+  StitchAwareRouter& add_observer(ProgressObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
     return *this;
   }
 
@@ -91,7 +102,7 @@ class StitchAwareRouter {
   const grid::RoutingGrid* grid_;
   const netlist::Netlist* netlist_;
   RouterConfig config_;
-  ProgressObserver* observer_ = nullptr;
+  std::vector<ProgressObserver*> observers_;
 };
 
 }  // namespace mebl::core

@@ -1,0 +1,68 @@
+#pragma once
+
+// Spatial observability for routed designs: via-density maps over the
+// stitch unfriendly regions, per-net stitch-hazard audits, and the CSV/SVG
+// heatmap exports behind `mebl_route_cli --heatmap DIR`. Complements
+// eval::CongestionMap (gcell utilization) with the stitch-specific views
+// the run reports summarize.
+
+#include <string>
+#include <vector>
+
+#include "eval/congestion.hpp"
+#include "report/report.hpp"
+
+namespace mebl::report {
+
+/// Per-GCell via counts: all vias per tile, and the subset landing inside a
+/// stitch unfriendly region (distance to a line <= epsilon) — where the
+/// paper's via violations and short polygons concentrate.
+struct ViaDensityMap {
+  int tiles_x = 0;
+  int tiles_y = 0;
+  std::vector<std::int64_t> vias;             ///< row-major tiles_x * tiles_y
+  std::vector<std::int64_t> unfriendly_vias;  ///< vias with |x - line| <= eps
+
+  [[nodiscard]] std::int64_t vias_at(int tx, int ty) const {
+    return vias[static_cast<std::size_t>(ty) * tiles_x + tx];
+  }
+  [[nodiscard]] std::int64_t unfriendly_at(int tx, int ty) const {
+    return unfriendly_vias[static_cast<std::size_t>(ty) * tiles_x + tx];
+  }
+
+  [[nodiscard]] ViaDensitySummary summary() const;
+};
+
+[[nodiscard]] ViaDensityMap measure_via_density(const detail::GridGraph& grid);
+
+/// One audit record per net (index = NetId), from the routed occupancy grid
+/// and the track-assignment plan. `subnets` / `outcome` give per-net routed
+/// status (pass the decomposition the router used; decompose_all is
+/// deterministic, so recomputing it yields the same vector).
+[[nodiscard]] std::vector<NetAudit> collect_net_audits(
+    const detail::GridGraph& grid, const netlist::Netlist& netlist,
+    const assign::RoutePlan& plan,
+    const std::vector<netlist::Subnet>& subnets,
+    const detail::DetailedResult& outcome);
+
+/// Row-major CSV of one tile-indexed channel (one row per tile row, top row
+/// = highest y, matching the ASCII/SVG heatmap orientation).
+[[nodiscard]] std::string csv_heatmap(int tiles_x, int tiles_y,
+                                      const std::vector<double>& values);
+[[nodiscard]] std::string csv_heatmap(int tiles_x, int tiles_y,
+                                      const std::vector<std::int64_t>& values);
+
+/// The routed layout (eval::render_svg) with translucent per-tile heat
+/// rectangles for the unfriendly-via density layered on top — the "where do
+/// stitch hazards concentrate" picture.
+[[nodiscard]] std::string svg_via_overlay(const detail::GridGraph& grid,
+                                          const ViaDensityMap& map,
+                                          double pixels_per_track = 2.0);
+
+/// Write the full heatmap set into `dir` (created if missing):
+/// congestion_{horizontal,vertical}.{csv,svg}, escape_use.csv,
+/// via_density.csv, unfriendly_vias.csv, via_overlay.svg.
+/// Returns false on any I/O failure.
+bool write_heatmap_dir(const std::string& dir, const detail::GridGraph& grid);
+
+}  // namespace mebl::report

@@ -10,6 +10,10 @@ namespace mebl::telemetry::keys {
 // global routing
 inline constexpr char kGlobalRerouted[] = "global.reroute.subnets";
 inline constexpr char kGlobalReroutePasses[] = "global.reroute.passes";
+inline constexpr char kGlobalWirelength[] = "global.wirelength";
+inline constexpr char kGlobalVertexOverflow[] = "global.overflow.vertex_total";
+inline constexpr char kGlobalVertexOverflowMax[] = "global.overflow.vertex_max";
+inline constexpr char kGlobalEdgeOverflow[] = "global.overflow.edge_total";
 
 // layer assignment
 inline constexpr char kLayerPanels[] = "assign.layer.panels";
@@ -33,9 +37,16 @@ inline constexpr char kSubnetsPattern[] = "detail.subnets.pattern";
 inline constexpr char kSubnetsAstar[] = "detail.subnets.astar";
 inline constexpr char kSubnetsFailed[] = "detail.subnets.failed";
 
-// evaluation
+// evaluation — the paper's quality metrics as stable counter names, recorded
+// inside the metrics stage so stage-boundary observers (report builders) see
+// them in that stage's delta and in RoutingResult::stats().
 inline constexpr char kShortPolygons[] = "eval.short_polygons";
 inline constexpr char kViaViolations[] = "eval.via_violations";
+inline constexpr char kVerticalViolations[] = "eval.vertical_violations";
+inline constexpr char kWirelength[] = "eval.wirelength";
+inline constexpr char kVias[] = "eval.vias";
+inline constexpr char kRoutedNets[] = "eval.routed_nets";
+inline constexpr char kTotalNets[] = "eval.total_nets";
 
 // histograms
 inline constexpr char kAstarSearchNs[] = "detail.astar.search_ns";

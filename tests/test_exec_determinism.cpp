@@ -11,6 +11,7 @@
 
 #include "bench_suite/circuit_generator.hpp"
 #include "core/stitch_router.hpp"
+#include "report/report.hpp"
 
 namespace {
 
@@ -74,5 +75,33 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PipelineDeterminism,
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+/// The stronger form of the contract: not just the headline metrics but the
+/// ENTIRE canonical run report — per-stage counter deltas, per-net audits,
+/// heatmap summaries, yield — must be byte-identical for every thread
+/// count. (Canonical = WriteOptions::include_timing off, which drops the
+/// only legitimately thread-dependent data: wall-clock times.)
+TEST(PipelineDeterminism, CanonicalReportBytesIdenticalAcrossThreadCounts) {
+  const auto* spec = bench_suite::find_spec("Struct");
+  ASSERT_NE(spec, nullptr);
+  const auto circuit = bench_suite::generate_circuit(*spec, {}, 20130602u);
+
+  const auto canonical_report = [&](int threads) {
+    core::StitchAwareRouter router(
+        circuit.grid, circuit.netlist,
+        core::RouterConfig::stitch_aware().with_threads(threads));
+    report::RunReportBuilder builder;
+    router.add_observer(&builder);
+    const auto result = router.run();
+    report::WriteOptions options;
+    options.include_timing = false;
+    return report::serialize(
+        builder.build(result, circuit.grid, circuit.netlist), options);
+  };
+
+  const std::string one = canonical_report(1);
+  for (const int threads : {2, 8})
+    EXPECT_EQ(one, canonical_report(threads)) << "threads=" << threads;
+}
 
 }  // namespace
