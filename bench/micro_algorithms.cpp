@@ -10,12 +10,14 @@
 
 #include "assign/layer_assign.hpp"
 #include "assign/track_assign.hpp"
+#include "bench_common.hpp"
 #include "bench_suite/layer_instance_generator.hpp"
 #include "detail/astar.hpp"
 #include "exec/thread_pool.hpp"
 #include "graph/bipartite_matching.hpp"
 #include "graph/interval_k_coloring.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -24,6 +26,67 @@ using namespace mebl;
 // Worker count for the exec-pool benchmarks, set by --threads (0 = one
 // worker per hardware thread).
 int g_threads = 0;
+
+/// Fixed seeded A* kernel workload: a 320x320 3-layer grid cluttered with
+/// deterministic foreign wires, then 200 bbox-confined searches. The same
+/// workload backs the BM_AStarKernel benchmark and the mebl.bench_report
+/// row, so the JSON artifact and the benchmark table measure one thing.
+struct KernelStats {
+  std::int64_t expansions = 0;
+  std::int64_t routed = 0;
+  double seconds = 0.0;
+};
+
+KernelStats run_astar_kernel_workload() {
+  constexpr geom::Coord kSize = 320;
+  grid::RoutingGrid rg(kSize, kSize, 3, 30, grid::StitchPlan(kSize, 15));
+  detail::GridGraph grid(rg);
+  detail::AStarRouter router(grid, {});
+  util::Rng rng(bench_common::kSeed);
+  // Clutter: foreign horizontal wires on layers 1/3 and vertical on 2, so
+  // searches detour and expand realistically instead of walking straight.
+  for (int i = 0; i < 400; ++i) {
+    const auto x = static_cast<geom::Coord>(rng.uniform_int(0, kSize - 40));
+    const auto y = static_cast<geom::Coord>(rng.uniform_int(0, kSize - 40));
+    const auto len = static_cast<geom::Coord>(rng.uniform_int(8, 32));
+    const netlist::NetId net = 10000 + i;
+    if (i % 3 == 1) {
+      for (geom::Coord d = 0; d <= len; ++d) grid.claim({x, y + d, 2}, net);
+    } else {
+      const geom::LayerId l = i % 3 == 0 ? 1 : 3;
+      for (geom::Coord d = 0; d <= len; ++d) grid.claim({x + d, y, l}, net);
+    }
+  }
+  KernelStats stats;
+  const std::int64_t before = router.nodes_expanded();
+  util::Timer timer;
+  for (int i = 0; i < 200; ++i) {
+    const auto ax = static_cast<geom::Coord>(rng.uniform_int(2, kSize - 3));
+    const auto ay = static_cast<geom::Coord>(rng.uniform_int(2, kSize - 3));
+    const auto bx = static_cast<geom::Coord>(rng.uniform_int(2, kSize - 3));
+    const auto by = static_cast<geom::Coord>(rng.uniform_int(2, kSize - 3));
+    const geom::Rect box =
+        geom::Rect::bounding({ax, ay}, {bx, by}).inflated(8).intersect(
+            rg.extent());
+    if (router.route(static_cast<netlist::NetId>(i), {ax, ay}, {bx, by}, box))
+      ++stats.routed;
+  }
+  stats.seconds = timer.seconds();
+  stats.expansions = router.nodes_expanded() - before;
+  return stats;
+}
+
+void BM_AStarKernel(benchmark::State& state) {
+  std::int64_t expansions = 0;
+  for (auto _ : state) {
+    const KernelStats stats = run_astar_kernel_workload();
+    expansions += stats.expansions;
+    benchmark::DoNotOptimize(stats.routed);
+  }
+  // items/sec == expanded nodes per second: the kernel's true unit of work.
+  state.SetItemsProcessed(expansions);
+}
+BENCHMARK(BM_AStarKernel);
 
 void BM_AStarRoute(benchmark::State& state) {
   const auto span = static_cast<geom::Coord>(state.range(0));
@@ -148,13 +211,19 @@ BENCHMARK(BM_ExecParallelFor)->Arg(64)->Arg(1024)->Arg(16384);
 
 }  // namespace
 
-// BENCHMARK_MAIN rejects unknown flags, so peel off --threads by hand
-// before handing the rest to the benchmark library.
+// BENCHMARK_MAIN rejects unknown flags, so peel off --threads (and the
+// ReportScope's --json, which it consumed already but benchmark would
+// reject) by hand before handing the rest to the benchmark library.
 int main(int argc, char** argv) {
+  mebl::bench_common::ReportScope report_scope("micro_algorithms", argc, argv);
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_threads = std::atoi(argv[++i]);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;
       continue;
     }
     args.push_back(argv[i]);
@@ -164,6 +233,24 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
+
+  // A* kernel row for the regression-gate artifact: expansions/sec on the
+  // fixed seeded workload (median of three runs' rates would be noisy to
+  // diff, so the row records the raw totals plus the derived rate).
+  if (report_scope.enabled()) {
+    const KernelStats stats = run_astar_kernel_workload();
+    report_scope.add(
+        "synthetic320", "astar_kernel",
+        mebl::report::Json::Object{
+            {"expansions", stats.expansions},
+            {"routed", stats.routed},
+            {"seconds", stats.seconds},
+            {"expansions_per_sec",
+             stats.seconds > 0.0
+                 ? static_cast<double>(stats.expansions) / stats.seconds
+                 : 0.0},
+        });
+  }
   benchmark::Shutdown();
   return 0;
 }

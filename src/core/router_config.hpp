@@ -48,7 +48,8 @@ struct RouterConfig {
   double ilp_budget_seconds = 60.0;
   detail::DetailedConfig detail;
   /// Worker threads for the parallel pipeline stages (panel-parallel
-  /// layer/track assignment, net-batch-parallel global routing).
+  /// layer/track assignment, net-batch-parallel global routing,
+  /// disjoint-batch-parallel detailed routing).
   /// 0 = std::thread::hardware_concurrency(). Routed results are
   /// bit-identical for every value — see DESIGN.md §7.
   int num_threads = 0;
@@ -71,6 +72,14 @@ struct RouterConfig {
   /// Wall-clock ILP budget (absolute deadline) in seconds.
   RouterConfig& with_ilp_budget(double seconds) {
     ilp_budget_seconds = seconds;
+    return *this;
+  }
+  /// Toggle the disjoint-batch parallel main pass of detailed routing
+  /// (DESIGN.md §9). Off forces the strictly sequential loop; the routed
+  /// result is identical either way — this knob exists for measurement and
+  /// for bisecting scheduler issues, not for correctness.
+  RouterConfig& with_detail_parallelism(bool enabled) {
+    detail.parallel = enabled;
     return *this;
   }
 

@@ -267,7 +267,15 @@ RoutingResult StitchAwareRouter::run() {
     result.grid = std::make_shared<detail::GridGraph>(*grid_);
     detail::DetailedRouter detailed(*result.grid, config_.detail);
     detailed.claim_pins(*netlist_);
-    result.detail = detailed.route_all(subnets, result.plan);
+    detail::DetailedRouter::ProgressFn progress;
+    if (!observers_.empty())
+      progress = [&](std::size_t routed, std::size_t total) {
+        for (ProgressObserver* observer : observers_)
+          observer->on_nets_routed(routed, total);
+        if (any_wants_cancel()) cancel.request_stop();
+      };
+    result.detail =
+        detailed.route_all(subnets, result.plan, &pool, &cancel, progress);
   }
   result.times.detail_seconds = timer.seconds();
   end_stage(Stage::kDetail, result.times.detail_seconds);

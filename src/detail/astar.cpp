@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <queue>
 
 #include "telemetry/keys.hpp"
 
@@ -23,16 +22,38 @@ AStarRouter::AStarRouter(GridGraph& grid, AStarConfig config)
           &telemetry::counter(telemetry::keys::kAstarExpansions)),
       search_ns_histogram_(
           &telemetry::histogram(telemetry::keys::kAstarSearchNs)) {
+  const auto& rg = grid.routing_grid();
+  const auto& stitch = rg.stitch();
+
+  // Per-column cost/legality table: everything the expansion loop asks about
+  // a neighbor's column is a pure function of x, so precompute it once and
+  // make the inner loop straight array indexing.
+  columns_.resize(static_cast<std::size_t>(rg.width()));
+  for (Coord x = 0; x < rg.width(); ++x) {
+    Column& col = columns_[static_cast<std::size_t>(x)];
+    const bool on_line = stitch.is_stitch_column(x);
+    col.via_ok = on_line ? 0 : 1;
+    col.vmove_ok = on_line ? 0 : 1;
+    if (config_.stitch_cost) {
+      col.escape_cost = stitch.in_escape_region(x) ? config_.gamma : 0.0;
+      col.unfriendly = stitch.in_unfriendly_region(x) ? 1.0 : 0.0;
+    }
+  }
+
+  layer_horizontal_.resize(static_cast<std::size_t>(rg.num_layers()), 0);
+  for (geom::LayerId l = 1; l < rg.num_layers(); ++l)
+    layer_horizontal_[static_cast<std::size_t>(l)] =
+        rg.layer_dir(l) == Orientation::kHorizontal ? 1 : 0;
+
   // Prefix sums of escape columns: any route from x1 to x2 must enter at
   // least one node in every escape column strictly between them (stitching
   // lines span the full layout height), paying gamma each — an admissible
   // heuristic term that keeps A* focused despite the escape costs.
-  const auto& rg = grid.routing_grid();
   escape_prefix_.assign(static_cast<std::size_t>(rg.width()) + 1, 0);
   for (Coord x = 0; x < rg.width(); ++x)
     escape_prefix_[static_cast<std::size_t>(x) + 1] =
         escape_prefix_[static_cast<std::size_t>(x)] +
-        (rg.stitch().in_escape_region(x) ? 1 : 0);
+        (stitch.in_escape_region(x) ? 1 : 0);
 }
 
 double AStarRouter::escape_between(Coord x1, Coord x2) const {
@@ -44,50 +65,52 @@ double AStarRouter::escape_between(Coord x1, Coord x2) const {
 }
 
 namespace {
-struct HeapEntry {
-  double f;
-  double g;
-  std::int32_t state;
-  friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
-    return a.f > b.f;
+
+/// Min-f ordering with an admissibility-preserving tie-break on *higher* g:
+/// among equal-f entries the deeper node (smaller heuristic remainder) pops
+/// first, which reaches the goal before re-expanding shallow plateaus.
+struct HeapWorse {
+  bool operator()(const SearchScratch::HeapEntry& a,
+                  const SearchScratch::HeapEntry& b) const {
+    return a.f > b.f || (a.f == b.f && a.g < b.g);
   }
 };
+
 }  // namespace
 
 void AStarRouter::add_node_penalty(Point3 node, double penalty) {
+  if (node_penalty_.empty())
+    node_penalty_.assign(
+        static_cast<std::size_t>(grid_->routing_grid().num_layers()) *
+            grid_->routing_grid().width() * grid_->routing_grid().height(),
+        0.0);
   node_penalty_[grid_->index(node)] += penalty;
 }
 
 bool AStarRouter::route(netlist::NetId net, Point a, Point b, const Rect& box) {
-  return search(net, a, b, box, /*foreign_penalty=*/-1.0, nullptr,
-                /*claim=*/true);
+  if (!search(scratch_, net, a, b, box, /*foreign_penalty=*/-1.0, nullptr))
+    return false;
+  for (const Point3 p : scratch_.path) grid_->claim(p, net);
+  return true;
 }
 
 bool AStarRouter::probe(netlist::NetId net, Point a, Point b, const Rect& box,
-                        double foreign_penalty,
-                        const std::unordered_set<std::size_t>* hard) {
+                        double foreign_penalty, const NodeBitmap* hard) {
   assert(foreign_penalty > 0.0);
-  return search(net, a, b, box, foreign_penalty, hard, /*claim=*/false);
+  return search(scratch_, net, a, b, box, foreign_penalty, hard);
 }
 
-bool AStarRouter::search(netlist::NetId net, Point a, Point b, const Rect& box,
-                         double foreign_penalty,
-                         const std::unordered_set<std::size_t>* hard,
-                         bool claim) {
+bool AStarRouter::search_path(SearchScratch& scratch, netlist::NetId net,
+                              Point a, Point b, const Rect& box) const {
+  return search(scratch, net, a, b, box, /*foreign_penalty=*/-1.0, nullptr);
+}
+
+bool AStarRouter::search(SearchScratch& scratch, netlist::NetId net, Point a,
+                         Point b, const Rect& box, double foreign_penalty,
+                         const NodeBitmap* hard) const {
   TELEMETRY_SPAN("detail.astar");
-  // Flush this search's expansion delta and latency on every return path.
-  struct Flush {
-    AStarRouter* self;
-    std::uint64_t start_ns;
-    std::int64_t expanded_before;
-    ~Flush() {
-      self->searches_counter_->add(1);
-      self->expansions_counter_->add(self->nodes_expanded_ - expanded_before);
-      self->search_ns_histogram_->record_ns(telemetry::now_ns() - start_ns);
-    }
-  } flush{this, telemetry::now_ns(), nodes_expanded_};
+  const std::uint64_t start_ns = telemetry::now_ns();
   const auto& rg = grid_->routing_grid();
-  const auto& stitch = rg.stitch();
   assert(box.contains(a) && box.contains(b));
   const int w = box.width();
   const int h = box.height();
@@ -95,13 +118,17 @@ bool AStarRouter::search(netlist::NetId net, Point a, Point b, const Rect& box,
 
   const std::size_t num_states =
       static_cast<std::size_t>(w) * h * static_cast<std::size_t>(layers);
-  if (stamp_.size() < num_states) {
-    stamp_.assign(num_states, 0);
-    g_cost_.resize(num_states);
-    parent_.resize(num_states);
-    epoch_ = 0;
+  if (scratch.stamp.size() < num_states) {
+    scratch.stamp.assign(num_states, 0);
+    scratch.g_cost.resize(num_states);
+    scratch.parent.resize(num_states);
+    scratch.epoch = 0;
   }
-  ++epoch_;
+  ++scratch.epoch;
+  const std::uint32_t epoch = scratch.epoch;
+  std::uint32_t* const stamp = scratch.stamp.data();
+  double* const g_cost = scratch.g_cost.data();
+  std::int32_t* const parent = scratch.parent.data();
 
   const auto state_of = [&](Point3 p) {
     return static_cast<std::int32_t>(
@@ -113,12 +140,6 @@ bool AStarRouter::search(netlist::NetId net, Point a, Point b, const Rect& box,
     return Point3{static_cast<Coord>(box.xlo + u % w),
                   static_cast<Coord>(box.ylo + (u / w) % h),
                   static_cast<geom::LayerId>(u / (static_cast<std::size_t>(w) * h))};
-  };
-  const auto visit = [&](std::int32_t s) -> bool {
-    auto& st = stamp_[static_cast<std::size_t>(s)];
-    if (st == epoch_) return false;
-    st = epoch_;
-    return true;
   };
   const auto heuristic = [&](Point3 p) {
     double est =
@@ -132,23 +153,52 @@ bool AStarRouter::search(netlist::NetId net, Point a, Point b, const Rect& box,
   const Point3 start{a.x, a.y, 0};
   const Point3 goal{b.x, b.y, 0};
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  auto& heap = scratch.heap;
+  heap.clear();
+  const HeapWorse worse;
   const std::int32_t start_state = state_of(start);
-  stamp_[static_cast<std::size_t>(start_state)] = epoch_;
-  g_cost_[static_cast<std::size_t>(start_state)] = 0.0;
-  parent_[static_cast<std::size_t>(start_state)] = -1;
-  heap.push({heuristic(start), 0.0, start_state});
+  stamp[static_cast<std::size_t>(start_state)] = epoch;
+  g_cost[static_cast<std::size_t>(start_state)] = 0.0;
+  parent[static_cast<std::size_t>(start_state)] = -1;
+  heap.push_back({heuristic(start), 0.0, start_state});
 
   const auto is_pin_xy = [&](Coord x, Coord y) {
     return (x == a.x && y == a.y) || (x == b.x && y == b.y);
   };
 
+  const Column* const columns = columns_.data();
+  // Static node penalties apply only with the stitch costs on (they guard
+  // short-polygon sites, a stitch-only concern).
+  const double* const penalties =
+      config_.stitch_cost && !node_penalty_.empty() ? node_penalty_.data()
+                                                    : nullptr;
+  const double via_step = config_.alpha * config_.via_length;
+  const double wire_step = config_.alpha;
+  const double beta_scaled = beta_scale_ * config_.beta;
+
+  // Hot-node plateau bypass. The heuristic is consistent, so a child whose
+  // f does not exceed the just-popped f is guaranteed to be the next pop:
+  // no heap entry has smaller f, and among equal-f entries the child's g
+  // (parent g + a positive step) is strictly the largest, which is exactly
+  // what the tie-break prefers. Carrying that child in a register instead
+  // of pushing it makes plateau walks heap-free — without this, the
+  // higher-g tie-break would sift every plateau child to the heap root.
+  std::int64_t expanded = 0;
   std::int32_t goal_state = -1;
-  while (!heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    if (top.g > g_cost_[static_cast<std::size_t>(top.state)]) continue;
-    ++nodes_expanded_;
+  SearchScratch::HeapEntry hot{};
+  bool have_hot = false;
+  while (have_hot || !heap.empty()) {
+    SearchScratch::HeapEntry top;
+    if (have_hot) {
+      top = hot;
+      have_hot = false;
+    } else {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      top = heap.back();
+      heap.pop_back();
+    }
+    if (top.g > g_cost[static_cast<std::size_t>(top.state)]) continue;
+    ++expanded;
     const Point3 p = point_of(top.state);
     if (p == goal) {
       goal_state = top.state;
@@ -158,19 +208,19 @@ bool AStarRouter::search(netlist::NetId net, Point a, Point b, const Rect& box,
     // Enumerate legal moves from p.
     Point3 next[4];
     int count = 0;
+    const Column& pc = columns[p.x];
     if (p.layer >= 1) {
-      const Orientation dir = rg.layer_dir(p.layer);
-      if (dir == Orientation::kHorizontal) {
+      if (layer_horizontal_[static_cast<std::size_t>(p.layer)] != 0) {
         next[count++] = {static_cast<Coord>(p.x - 1), p.y, p.layer};
         next[count++] = {static_cast<Coord>(p.x + 1), p.y, p.layer};
-      } else if (grid_->vertical_move_allowed(p.x)) {
+      } else if (pc.vmove_ok != 0) {
         next[count++] = {p.x, static_cast<Coord>(p.y - 1), p.layer};
         next[count++] = {p.x, static_cast<Coord>(p.y + 1), p.layer};
       }
     }
     // Layer hops (vias). Vias on a stitching column are allowed only at the
     // fixed pin positions (tolerated via violations).
-    if (grid_->via_allowed(p.x) || is_pin_xy(p.x, p.y)) {
+    if (pc.via_ok != 0 || is_pin_xy(p.x, p.y)) {
       if (p.layer + 1 < layers)
         next[count++] = {p.x, p.y, static_cast<geom::LayerId>(p.layer + 1)};
       if (p.layer >= 1)
@@ -191,7 +241,7 @@ bool AStarRouter::search(netlist::NetId net, Point a, Point b, const Rect& box,
         // Probe mode: pin-layer nodes and designated hard nodes stay
         // blocked; everything else is rip-up-able at a price.
         if (q.layer == 0) continue;
-        if (hard != nullptr && hard->count(grid_->index(q)) != 0) continue;
+        if (hard != nullptr && hard->test(grid_->index(q))) continue;
       }
 
       const bool z_move = q.layer != p.layer;
@@ -199,39 +249,52 @@ bool AStarRouter::search(netlist::NetId net, Point a, Point b, const Rect& box,
       if (owner == net) {
         step = config_.own_net_step;  // ride existing wire
       } else {
-        step = config_.alpha * (z_move ? config_.via_length : 1.0);
-        if (config_.stitch_cost) {
-          if (z_move && stitch.in_unfriendly_region(q.x))
-            step += beta_scale_ * config_.beta;  // C_vsu
-          if (stitch.in_escape_region(q.x))
-            step += config_.gamma;  // C_esc
-          if (!node_penalty_.empty()) {
-            const auto it = node_penalty_.find(grid_->index(q));
-            if (it != node_penalty_.end()) step += beta_scale_ * it->second;
-          }
+        const Column& qc = columns[q.x];
+        step = z_move ? via_step + beta_scaled * qc.unfriendly  // C_vsu
+                      : wire_step;
+        step += qc.escape_cost;  // C_esc
+        if (penalties != nullptr) {
+          const double pen = penalties[grid_->index(q)];
+          if (pen != 0.0) step += beta_scale_ * pen;
         }
         if (foreign) step += foreign_penalty;
       }
 
       const std::int32_t qs = state_of(q);
+      const auto uqs = static_cast<std::size_t>(qs);
       const double ng = top.g + step;
-      if (visit(qs) || ng < g_cost_[static_cast<std::size_t>(qs)]) {
-        g_cost_[static_cast<std::size_t>(qs)] = ng;
-        parent_[static_cast<std::size_t>(qs)] = top.state;
-        heap.push({ng + heuristic(q), ng, qs});
+      if (stamp[uqs] != epoch || ng < g_cost[uqs]) {
+        stamp[uqs] = epoch;
+        g_cost[uqs] = ng;
+        parent[uqs] = top.state;
+        const SearchScratch::HeapEntry entry{ng + heuristic(q), ng, qs};
+        if (entry.f <= top.f && (!have_hot || worse(hot, entry))) {
+          if (have_hot) {
+            heap.push_back(hot);
+            std::push_heap(heap.begin(), heap.end(), worse);
+          }
+          hot = entry;
+          have_hot = true;
+        } else {
+          heap.push_back(entry);
+          std::push_heap(heap.begin(), heap.end(), worse);
+        }
       }
     }
   }
 
+  nodes_expanded_.fetch_add(expanded, std::memory_order_relaxed);
+  searches_counter_->add(1);
+  expansions_counter_->add(expanded);
+  search_ns_histogram_->record_ns(telemetry::now_ns() - start_ns);
+
   if (goal_state < 0) return false;
 
-  last_path_.clear();
+  scratch.path.clear();
   for (std::int32_t s = goal_state; s != -1;
-       s = parent_[static_cast<std::size_t>(s)])
-    last_path_.push_back(point_of(s));
-  std::reverse(last_path_.begin(), last_path_.end());
-  if (claim)
-    for (const Point3 p : last_path_) grid_->claim(p, net);
+       s = parent[static_cast<std::size_t>(s)])
+    scratch.path.push_back(point_of(s));
+  std::reverse(scratch.path.begin(), scratch.path.end());
   return true;
 }
 

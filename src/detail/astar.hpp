@@ -1,10 +1,11 @@
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "detail/grid_graph.hpp"
+#include "detail/node_bitmap.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace mebl::detail {
@@ -25,10 +26,39 @@ struct AStarConfig {
   double own_net_step = 0.01;
 };
 
+/// Per-search scratch state of one A* search: the epoch-stamped visited /
+/// g-cost / parent arrays, the reusable open-list storage, and the result
+/// path. Owning the scratch makes a search reentrant — concurrent searches
+/// on one AStarRouter are race-free as long as each uses its own scratch
+/// (the parallel detailed router keeps one per pool worker).
+struct SearchScratch {
+  std::vector<std::uint32_t> stamp;
+  std::vector<double> g_cost;
+  std::vector<std::int32_t> parent;
+  std::uint32_t epoch = 0;
+  /// Open-list storage, reused across searches (std::push_heap/pop_heap).
+  struct HeapEntry {
+    double f;
+    double g;
+    std::int32_t state;
+  };
+  std::vector<HeapEntry> heap;
+  /// Nodes of the most recent successful search using this scratch, in
+  /// start-to-goal order.
+  std::vector<geom::Point3> path;
+};
+
 /// Grid-level A* router. Hard MEBL constraints are enforced structurally:
 /// no vertical move on a stitching-line column (wires cross lines only in
 /// the x-direction) and no via on a line except at the subnet's fixed pin
 /// positions.
+///
+/// The expansion kernel is branch-light: escape cost, unfriendly-region
+/// surcharge, and the via / vertical-move legality flags are pure functions
+/// of the column x, precomputed into one per-column table at construction;
+/// static node penalties live in a flat array indexed by grid node. The
+/// open list breaks f-ties toward higher g (deeper nodes), which preserves
+/// admissibility but cuts re-expansions markedly.
 class AStarRouter {
  public:
   AStarRouter(GridGraph& grid, AStarConfig config);
@@ -46,7 +76,14 @@ class AStarRouter {
   /// a path exists.
   bool probe(netlist::NetId net, geom::Point a, geom::Point b,
              const geom::Rect& box, double foreign_penalty,
-             const std::unordered_set<std::size_t>* hard);
+             const NodeBitmap* hard);
+
+  /// Reentrant search: compute a path into `scratch.path` without claiming
+  /// anything or touching the router's internal scratch. Safe to call
+  /// concurrently from multiple threads (each with its own scratch) while
+  /// nobody mutates the grid — the parallel detailed router's contract.
+  bool search_path(SearchScratch& scratch, netlist::NetId net, geom::Point a,
+                   geom::Point b, const geom::Rect& box) const;
 
   /// Add a static extra cost on a node (e.g. the line-crossing positions
   /// next to stitch-unfriendly pins, where a crossing wire would become a
@@ -54,45 +91,59 @@ class AStarRouter {
   void add_node_penalty(geom::Point3 node, double penalty);
 
   /// Temporarily scale the beta (via-in-unfriendly-region) term; the SP
-  /// cleanup pass uses this to reroute offenders more strictly.
+  /// cleanup pass uses this to reroute offenders more strictly. Sequential
+  /// phases only — never call while searches run on other threads.
   void set_beta_scale(double scale) noexcept { beta_scale_ = scale; }
 
   /// Nodes claimed by the most recent successful route() call.
   [[nodiscard]] const std::vector<geom::Point3>& last_path() const noexcept {
-    return last_path_;
+    return scratch_.path;
   }
 
   /// Total nodes expanded over the router's lifetime (performance metric).
   [[nodiscard]] std::int64_t nodes_expanded() const noexcept {
-    return nodes_expanded_;
+    return nodes_expanded_.load(std::memory_order_relaxed);
   }
 
  private:
-  bool search(netlist::NetId net, geom::Point a, geom::Point b,
-              const geom::Rect& box, double foreign_penalty,
-              const std::unordered_set<std::size_t>* hard, bool claim);
+  bool search(SearchScratch& scratch, netlist::NetId net, geom::Point a,
+              geom::Point b, const geom::Rect& box, double foreign_penalty,
+              const NodeBitmap* hard) const;
 
   /// Escape-region columns strictly between x1 and x2 (heuristic term).
   [[nodiscard]] double escape_between(geom::Coord x1, geom::Coord x2) const;
 
+  /// Everything the expansion loop needs that is a pure function of the
+  /// column x, folded to one cache line's worth of loads per neighbor.
+  struct Column {
+    double escape_cost = 0.0;  ///< gamma when in an escape region (stitch on)
+    double unfriendly = 0.0;   ///< 1.0 when in an unfriendly region (stitch on)
+    std::uint8_t via_ok = 1;   ///< via legal here (off stitching lines)
+    std::uint8_t vmove_ok = 1; ///< vertical move legal here
+  };
+
   GridGraph* grid_;
   AStarConfig config_;
+  std::vector<Column> columns_;
   std::vector<int> escape_prefix_;
+  /// True when routing layer `l` runs horizontally (index 0 = pin layer).
+  std::vector<std::uint8_t> layer_horizontal_;
   double beta_scale_ = 1.0;
-  std::unordered_map<std::size_t, double> node_penalty_;
+  /// Static per-node penalties, flat-indexed by GridGraph::index. Allocated
+  /// on the first add_node_penalty so penalty-free runs pay nothing.
+  std::vector<double> node_penalty_;
 
-  // Telemetry endpoints, resolved once at construction (stable addresses).
+  // Telemetry endpoints, resolved once at construction (stable addresses,
+  // thread-safe sinks).
   telemetry::Counter* searches_counter_;
   telemetry::Counter* expansions_counter_;
   telemetry::Histogram* search_ns_histogram_;
 
-  // Epoch-stamped scratch buffers reused across searches.
-  std::vector<std::uint32_t> stamp_;
-  std::vector<double> g_cost_;
-  std::vector<std::int32_t> parent_;
-  std::uint32_t epoch_ = 0;
-  std::vector<geom::Point3> last_path_;
-  std::int64_t nodes_expanded_ = 0;
+  /// Scratch of the sequential route()/probe() entry points.
+  SearchScratch scratch_;
+  /// mutable: search() is const (reentrant, read-only on the router) but
+  /// still accounts its expansions; relaxed atomic, stats only.
+  mutable std::atomic<std::int64_t> nodes_expanded_{0};
 };
 
 }  // namespace mebl::detail

@@ -1,0 +1,99 @@
+#include "detail/batch_schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mebl::detail {
+
+using geom::Coord;
+using geom::Orientation;
+using geom::Rect;
+
+Rect subnet_search_box(const netlist::Subnet& subnet,
+                       const assign::RoutePlan& plan, std::size_t idx,
+                       const grid::RoutingGrid& rg, Coord margin) {
+  Rect box = subnet.bbox().inflated(margin);
+  if (idx < plan.runs_of_path.size()) {
+    for (const std::size_t id : plan.runs_of_path[idx]) {
+      const assign::GlobalRun& run = plan.runs[id];
+      if (run.dir == Orientation::kVertical) {
+        // The realizer rides the run's assigned tracks: cover every piece's
+        // x column (doglegs jog between piece tracks, never beyond them).
+        for (const auto& [rows, x] : run.pieces)
+          box = box.hull(Rect{x, subnet.a.y, x, subnet.a.y});
+      } else {
+        // Horizontal legs run at rows clamped into the run's panel; their x
+        // extents are bounded by the piece tracks and pins covered above.
+        const geom::Interval ys = rg.tile_y_span(run.fixed_tile);
+        box = box.hull(Rect{subnet.a.x, ys.lo, subnet.a.x, ys.hi});
+      }
+    }
+  }
+  return box.intersect(rg.extent());
+}
+
+std::vector<std::vector<std::size_t>> gather_disjoint_batches(
+    const std::vector<std::size_t>& order, const std::vector<Rect>& boxes,
+    Coord bin_size, std::size_t max_batch) {
+  assert(bin_size > 0);
+  if (max_batch == 0) max_batch = 1;
+
+  // Uniform-bin conservative overlap test: a batch stamps the bins its
+  // boxes touch; a candidate conflicts when any of its bins is stamped.
+  // Rect overlap implies bin-range overlap, so an unstamped candidate is
+  // guaranteed disjoint from the whole batch (the converse may spuriously
+  // close a batch early, which costs parallelism but never correctness).
+  Coord max_x = 0, max_y = 0;
+  for (const std::size_t idx : order) {
+    const Rect& r = boxes[idx];
+    if (!r.empty()) {
+      max_x = std::max(max_x, r.xhi);
+      max_y = std::max(max_y, r.yhi);
+    }
+  }
+  const auto bin_of = [bin_size](Coord c) {
+    return c <= 0 ? Coord{0} : c / bin_size;
+  };
+  const std::size_t bins_x = static_cast<std::size_t>(bin_of(max_x)) + 1;
+  const std::size_t bins_y = static_cast<std::size_t>(bin_of(max_y)) + 1;
+  std::vector<std::uint32_t> bin_stamp(bins_x * bins_y, 0);
+  std::uint32_t epoch = 0;
+
+  const auto scan = [&](const Rect& r, bool mark) {
+    // mark=false: return true on conflict. mark=true: stamp the bins.
+    const std::size_t bx0 = static_cast<std::size_t>(bin_of(r.xlo));
+    const std::size_t bx1 = static_cast<std::size_t>(bin_of(r.xhi));
+    const std::size_t by0 = static_cast<std::size_t>(bin_of(r.ylo));
+    const std::size_t by1 = static_cast<std::size_t>(bin_of(r.yhi));
+    for (std::size_t by = by0; by <= by1; ++by)
+      for (std::size_t bx = bx0; bx <= bx1; ++bx) {
+        std::uint32_t& s = bin_stamp[by * bins_x + bx];
+        if (mark)
+          s = epoch;
+        else if (s == epoch)
+          return true;
+      }
+    return false;
+  };
+
+  std::vector<std::vector<std::size_t>> batches;
+  std::size_t pos = 0;
+  while (pos < order.size()) {
+    ++epoch;
+    std::vector<std::size_t> batch;
+    batch.push_back(order[pos]);
+    scan(boxes[order[pos]], /*mark=*/true);
+    ++pos;
+    while (pos < order.size() && batch.size() < max_batch) {
+      const Rect& candidate = boxes[order[pos]];
+      if (scan(candidate, /*mark=*/false)) break;
+      scan(candidate, /*mark=*/true);
+      batch.push_back(order[pos]);
+      ++pos;
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace mebl::detail

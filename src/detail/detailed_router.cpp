@@ -5,7 +5,9 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "detail/batch_schedule.hpp"
 #include "detail/net_ordering.hpp"
+#include "exec/thread_pool.hpp"
 #include "telemetry/keys.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
@@ -19,12 +21,23 @@ using geom::Point;
 using geom::Point3;
 using geom::Rect;
 
+namespace {
+
+/// Per-thread A* scratch: pool workers are long-lived, so each keeps its
+/// arrays warm across batches; the sequential passes reuse the caller
+/// thread's instance.
+thread_local SearchScratch tl_scratch;  // NOLINT(cert-err58-cpp)
+
+}  // namespace
+
 DetailedRouter::DetailedRouter(GridGraph& grid, DetailedConfig config)
     : grid_(&grid), config_(config), astar_(grid, config.astar) {}
 
 void DetailedRouter::claim_pins(const netlist::Netlist& netlist) {
   const auto& rg = grid_->routing_grid();
   const auto& stitch = rg.stitch();
+  pin_nodes_.reset(static_cast<std::size_t>(rg.num_layers()) * rg.width() *
+                   rg.height());
   for (const auto& pin : netlist.pins()) {
     const Point3 pad{pin.pos.x, pin.pos.y, 0};
     const Point3 access{pin.pos.x, pin.pos.y, 1};
@@ -32,8 +45,8 @@ void DetailedRouter::claim_pins(const netlist::Netlist& netlist) {
     // Reserve the via-access node on the first routing layer: a foreign
     // wire crossing it would permanently seal the pin off.
     grid_->claim(access, pin.net);
-    pin_nodes_.insert(grid_->index(pad));
-    pin_nodes_.insert(grid_->index(access));
+    pin_nodes_.set(grid_->index(pad));
+    pin_nodes_.set(grid_->index(access));
 
     // Short-polygon guard: the pin's via is fixed. If the pin sits inside a
     // stitch unfriendly region, a horizontal wire leaving it *across* the
@@ -88,6 +101,9 @@ class LegBuilder {
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   [[nodiscard]] const std::vector<Point3>& nodes() const noexcept {
     return nodes_;
+  }
+  [[nodiscard]] std::vector<Point3> take_nodes() noexcept {
+    return std::move(nodes_);
   }
 
   void add(Point3 p) {
@@ -189,7 +205,9 @@ LayerId nearest_layer(const grid::RoutingGrid& rg, LayerId layer,
 
 }  // namespace
 
-bool DetailedRouter::try_realize(std::size_t idx, bool prefer_high) {
+bool DetailedRouter::collect_realize(std::size_t idx, bool prefer_high,
+                                     std::vector<Point3>& out) const {
+  out.clear();
   const assign::RoutePlan& plan = *plan_;
   const netlist::Subnet& subnet = (*subnets_)[idx];
   if (idx >= plan.runs_of_path.size()) return false;
@@ -216,7 +234,8 @@ bool DetailedRouter::try_realize(std::size_t idx, bool prefer_high) {
                                                 run.span.lo, run.span.hi);
       const Coord x_entry = piece_track(run, entry_row);
       if (cur.x != x_entry) {
-        const LayerId lh = nearest_layer(rg, lv, Orientation::kHorizontal, prefer_high);
+        const LayerId lh =
+            nearest_layer(rg, lv, Orientation::kHorizontal, prefer_high);
         legs.add_stack(cur.x, cur.y, cur_layer, lh);
         legs.add_horizontal(cur.x, x_entry, cur.y, lh);
         cur_layer = lh;
@@ -241,7 +260,8 @@ bool DetailedRouter::try_realize(std::size_t idx, bool prefer_high) {
             run, std::clamp<Coord>(rg.tile_of_y(ny), run.span.lo, run.span.hi));
         if (nx != cur.x) {
           // Dogleg: jog horizontally on the nearest horizontal layer.
-          const LayerId lh = nearest_layer(rg, lv, Orientation::kHorizontal, prefer_high);
+          const LayerId lh =
+              nearest_layer(rg, lv, Orientation::kHorizontal, prefer_high);
           legs.add_stack(cur.x, cur.y, lv, lh);
           legs.add_horizontal(cur.x, nx, cur.y, lh);
           legs.add_stack(nx, cur.y, lh, lv);
@@ -255,8 +275,8 @@ bool DetailedRouter::try_realize(std::size_t idx, bool prefer_high) {
       Coord x_target;
       if (i + 1 < run_ids.size()) {
         const auto& next = plan.runs[run_ids[i + 1]];  // vertical
-        const Coord row = std::clamp<Coord>(run.fixed_tile, next.span.lo,
-                                            next.span.hi);
+        const Coord row =
+            std::clamp<Coord>(run.fixed_tile, next.span.lo, next.span.hi);
         x_target = piece_track(next, row);
       } else {
         x_target = subnet.b.x;
@@ -271,28 +291,33 @@ bool DetailedRouter::try_realize(std::size_t idx, bool prefer_high) {
   // Final L to the target pin: horizontal first, then vertical at b.x.
   // These legs are the realizer's own choice, so they are SP-checked.
   if (legs.ok() && cur.x != subnet.b.x) {
-    const LayerId lh = nearest_layer(rg, cur_layer, Orientation::kHorizontal, prefer_high);
+    const LayerId lh =
+        nearest_layer(rg, cur_layer, Orientation::kHorizontal, prefer_high);
     legs.add_stack(cur.x, cur.y, cur_layer, lh);
     legs.add_horizontal(cur.x, subnet.b.x, cur.y, lh, /*check=*/true);
     cur_layer = lh;
     cur.x = subnet.b.x;
   }
   if (legs.ok() && cur.y != subnet.b.y) {
-    const LayerId lv = nearest_layer(rg, cur_layer, Orientation::kVertical, prefer_high);
+    const LayerId lv =
+        nearest_layer(rg, cur_layer, Orientation::kVertical, prefer_high);
     legs.add_stack(cur.x, cur.y, cur_layer, lv);
     legs.add_vertical(cur.y, subnet.b.y, cur.x, lv);
     cur_layer = lv;
     cur.y = subnet.b.y;
   }
   if (legs.ok()) legs.add_stack(subnet.b.x, subnet.b.y, cur_layer, 0);
-  if (!legs.ok()) return false;
-
-  for (const Point3 p : legs.nodes()) grid_->claim(p, subnet.net);
-  nodes_of_subnet_[idx] = legs.nodes();
+  if (!legs.ok()) {
+    out.clear();
+    return false;
+  }
+  out = legs.take_nodes();
   return true;
 }
 
-bool DetailedRouter::try_pattern(std::size_t idx) {
+bool DetailedRouter::collect_pattern(std::size_t idx,
+                                     std::vector<Point3>& out) const {
+  out.clear();
   const auto& subnet = (*subnets_)[idx];
   const auto& rg = grid_->routing_grid();
   const LayerId lh = nearest_layer(rg, 2, Orientation::kHorizontal);
@@ -325,35 +350,67 @@ bool DetailedRouter::try_pattern(std::size_t idx) {
       }
     }
     if (!legs.ok()) continue;
-    for (const Point3 p : legs.nodes()) grid_->claim(p, subnet.net);
-    nodes_of_subnet_[idx] = legs.nodes();
+    out = legs.take_nodes();
     return true;
   }
   return false;
 }
 
-bool DetailedRouter::route_subnet(std::size_t idx, bool allow_realize) {
+DetailedRouter::Attempt DetailedRouter::compute_first_attempt(
+    std::size_t idx, bool allow_realize, SearchScratch& scratch) const {
   TELEMETRY_SPAN("detail.subnet");
-  const auto& subnet = (*subnets_)[idx];
+  Attempt attempt;
   if (allow_realize &&
-      (try_realize(idx, /*prefer_high=*/true) ||
-       try_realize(idx, /*prefer_high=*/false))) {
-    result_->subnet_routed[idx] = true;
-    method_[idx] = RouteMethod::kRealized;
-    ++result_->planned_realized;
-    return true;
+      (collect_realize(idx, /*prefer_high=*/true, attempt.nodes) ||
+       collect_realize(idx, /*prefer_high=*/false, attempt.nodes))) {
+    attempt.kind = Attempt::Kind::kRealized;
+    return attempt;
   }
   // Cheap L-shape pattern attempt before the full search (the LegBuilder
   // enforces every hard constraint and rejects would-be short polygons).
-  if (try_pattern(idx)) {
-    result_->subnet_routed[idx] = true;
-    method_[idx] = RouteMethod::kSearch;
-    ++result_->pattern_routed;
-    return true;
+  if (collect_pattern(idx, attempt.nodes)) {
+    attempt.kind = Attempt::Kind::kPattern;
+    return attempt;
   }
+  const auto& subnet = (*subnets_)[idx];
+  const Rect box = subnet.bbox()
+                       .inflated(config_.base_margin)
+                       .intersect(grid_->routing_grid().extent());
+  if (astar_.search_path(scratch, subnet.net, subnet.a, subnet.b, box)) {
+    attempt.kind = Attempt::Kind::kAstar;
+    attempt.nodes = scratch.path;
+  }
+  return attempt;
+}
+
+void DetailedRouter::commit_attempt(std::size_t idx, Attempt&& attempt) {
+  assert(attempt.kind != Attempt::Kind::kNone);
+  const netlist::NetId net = (*subnets_)[idx].net;
+  for (const Point3 p : attempt.nodes) grid_->claim(p, net);
+  nodes_of_subnet_[idx] = std::move(attempt.nodes);
+  result_->subnet_routed[idx] = true;
+  switch (attempt.kind) {
+    case Attempt::Kind::kRealized:
+      method_[idx] = RouteMethod::kRealized;
+      ++result_->planned_realized;
+      break;
+    case Attempt::Kind::kPattern:
+      method_[idx] = RouteMethod::kSearch;
+      ++result_->pattern_routed;
+      break;
+    default:
+      method_[idx] = RouteMethod::kSearch;
+      ++result_->astar_routed;
+      break;
+  }
+}
+
+bool DetailedRouter::route_subnet_escalated(std::size_t idx, int first_retry) {
+  const auto& subnet = (*subnets_)[idx];
   const Rect extent = grid_->routing_grid().extent();
   Coord margin = config_.base_margin;
-  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+  for (int attempt = 0; attempt < first_retry; ++attempt) margin *= 4;
+  for (int attempt = first_retry; attempt <= config_.max_retries; ++attempt) {
     const Rect box = subnet.bbox().inflated(margin).intersect(extent);
     if (astar_.route(subnet.net, subnet.a, subnet.b, box)) {
       nodes_of_subnet_[idx] = astar_.last_path();
@@ -368,6 +425,117 @@ bool DetailedRouter::route_subnet(std::size_t idx, bool allow_realize) {
   return false;
 }
 
+bool DetailedRouter::route_subnet(std::size_t idx, bool allow_realize) {
+  Attempt attempt = compute_first_attempt(idx, allow_realize, tl_scratch);
+  if (attempt.kind != Attempt::Kind::kNone) {
+    commit_attempt(idx, std::move(attempt));
+    return true;
+  }
+  return route_subnet_escalated(idx, /*first_retry=*/1);
+}
+
+void DetailedRouter::route_main_parallel(const std::vector<std::size_t>& order,
+                                         exec::ThreadPool* pool,
+                                         const exec::Cancellation* cancel,
+                                         const ProgressFn& progress) {
+  TELEMETRY_SPAN("detail.main_pass");
+  const auto& rg = grid_->routing_grid();
+  namespace keys = telemetry::keys;
+
+  if (!config_.parallel) {
+    std::size_t done = 0;
+    for (const std::size_t idx : order) {
+      if (cancel != nullptr && cancel->stop_requested()) return;
+      route_subnet(idx, /*allow_realize=*/true);
+      ++done;
+      if (progress) progress(done, order.size());
+    }
+    return;
+  }
+
+  // Conservative first-attempt boxes, one per subnet in the order.
+  std::vector<Rect> boxes(subnets_->size());
+  for (const std::size_t idx : order)
+    boxes[idx] =
+        subnet_search_box((*subnets_)[idx], *plan_, idx, rg, config_.base_margin);
+  const auto batches = gather_disjoint_batches(
+      order, boxes, std::max<Coord>(rg.tile_size(), 1),
+      static_cast<std::size_t>(std::max(config_.parallel_batch_cap, 1)));
+
+  // Schedule-shape telemetry. Everything here is a pure function of the
+  // order and the boxes, so the canonical run-report deltas stay identical
+  // for every thread count.
+  telemetry::counter(keys::kDetailBatches)
+      .add(static_cast<std::int64_t>(batches.size()));
+  std::int64_t batched = 0;
+  for (const auto& batch : batches)
+    if (batch.size() > 1) batched += static_cast<std::int64_t>(batch.size());
+  telemetry::counter(keys::kDetailBatchedSubnets).add(batched);
+  telemetry::counter(keys::kDetailSequentialSubnets)
+      .add(static_cast<std::int64_t>(order.size()) - batched);
+  telemetry::Counter& escalations = telemetry::counter(keys::kDetailEscalations);
+  telemetry::Counter& recomputed = telemetry::counter(keys::kDetailRecomputed);
+  telemetry::Histogram& batch_ns = telemetry::histogram(keys::kDetailBatchNs);
+
+  std::vector<Attempt> attempts;
+  std::size_t done = 0;
+  for (const auto& batch : batches) {
+    if (cancel != nullptr && cancel->stop_requested()) return;
+    TELEMETRY_SPAN("detail.batch");
+    const std::uint64_t t0 = telemetry::now_ns();
+
+    // Parallel phase: first attempts only, read-only against the grid
+    // frozen at the batch start. Box disjointness makes each attempt
+    // independent of its siblings, so any execution order gives the same
+    // per-index results as the strictly sequential schedule.
+    attempts.assign(batch.size(), Attempt{});
+    if (pool != nullptr && batch.size() > 1) {
+      pool->parallel_for(
+          0, batch.size(),
+          [&](std::size_t i) {
+            attempts[i] =
+                compute_first_attempt(batch[i], /*allow_realize=*/true,
+                                      tl_scratch);
+          },
+          cancel);
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        attempts[i] = compute_first_attempt(batch[i], /*allow_realize=*/true,
+                                            tl_scratch);
+    }
+
+    // Barrier: commit in batch (= sequential) order. A member that failed
+    // its first attempt escalates *here*, at its exact sequential position;
+    // its widened search box may spill outside its disjointness box, so
+    // later members whose boxes the spill touches recompute their first
+    // attempt against the now-current grid instead of using the frozen one.
+    Rect spill;  // hull of escalated claims so far (empty = none)
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::size_t idx = batch[i];
+      if (cancel != nullptr && cancel->stop_requested()) return;
+      const bool stale = !spill.empty() && spill.overlaps(boxes[idx]);
+      if (stale) {
+        recomputed.add(1);
+        attempts[i] = compute_first_attempt(idx, /*allow_realize=*/true,
+                                            tl_scratch);
+      }
+      if (attempts[i].kind != Attempt::Kind::kNone) {
+        commit_attempt(idx, std::move(attempts[i]));
+        continue;
+      }
+      escalations.add(1);
+      if (route_subnet_escalated(idx, /*first_retry=*/1)) {
+        for (const Point3 p : nodes_of_subnet_[idx])
+          spill = spill.hull(Rect{p.x, p.y, p.x, p.y});
+      }
+    }
+
+    done += batch.size();
+    batch_ns.record_ns(telemetry::now_ns() - t0);
+    if (progress) progress(done, order.size());
+  }
+}
+
 std::vector<std::size_t> DetailedRouter::rip_net(netlist::NetId net) {
   std::vector<std::size_t> ripped;
   for (const std::size_t idx :
@@ -377,7 +545,7 @@ std::vector<std::size_t> DetailedRouter::rip_net(netlist::NetId net) {
       continue;
     }
     for (const Point3 p : nodes_of_subnet_[idx])
-      if (pin_nodes_.count(grid_->index(p)) == 0) grid_->release(p);
+      if (!pin_nodes_.test(grid_->index(p))) grid_->release(p);
     nodes_of_subnet_[idx].clear();
     result_->subnet_routed[idx] = false;
     ripped.push_back(idx);
@@ -556,8 +724,9 @@ void DetailedRouter::cleanup_short_polygons() {
 }
 
 DetailedResult DetailedRouter::route_all(
-    const std::vector<netlist::Subnet>& subnets,
-    const assign::RoutePlan& plan) {
+    const std::vector<netlist::Subnet>& subnets, const assign::RoutePlan& plan,
+    exec::ThreadPool* pool, const exec::Cancellation* cancel,
+    const ProgressFn& progress) {
   TELEMETRY_SPAN("detail.route_all");
   DetailedResult result;
   result.subnet_routed.assign(subnets.size(), false);
@@ -573,16 +742,13 @@ DetailedResult DetailedRouter::route_all(
   for (std::size_t i = 0; i < subnets.size(); ++i)
     subnets_of_net_[static_cast<std::size_t>(subnets[i].net)].push_back(i);
 
-  {
-    TELEMETRY_SPAN("detail.main_pass");
-    const auto order =
-        order_subnets(subnets, plan, config_.stitch_net_ordering);
-    for (const std::size_t idx : order)
-      route_subnet(idx, /*allow_realize=*/true);
-  }
+  const auto order = order_subnets(subnets, plan, config_.stitch_net_ordering);
+  route_main_parallel(order, pool, cancel, progress);
 
-  rescue_failed(subnets);
-  cleanup_short_polygons();
+  if (cancel == nullptr || !cancel->stop_requested()) {
+    rescue_failed(subnets);
+    cleanup_short_polygons();
+  }
 
   result.routed = std::count(result.subnet_routed.begin(),
                              result.subnet_routed.end(), true);

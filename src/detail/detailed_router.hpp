@@ -1,9 +1,15 @@
 #pragma once
 
-#include <unordered_set>
+#include <functional>
 
 #include "assign/panel.hpp"
 #include "detail/astar.hpp"
+#include "detail/node_bitmap.hpp"
+
+namespace mebl::exec {
+class ThreadPool;
+class Cancellation;
+}  // namespace mebl::exec
 
 namespace mebl::detail {
 
@@ -31,6 +37,15 @@ struct DetailedConfig {
   /// the stitch costs are enabled.
   int sp_cleanup_rounds = 3;
   double sp_cleanup_beta_scale = 8.0;
+  /// Route batches of subnets with pairwise-disjoint search boxes
+  /// concurrently on the caller's thread pool (prefix batching is
+  /// sequential-equivalent, so the routed result is bit-identical to the
+  /// one-at-a-time schedule for every thread count — DESIGN.md §9). Off =
+  /// the strictly sequential loop.
+  bool parallel = true;
+  /// Upper bound on one disjoint batch (bounds commit latency and progress
+  /// granularity; must never depend on the thread count).
+  int parallel_batch_cap = 64;
 };
 
 /// Per-stage statistics of a detailed-routing run.
@@ -55,9 +70,20 @@ struct DetailedResult {
 /// search, rescues failed subnets by ripping up and rerouting blocking nets,
 /// and finally reroutes nets that still own short polygons with a stricter
 /// cost (the framework's failed-net rip-up/reroute pass).
+///
+/// The main pass is batch-parallel: subnets whose conservative search boxes
+/// are pairwise disjoint are searched concurrently against the grid state
+/// frozen at the batch start, then claimed in index order at the batch
+/// barrier. Disjointness makes the schedule sequential-equivalent, so the
+/// routed result is identical to the one-subnet-at-a-time loop for every
+/// thread count (including the no-pool fallback).
 class DetailedRouter {
  public:
   DetailedRouter(GridGraph& grid, DetailedConfig config = {});
+
+  /// Reports batch completion during the main pass: (subnets processed so
+  /// far, total subnets).
+  using ProgressFn = std::function<void(std::size_t, std::size_t)>;
 
   /// Claim every pin's pin-layer node and its via-access node on layer 1,
   /// and install the short-polygon guard penalties for pins inside stitch
@@ -66,25 +92,65 @@ class DetailedRouter {
 
   /// Route all subnets. `plan` carries the layer/track assignment; runs
   /// without assignment (or with ripped tracks) are routed directly.
+  ///
+  /// `pool` parallelizes the disjoint-batch searches of the main pass (null
+  /// = run them on the calling thread; the routed result is identical
+  /// either way). `cancel` stops the scheduling of further batches and
+  /// skips the rescue/cleanup passes; already-committed subnets are kept.
+  /// `progress` fires after every committed batch.
   DetailedResult route_all(const std::vector<netlist::Subnet>& subnets,
-                           const assign::RoutePlan& plan);
+                           const assign::RoutePlan& plan,
+                           exec::ThreadPool* pool = nullptr,
+                           const exec::Cancellation* cancel = nullptr,
+                           const ProgressFn& progress = {});
 
   [[nodiscard]] const GridGraph& grid() const noexcept { return *grid_; }
   [[nodiscard]] AStarRouter& astar() noexcept { return astar_; }
 
  private:
-  /// L-shape pattern probe: try the two one-bend routes on fixed layers.
-  bool try_pattern(std::size_t idx);
+  enum class RouteMethod : std::uint8_t { kNone, kRealized, kSearch };
 
-  /// Attempt to realize the planned runs of subnet `idx` directly as
-  /// geometry. Returns false (leaving the grid untouched) when any needed
-  /// node is blocked, the plan is incomplete, or the geometry would create
-  /// a short polygon the A* cost model could avoid.
-  bool try_realize(std::size_t idx, bool prefer_high = true);
+  /// One computed (not yet committed) routing attempt for a subnet.
+  struct Attempt {
+    enum class Kind : std::uint8_t { kNone, kRealized, kPattern, kAstar };
+    Kind kind = Kind::kNone;
+    std::vector<geom::Point3> nodes;
+  };
 
-  /// Route one subnet (realization first, then A* with growing windows).
-  /// Updates occupancy, bookkeeping, and the result counters.
+  /// Collect the nodes of the planned runs of subnet `idx` without claiming
+  /// anything. Returns false (and clears `out`) when any needed node is
+  /// blocked, the plan is incomplete, or the geometry would create a short
+  /// polygon the A* cost model could avoid.
+  bool collect_realize(std::size_t idx, bool prefer_high,
+                       std::vector<geom::Point3>& out) const;
+
+  /// L-shape pattern probe: collect one of the two one-bend routes on fixed
+  /// layers without claiming. Returns false when neither fits.
+  bool collect_pattern(std::size_t idx, std::vector<geom::Point3>& out) const;
+
+  /// First attempt of one subnet (realize, pattern, A* at the base margin)
+  /// against the current grid, read-only. Used concurrently by the batch
+  /// phase; `scratch` must be private to the calling thread.
+  Attempt compute_first_attempt(std::size_t idx, bool allow_realize,
+                                SearchScratch& scratch) const;
+
+  /// Claim a successful attempt's nodes and update the per-subnet
+  /// bookkeeping and stage counters.
+  void commit_attempt(std::size_t idx, Attempt&& attempt);
+
+  /// Escalating A* retries (margin *= 4 per retry) starting at retry
+  /// `first_retry`; claims and books on success.
+  bool route_subnet_escalated(std::size_t idx, int first_retry);
+
+  /// Route one subnet start to finish (realization first, then A* with
+  /// growing windows). Updates occupancy, bookkeeping, and the counters.
   bool route_subnet(std::size_t idx, bool allow_realize);
+
+  /// The batch-parallel main pass over `order` (see class comment).
+  void route_main_parallel(const std::vector<std::size_t>& order,
+                           exec::ThreadPool* pool,
+                           const exec::Cancellation* cancel,
+                           const ProgressFn& progress);
 
   /// Release all geometry of `net` (sparing pin reservations) and mark its
   /// subnets unrouted. Returns the ripped subnet indices.
@@ -103,11 +169,11 @@ class DetailedRouter {
   const std::vector<netlist::Subnet>* subnets_ = nullptr;
   const assign::RoutePlan* plan_ = nullptr;
   DetailedResult* result_ = nullptr;
-  enum class RouteMethod : std::uint8_t { kNone, kRealized, kSearch };
   std::vector<RouteMethod> method_;
   std::vector<std::vector<geom::Point3>> nodes_of_subnet_;
   std::vector<std::vector<std::size_t>> subnets_of_net_;
-  std::unordered_set<std::size_t> pin_nodes_;
+  /// Pin pad / via-access reservations, by grid node index.
+  NodeBitmap pin_nodes_;
 };
 
 }  // namespace mebl::detail

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mebl::detail {
+
+/// Epoch-stamped membership bitmap over grid-node indices.
+///
+/// Replaces unordered_set<std::size_t> on the detailed-routing hot paths:
+/// test() is one array load instead of a hash probe, and clear() is O(1)
+/// (bumping the epoch invalidates every stamp at once). Memory is one
+/// uint32 per grid node, sized once by reset().
+class NodeBitmap {
+ public:
+  NodeBitmap() = default;
+  explicit NodeBitmap(std::size_t size) { reset(size); }
+
+  /// Size the bitmap to `size` nodes and clear it.
+  void reset(std::size_t size) {
+    stamp_.assign(size, 0);
+    epoch_ = 1;
+    count_ = 0;
+  }
+
+  /// Remove every member in O(1).
+  void clear() {
+    ++epoch_;
+    count_ = 0;
+    if (epoch_ == 0) {  // stamp wrap-around: start a fresh generation
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  void set(std::size_t index) {
+    auto& s = stamp_[index];
+    if (s != epoch_) {
+      s = epoch_;
+      ++count_;
+    }
+  }
+
+  /// Out-of-range indices read as not-set, so an unsized bitmap behaves
+  /// like an empty set (matching the unordered_set it replaced).
+  [[nodiscard]] bool test(std::size_t index) const {
+    return index < stamp_.size() && stamp_[index] == epoch_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return stamp_.size(); }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 1;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mebl::detail

@@ -44,7 +44,8 @@ struct HeapEntry {
 }  // namespace
 
 std::vector<GCellId> GlobalRouter::search(GCellId from, GCellId to,
-                                          const Rect& region) const {
+                                          const Rect& region,
+                                          double vertex_weight) const {
   if (from == to) return {from};
   const int w = region.width();
   const int h = region.height();
@@ -105,12 +106,12 @@ std::vector<GCellId> GlobalRouter::search(GCellId from, GCellId to,
       // and ends there when a horizontal move follows a vertical one.
       if (config_.vertex_cost) {
         if (!horizontal && dir != kDirV)
-          step += config_.vertex_cost_weight * graph_.vertex_cost(tx, ty);
+          step += vertex_weight * graph_.vertex_cost(tx, ty);
         if (horizontal && dir == kDirV)
-          step += config_.vertex_cost_weight * graph_.vertex_cost(tx, ty);
+          step += vertex_weight * graph_.vertex_cost(tx, ty);
         // Arriving at the target vertically leaves a line end there.
         if (!horizontal && nx == to.tx && ny == to.ty)
-          step += config_.vertex_cost_weight * graph_.vertex_cost(nx, ny);
+          step += vertex_weight * graph_.vertex_cost(nx, ny);
       }
       const int next = state_of(nx, ny, horizontal ? kDirH : kDirV);
       const double ng = top.g + step;
@@ -224,8 +225,9 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
                            grid_->tile_of_y(subnet.a.y)};
         const GCellId to{grid_->tile_of_x(subnet.b.x),
                          grid_->tile_of_y(subnet.b.y)};
-        path.tiles = search(from, to, region);
-        if (path.tiles.empty()) path.tiles = search(from, to, full);
+        path.tiles = search(from, to, region, config_.vertex_cost_weight);
+        if (path.tiles.empty())
+          path.tiles = search(from, to, full, config_.vertex_cost_weight);
         path.routed = !path.tiles.empty();
       });
       // Batch barrier: merge the batch's demands in index order.
@@ -277,7 +279,10 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
       break;
     TELEMETRY_SPAN("global.reroute_pass");
     passes_counter.add(1);
-    config_.vertex_cost_weight = base_vertex_weight * (1 << (pass + 1));
+    // Escalate the line-end price per pass as a local, not by mutating
+    // config_: search() runs concurrently within a batch, and an in-place
+    // write would also leak a stale weight on early exit.
+    const double pass_vertex_weight = base_vertex_weight * (1 << (pass + 1));
     int rerouted = 0;
     // Batch-synchronous rip-up & reroute: walk the paths in index order,
     // gathering the next `batch` subnets that are congested against the
@@ -302,11 +307,13 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
         const TilePath& path = result.paths[gathered[i]];
         // Search within the current path's neighbourhood; detours of a few
         // tiles suffice to move line ends out of hot tiles.
-        Rect region;
+        const GCellId seed = path.tiles.front();
+        Rect region{seed.tx, seed.ty, seed.tx, seed.ty};
         for (const GCellId t : path.tiles)
           region = region.hull(Rect{t.tx, t.ty, t.tx, t.ty});
         region = region.inflated(4).intersect(full);
-        fresh[i] = search(path.tiles.front(), path.tiles.back(), region);
+        fresh[i] = search(path.tiles.front(), path.tiles.back(), region,
+                          pass_vertex_weight);
       });
       for (std::size_t i = 0; i < gathered.size(); ++i) {
         TilePath& path = result.paths[gathered[i]];
@@ -320,7 +327,6 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
                      << " subnets";
     if (rerouted == 0) break;
   }
-  config_.vertex_cost_weight = base_vertex_weight;
 
   for (const auto& path : result.paths)
     if (path.routed)

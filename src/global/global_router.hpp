@@ -93,10 +93,14 @@ class GlobalRouter {
 
  private:
   /// Shortest-path search for one subnet confined to `region` (in tile
-  /// coordinates). Returns an empty vector when no path exists.
+  /// coordinates), pricing line-end congestion at `vertex_weight` (the
+  /// reroute passes escalate it per pass without mutating the config, so
+  /// concurrent searches of one batch all see the same weight). Returns an
+  /// empty vector when no path exists.
   [[nodiscard]] std::vector<grid::GCellId> search(grid::GCellId from,
                                                   grid::GCellId to,
-                                                  const geom::Rect& region) const;
+                                                  const geom::Rect& region,
+                                                  double vertex_weight) const;
 
   void commit(const TilePath& path, int sign);
 

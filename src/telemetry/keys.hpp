@@ -37,6 +37,16 @@ inline constexpr char kSubnetsPattern[] = "detail.subnets.pattern";
 inline constexpr char kSubnetsAstar[] = "detail.subnets.astar";
 inline constexpr char kSubnetsFailed[] = "detail.subnets.failed";
 
+// detailed-routing parallelism (DESIGN.md §9). All of these are functions
+// of the routing order and search boxes alone — never of the thread count —
+// so they stay byte-identical in canonical run reports across --threads.
+inline constexpr char kDetailBatches[] = "detail.parallel.batches";
+inline constexpr char kDetailBatchedSubnets[] = "detail.parallel.batched_subnets";
+inline constexpr char kDetailSequentialSubnets[] =
+    "detail.parallel.sequential_subnets";
+inline constexpr char kDetailEscalations[] = "detail.parallel.escalations";
+inline constexpr char kDetailRecomputed[] = "detail.parallel.recomputed";
+
 // evaluation — the paper's quality metrics as stable counter names, recorded
 // inside the metrics stage so stage-boundary observers (report builders) see
 // them in that stage's delta and in RoutingResult::stats().
@@ -50,6 +60,7 @@ inline constexpr char kTotalNets[] = "eval.total_nets";
 
 // histograms
 inline constexpr char kAstarSearchNs[] = "detail.astar.search_ns";
+inline constexpr char kDetailBatchNs[] = "detail.parallel.batch_ns";
 inline constexpr char kTrackPanelNs[] = "assign.track.panel_ns";
 
 }  // namespace mebl::telemetry::keys

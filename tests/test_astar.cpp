@@ -151,11 +151,12 @@ TEST(AStar, ProbeCrossesForeignWithoutClaiming) {
 TEST(AStar, ProbeRespectsHardNodes) {
   const auto rg = make_grid(60, 60, 2);
   GridGraph grid(rg);
-  std::unordered_set<std::size_t> hard;
+  NodeBitmap hard(static_cast<std::size_t>(rg.num_layers()) * rg.width() *
+                  rg.height());
   for (Coord y = 0; y < 60; ++y)
     for (geom::LayerId l = 1; l <= 2; ++l) {
       grid.claim({6, y, l}, 99);
-      hard.insert(grid.index({6, y, l}));
+      hard.set(grid.index({6, y, l}));
     }
   AStarRouter router(grid, {});
   EXPECT_FALSE(router.probe(0, {2, 5}, {12, 5}, rg.extent(), 40.0, &hard));

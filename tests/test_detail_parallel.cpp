@@ -1,0 +1,204 @@
+// Detailed-routing parallelism (DESIGN.md §9): the disjoint-batch gatherer
+// never co-schedules overlapping search boxes, and the batch-parallel main
+// pass is sequential-equivalent — the routed result (headline metrics,
+// per-stage detail stats, canonical run-report bytes) is bit-identical for
+// every thread count and with parallelism turned off entirely.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/circuit_generator.hpp"
+#include "core/stitch_router.hpp"
+#include "detail/batch_schedule.hpp"
+#include "report/report.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mebl;
+using detail::gather_disjoint_batches;
+using geom::Coord;
+using geom::Rect;
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  return order;
+}
+
+void expect_valid_batching(const std::vector<std::vector<std::size_t>>& batches,
+                           const std::vector<std::size_t>& order,
+                           const std::vector<Rect>& boxes,
+                           std::size_t max_batch) {
+  // The concatenation of the batches is exactly the input order (prefix
+  // batching reorders nothing), every batch respects the cap, and the
+  // boxes inside one batch are pairwise disjoint.
+  std::vector<std::size_t> flattened;
+  for (const auto& batch : batches) {
+    ASSERT_FALSE(batch.empty());
+    EXPECT_LE(batch.size(), max_batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      flattened.push_back(batch[i]);
+      for (std::size_t j = i + 1; j < batch.size(); ++j)
+        EXPECT_FALSE(boxes[batch[i]].overlaps(boxes[batch[j]]))
+            << "boxes " << batch[i] << " and " << batch[j]
+            << " overlap but were co-scheduled";
+    }
+  }
+  EXPECT_EQ(flattened, order);
+}
+
+TEST(GatherDisjointBatches, OverlappingBoxesNeverCoScheduled) {
+  // Three clusters: {0,1} overlap, {2,3} overlap, 4 is disjoint from all.
+  const std::vector<Rect> boxes = {
+      {0, 0, 10, 10}, {5, 5, 15, 15}, {40, 40, 50, 50},
+      {45, 45, 55, 55}, {80, 0, 90, 10},
+  };
+  const auto order = identity_order(boxes.size());
+  const auto batches = gather_disjoint_batches(order, boxes, 8, 64);
+  expect_valid_batching(batches, order, boxes, 64);
+  // Box 1 overlaps box 0, so the first batch must close before it.
+  ASSERT_GE(batches.size(), 2u);
+  EXPECT_EQ(batches[0][0], 0u);
+  for (const auto& batch : batches)
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      for (std::size_t j = i + 1; j < batch.size(); ++j)
+        EXPECT_FALSE((batch[i] == 0 && batch[j] == 1) ||
+                     (batch[i] == 2 && batch[j] == 3));
+}
+
+TEST(GatherDisjointBatches, DisjointBoxesShareOneBatch) {
+  std::vector<Rect> boxes;
+  for (Coord i = 0; i < 16; ++i)
+    boxes.push_back({i * 100, 0, i * 100 + 20, 20});
+  const auto order = identity_order(boxes.size());
+  const auto batches = gather_disjoint_batches(order, boxes, 8, 64);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], order);
+}
+
+TEST(GatherDisjointBatches, CapClosesBatches) {
+  std::vector<Rect> boxes;
+  for (Coord i = 0; i < 10; ++i)
+    boxes.push_back({i * 100, 0, i * 100 + 20, 20});
+  const auto order = identity_order(boxes.size());
+  const auto batches = gather_disjoint_batches(order, boxes, 8, 4);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 4u);
+  EXPECT_EQ(batches[1].size(), 4u);
+  EXPECT_EQ(batches[2].size(), 2u);
+  expect_valid_batching(batches, order, boxes, 4);
+}
+
+TEST(GatherDisjointBatches, IdenticalBoxesDegenerateToSingletons) {
+  const std::vector<Rect> boxes(5, Rect{10, 10, 30, 30});
+  const auto order = identity_order(boxes.size());
+  const auto batches = gather_disjoint_batches(order, boxes, 8, 64);
+  ASSERT_EQ(batches.size(), 5u);
+  for (const auto& batch : batches) EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(GatherDisjointBatches, RandomSweepInvariants) {
+  util::Rng rng(20130602u);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Rect> boxes;
+    const int n = static_cast<int>(rng.uniform_int(1, 120));
+    for (int i = 0; i < n; ++i) {
+      const Coord x = static_cast<Coord>(rng.uniform_int(0, 399));
+      const Coord y = static_cast<Coord>(rng.uniform_int(0, 399));
+      const Coord w = static_cast<Coord>(rng.uniform_int(0, 59));
+      const Coord h = static_cast<Coord>(rng.uniform_int(0, 59));
+      boxes.push_back({x, y, x + w, y + h});
+    }
+    const auto order = identity_order(boxes.size());
+    const std::size_t cap = static_cast<std::size_t>(rng.uniform_int(1, 32));
+    const Coord bin = static_cast<Coord>(rng.uniform_int(1, 40));
+    const auto batches = gather_disjoint_batches(order, boxes, bin, cap);
+    expect_valid_batching(batches, order, boxes, cap);
+  }
+}
+
+// ---------------------------------------------------------------- pipeline
+
+struct Fingerprint {
+  eval::RouteMetrics metrics;
+  detail::DetailedResult detail;
+  std::string canonical_report;
+};
+
+Fingerprint route_circuit(const bench_suite::GeneratedCircuit& circuit,
+                          const core::RouterConfig& config) {
+  core::StitchAwareRouter router(circuit.grid, circuit.netlist, config);
+  report::RunReportBuilder builder;
+  router.add_observer(&builder);
+  const auto result = router.run();
+  report::WriteOptions options;
+  options.include_timing = false;
+  Fingerprint fp;
+  fp.metrics = result.metrics;
+  fp.detail = result.detail;
+  fp.canonical_report = report::serialize(
+      builder.build(result, circuit.grid, circuit.netlist), options);
+  return fp;
+}
+
+void expect_identical(const Fingerprint& a, const Fingerprint& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.metrics.wirelength, b.metrics.wirelength) << what;
+  EXPECT_EQ(a.metrics.vias, b.metrics.vias) << what;
+  EXPECT_EQ(a.metrics.via_violations, b.metrics.via_violations) << what;
+  EXPECT_EQ(a.metrics.vertical_violations, b.metrics.vertical_violations)
+      << what;
+  EXPECT_EQ(a.metrics.short_polygons, b.metrics.short_polygons) << what;
+  EXPECT_EQ(a.metrics.routed_nets, b.metrics.routed_nets) << what;
+  EXPECT_EQ(a.detail.routed, b.detail.routed) << what;
+  EXPECT_EQ(a.detail.failed, b.detail.failed) << what;
+  EXPECT_EQ(a.detail.planned_realized, b.detail.planned_realized) << what;
+  EXPECT_EQ(a.detail.pattern_routed, b.detail.pattern_routed) << what;
+  EXPECT_EQ(a.detail.astar_routed, b.detail.astar_routed) << what;
+  EXPECT_EQ(a.detail.ripup_rescued, b.detail.ripup_rescued) << what;
+  EXPECT_EQ(a.detail.sp_cleanup_nets, b.detail.sp_cleanup_nets) << what;
+  EXPECT_EQ(a.detail.subnet_routed, b.detail.subnet_routed) << what;
+  EXPECT_EQ(a.canonical_report, b.canonical_report) << what;
+}
+
+class DetailParallelDeterminism
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DetailParallelDeterminism, IdenticalAcrossThreadCounts) {
+  const auto* spec = bench_suite::find_spec(GetParam());
+  ASSERT_NE(spec, nullptr);
+  const auto circuit = bench_suite::generate_circuit(*spec, {}, 20130602u);
+
+  const auto with_threads = [&](int threads) {
+    return route_circuit(
+        circuit, core::RouterConfig::stitch_aware().with_threads(threads));
+  };
+  const Fingerprint one = with_threads(1);
+  for (const int threads : {2, 8})
+    expect_identical(one, with_threads(threads),
+                     std::string(GetParam()) +
+                         " threads=" + std::to_string(threads));
+
+  // Parallelism off must reproduce the batched schedule's result exactly:
+  // prefix batching is sequential-equivalent by construction.
+  const Fingerprint sequential = route_circuit(
+      circuit, core::RouterConfig::stitch_aware().with_threads(8).
+                   with_detail_parallelism(false));
+  EXPECT_EQ(one.metrics.wirelength, sequential.metrics.wirelength);
+  EXPECT_EQ(one.metrics.vias, sequential.metrics.vias);
+  EXPECT_EQ(one.metrics.short_polygons, sequential.metrics.short_polygons);
+  EXPECT_EQ(one.detail.subnet_routed, sequential.detail.subnet_routed);
+  EXPECT_EQ(one.detail.planned_realized, sequential.detail.planned_realized);
+  EXPECT_EQ(one.detail.astar_routed, sequential.detail.astar_routed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, DetailParallelDeterminism,
+                         ::testing::Values("S5378", "S9234"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace

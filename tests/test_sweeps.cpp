@@ -6,6 +6,7 @@
 
 #include <map>
 #include <sstream>
+#include <unordered_set>
 
 #include "assign/track_assign.hpp"
 #include "bench_suite/circuit_generator.hpp"
