@@ -4,10 +4,10 @@
 #include <cassert>
 #include <cstdlib>
 #include <limits>
-#include <queue>
 
 #include "exec/cancellation.hpp"
 #include "exec/thread_pool.hpp"
+#include "global/pattern_route.hpp"
 #include "telemetry/keys.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
@@ -17,145 +17,173 @@ namespace mebl::global {
 using geom::Rect;
 using grid::GCellId;
 
-GlobalRouter::GlobalRouter(const grid::RoutingGrid& grid,
-                           GlobalRouterConfig config)
-    : grid_(&grid),
-      config_(config),
-      graph_(grid, config.stitch_aware_capacity) {}
-
 namespace {
 
-/// Search state: tile plus the orientation of the move that entered it
-/// (0 = start, 1 = horizontal, 2 = vertical). Direction matters because
-/// line-end (vertex) costs are incurred where vertical runs start and end.
-constexpr int kDirStart = 0;
-constexpr int kDirH = 1;
-constexpr int kDirV = 2;
+/// One scratch per pool worker (and one for the calling thread): searches of
+/// a batch run concurrently, each on its own thread's scratch, against the
+/// congestion rows frozen at the batch barrier.
+thread_local GlobalSearchScratch tl_scratch;  // NOLINT(cert-err58-cpp)
 
-struct HeapEntry {
-  double f;
-  double g;
-  int state;
-  friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
-    return a.f > b.f;
-  }
-};
-
-}  // namespace
-
-std::vector<GCellId> GlobalRouter::search(GCellId from, GCellId to,
-                                          const Rect& region,
-                                          double vertex_weight) const {
-  if (from == to) return {from};
-  const int w = region.width();
-  const int h = region.height();
-  const auto in_region = [&](int tx, int ty) {
-    return tx >= region.xlo && tx <= region.xhi && ty >= region.ylo &&
-           ty <= region.yhi;
-  };
-  assert(in_region(from.tx, from.ty) && in_region(to.tx, to.ty));
-
-  const auto state_of = [&](int tx, int ty, int dir) {
-    return ((ty - region.ylo) * w + (tx - region.xlo)) * 3 + dir;
-  };
-  const std::size_t num_states = static_cast<std::size_t>(w) * h * 3;
-  std::vector<double> dist(num_states,
-                           std::numeric_limits<double>::infinity());
-  std::vector<int> parent(num_states, -1);
-
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  const auto heuristic = [&](int tx, int ty) {
-    return static_cast<double>(std::abs(tx - to.tx) + std::abs(ty - to.ty));
-  };
-  const int start = state_of(from.tx, from.ty, kDirStart);
-  dist[static_cast<std::size_t>(start)] = 0.0;
-  heap.push({heuristic(from.tx, from.ty), 0.0, start});
-
-  static constexpr int kDx[4] = {1, -1, 0, 0};
-  static constexpr int kDy[4] = {0, 0, 1, -1};
-
-  int goal_state = -1;
-  while (!heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    if (top.g > dist[static_cast<std::size_t>(top.state)]) continue;
-    const int cell = top.state / 3;
-    const int dir = top.state % 3;
-    const int tx = region.xlo + cell % w;
-    const int ty = region.ylo + cell / w;
-    if (tx == to.tx && ty == to.ty) {
-      goal_state = top.state;
-      break;
-    }
-    for (int m = 0; m < 4; ++m) {
-      const int nx = tx + kDx[m];
-      const int ny = ty + kDy[m];
-      if (!in_region(nx, ny)) continue;
-      const bool horizontal = m < 2;
-      double step = 1.0;
-      // Edge congestion.
-      if (horizontal)
-        step += graph_.h_cost(std::min(tx, nx), ty);
-      else
-        step += graph_.v_cost(tx, std::min(ty, ny));
-      // Bend penalty.
-      if (dir != kDirStart && ((dir == kDirH) != horizontal))
-        step += config_.turn_cost;
-      // Line-end (vertex) congestion: a vertical run starts at the current
-      // tile when a vertical move follows a horizontal one (or the start),
-      // and ends there when a horizontal move follows a vertical one.
-      if (config_.vertex_cost) {
-        if (!horizontal && dir != kDirV)
-          step += vertex_weight * graph_.vertex_cost(tx, ty);
-        if (horizontal && dir == kDirV)
-          step += vertex_weight * graph_.vertex_cost(tx, ty);
-        // Arriving at the target vertically leaves a line end there.
-        if (!horizontal && nx == to.tx && ny == to.ty)
-          step += vertex_weight * graph_.vertex_cost(nx, ny);
-      }
-      const int next = state_of(nx, ny, horizontal ? kDirH : kDirV);
-      const double ng = top.g + step;
-      if (ng < dist[static_cast<std::size_t>(next)]) {
-        dist[static_cast<std::size_t>(next)] = ng;
-        parent[static_cast<std::size_t>(next)] = top.state;
-        heap.push({ng + heuristic(nx, ny), ng, next});
-      }
-    }
-  }
-  if (goal_state < 0) return {};
-
-  std::vector<GCellId> tiles;
-  for (int s = goal_state; s != -1; s = parent[static_cast<std::size_t>(s)]) {
-    const int cell = s / 3;
-    const GCellId id{region.xlo + cell % w, region.ylo + cell / w};
-    if (tiles.empty() || !(tiles.back() == id)) tiles.push_back(id);
-  }
-  std::reverse(tiles.begin(), tiles.end());
-  return tiles;
-}
-
-void GlobalRouter::commit(const TilePath& path, int sign) {
-  const auto& tiles = path.tiles;
+/// Walk the h/v edges of a committed tile path.
+template <typename Fn>
+void for_each_edge(const std::vector<GCellId>& tiles, Fn&& fn) {
   for (std::size_t i = 0; i + 1 < tiles.size(); ++i) {
     const GCellId a = tiles[i];
     const GCellId b = tiles[i + 1];
     if (a.ty == b.ty)
-      graph_.add_h_demand(std::min(a.tx, b.tx), a.ty, sign);
+      fn(true, std::min(a.tx, b.tx), a.ty);
     else
-      graph_.add_v_demand(a.tx, std::min(a.ty, b.ty), sign);
+      fn(false, a.tx, std::min(a.ty, b.ty));
   }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CongestionIndex
+
+void CongestionIndex::reset(const RoutingGraph& graph, std::size_t num_subnets,
+                            bool track_vertices) {
+  tiles_x_ = graph.tiles_x();
+  tiles_y_ = graph.tiles_y();
+  h_count_ = static_cast<std::size_t>(std::max(0, tiles_x_ - 1)) * tiles_y_;
+  v_count_ = static_cast<std::size_t>(tiles_x_) * std::max(0, tiles_y_ - 1);
+  track_vertices_ = track_vertices;
+  const std::size_t vert_count =
+      static_cast<std::size_t>(tiles_x_) * tiles_y_;
+  overflowed_.assign(h_count_ + v_count_ + vert_count, 0);
+  crossers_.assign(overflowed_.size(), {});
+  hits_.assign(num_subnets, 0);
+  for (int ty = 0; ty < tiles_y_; ++ty)
+    for (int tx = 0; tx + 1 < tiles_x_; ++tx)
+      overflowed_[h_id(tx, ty)] =
+          graph.h_demand(tx, ty) > graph.h_capacity(tx, ty) ? 1 : 0;
+  for (int ty = 0; ty + 1 < tiles_y_; ++ty)
+    for (int tx = 0; tx < tiles_x_; ++tx)
+      overflowed_[v_id(tx, ty)] =
+          graph.v_demand(tx, ty) > graph.v_capacity(tx, ty) ? 1 : 0;
+  for (int ty = 0; ty < tiles_y_; ++ty)
+    for (int tx = 0; tx < tiles_x_; ++tx)
+      overflowed_[vert_id(tx, ty)] =
+          graph.vertex_demand(tx, ty) > graph.vertex_capacity(tx, ty) ? 1 : 0;
+}
+
+void CongestionIndex::set_overflowed(std::size_t resource, bool now) {
+  if (static_cast<bool>(overflowed_[resource]) == now) return;
+  overflowed_[resource] = now ? 1 : 0;
+  // Every entry is one crossing (a path crossing twice appears twice), so
+  // hit counts stay exact under multiplicity.
+  for (const std::int32_t subnet : crossers_[resource])
+    hits_[static_cast<std::size_t>(subnet)] += now ? 1 : -1;
+}
+
+void CongestionIndex::add_membership(std::size_t idx,
+                                     const std::vector<GCellId>& tiles) {
+  const auto join = [&](std::size_t r) {
+    crossers_[r].push_back(static_cast<std::int32_t>(idx));
+    if (overflowed_[r] != 0) ++hits_[idx];
+  };
+  for_each_edge(tiles, [&](bool horizontal, int tx, int ty) {
+    join(horizontal ? h_id(tx, ty) : v_id(tx, ty));
+  });
+  // The rescan tested vertex overflow on *every* tile of the path (not just
+  // the line-end tiles where demand was added), so membership covers them
+  // all — pass-through tiles included.
+  if (track_vertices_)
+    for (const GCellId t : tiles) join(vert_id(t.tx, t.ty));
+}
+
+void CongestionIndex::remove_membership(std::size_t idx,
+                                        const std::vector<GCellId>& tiles) {
+  const auto leave = [&](std::size_t r) {
+    auto& list = crossers_[r];
+    const auto it = std::find(list.begin(), list.end(),
+                              static_cast<std::int32_t>(idx));
+    assert(it != list.end());
+    *it = list.back();  // order is irrelevant: hits_ is a pure count
+    list.pop_back();
+    if (overflowed_[r] != 0) --hits_[idx];
+  };
+  for_each_edge(tiles, [&](bool horizontal, int tx, int ty) {
+    leave(horizontal ? h_id(tx, ty) : v_id(tx, ty));
+  });
+  if (track_vertices_)
+    for (const GCellId t : tiles) leave(vert_id(t.tx, t.ty));
+}
+
+void CongestionIndex::commit(RoutingGraph& graph, std::size_t idx,
+                             const std::vector<GCellId>& tiles, int sign) {
+  // Rip-up drops membership first so the overflow transitions below no
+  // longer touch this subnet's own hit count.
+  if (sign < 0) remove_membership(idx, tiles);
+  for_each_edge(tiles, [&](bool horizontal, int tx, int ty) {
+    if (horizontal) {
+      graph.add_h_demand(tx, ty, sign);
+      set_overflowed(h_id(tx, ty),
+                     graph.h_demand(tx, ty) > graph.h_capacity(tx, ty));
+    } else {
+      graph.add_v_demand(tx, ty, sign);
+      set_overflowed(v_id(tx, ty),
+                     graph.v_demand(tx, ty) > graph.v_capacity(tx, ty));
+    }
+  });
   // Vertical line ends: both end tiles of every maximal vertical run.
+  const auto add_vertex = [&](int tx, int ty) {
+    graph.add_vertex_demand(tx, ty, sign);
+    set_overflowed(vert_id(tx, ty),
+                   graph.vertex_demand(tx, ty) > graph.vertex_capacity(tx, ty));
+  };
   std::size_t i = 0;
   while (i + 1 < tiles.size()) {
     if (tiles[i].tx == tiles[i + 1].tx) {  // vertical run starts
       const std::size_t run_start = i;
       while (i + 1 < tiles.size() && tiles[i].tx == tiles[i + 1].tx) ++i;
-      graph_.add_vertex_demand(tiles[run_start].tx, tiles[run_start].ty, sign);
-      graph_.add_vertex_demand(tiles[i].tx, tiles[i].ty, sign);
+      add_vertex(tiles[run_start].tx, tiles[run_start].ty);
+      add_vertex(tiles[i].tx, tiles[i].ty);
     } else {
       ++i;
     }
   }
+  if (sign > 0) add_membership(idx, tiles);
+}
+
+// ---------------------------------------------------------------------------
+// GlobalRouter
+
+GlobalRouter::GlobalRouter(const grid::RoutingGrid& grid,
+                           GlobalRouterConfig config)
+    : grid_(&grid),
+      config_(config),
+      graph_(grid, config.stitch_aware_capacity),
+      pops_counter_(&telemetry::counter(telemetry::keys::kGlobalSearchPops)),
+      pattern_hits_counter_(
+          &telemetry::counter(telemetry::keys::kGlobalPatternHits)),
+      scratch_reuses_counter_(
+          &telemetry::counter(telemetry::keys::kGlobalScratchReuses)) {}
+
+std::vector<GCellId> GlobalRouter::search(GCellId from, GCellId to,
+                                          const Rect& region,
+                                          double vertex_weight) const {
+  if (from == to) return {from};
+  GlobalSearchScratch& scratch = tl_scratch;
+  const GlobalSearchParams params{config_.turn_cost, config_.vertex_cost,
+                                  vertex_weight};
+  // Fast path: a provably-optimal one-bend candidate skips the heap (and
+  // the scratch) entirely.
+  if (try_pattern_route(graph_, params, from, to, scratch.path)) {
+    pattern_hits_counter_->add(1);
+    return {scratch.path.begin(), scratch.path.end()};
+  }
+  const bool found =
+      search_tiles_astar(graph_, params, from, to, region, scratch);
+  pops_counter_->add(scratch.last_pops);
+  if (scratch.last_reused) scratch_reuses_counter_->add(1);
+  if (!found) return {};
+  return {scratch.path.begin(), scratch.path.end()};
+}
+
+void GlobalRouter::commit(std::size_t idx, const TilePath& path, int sign) {
+  congestion_.commit(graph_, idx, path.tiles, sign);
 }
 
 GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
@@ -165,6 +193,7 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
   TELEMETRY_SPAN("global.route");
   GlobalResult result;
   result.paths.resize(subnets.size());
+  congestion_.reset(graph_, subnets.size(), config_.vertex_cost);
 
   const auto stop_requested = [&] {
     return cancel != nullptr && cancel->stop_requested();
@@ -234,7 +263,7 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
       for (std::size_t i = lo; i < hi; ++i) {
         const TilePath& path = result.paths[bucket[i]];
         if (path.routed) {
-          commit(path, +1);
+          commit(bucket[i], path, +1);
           ++committed;
         }
       }
@@ -250,27 +279,6 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
       telemetry::counter(telemetry::keys::kGlobalRerouted);
   telemetry::Counter& passes_counter =
       telemetry::counter(telemetry::keys::kGlobalReroutePasses);
-  const auto is_congested = [&](const TilePath& path) {
-    for (std::size_t i = 0; i + 1 < path.tiles.size(); ++i) {
-      const GCellId a = path.tiles[i];
-      const GCellId b = path.tiles[i + 1];
-      if (a.ty == b.ty) {
-        const int tx = std::min(a.tx, b.tx);
-        if (graph_.h_demand(tx, a.ty) > graph_.h_capacity(tx, a.ty))
-          return true;
-      } else {
-        const int ty = std::min(a.ty, b.ty);
-        if (graph_.v_demand(a.tx, ty) > graph_.v_capacity(a.tx, ty))
-          return true;
-      }
-    }
-    if (config_.vertex_cost) {
-      for (const GCellId t : path.tiles)
-        if (graph_.vertex_demand(t.tx, t.ty) > graph_.vertex_capacity(t.tx, t.ty))
-          return true;
-    }
-    return false;
-  };
 
   for (int pass = 0; pass < config_.reroute_passes && !stop_requested();
        ++pass) {
@@ -286,10 +294,12 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
     int rerouted = 0;
     // Batch-synchronous rip-up & reroute: walk the paths in index order,
     // gathering the next `batch` subnets that are congested against the
-    // *live* demand state; rip the whole gathered batch up, search its
-    // replacements in parallel against the post-rip-up state, then merge
-    // the new demands in index order at the barrier. Batch size 1
-    // reproduces the classic one-net-at-a-time schedule exactly.
+    // *live* demand state (an O(1) dirty-set lookup: the congestion index
+    // tracks overflow transitions as earlier batches commit); rip the whole
+    // gathered batch up, search its replacements in parallel against the
+    // post-rip-up state, then merge the new demands in index order at the
+    // barrier. Batch size 1 reproduces the classic one-net-at-a-time
+    // schedule exactly.
     std::size_t cursor = 0;
     std::vector<std::size_t> gathered;
     std::vector<std::vector<GCellId>> fresh;
@@ -297,11 +307,13 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
       gathered.clear();
       while (cursor < result.paths.size() && gathered.size() < batch) {
         const TilePath& path = result.paths[cursor];
-        if (path.routed && is_congested(path)) gathered.push_back(cursor);
+        if (path.routed && congestion_.congested(cursor))
+          gathered.push_back(cursor);
         ++cursor;
       }
       if (gathered.empty()) continue;
-      for (const std::size_t idx : gathered) commit(result.paths[idx], -1);
+      for (const std::size_t idx : gathered)
+        commit(idx, result.paths[idx], -1);
       fresh.assign(gathered.size(), {});
       parallel_phase(0, gathered.size(), [&](std::size_t i) {
         const TilePath& path = result.paths[gathered[i]];
@@ -314,11 +326,17 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
         region = region.inflated(4).intersect(full);
         fresh[i] = search(path.tiles.front(), path.tiles.back(), region,
                           pass_vertex_weight);
+        // A hull-region search that fails must not silently re-commit the
+        // congested path: fall back to the full grid, exactly like the
+        // initial pass.
+        if (fresh[i].empty())
+          fresh[i] = search(path.tiles.front(), path.tiles.back(), full,
+                            pass_vertex_weight);
       });
       for (std::size_t i = 0; i < gathered.size(); ++i) {
         TilePath& path = result.paths[gathered[i]];
         if (!fresh[i].empty()) path.tiles = std::move(fresh[i]);
-        commit(path, +1);
+        commit(gathered[i], path, +1);
         ++rerouted;
       }
     }

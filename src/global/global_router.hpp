@@ -1,16 +1,22 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "global/multilevel.hpp"
 #include "global/routing_graph.hpp"
+#include "global/search_scratch.hpp"
 #include "netlist/netlist.hpp"
 
 namespace mebl::exec {
 class ThreadPool;
 class Cancellation;
 }  // namespace mebl::exec
+
+namespace mebl::telemetry {
+class Counter;
+}  // namespace mebl::telemetry
 
 namespace mebl::global {
 
@@ -63,10 +69,74 @@ struct GlobalResult {
   int total_edge_overflow = 0;
 };
 
+/// Reverse index from overflowed routing resources (h/v edges and line-end
+/// vertices) to the committed subnets crossing them, maintained at commit
+/// time (DESIGN.md §10). Replaces the rip-up loop's per-pass full rescan:
+/// congested(idx) answers in O(1) exactly the predicate the old
+/// `is_congested` walk computed — "does subnet idx's committed path cross
+/// any resource whose live demand exceeds its capacity" — because every
+/// demand change propagates overflow transitions to the crossing subnets'
+/// hit counts. Dirty-set selection is therefore bit-identical to the
+/// rescan's, in the same index order.
+class CongestionIndex {
+ public:
+  /// Size the index for `graph` and `num_subnets` committed paths, seeding
+  /// overflow flags from the graph's current demand state. `track_vertices`
+  /// mirrors GlobalRouterConfig::vertex_cost: the rescan only treated
+  /// vertex overflow as congestion when line ends were priced.
+  void reset(const RoutingGraph& graph, std::size_t num_subnets,
+             bool track_vertices);
+
+  /// Apply subnet `idx`'s tile path to `graph` with `sign` (+1 commit,
+  /// -1 rip-up): updates edge demands, vertex (line-end) demands at the end
+  /// tiles of maximal vertical runs, overflow flags, the reverse index, and
+  /// the per-subnet hit counts, in one pass.
+  void commit(RoutingGraph& graph, std::size_t idx,
+              const std::vector<grid::GCellId>& tiles, int sign);
+
+  /// True iff subnet `idx`'s committed path crosses at least one currently
+  /// overflowed resource — the old full-rescan predicate, in O(1).
+  [[nodiscard]] bool congested(std::size_t idx) const {
+    return hits_[idx] > 0;
+  }
+
+ private:
+  // Flat resource ids: h-edges, then v-edges, then vertices.
+  [[nodiscard]] std::size_t h_id(int tx, int ty) const {
+    return static_cast<std::size_t>(ty) * (tiles_x_ - 1) + tx;
+  }
+  [[nodiscard]] std::size_t v_id(int tx, int ty) const {
+    return h_count_ + static_cast<std::size_t>(ty) * tiles_x_ + tx;
+  }
+  [[nodiscard]] std::size_t vert_id(int tx, int ty) const {
+    return h_count_ + v_count_ + static_cast<std::size_t>(ty) * tiles_x_ + tx;
+  }
+
+  void set_overflowed(std::size_t resource, bool now);
+  void add_membership(std::size_t idx,
+                      const std::vector<grid::GCellId>& tiles);
+  void remove_membership(std::size_t idx,
+                         const std::vector<grid::GCellId>& tiles);
+
+  int tiles_x_ = 0;
+  int tiles_y_ = 0;
+  std::size_t h_count_ = 0;
+  std::size_t v_count_ = 0;
+  bool track_vertices_ = false;
+  std::vector<std::uint8_t> overflowed_;          ///< per resource
+  std::vector<std::vector<std::int32_t>> crossers_;  ///< resource -> subnets
+  std::vector<std::int32_t> hits_;  ///< subnet -> overflowed crossings
+};
+
 /// Stitch-aware global router (paper SIII-A): congestion-driven path search
 /// on the GCell graph pricing both edge congestion and line-end (vertex)
 /// congestion, scheduled by the bottom-up multilevel framework, with rip-up
 /// and reroute of subnets through overflowed resources.
+///
+/// The search kernel (DESIGN.md §10) composes the L/Z pattern-route fast
+/// path (pattern_route.hpp) with the epoch-stamped scratch A*
+/// (search_scratch.hpp); per-worker thread-local scratch makes concurrent
+/// batch searches allocation-free and race-free.
 class GlobalRouter {
  public:
   GlobalRouter(const grid::RoutingGrid& grid, GlobalRouterConfig config = {});
@@ -95,18 +165,29 @@ class GlobalRouter {
   /// Shortest-path search for one subnet confined to `region` (in tile
   /// coordinates), pricing line-end congestion at `vertex_weight` (the
   /// reroute passes escalate it per pass without mutating the config, so
-  /// concurrent searches of one batch all see the same weight). Returns an
-  /// empty vector when no path exists.
+  /// concurrent searches of one batch all see the same weight). Tries the
+  /// pattern-route fast path, then the scratch A* kernel on the calling
+  /// worker's thread-local scratch. Returns an empty vector when no path
+  /// exists.
   [[nodiscard]] std::vector<grid::GCellId> search(grid::GCellId from,
                                                   grid::GCellId to,
                                                   const geom::Rect& region,
                                                   double vertex_weight) const;
 
-  void commit(const TilePath& path, int sign);
+  /// Commit (+1) or rip up (-1) subnet `idx`'s path: demand bookkeeping and
+  /// the congestion index move together.
+  void commit(std::size_t idx, const TilePath& path, int sign);
 
   const grid::RoutingGrid* grid_;
   GlobalRouterConfig config_;
   RoutingGraph graph_;
+  CongestionIndex congestion_;
+
+  // Telemetry endpoints, resolved once at construction (stable addresses,
+  // thread-safe sinks). Written from concurrent batch searches.
+  telemetry::Counter* pops_counter_;
+  telemetry::Counter* pattern_hits_counter_;
+  telemetry::Counter* scratch_reuses_counter_;
 };
 
 }  // namespace mebl::global

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "global/routing_graph.hpp"
+#include "global/search_scratch.hpp"
+#include "grid/gcell.hpp"
+
+namespace mebl::global {
+
+/// Cost of the monotone two-leg candidate path from → corner → to (each leg
+/// axis-aligned; corner == from degenerates to a single straight leg),
+/// accumulated with exactly the kernel's per-step arithmetic in the same
+/// term order — an accepted candidate's cost is therefore bit-identical to
+/// the g-value A* computes along the same path.
+[[nodiscard]] double pattern_candidate_cost(const RoutingGraph& graph,
+                                            const GlobalSearchParams& params,
+                                            grid::GCellId from,
+                                            grid::GCellId corner,
+                                            grid::GCellId to);
+
+/// L/Z pattern-route fast path of the global-routing kernel (DESIGN.md §10).
+///
+/// Evaluates the at-most-two one-bend monotone candidates (straight when the
+/// endpoints share a row or column, else the HV and VH L-shapes) and accepts
+/// one only when it is *provably the unique optimum* of the search kernel:
+/// every step costs >= 1 and every congestion / bend / line-end term is
+/// non-negative, so any other tile path costs at least
+///   D + 2                 (straight case: all alternatives take >= 2 extra
+///                          steps — direction reversals are not charged as
+///                          bends, so only the step floor is counted), or
+///   D + min(2·turn, 2 + turn)   (L case: a monotone staircase bends >= 2
+///                          times, a detour takes >= 2 extra steps and bends
+///                          >= 1 time),
+/// where D is the Manhattan tile distance. A candidate strictly below that
+/// admissible lower bound (minus a 1e-6 float-summation guard, and in the L
+/// case strictly cheaper than its sibling) beats every alternative, so A*
+/// would return exactly this path — quality is untouched while the heap,
+/// and the O(states) scratch touch, are skipped entirely. Ties and
+/// negative-weight configurations conservatively fall back to the kernel.
+///
+/// On acceptance fills `out` with the start-to-goal tile path and returns
+/// true; `cost` (optional) receives the candidate cost. `from == to` is the
+/// caller's trivial case and is rejected here.
+bool try_pattern_route(const RoutingGraph& graph,
+                       const GlobalSearchParams& params, grid::GCellId from,
+                       grid::GCellId to, std::vector<grid::GCellId>& out,
+                       double* cost = nullptr);
+
+}  // namespace mebl::global

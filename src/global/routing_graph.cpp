@@ -27,24 +27,56 @@ RoutingGraph::RoutingGraph(const grid::RoutingGrid& grid, bool stitch_aware)
   for (int ty = 0; ty < tiles_y_; ++ty)
     for (int tx = 0; tx < tiles_x_; ++tx)
       vert_cap_[t_index(tx, ty)] = model.line_end_capacity(tx, ty);
+
+  // Seed the psi memo for every capacity present, then freeze the initial
+  // (demand = 0) marginal-cost rows.
+  int max_cap = 0;
+  for (const int c : h_cap_) max_cap = std::max(max_cap, c);
+  for (const int c : v_cap_) max_cap = std::max(max_cap, c);
+  for (const int c : vert_cap_) max_cap = std::max(max_cap, c);
+  psi_memo_.resize(static_cast<std::size_t>(max_cap) + 1);
+  h_cost_row_.resize(h_cap_.size());
+  v_cost_row_.resize(v_cap_.size());
+  vert_cost_row_.resize(vert_cap_.size());
+  for (std::size_t i = 0; i < h_cap_.size(); ++i)
+    h_cost_row_[i] = psi_lookup(1, h_cap_[i]);
+  for (std::size_t i = 0; i < v_cap_.size(); ++i)
+    v_cost_row_[i] = psi_lookup(1, v_cap_[i]);
+  for (std::size_t i = 0; i < vert_cap_.size(); ++i)
+    vert_cost_row_[i] = psi_lookup(1, vert_cap_[i]);
 }
 
 void RoutingGraph::add_h_demand(int tx, int ty, int delta) {
-  auto& d = h_dem_[h_index(tx, ty)];
+  const std::size_t i = h_index(tx, ty);
+  int& d = h_dem_[i];
+  const int cap = h_cap_[i];
+  total_edge_overflow_ -= std::max(0, d - cap);
   d += delta;
   assert(d >= 0);
+  total_edge_overflow_ += std::max(0, d - cap);
+  h_cost_row_[i] = psi_lookup(d + 1, cap);
 }
 
 void RoutingGraph::add_v_demand(int tx, int ty, int delta) {
-  auto& d = v_dem_[v_index(tx, ty)];
+  const std::size_t i = v_index(tx, ty);
+  int& d = v_dem_[i];
+  const int cap = v_cap_[i];
+  total_edge_overflow_ -= std::max(0, d - cap);
   d += delta;
   assert(d >= 0);
+  total_edge_overflow_ += std::max(0, d - cap);
+  v_cost_row_[i] = psi_lookup(d + 1, cap);
 }
 
 void RoutingGraph::add_vertex_demand(int tx, int ty, int delta) {
-  auto& d = vert_dem_[t_index(tx, ty)];
+  const std::size_t i = t_index(tx, ty);
+  int& d = vert_dem_[i];
+  const int cap = vert_cap_[i];
+  total_vertex_overflow_ -= std::max(0, d - cap);
   d += delta;
   assert(d >= 0);
+  total_vertex_overflow_ += std::max(0, d - cap);
+  vert_cost_row_[i] = psi_lookup(d + 1, cap);
 }
 
 double RoutingGraph::psi(int demand, int capacity) {
@@ -52,11 +84,14 @@ double RoutingGraph::psi(int demand, int capacity) {
   return std::exp2(static_cast<double>(demand) / capacity) - 1.0;
 }
 
-int RoutingGraph::total_vertex_overflow() const {
-  int total = 0;
-  for (std::size_t i = 0; i < vert_dem_.size(); ++i)
-    total += std::max(0, vert_dem_[i] - vert_cap_[i]);
-  return total;
+double RoutingGraph::psi_lookup(int demand, int capacity) {
+  if (capacity <= 0) return demand > 0 ? 1e9 : 0.0;
+  if (demand < 0 || static_cast<std::size_t>(capacity) >= psi_memo_.size())
+    return psi(demand, capacity);  // outside the memo's domain
+  auto& row = psi_memo_[static_cast<std::size_t>(capacity)];
+  while (row.size() <= static_cast<std::size_t>(demand))
+    row.push_back(psi(static_cast<int>(row.size()), capacity));
+  return row[static_cast<std::size_t>(demand)];
 }
 
 int RoutingGraph::max_vertex_overflow() const {
@@ -64,15 +99,6 @@ int RoutingGraph::max_vertex_overflow() const {
   for (std::size_t i = 0; i < vert_dem_.size(); ++i)
     best = std::max(best, vert_dem_[i] - vert_cap_[i]);
   return std::max(0, best);
-}
-
-int RoutingGraph::total_edge_overflow() const {
-  int total = 0;
-  for (std::size_t i = 0; i < h_dem_.size(); ++i)
-    total += std::max(0, h_dem_[i] - h_cap_[i]);
-  for (std::size_t i = 0; i < v_dem_.size(); ++i)
-    total += std::max(0, v_dem_[i] - v_cap_[i]);
-  return total;
 }
 
 }  // namespace mebl::global

@@ -14,6 +14,15 @@ namespace mebl::global {
 /// demand. Each vertex additionally carries a *line-end capacity* (vertical
 /// tracks outside stitch unfriendly regions) and a line-end demand; the
 /// stitch-aware router prices both (eqs. 1-3).
+///
+/// Costs are served from cached rows (DESIGN.md §10): psi values are
+/// memoized per (demand, capacity) and the marginal cost psi(d+1, c) of
+/// every edge and vertex is kept in a flat row, updated incrementally by
+/// add_*_demand. Demands change only at the router's sequential batch
+/// barriers, so the rows are frozen — and race-free to read — during the
+/// parallel search phase of a batch; relaxations become table lookups
+/// instead of exp2 calls, bit-identical to computing psi directly. Overflow
+/// totals are maintained incrementally the same way.
 class RoutingGraph {
  public:
   RoutingGraph(const grid::RoutingGrid& grid, bool stitch_aware);
@@ -41,12 +50,15 @@ class RoutingGraph {
   void add_v_demand(int tx, int ty, int delta);
 
   /// Congestion cost psi_e = 2^(d/c) - 1 of the edge *after* adding `extra`
-  /// wires (the router prices the marginal wire with extra = 1).
+  /// wires (the router prices the marginal wire with extra = 1, served from
+  /// the cached row; other extras compute psi directly).
   [[nodiscard]] double h_cost(int tx, int ty, int extra = 1) const {
-    return psi(h_dem_[h_index(tx, ty)] + extra, h_cap_[h_index(tx, ty)]);
+    const std::size_t i = h_index(tx, ty);
+    return extra == 1 ? h_cost_row_[i] : psi(h_dem_[i] + extra, h_cap_[i]);
   }
   [[nodiscard]] double v_cost(int tx, int ty, int extra = 1) const {
-    return psi(v_dem_[v_index(tx, ty)] + extra, v_cap_[v_index(tx, ty)]);
+    const std::size_t i = v_index(tx, ty);
+    return extra == 1 ? v_cost_row_[i] : psi(v_dem_[i] + extra, v_cap_[i]);
   }
 
   // --- vertices (line ends) --------------------------------------------------
@@ -61,17 +73,25 @@ class RoutingGraph {
 
   /// Line-end congestion cost psi_v = 2^(d/c) - 1 after `extra` more ends.
   [[nodiscard]] double vertex_cost(int tx, int ty, int extra = 1) const {
-    return psi(vert_dem_[t_index(tx, ty)] + extra, vert_cap_[t_index(tx, ty)]);
+    const std::size_t i = t_index(tx, ty);
+    return extra == 1 ? vert_cost_row_[i]
+                      : psi(vert_dem_[i] + extra, vert_cap_[i]);
   }
 
   // --- overflow metrics (Table IV) -------------------------------------------
 
   /// Total vertex overflow: sum over tiles of max(0, demand - capacity).
-  [[nodiscard]] int total_vertex_overflow() const;
+  /// O(1): maintained incrementally by add_vertex_demand.
+  [[nodiscard]] int total_vertex_overflow() const noexcept {
+    return total_vertex_overflow_;
+  }
   /// Maximum vertex overflow over all tiles.
   [[nodiscard]] int max_vertex_overflow() const;
-  /// Total edge overflow over both edge directions.
-  [[nodiscard]] int total_edge_overflow() const;
+  /// Total edge overflow over both edge directions. O(1): maintained
+  /// incrementally by add_h_demand / add_v_demand.
+  [[nodiscard]] int total_edge_overflow() const noexcept {
+    return total_edge_overflow_;
+  }
 
  private:
   [[nodiscard]] std::size_t h_index(int tx, int ty) const {
@@ -88,10 +108,23 @@ class RoutingGraph {
   /// infinite (but finite, so routing can still complete when forced).
   [[nodiscard]] static double psi(int demand, int capacity);
 
+  /// Memoized psi keyed on (demand, capacity): grows the per-capacity row
+  /// on demand, every entry computed by psi() itself so lookups are
+  /// bit-identical to the direct call. Only invoked from construction and
+  /// add_*_demand (sequential phases), never from the read-only cost path.
+  [[nodiscard]] double psi_lookup(int demand, int capacity);
+
   int tiles_x_;
   int tiles_y_;
   std::vector<int> h_cap_, v_cap_, h_dem_, v_dem_;
   std::vector<int> vert_cap_, vert_dem_;
+  /// Frozen marginal-cost rows: psi(demand + 1, capacity) per resource.
+  std::vector<double> h_cost_row_, v_cost_row_, vert_cost_row_;
+  /// psi memo, indexed [capacity][demand] (capacities are bounded by the
+  /// construction-time maximum; demands grow rows lazily).
+  std::vector<std::vector<double>> psi_memo_;
+  int total_edge_overflow_ = 0;
+  int total_vertex_overflow_ = 0;
 };
 
 }  // namespace mebl::global

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "global/routing_graph.hpp"
+#include "grid/gcell.hpp"
+
+namespace mebl::global {
+
+/// Cost-model knobs of one global-routing search, split out of
+/// GlobalRouterConfig so the kernel and the pattern-route fast path are free
+/// functions a test or bench can drive against a bare RoutingGraph. The
+/// vertex weight is per-search because the reroute passes escalate it
+/// without mutating shared config (DESIGN.md §10).
+struct GlobalSearchParams {
+  double turn_cost = 0.5;
+  bool vertex_cost = true;
+  double vertex_weight = 8.0;
+};
+
+/// Per-search scratch state of the global-routing kernel: epoch-stamped
+/// dist/parent arrays sized for the *full* tile grid (region searches and
+/// the full-grid fallback share the same storage), reusable open-list
+/// storage, and the result path. A search touches no other mutable state,
+/// so concurrent searches on one RoutingGraph are race-free as long as each
+/// uses its own scratch — the batch-parallel router keeps one per pool
+/// worker (thread_local), mirroring detail::SearchScratch.
+struct GlobalSearchScratch {
+  std::vector<std::uint32_t> stamp;
+  std::vector<double> dist;
+  std::vector<std::int32_t> parent;
+  std::uint32_t epoch = 0;
+  /// Open-list storage, reused across searches (std::push_heap/pop_heap
+  /// with the same comparator as the old std::priority_queue, so the pop
+  /// order — including ties — is unchanged).
+  struct HeapEntry {
+    double f;
+    double g;
+    std::int32_t state;
+  };
+  std::vector<HeapEntry> heap;
+  /// Tiles of the most recent successful search, in start-to-goal order.
+  std::vector<grid::GCellId> path;
+
+  // Per-call kernel stats, read by the router's telemetry flush.
+  std::int64_t last_pops = 0;     ///< heap pops of the last kernel run
+  bool last_reused = false;       ///< last kernel run reused the storage
+
+  /// Start a new search epoch over `num_states` states. Returns true when
+  /// the existing storage was large enough (zero allocation); on growth (or
+  /// epoch wrap-around) the stamp array is re-initialized.
+  bool begin(std::size_t num_states);
+};
+
+/// Heap A* over the congestion graph: the global router's search kernel
+/// (paper §III-A, eqs. 1–3), confined to `region` (tile coordinates, must
+/// contain both endpoints). Prices edge congestion, bends, and — when
+/// params.vertex_cost — line-end (vertex) congestion at
+/// params.vertex_weight. On success fills `scratch.path` with the tile path
+/// and returns true; `cost` (optional) receives the goal's g-value. The
+/// routed result is identical to the pre-scratch kernel: same expansion
+/// order, same tie-breaks, costs read from the RoutingGraph's cached rows
+/// which are bit-identical to direct psi.
+bool search_tiles_astar(const RoutingGraph& graph,
+                        const GlobalSearchParams& params, grid::GCellId from,
+                        grid::GCellId to, const geom::Rect& region,
+                        GlobalSearchScratch& scratch, double* cost = nullptr);
+
+}  // namespace mebl::global

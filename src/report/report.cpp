@@ -7,6 +7,7 @@
 #include "eval/yield.hpp"
 #include "netlist/decompose.hpp"
 #include "report/spatial.hpp"
+#include "telemetry/keys.hpp"
 
 namespace mebl::report {
 
@@ -14,14 +15,16 @@ namespace {
 
 /// Counters serialize with zero values omitted, so a report's counter set
 /// does not depend on which unrelated counters other runs in the same
-/// process happened to register. Wall-clock counters (*_ns) drop out of the
-/// canonical (include_timing = false) form.
+/// process happened to register. Execution-dependent counters (wall-clock
+/// *_ns timings, per-worker scratch reuses — see telemetry::keys) drop out
+/// of the canonical (include_timing = false) form: they vary with the
+/// thread count, which would break canonical cross-thread byte-identity.
 Json counters_to_json(const telemetry::StatsSnapshot& stats,
                       bool include_timing) {
   Json out = Json::object();
   for (const auto& [name, value] : stats.counters) {
     if (value == 0) continue;
-    if (!include_timing && name.ends_with("_ns")) continue;
+    if (!include_timing && telemetry::keys::execution_dependent(name)) continue;
     out[name] = value;
   }
   return out;

@@ -5,6 +5,8 @@
 // tests) agree on spelling. Stage code may still mint ad-hoc names; the
 // ones here are the documented, stable surface.
 
+#include <string_view>
+
 namespace mebl::telemetry::keys {
 
 // global routing
@@ -14,6 +16,16 @@ inline constexpr char kGlobalWirelength[] = "global.wirelength";
 inline constexpr char kGlobalVertexOverflow[] = "global.overflow.vertex_total";
 inline constexpr char kGlobalVertexOverflowMax[] = "global.overflow.vertex_max";
 inline constexpr char kGlobalEdgeOverflow[] = "global.overflow.edge_total";
+
+// global-routing search kernel (DESIGN.md §10). Pops and pattern hits are
+// functions of the routing order and congestion state alone — never of the
+// thread count — so they stay byte-identical in canonical run reports
+// across --threads. Scratch reuses count per-worker warm starts and DO vary
+// with the thread count; execution_dependent() below excludes them from the
+// canonical report form alongside the *_ns timings.
+inline constexpr char kGlobalSearchPops[] = "global.search.pops";
+inline constexpr char kGlobalPatternHits[] = "global.search.pattern_hits";
+inline constexpr char kGlobalScratchReuses[] = "global.search.scratch_reuses";
 
 // layer assignment
 inline constexpr char kLayerPanels[] = "assign.layer.panels";
@@ -62,5 +74,14 @@ inline constexpr char kTotalNets[] = "eval.total_nets";
 inline constexpr char kAstarSearchNs[] = "detail.astar.search_ns";
 inline constexpr char kDetailBatchNs[] = "detail.parallel.batch_ns";
 inline constexpr char kTrackPanelNs[] = "assign.track.panel_ns";
+
+/// Counters that measure the execution environment (wall-clock timings,
+/// per-worker cache warm starts) rather than routing decisions: their
+/// values legitimately vary with the thread count and the machine, so the
+/// canonical (include_timing = false) run-report form excludes them to keep
+/// its cross-thread byte-identity contract (DESIGN.md §8).
+[[nodiscard]] inline bool execution_dependent(std::string_view name) {
+  return name.ends_with("_ns") || name == kGlobalScratchReuses;
+}
 
 }  // namespace mebl::telemetry::keys
