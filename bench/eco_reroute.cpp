@@ -1,0 +1,122 @@
+// BM_EcoReroute: incremental (ECO) reroute vs. full-route cost on S5378.
+//
+// Routes S5378 once through the resident pipeline, then measures ECO
+// reroutes of growing net batches against the resident state — the number
+// the serving layer's <25%-of-full-route acceptance gate reads. Emits a
+// mebl.bench_report row (S5378, eco_reroute) plus one row per batch size,
+// so `mebl_report diff` can gate the incremental path like any table.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/resident_design.hpp"
+
+namespace {
+
+/// The first `count` nets with at least two pins (single-pin nets carry no
+/// subnets, so an ECO on them would measure nothing).
+std::vector<mebl::netlist::NetId> routable_nets(
+    const mebl::netlist::Netlist& netlist, std::size_t count) {
+  std::vector<mebl::netlist::NetId> nets;
+  for (const mebl::netlist::Net& net : netlist.nets()) {
+    if (net.degree() < 2) continue;
+    nets.push_back(net.id);
+    if (nets.size() == count) break;
+  }
+  return nets;
+}
+
+struct EcoSample {
+  std::size_t batch = 0;
+  std::size_t dirty = 0;
+  double seconds = 0.0;
+  bool fallback = false;
+};
+
+/// One measured configuration: full-route S5378, then ECO `batch` nets.
+/// Each sample rebuilds the resident from scratch so every ECO hits the
+/// same pre-ECO state (ECOs mutate the resident they run against).
+EcoSample BM_EcoReroute(const mebl::bench_suite::BenchmarkSpec& spec,
+                        int threads, std::size_t batch,
+                        double* full_seconds_out) {
+  using namespace mebl;
+  auto circuit = bench_common::generate(spec);
+  serve::ResidentDesign resident(
+      netlist::Design{circuit.grid, std::move(circuit.netlist)},
+      core::RouterConfig::stitch_aware().with_threads(threads));
+
+  util::Timer timer;
+  const serve::EcoOutcome full = resident.route_full();
+  const double full_seconds = timer.seconds();
+  if (!full.ok) {
+    std::cerr << "[eco_reroute] full route failed: " << full.error << "\n";
+    std::exit(1);
+  }
+  if (full_seconds_out != nullptr) *full_seconds_out = full_seconds;
+
+  serve::EcoRequest request;
+  request.nets = routable_nets(resident.design().netlist, batch);
+  const serve::EcoOutcome outcome = resident.eco(request);
+  if (!outcome.ok) {
+    std::cerr << "[eco_reroute] eco failed: " << outcome.error << "\n";
+    std::exit(1);
+  }
+  return {request.nets.size(), outcome.dirty_subnets, outcome.seconds,
+          outcome.fallback_full};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mebl;
+  bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("eco_reroute", argc, argv);
+  bench_common::QuietLogs quiet;
+  const int threads = bench_common::threads_from_args(argc, argv);
+
+  const auto* spec = bench_suite::find_spec("S5378");
+  if (spec == nullptr) {
+    std::cerr << "[eco_reroute] no S5378 spec\n";
+    return 1;
+  }
+
+  util::Table table("Batch (nets)", "Dirty subnets", "ECO CPU(s)",
+                    "Full CPU(s)", "ECO/Full", "Fallback");
+
+  const std::size_t batches[] = {1, 10, 50};
+  double headline_ratio = 0.0;
+  for (const std::size_t batch : batches) {
+    double full_seconds = 0.0;
+    const EcoSample sample =
+        BM_EcoReroute(*spec, threads, batch, &full_seconds);
+    const double ratio =
+        full_seconds > 0.0 ? sample.seconds / full_seconds : 0.0;
+    if (batch == 10) headline_ratio = ratio;
+
+    table.add_row(std::to_string(sample.batch),
+                  std::to_string(sample.dirty),
+                  util::Table::fixed(sample.seconds, 3),
+                  util::Table::fixed(full_seconds, 3),
+                  util::Table::fixed(ratio, 3),
+                  sample.fallback ? "yes" : "no");
+
+    report::Json::Object metrics;
+    metrics["batch_nets"] = static_cast<std::int64_t>(sample.batch);
+    metrics["dirty_subnets"] = static_cast<std::int64_t>(sample.dirty);
+    metrics["eco_seconds"] = sample.seconds;
+    metrics["full_seconds"] = full_seconds;
+    metrics["eco_over_full"] = ratio;
+    report_scope.add(spec->name,
+                     batch == 10 ? "eco_reroute"
+                                 : "eco_reroute_b" + std::to_string(batch),
+                     std::move(metrics));
+  }
+
+  std::cout << table.str("BM_EcoReroute: incremental reroute vs. full route "
+                         "(S5378)")
+            << "\nServing-layer gate: the 10-net ECO must stay under 0.25x "
+               "the full route (measured "
+            << util::Table::fixed(headline_ratio, 3) << "x)\n";
+  return headline_ratio < 0.25 ? 0 : 1;
+}

@@ -10,10 +10,14 @@
 // saved next to the outputs, and routed — so the binary is also a runnable
 // example.
 
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench_suite/circuit_generator.hpp"
 #include "core/stitch_router.hpp"
@@ -23,6 +27,7 @@
 #include "place/pin_refine.hpp"
 #include "report/report.hpp"
 #include "report/spatial.hpp"
+#include "serve/client.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -46,6 +51,15 @@ void usage() {
       "  --save PATH         write the (possibly refined) design back out\n"
       "  --trace PATH        write a Chrome/Perfetto trace of the routing run\n"
       "  --stats PATH        write the telemetry counters/histograms as JSON\n"
+      "\n"
+      "Client mode (talk to a running mebl_serve daemon instead of routing\n"
+      "in-process; composes with --report and --progress):\n"
+      "  --connect SOCK      load + route the design on the daemon at SOCK\n"
+      "  --name NAME         resident-design key on the daemon (default:\n"
+      "                      the demo name, or 'design' for a file)\n"
+      "  --eco LIST          after routing, incrementally reroute the\n"
+      "                      comma-separated nets (ids or names)\n"
+      "  --eco-verify        run the daemon's bit-identity check on the ECO\n"
       "\n"
       "All output sinks compose: one routing run feeds --report, --heatmap,\n"
       "--svg, --trace, --stats, and --progress simultaneously. The report's\n"
@@ -78,6 +92,124 @@ class StderrProgress final : public mebl::core::ProgressObserver {
   std::size_t last_reported_ = 0;
 };
 
+/// Print the quality block of a daemon "done" payload.
+void print_remote_quality(const mebl::report::Json& payload) {
+  const mebl::report::Json* report = payload.get("report");
+  const mebl::report::Json* quality =
+      report != nullptr ? report->get("quality") : nullptr;
+  if (quality == nullptr) return;
+  const auto num = [&](const char* key) -> double {
+    const mebl::report::Json* v = quality->get(key);
+    return v != nullptr ? v->as_double() : 0.0;
+  };
+  std::cout << "routability        : " << num("routability_pct") << "% ("
+            << num("routed_nets") << "/" << num("total_nets") << " nets)\n"
+            << "wirelength         : " << num("wirelength") << "\n"
+            << "vias               : " << num("vias") << "\n"
+            << "short polygons     : " << num("short_polygons") << "\n"
+            << "via violations     : " << num("via_violations") << "\n";
+  const mebl::report::Json* seconds = payload.get("seconds");
+  if (seconds != nullptr)
+    std::cout << "server seconds     : " << seconds->as_double() << "\n";
+}
+
+/// Route (and optionally ECO) on a mebl_serve daemon instead of in-process.
+int run_connect_mode(const std::string& socket_path, std::string design_name,
+                     const mebl::netlist::Design& design,
+                     const std::string& eco_list, bool eco_verify,
+                     const std::string& report_path, bool progress) {
+  using namespace mebl;
+
+  serve::Client client;
+  if (!client.connect(socket_path)) {
+    std::cerr << "cannot connect to mebl_serve at " << socket_path << "\n";
+    return 1;
+  }
+
+  const auto progress_fn = [progress](const serve::Response& event) {
+    if (!progress || event.type != "progress") return;
+    const report::Json* stage = event.payload.get("stage");
+    const report::Json* kind = event.payload.get("event");
+    if (stage != nullptr && kind != nullptr)
+      std::cerr << "[serve] " << kind->as_string() << " "
+                << stage->as_string() << "\n";
+  };
+  const auto fail = [](const char* what,
+                       const std::optional<serve::Response>& response) {
+    std::cerr << what << " failed: "
+              << (response ? (response->error.empty() ? response->type
+                                                      : response->error)
+                           : std::string("connection lost"))
+              << "\n";
+    return 1;
+  };
+
+  std::ostringstream design_text;
+  netlist::write_design(design_text, design);
+  serve::Request load;
+  load.op = serve::Op::kLoad;
+  load.design = design_name;
+  load.design_text = design_text.str();
+  auto response = client.call(std::move(load));
+  if (!response || response->type != "done") return fail("load", response);
+  std::cout << "loaded '" << design_name << "' onto the daemon\n";
+
+  serve::Request route;
+  route.op = serve::Op::kRoute;
+  route.design = design_name;
+  response = client.call(std::move(route), progress_fn);
+  if (!response || response->type != "done") return fail("route", response);
+  std::cout << "routed '" << design_name << "' remotely\n";
+  print_remote_quality(response->payload);
+
+  if (!eco_list.empty()) {
+    serve::Request eco;
+    eco.op = serve::Op::kEco;
+    eco.design = design_name;
+    eco.verify = eco_verify;
+    std::istringstream tokens(eco_list);
+    for (std::string token; std::getline(tokens, token, ',');) {
+      if (token.empty()) continue;
+      const bool numeric = token.find_first_not_of("0123456789") ==
+                           std::string::npos;
+      if (numeric)
+        eco.nets.push_back(static_cast<netlist::NetId>(std::stol(token)));
+      else
+        eco.net_names.push_back(token);
+    }
+    response = client.call(std::move(eco), progress_fn);
+    if (!response || response->type != "done") return fail("eco", response);
+    std::cout << "eco reroute done\n";
+    if (const report::Json* summary = response->payload.get("eco")) {
+      const report::Json* dirty = summary->get("dirty_subnets");
+      if (dirty != nullptr)
+        std::cout << "dirty subnets      : " << dirty->as_int() << "\n";
+      const report::Json* verified = summary->get("verified");
+      if (verified != nullptr)
+        std::cout << "bit-identity check : "
+                  << (verified->as_bool() ? "ok" : "MISMATCH") << "\n";
+    }
+    print_remote_quality(response->payload);
+  }
+
+  if (!report_path.empty()) {
+    const report::Json* report = response->payload.get("report");
+    if (report == nullptr) {
+      std::cerr << "daemon response carries no report\n";
+      return 1;
+    }
+    std::ofstream out(report_path);
+    report->dump(out);
+    out << "\n";
+    if (!out) {
+      std::cerr << "cannot write " << report_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote run report to " << report_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +223,10 @@ int main(int argc, char** argv) {
   std::string stats_path;
   std::string report_path;
   std::string heatmap_dir;
+  std::string connect_socket;
+  std::string remote_name;
+  std::string eco_list;
+  bool eco_verify = false;
   bool baseline = false;
   bool refine = false;
   bool progress = false;
@@ -122,6 +258,14 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--stats" && i + 1 < argc) {
       stats_path = argv[++i];
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_socket = argv[++i];
+    } else if (arg == "--name" && i + 1 < argc) {
+      remote_name = argv[++i];
+    } else if (arg == "--eco" && i + 1 < argc) {
+      eco_list = argv[++i];
+    } else if (arg == "--eco-verify") {
+      eco_verify = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -155,6 +299,18 @@ int main(int argc, char** argv) {
               << "-like demo circuit\n";
     auto circuit = bench_suite::generate_circuit(*spec, {}, 1);
     design = netlist::Design{circuit.grid, std::move(circuit.netlist)};
+  }
+
+  if (!connect_socket.empty()) {
+    if (remote_name.empty())
+      remote_name = design_path.empty() ? demo_name : "design";
+    return run_connect_mode(connect_socket, remote_name, *design, eco_list,
+                            eco_verify, report_path, progress);
+  }
+  if (!eco_list.empty() || eco_verify) {
+    std::cerr << "--eco/--eco-verify need --connect (a running daemon keeps "
+                 "the resident state)\n";
+    return 2;
   }
 
   if (refine) {

@@ -1,0 +1,94 @@
+// mebl_serve: the routing-as-a-service daemon (DESIGN.md §12).
+//
+//   mebl_serve --socket /tmp/mebl.sock [--threads 8] [--cache 4] [--baseline]
+//
+// Listens on a local (AF_UNIX) socket for line-delimited JSON requests:
+// load designs, route them, apply incremental (ECO) reroutes against the
+// resident routed state, save/load routed state, all multiplexed over a
+// priority job queue with per-job cancellation and deadlines. Talk to it
+// with `mebl_route_cli --connect /tmp/mebl.sock` or any client that speaks
+// the protocol (src/serve/protocol.hpp):
+//
+//   {"op":"load","id":1,"design":"chip","path":"chip.mebl"}
+//   {"op":"route","id":2,"design":"chip"}
+//   {"op":"eco","id":3,"design":"chip","nets":[4,17],"verify":true}
+//   {"op":"shutdown","id":4}
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true, std::memory_order_release); }
+
+void usage() {
+  std::cout <<
+      "usage: mebl_serve --socket PATH [options]\n"
+      "  --socket PATH   AF_UNIX socket to listen on (required)\n"
+      "  --threads N     router worker threads (0 = one per hardware thread)\n"
+      "  --cache N       resident designs kept in memory, LRU beyond (default 4)\n"
+      "  --baseline      route with the conventional (stitch-oblivious) flow\n"
+      "\n"
+      "Stops on SIGINT/SIGTERM or a {\"op\":\"shutdown\"} request (which\n"
+      "drains the queue first).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mebl;
+
+  serve::ServerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      config.socket_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      config.threads = std::atoi(argv[++i]);
+    } else if (arg == "--cache" && i + 1 < argc) {
+      config.cache_capacity =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--baseline") {
+      config.router = core::RouterConfig::baseline();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      usage();
+      return 2;
+    }
+  }
+  if (config.socket_path.empty()) {
+    std::cerr << "mebl_serve: --socket is required\n";
+    usage();
+    return 2;
+  }
+  config.router.with_threads(config.threads);
+
+  serve::Server server(std::move(config));
+  if (!server.start()) return 1;
+  std::cout << "mebl_serve: listening on " << server.socket_path() << "\n";
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // The handler only sets a flag (async-signal-safe); this loop does the
+  // actual teardown. A shutdown request flips server.stopping() instead.
+  while (!g_interrupted.load(std::memory_order_acquire) &&
+         !server.stopping())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::cout << "mebl_serve: shutting down ("
+            << server.jobs_completed() << " jobs served)\n";
+  server.stop();
+  return 0;
+}

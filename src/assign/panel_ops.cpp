@@ -1,0 +1,69 @@
+#include "assign/panel_ops.hpp"
+
+#include "assign/conflict_graph.hpp"
+#include "assign/layer_assign.hpp"
+
+namespace mebl::assign {
+
+bool assign_panel_layers(RoutePlan& plan,
+                         const std::vector<std::size_t>& run_ids,
+                         const std::vector<geom::LayerId>& layers,
+                         bool column_panel, bool colorable_subset) {
+  if (run_ids.empty()) return false;
+  const int k = static_cast<int>(layers.size());
+  if (k == 1) {
+    for (const std::size_t id : run_ids) plan.runs[id].layer = layers[0];
+    return true;
+  }
+  std::vector<SegmentProfile> profiles;
+  profiles.reserve(run_ids.size());
+  for (const std::size_t id : run_ids)
+    profiles.push_back(SegmentProfile{plan.runs[id].span, plan.runs[id].net});
+  const auto graph = build_conflict_graph(profiles, column_panel);
+  const auto assignment = colorable_subset ? assign_layers_ours(graph, k)
+                                           : assign_layers_mst(graph, k);
+  const auto slot = order_groups_for_vias(graph, assignment.group, k);
+  for (std::size_t i = 0; i < run_ids.size(); ++i)
+    plan.runs[run_ids[i]].layer = layers[static_cast<std::size_t>(
+        slot[static_cast<std::size_t>(assignment.group[i])])];
+  return true;
+}
+
+std::vector<TrackPanelTask> build_track_tasks(const RoutePlan& plan,
+                                              const grid::RoutingGrid& grid,
+                                              const std::vector<int>& panels) {
+  std::vector<TrackPanelTask> tasks;
+  const auto v_layers = grid.layers_with(geom::Orientation::kVertical);
+  for (const int tx : panels) {
+    const auto panel_runs = runs_in_column_panel(plan, tx);
+    if (panel_runs.empty()) continue;
+    for (const geom::LayerId layer : v_layers) {
+      TrackPanelTask task;
+      task.tx = tx;
+      task.layer = layer;
+      task.instance.x_span = grid.tile_x_span(tx);
+      task.instance.stitch = &grid.stitch();
+      for (const std::size_t id : panel_runs) {
+        const auto& run = plan.runs[id];
+        if (run.layer != layer) continue;
+        task.members.push_back(id);
+        task.instance.segments.push_back(TrackSegment{
+            id, run.span, run.lo_continuation, run.hi_continuation, run.net});
+      }
+      if (!task.instance.segments.empty()) tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+void apply_track_result(RoutePlan& plan, const TrackPanelTask& task,
+                        const TrackAssignResult& solved) {
+  for (std::size_t i = 0; i < task.members.size(); ++i) {
+    auto& run = plan.runs[task.members[i]];
+    run.pieces = solved.tracks[i].pieces;
+    run.ripped = solved.tracks[i].ripped;
+    run.bad_ends = solved.tracks[i].bad_ends;
+  }
+}
+
+}  // namespace mebl::assign

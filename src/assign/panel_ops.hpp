@@ -1,0 +1,50 @@
+#pragma once
+
+// Per-panel assignment operations, factored out of the full-pipeline
+// orchestrator so they can run on any subset of panels. The batch router
+// maps them over every panel; the incremental (ECO) path re-runs exactly
+// the panels whose run set changed, copying the previous assignment for
+// the rest (DESIGN.md §12). Each operation touches only its own panel's
+// runs, so calls on distinct panels are safe to run in parallel.
+
+#include <vector>
+
+#include "assign/panel.hpp"
+#include "assign/track_assign.hpp"
+
+namespace mebl::assign {
+
+/// Distribute one panel's runs over the panel-direction layer list, writing
+/// GlobalRun::layer in place. `column_panel` selects vertical-run conflict
+/// handling; `colorable_subset` picks the paper's iterated max-k-colorable-
+/// subset heuristic over the MST baseline. Returns false (and does nothing)
+/// when the panel has no runs.
+bool assign_panel_layers(RoutePlan& plan,
+                         const std::vector<std::size_t>& run_ids,
+                         const std::vector<geom::LayerId>& layers,
+                         bool column_panel, bool colorable_subset);
+
+/// One (column panel, vertical layer) track-assignment problem plus the
+/// back-references needed to write the solution onto the plan. `members` is
+/// parallel to `instance.segments`.
+struct TrackPanelTask {
+  int tx = 0;
+  geom::LayerId layer = -1;
+  TrackAssignInstance instance;
+  std::vector<std::size_t> members;
+};
+
+/// Build the track tasks of the listed column panels: one task per
+/// (panel, vertical layer) pair that has at least one run. Task order is
+/// deterministic — ascending (tx, layer) — which downstream index-order
+/// commits rely on.
+[[nodiscard]] std::vector<TrackPanelTask> build_track_tasks(
+    const RoutePlan& plan, const grid::RoutingGrid& grid,
+    const std::vector<int>& panels);
+
+/// Write a solved task back onto the plan's runs (pieces / ripped /
+/// bad_ends, parallel to task.members).
+void apply_track_result(RoutePlan& plan, const TrackPanelTask& task,
+                        const TrackAssignResult& solved);
+
+}  // namespace mebl::assign

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 
-#include "assign/conflict_graph.hpp"
-#include "assign/layer_assign.hpp"
+#include "assign/panel_ops.hpp"
 #include "exec/cancellation.hpp"
 #include "exec/thread_pool.hpp"
 #include "netlist/decompose.hpp"
@@ -29,33 +29,18 @@ void StitchAwareRouter::assign_layers(assign::RoutePlan& plan,
   telemetry::Counter& panels = telemetry::counter(telemetry::keys::kLayerPanels);
   // Each panel owns a disjoint set of runs, so panels are independent tasks:
   // a body writes only its own runs' layer slots and the outcome does not
-  // depend on the execution order.
+  // depend on the execution order. The per-panel work lives in
+  // assign::assign_panel_layers so the ECO path can re-run single panels.
+  const bool colorable_subset =
+      config_.layer_algorithm == LayerAlgorithm::kColorableSubset;
   const auto assign_panel = [&](const std::vector<std::size_t>& run_ids,
                                 const std::vector<LayerId>& layers,
                                 bool column_panel) {
     if (run_ids.empty()) return;
     TELEMETRY_SPAN("assign.layer.panel");
+    assign::assign_panel_layers(plan, run_ids, layers, column_panel,
+                                colorable_subset);
     panels.add(1);
-    const int k = static_cast<int>(layers.size());
-    if (k == 1) {
-      for (const std::size_t id : run_ids) plan.runs[id].layer = layers[0];
-      return;
-    }
-    std::vector<assign::SegmentProfile> profiles;
-    profiles.reserve(run_ids.size());
-    for (const std::size_t id : run_ids)
-      profiles.push_back(
-          assign::SegmentProfile{plan.runs[id].span, plan.runs[id].net});
-    const auto graph = assign::build_conflict_graph(profiles, column_panel);
-    const auto assignment =
-        config_.layer_algorithm == LayerAlgorithm::kColorableSubset
-            ? assign::assign_layers_ours(graph, k)
-            : assign::assign_layers_mst(graph, k);
-    const auto slot = assign::order_groups_for_vias(graph, assignment.group, k);
-    for (std::size_t i = 0; i < run_ids.size(); ++i)
-      plan.runs[run_ids[i]].layer =
-          layers[static_cast<std::size_t>(slot[static_cast<std::size_t>(
-              assignment.group[i])])];
   };
 
   const auto v_layers = grid_->layers_with(Orientation::kVertical);
@@ -87,30 +72,14 @@ void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
   telemetry::Histogram& panel_ns = telemetry::histogram(keys::kTrackPanelNs);
 
   // Gather every (column panel, vertical layer) instance up front; each is
-  // an independent task writing a disjoint set of runs.
-  struct PanelTask {
-    assign::TrackAssignInstance instance;
-    std::vector<std::size_t> members;
-  };
-  std::vector<PanelTask> tasks;
-  const auto v_layers = grid_->layers_with(Orientation::kVertical);
-  for (int tx = 0; tx < grid_->tiles_x(); ++tx) {
-    const auto panel_runs = assign::runs_in_column_panel(plan, tx);
-    if (panel_runs.empty()) continue;
-    for (const LayerId layer : v_layers) {
-      PanelTask task;
-      task.instance.x_span = grid_->tile_x_span(tx);
-      task.instance.stitch = &grid_->stitch();
-      for (const std::size_t id : panel_runs) {
-        const auto& run = plan.runs[id];
-        if (run.layer != layer) continue;
-        task.members.push_back(id);
-        task.instance.segments.push_back(assign::TrackSegment{
-            id, run.span, run.lo_continuation, run.hi_continuation, run.net});
-      }
-      if (!task.instance.segments.empty()) tasks.push_back(std::move(task));
-    }
-  }
+  // an independent task writing a disjoint set of runs. Task construction
+  // lives in assign::build_track_tasks so the ECO path can rebuild exactly
+  // the panels it dirtied.
+  std::vector<int> all_panels(static_cast<std::size_t>(grid_->tiles_x()));
+  for (int tx = 0; tx < grid_->tiles_x(); ++tx)
+    all_panels[static_cast<std::size_t>(tx)] = tx;
+  std::vector<assign::TrackPanelTask> tasks =
+      assign::build_track_tasks(plan, *grid_, all_panels);
 
   // The ILP budget is one absolute deadline shared by every worker: panels
   // starting after it fall back to the heuristic immediately, and the
@@ -126,7 +95,7 @@ void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
 
   util::Timer stage_timer;
   pool.parallel_for(0, tasks.size(), [&](std::size_t t) {
-    PanelTask& task = tasks[t];
+    assign::TrackPanelTask& task = tasks[t];
     TELEMETRY_SPAN("assign.track.panel");
     const std::uint64_t panel_start_ns = telemetry::now_ns();
 
@@ -156,12 +125,7 @@ void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
       }
     }
 
-    for (std::size_t i = 0; i < task.members.size(); ++i) {
-      auto& run = plan.runs[task.members[i]];
-      run.pieces = assigned.tracks[i].pieces;
-      run.ripped = assigned.tracks[i].ripped;
-      run.bad_ends = assigned.tracks[i].bad_ends;
-    }
+    assign::apply_track_result(plan, task, assigned);
     panels.add(1);
     bad_ends.add(assigned.total_bad_ends);
     ripped.add(assigned.total_ripped);
@@ -182,8 +146,13 @@ RoutingResult StitchAwareRouter::run() {
   RoutingResult result;
   const auto subnets = netlist::decompose_all(*netlist_);
 
-  exec::ThreadPool pool(config_.num_threads);
-  exec::Cancellation cancel;
+  // A service shares one pool and one token across jobs (set_pool /
+  // set_cancellation); a batch run builds both locally.
+  std::optional<exec::ThreadPool> local_pool;
+  if (pool_ == nullptr) local_pool.emplace(config_.num_threads);
+  exec::ThreadPool& pool = pool_ != nullptr ? *pool_ : *local_pool;
+  exec::Cancellation local_cancel;
+  exec::Cancellation& cancel = cancel_ != nullptr ? *cancel_ : local_cancel;
   const auto begin_stage = [&](Stage stage) {
     for (ProgressObserver* observer : observers_)
       observer->on_stage_begin(stage);
@@ -205,6 +174,13 @@ RoutingResult StitchAwareRouter::run() {
   };
   const auto finalize = [&](bool was_cancelled) -> RoutingResult& {
     result.cancelled = was_cancelled;
+    if (was_cancelled) {
+      // The token's reason was set by whichever stop landed first; observer
+      // cancels without an explicit reason read as user cancels.
+      result.stop_reason = cancel.reason() == exec::StopReason::kNone
+                               ? exec::StopReason::kUser
+                               : cancel.reason();
+    }
     result.stats_ =
         telemetry::delta(stats_before, telemetry::snapshot_counters());
     return result;

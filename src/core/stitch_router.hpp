@@ -6,11 +6,16 @@
 #include "core/progress.hpp"
 #include "core/router_config.hpp"
 #include "eval/metrics.hpp"
+#include "exec/cancellation.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace mebl::exec {
 class ThreadPool;
 }  // namespace mebl::exec
+
+namespace mebl::serve {
+class ResidentDesign;
+}  // namespace mebl::serve
 
 namespace mebl::core {
 
@@ -46,6 +51,12 @@ struct RoutingResult {
   /// run leave their artifacts empty.
   bool cancelled = false;
 
+  /// Why the run stopped early: kUser for an observer / external cancel,
+  /// kDeadline when the cancellation token's deadline passed, kNone for a
+  /// run that completed. Server timeouts and client cancels both surface as
+  /// cancelled == true but are distinguishable here.
+  exec::StopReason stop_reason = exec::StopReason::kNone;
+
   /// Per-run telemetry counter deltas: everything the run burned — rip-ups,
   /// A* expansions, ILP branch-and-bound nodes, bad ends, short polygons —
   /// keyed by the names in telemetry/keys.hpp; e.g.
@@ -56,6 +67,8 @@ struct RoutingResult {
 
  private:
   friend class StitchAwareRouter;  // populates the snapshot in run()
+  /// The serving layer refreshes the snapshot with per-ECO deltas.
+  friend class mebl::serve::ResidentDesign;
   telemetry::StatsSnapshot stats_;
 };
 
@@ -91,6 +104,23 @@ class StitchAwareRouter {
     return *this;
   }
 
+  /// Run on this externally-owned pool instead of creating one per run().
+  /// Lets a long-running service share one pool across jobs. The pool must
+  /// outlive run(); pass nullptr to revert to the internal per-run pool.
+  StitchAwareRouter& set_pool(exec::ThreadPool* pool) {
+    pool_ = pool;
+    return *this;
+  }
+
+  /// Use this externally-owned cancellation token so callers on other
+  /// threads can stop the run (with a reason and/or deadline). The token
+  /// must outlive run(); pass nullptr to revert to an internal token that
+  /// only observers can trip.
+  StitchAwareRouter& set_cancellation(exec::Cancellation* cancel) {
+    cancel_ = cancel;
+    return *this;
+  }
+
   /// Execute the full pipeline.
   [[nodiscard]] RoutingResult run();
 
@@ -103,6 +133,8 @@ class StitchAwareRouter {
   const netlist::Netlist* netlist_;
   RouterConfig config_;
   std::vector<ProgressObserver*> observers_;
+  exec::ThreadPool* pool_ = nullptr;
+  exec::Cancellation* cancel_ = nullptr;
 };
 
 }  // namespace mebl::core

@@ -28,42 +28,70 @@ namespace {
 /// thread's instance.
 thread_local SearchScratch tl_scratch;  // NOLINT(cert-err58-cpp)
 
+/// The line-column nodes guarded for a pin inside a stitch unfriendly
+/// region (claim_pins installs penalties there; move_pin_claims removes
+/// them again, so both walk the identical node set).
+template <typename Fn>
+void for_each_pin_guard_node(const grid::RoutingGrid& rg, Point pos, Fn&& fn) {
+  const auto& stitch = rg.stitch();
+  const Coord d = stitch.distance_to_line(pos.x);
+  if (d <= 0 || d > stitch.epsilon()) return;
+  for (const Coord line : stitch.lines()) {
+    if (std::abs(line - pos.x) != d) continue;
+    for (const LayerId l : rg.layers_with(Orientation::kHorizontal))
+      fn(Point3{line, pos.y, l});
+  }
+}
+
 }  // namespace
 
 DetailedRouter::DetailedRouter(GridGraph& grid, DetailedConfig config)
     : grid_(&grid), config_(config), astar_(grid, config.astar) {}
 
+void DetailedRouter::reserve_pin(netlist::NetId net, Point pos) {
+  const Point3 pad{pos.x, pos.y, 0};
+  const Point3 access{pos.x, pos.y, 1};
+  grid_->claim(pad, net);
+  // Reserve the via-access node on the first routing layer: a foreign
+  // wire crossing it would permanently seal the pin off.
+  grid_->claim(access, net);
+  pin_nodes_.set(grid_->index(pad));
+  pin_nodes_.set(grid_->index(access));
+
+  // Short-polygon guard: the pin's via is fixed. If the pin sits inside a
+  // stitch unfriendly region, a horizontal wire leaving it *across* the
+  // adjacent line becomes a short polygon — penalize the line-column
+  // nodes in the pin's row so the search prefers leaving the other way.
+  // The guard must beat the typical avoidance detour (a via pair plus a
+  // few tracks), so it is priced well above a single beta.
+  for_each_pin_guard_node(grid_->routing_grid(), pos, [&](Point3 p) {
+    astar_.add_node_penalty(p, 4.0 * config_.astar.beta);
+  });
+}
+
+void DetailedRouter::release_pin(Point pos) {
+  const Point3 pad{pos.x, pos.y, 0};
+  const Point3 access{pos.x, pos.y, 1};
+  grid_->release(pad);
+  grid_->release(access);
+  pin_nodes_.unset(grid_->index(pad));
+  pin_nodes_.unset(grid_->index(access));
+  // Penalties are cumulative, so the negative exactly cancels the guard.
+  for_each_pin_guard_node(grid_->routing_grid(), pos, [&](Point3 p) {
+    astar_.add_node_penalty(p, -4.0 * config_.astar.beta);
+  });
+}
+
 void DetailedRouter::claim_pins(const netlist::Netlist& netlist) {
   const auto& rg = grid_->routing_grid();
-  const auto& stitch = rg.stitch();
   pin_nodes_.reset(static_cast<std::size_t>(rg.num_layers()) * rg.width() *
                    rg.height());
-  for (const auto& pin : netlist.pins()) {
-    const Point3 pad{pin.pos.x, pin.pos.y, 0};
-    const Point3 access{pin.pos.x, pin.pos.y, 1};
-    grid_->claim(pad, pin.net);
-    // Reserve the via-access node on the first routing layer: a foreign
-    // wire crossing it would permanently seal the pin off.
-    grid_->claim(access, pin.net);
-    pin_nodes_.set(grid_->index(pad));
-    pin_nodes_.set(grid_->index(access));
+  for (const auto& pin : netlist.pins()) reserve_pin(pin.net, pin.pos);
+}
 
-    // Short-polygon guard: the pin's via is fixed. If the pin sits inside a
-    // stitch unfriendly region, a horizontal wire leaving it *across* the
-    // adjacent line becomes a short polygon — penalize the line-column
-    // nodes in the pin's row so the search prefers leaving the other way.
-    const Coord d = stitch.distance_to_line(pin.pos.x);
-    if (d > 0 && d <= stitch.epsilon()) {
-      for (const Coord line : stitch.lines()) {
-        if (std::abs(line - pin.pos.x) != d) continue;
-        // The guard must beat the typical avoidance detour (a via pair plus
-        // a few tracks), so it is priced well above a single beta.
-        for (const LayerId l : rg.layers_with(Orientation::kHorizontal))
-          astar_.add_node_penalty({line, pin.pos.y, l},
-                                  4.0 * config_.astar.beta);
-      }
-    }
-  }
+void DetailedRouter::move_pin_claims(netlist::NetId net, Point from, Point to) {
+  release_pin(from);
+  reserve_pin(net, to);
 }
 
 namespace {
@@ -387,19 +415,19 @@ void DetailedRouter::commit_attempt(std::size_t idx, Attempt&& attempt) {
   assert(attempt.kind != Attempt::Kind::kNone);
   const netlist::NetId net = (*subnets_)[idx].net;
   for (const Point3 p : attempt.nodes) grid_->claim(p, net);
-  nodes_of_subnet_[idx] = std::move(attempt.nodes);
+  result_->subnet_nodes[idx] = std::move(attempt.nodes);
   result_->subnet_routed[idx] = true;
   switch (attempt.kind) {
     case Attempt::Kind::kRealized:
-      method_[idx] = RouteMethod::kRealized;
+      result_->subnet_method[idx] = RouteMethod::kRealized;
       ++result_->planned_realized;
       break;
     case Attempt::Kind::kPattern:
-      method_[idx] = RouteMethod::kSearch;
+      result_->subnet_method[idx] = RouteMethod::kSearch;
       ++result_->pattern_routed;
       break;
     default:
-      method_[idx] = RouteMethod::kSearch;
+      result_->subnet_method[idx] = RouteMethod::kSearch;
       ++result_->astar_routed;
       break;
   }
@@ -413,9 +441,9 @@ bool DetailedRouter::route_subnet_escalated(std::size_t idx, int first_retry) {
   for (int attempt = first_retry; attempt <= config_.max_retries; ++attempt) {
     const Rect box = subnet.bbox().inflated(margin).intersect(extent);
     if (astar_.route(subnet.net, subnet.a, subnet.b, box)) {
-      nodes_of_subnet_[idx] = astar_.last_path();
+      result_->subnet_nodes[idx] = astar_.last_path();
       result_->subnet_routed[idx] = true;
-      method_[idx] = RouteMethod::kSearch;
+      result_->subnet_method[idx] = RouteMethod::kSearch;
       ++result_->astar_routed;
       return true;
     }
@@ -525,7 +553,7 @@ void DetailedRouter::route_main_parallel(const std::vector<std::size_t>& order,
       }
       escalations.add(1);
       if (route_subnet_escalated(idx, /*first_retry=*/1)) {
-        for (const Point3 p : nodes_of_subnet_[idx])
+        for (const Point3 p : result_->subnet_nodes[idx])
           spill = spill.hull(Rect{p.x, p.y, p.x, p.y});
       }
     }
@@ -540,13 +568,13 @@ std::vector<std::size_t> DetailedRouter::rip_net(netlist::NetId net) {
   std::vector<std::size_t> ripped;
   for (const std::size_t idx :
        subnets_of_net_[static_cast<std::size_t>(net)]) {
-    if (!result_->subnet_routed[idx] && nodes_of_subnet_[idx].empty()) {
+    if (!result_->subnet_routed[idx] && result_->subnet_nodes[idx].empty()) {
       ripped.push_back(idx);  // failed subnet: nothing to release
       continue;
     }
-    for (const Point3 p : nodes_of_subnet_[idx])
+    for (const Point3 p : result_->subnet_nodes[idx])
       if (!pin_nodes_.test(grid_->index(p))) grid_->release(p);
-    nodes_of_subnet_[idx].clear();
+    result_->subnet_nodes[idx].clear();
     result_->subnet_routed[idx] = false;
     ripped.push_back(idx);
   }
@@ -592,9 +620,9 @@ void DetailedRouter::rescue_failed(const std::vector<netlist::Subnet>& subnets) 
         victims.insert(victims.end(), ripped.begin(), ripped.end());
       }
       for (const Point3 p : path) grid_->claim(p, subnet.net);
-      nodes_of_subnet_[idx] = path;
+      result_->subnet_nodes[idx] = path;
       result_->subnet_routed[idx] = true;
-      method_[idx] = RouteMethod::kSearch;
+      result_->subnet_method[idx] = RouteMethod::kSearch;
       ++result_->ripup_rescued;
       rescued.add(1);
       victims_count.add(static_cast<std::int64_t>(victims.size()));
@@ -675,8 +703,8 @@ void DetailedRouter::cleanup_short_polygons() {
     for (const SpSite& site : sites) {
       for (const std::size_t idx :
            subnets_of_net_[static_cast<std::size_t>(site.net)]) {
-        if (method_[idx] != RouteMethod::kSearch) continue;
-        const auto& nodes = nodes_of_subnet_[idx];
+        if (result_->subnet_method[idx] != RouteMethod::kSearch) continue;
+        const auto& nodes = result_->subnet_nodes[idx];
         if (std::find(nodes.begin(), nodes.end(), site.node) != nodes.end()) {
           eligible.insert(site.net);
           break;
@@ -693,9 +721,9 @@ void DetailedRouter::cleanup_short_polygons() {
       for (const std::size_t idx :
            subnets_of_net_[static_cast<std::size_t>(net)])
         if (result_->subnet_routed[idx])
-          saved.emplace_back(idx, nodes_of_subnet_[idx]);
+          saved.emplace_back(idx, result_->subnet_nodes[idx]);
 
-      std::vector<RouteMethod> prior_method(method_);
+      std::vector<RouteMethod> prior_method(result_->subnet_method);
 
       const auto victims = rip_net(net);
       bool ok = true;
@@ -711,9 +739,9 @@ void DetailedRouter::cleanup_short_polygons() {
         rip_net(net);
         for (auto& [idx, nodes] : saved) {
           for (const Point3 p : nodes) grid_->claim(p, net);
-          nodes_of_subnet_[idx] = std::move(nodes);
+          result_->subnet_nodes[idx] = std::move(nodes);
           result_->subnet_routed[idx] = true;
-          method_[idx] = prior_method[idx];
+          result_->subnet_method[idx] = prior_method[idx];
         }
       } else {
         ++result_->sp_cleanup_nets;
@@ -723,6 +751,75 @@ void DetailedRouter::cleanup_short_polygons() {
   }
 }
 
+void DetailedRouter::bind(const std::vector<netlist::Subnet>& subnets,
+                          const assign::RoutePlan& plan,
+                          DetailedResult& result) {
+  subnets_ = &subnets;
+  plan_ = &plan;
+  result_ = &result;
+  netlist::NetId max_net = -1;
+  for (const auto& subnet : subnets) max_net = std::max(max_net, subnet.net);
+  subnets_of_net_.assign(static_cast<std::size_t>(max_net + 1), {});
+  for (std::size_t i = 0; i < subnets.size(); ++i)
+    subnets_of_net_[static_cast<std::size_t>(subnets[i].net)].push_back(i);
+}
+
+void DetailedRouter::restore(const std::vector<netlist::Subnet>& subnets,
+                             const assign::RoutePlan& plan,
+                             DetailedResult& result) {
+  bind(subnets, plan, result);
+  result.subnet_routed.resize(subnets.size(), false);
+  result.subnet_nodes.resize(subnets.size());
+  result.subnet_method.resize(subnets.size(), RouteMethod::kNone);
+  // Re-claim the committed geometry. Claims are idempotent per net, so a
+  // grid that already carries it (the long-lived resident) is untouched and
+  // a freshly-loaded grid ends up in the identical occupancy state.
+  for (std::size_t i = 0; i < subnets.size(); ++i)
+    for (const Point3 p : result.subnet_nodes[i])
+      grid_->claim(p, subnets[i].net);
+}
+
+void DetailedRouter::reroute_nets(const std::vector<netlist::NetId>& nets,
+                                  exec::ThreadPool* pool,
+                                  const exec::Cancellation* cancel,
+                                  const ProgressFn& progress,
+                                  const std::vector<PinMove>& pin_moves) {
+  TELEMETRY_SPAN("detail.eco");
+  assert(subnets_ != nullptr && result_ != nullptr);
+  // Rip whole nets, never single subnets: subnets of one net share junction
+  // nodes, so per-subnet rip-up could release a sibling's geometry.
+  std::vector<netlist::NetId> order_nets = nets;
+  std::sort(order_nets.begin(), order_nets.end());
+  order_nets.erase(std::unique(order_nets.begin(), order_nets.end()),
+                   order_nets.end());
+  std::vector<std::uint8_t> ripped(subnets_->size(), 0);
+  for (const netlist::NetId net : order_nets) {
+    if (net < 0 || static_cast<std::size_t>(net) >= subnets_of_net_.size())
+      continue;
+    for (const std::size_t idx : rip_net(net)) ripped[idx] = 1;
+  }
+  // Pin claims move only after every involved net's geometry is off the
+  // grid, so the destination nodes are free to reserve.
+  for (const PinMove& move : pin_moves)
+    move_pin_claims(move.net, move.from, move.to);
+  // The ripped subnets route in their positions of the *full* deterministic
+  // order — the same relative schedule on every ECO compare path.
+  const auto full_order =
+      order_subnets(*subnets_, *plan_, config_.stitch_net_ordering);
+  std::vector<std::size_t> order;
+  for (const std::size_t idx : full_order)
+    if (ripped[idx] != 0) order.push_back(idx);
+  route_main_parallel(order, pool, cancel, progress);
+  if (cancel == nullptr || !cancel->stop_requested()) {
+    rescue_failed(*subnets_);
+    cleanup_short_polygons();
+  }
+  result_->routed = std::count(result_->subnet_routed.begin(),
+                               result_->subnet_routed.end(), true);
+  result_->failed =
+      static_cast<std::int64_t>(subnets_->size()) - result_->routed;
+}
+
 DetailedResult DetailedRouter::route_all(
     const std::vector<netlist::Subnet>& subnets, const assign::RoutePlan& plan,
     exec::ThreadPool* pool, const exec::Cancellation* cancel,
@@ -730,17 +827,9 @@ DetailedResult DetailedRouter::route_all(
   TELEMETRY_SPAN("detail.route_all");
   DetailedResult result;
   result.subnet_routed.assign(subnets.size(), false);
-
-  subnets_ = &subnets;
-  plan_ = &plan;
-  result_ = &result;
-  nodes_of_subnet_.assign(subnets.size(), {});
-  method_.assign(subnets.size(), RouteMethod::kNone);
-  netlist::NetId max_net = -1;
-  for (const auto& subnet : subnets) max_net = std::max(max_net, subnet.net);
-  subnets_of_net_.assign(static_cast<std::size_t>(max_net + 1), {});
-  for (std::size_t i = 0; i < subnets.size(); ++i)
-    subnets_of_net_[static_cast<std::size_t>(subnets[i].net)].push_back(i);
+  result.subnet_nodes.assign(subnets.size(), {});
+  result.subnet_method.assign(subnets.size(), RouteMethod::kNone);
+  bind(subnets, plan, result);
 
   const auto order = order_subnets(subnets, plan, config_.stitch_net_ordering);
   route_main_parallel(order, pool, cancel, progress);

@@ -48,9 +48,21 @@ struct DetailedConfig {
   int parallel_batch_cap = 64;
 };
 
-/// Per-stage statistics of a detailed-routing run.
+/// How one subnet's committed geometry was produced. kRealized geometry
+/// follows the track assignment verbatim; kSearch geometry came from the
+/// pattern probe, the A* search, or a rescue.
+enum class RouteMethod : std::uint8_t { kNone, kRealized, kSearch };
+
+/// Per-stage statistics of a detailed-routing run, plus the per-subnet
+/// geometry itself — the state a resident design needs to rip up and
+/// reroute nets incrementally (and what routed-state serialization saves).
 struct DetailedResult {
   std::vector<bool> subnet_routed;
+  /// Committed grid nodes per subnet (empty when unrouted).
+  std::vector<std::vector<geom::Point3>> subnet_nodes;
+  /// Per-subnet provenance; the short-polygon cleanup only reroutes
+  /// search-routed geometry.
+  std::vector<RouteMethod> subnet_method;
   std::int64_t routed = 0;
   std::int64_t failed = 0;
   /// Subnets realized directly from their layer/track assignment.
@@ -104,12 +116,50 @@ class DetailedRouter {
                            const exec::Cancellation* cancel = nullptr,
                            const ProgressFn& progress = {});
 
+  // --- incremental (ECO) rerouting -----------------------------------------
+
+  /// Bind this router to a previously-routed result and claim the result's
+  /// geometry onto the grid. Pins must be claimed first (claim_pins); grid
+  /// claims are idempotent per net, so restoring onto a grid that already
+  /// carries the geometry (the long-lived resident case) is a no-op there
+  /// and only rebinds the pointers. `subnets`, `plan`, and `result` must
+  /// outlive subsequent reroute_nets() calls.
+  void restore(const std::vector<netlist::Subnet>& subnets,
+               const assign::RoutePlan& plan, DetailedResult& result);
+
+  /// One pin relocation applied between the rip and route phases of
+  /// reroute_nets. The owning net — and any net whose wires occupy the
+  /// destination nodes — must be in the reroute set, so the destination is
+  /// free by the time the claims move.
+  struct PinMove {
+    netlist::NetId net = -1;
+    geom::Point from;
+    geom::Point to;
+  };
+
+  /// Incremental reroute of whole nets against the untouched remainder: rip
+  /// every listed net's geometry, apply the pin moves, route the ripped
+  /// subnets through the ordinary deterministic main pass (the full
+  /// stitch-aware order filtered to the ripped set), then run the rescue
+  /// and short-polygon cleanup passes. Requires a prior restore(). Updates
+  /// the bound result's routed/failed totals in place.
+  void reroute_nets(const std::vector<netlist::NetId>& nets,
+                    exec::ThreadPool* pool = nullptr,
+                    const exec::Cancellation* cancel = nullptr,
+                    const ProgressFn& progress = {},
+                    const std::vector<PinMove>& pin_moves = {});
+
+  /// Move one pin's reservations from `from` to `to`: release the old pad
+  /// and via-access nodes and their short-polygon guards, then claim and
+  /// guard the new location. The caller must rip the owning net first (its
+  /// geometry may pass through the old nodes) and any foreign net whose
+  /// wires occupy the new nodes.
+  void move_pin_claims(netlist::NetId net, geom::Point from, geom::Point to);
+
   [[nodiscard]] const GridGraph& grid() const noexcept { return *grid_; }
   [[nodiscard]] AStarRouter& astar() noexcept { return astar_; }
 
  private:
-  enum class RouteMethod : std::uint8_t { kNone, kRealized, kSearch };
-
   /// One computed (not yet committed) routing attempt for a subnet.
   struct Attempt {
     enum class Kind : std::uint8_t { kNone, kRealized, kPattern, kAstar };
@@ -162,15 +212,25 @@ class DetailedRouter {
   /// Reroute nets owning short polygons with scaled beta.
   void cleanup_short_polygons();
 
+  /// Point the working pointers at a (subnets, plan, result) triple and
+  /// rebuild the net -> subnet index.
+  void bind(const std::vector<netlist::Subnet>& subnets,
+            const assign::RoutePlan& plan, DetailedResult& result);
+
+  /// Claim (or release) one pin's pad and via-access nodes together with
+  /// its short-polygon guard penalties.
+  void reserve_pin(netlist::NetId net, geom::Point pos);
+  void release_pin(geom::Point pos);
+
   GridGraph* grid_;
   DetailedConfig config_;
   AStarRouter astar_;
 
   const std::vector<netlist::Subnet>* subnets_ = nullptr;
   const assign::RoutePlan* plan_ = nullptr;
+  /// Owns the per-subnet geometry/method state the router mutates; bound by
+  /// route_all() (to its own local) or restore() (to a resident result).
   DetailedResult* result_ = nullptr;
-  std::vector<RouteMethod> method_;
-  std::vector<std::vector<geom::Point3>> nodes_of_subnet_;
   std::vector<std::vector<std::size_t>> subnets_of_net_;
   /// Pin pad / via-access reservations, by grid node index.
   NodeBitmap pin_nodes_;

@@ -43,6 +43,15 @@ class NodeBitmap {
     }
   }
 
+  /// Remove one member; no-op when absent. (Stamp 0 is never the current
+  /// epoch, so zeroing is an unambiguous "not set".)
+  void unset(std::size_t index) {
+    if (index < stamp_.size() && stamp_[index] == epoch_) {
+      stamp_[index] = 0;
+      --count_;
+    }
+  }
+
   /// Out-of-range indices read as not-set, so an unsized bitmap behaves
   /// like an empty set (matching the unordered_set it replaced).
   [[nodiscard]] bool test(std::size_t index) const {

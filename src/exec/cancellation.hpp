@@ -1,8 +1,28 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 
 namespace mebl::exec {
+
+/// Why a Cancellation fired. The distinction matters to callers that must
+/// report timeouts differently from user cancels (the serve daemon returns
+/// "deadline" errors for the former and "cancelled" acks for the latter).
+enum class StopReason : std::uint8_t {
+  kNone = 0,      ///< no stop requested
+  kUser = 1,      ///< an explicit request_stop() (client cancel, shutdown)
+  kDeadline = 2,  ///< the token's deadline passed
+};
+
+[[nodiscard]] constexpr const char* stop_reason_name(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kUser: return "user";
+    case StopReason::kDeadline: return "deadline";
+  }
+  return "?";
+}
 
 /// Cooperative cancellation token shared between a caller and the workers of
 /// a ThreadPool job. request_stop() is sticky: once set, every subsequent
@@ -10,7 +30,12 @@ namespace mebl::exec {
 /// arrives are skipped (the pool stops scheduling); tasks already running
 /// finish normally unless they poll the token themselves.
 ///
-/// Both operations are lock-free and safe to call from any thread, including
+/// A token may additionally carry a *deadline*: the first stop_requested()
+/// poll at or after the deadline trips the token with StopReason::kDeadline.
+/// The first stop wins — reason() never changes once set, so a user cancel
+/// that races a timeout reports deterministically whichever landed first.
+///
+/// All operations are lock-free and safe to call from any thread, including
 /// from inside a parallel_for body.
 class Cancellation {
  public:
@@ -18,16 +43,45 @@ class Cancellation {
   Cancellation(const Cancellation&) = delete;
   Cancellation& operator=(const Cancellation&) = delete;
 
-  void request_stop() noexcept {
+  void request_stop(StopReason reason = StopReason::kUser) const noexcept {
+    std::uint8_t expected = 0;
+    reason_.compare_exchange_strong(expected, static_cast<std::uint8_t>(reason),
+                                    std::memory_order_acq_rel);
     stop_.store(true, std::memory_order_release);
   }
 
+  /// Arm (or move) the deadline. Pass time_point{} to clear. Polls in
+  /// stop_requested() trip the token once the clock reaches it.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+
   [[nodiscard]] bool stop_requested() const noexcept {
-    return stop_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) return true;
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      request_stop(StopReason::kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// The first stop's reason; kNone while no stop has been requested.
+  [[nodiscard]] StopReason reason() const noexcept {
+    return static_cast<StopReason>(reason_.load(std::memory_order_acquire));
   }
 
  private:
-  std::atomic<bool> stop_{false};
+  mutable std::atomic<bool> stop_{false};
+  mutable std::atomic<std::uint8_t> reason_{0};
+  std::atomic<std::int64_t> deadline_ns_{0};
 };
 
 }  // namespace mebl::exec

@@ -186,94 +186,36 @@ void GlobalRouter::commit(std::size_t idx, const TilePath& path, int sign) {
   congestion_.commit(graph_, idx, path.tiles, sign);
 }
 
-GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
-                                 exec::ThreadPool* pool,
-                                 const exec::Cancellation* cancel,
-                                 const ProgressFn& progress) {
-  TELEMETRY_SPAN("global.route");
-  GlobalResult result;
-  result.paths.resize(subnets.size());
-  congestion_.reset(graph_, subnets.size(), config_.vertex_cost);
-
-  const auto stop_requested = [&] {
-    return cancel != nullptr && cancel->stop_requested();
-  };
-  // Parallel phase of one batch: body(i) for i in [lo, hi), on the pool
-  // when given. The body only reads the congestion graph (frozen at the
-  // batch start) and writes per-index slots, so the outcome is identical
-  // for any thread count — demands are merged afterwards, in index order,
-  // by the sequential barrier code below.
-  const auto parallel_phase =
-      [&](std::size_t lo, std::size_t hi,
-          const std::function<void(std::size_t)>& body) {
-        if (pool != nullptr) {
-          pool->parallel_for(lo, hi, body, cancel);
-        } else {
-          for (std::size_t i = lo; i < hi && !stop_requested(); ++i) body(i);
-        }
-      };
-  const std::size_t batch = config_.net_batch_size > 0
-                                ? static_cast<std::size_t>(config_.net_batch_size)
-                                : 1;
-
-  // Bottom-up multilevel schedule: bucket subnets by the level at which
-  // they become local, then route level by level.
-  std::vector<Rect> tile_bboxes;
-  tile_bboxes.reserve(subnets.size());
-  for (const auto& subnet : subnets) {
-    const Rect bbox = subnet.bbox();
-    tile_bboxes.push_back(Rect{grid_->tile_of_x(bbox.xlo),
-                               grid_->tile_of_y(bbox.ylo),
-                               grid_->tile_of_x(bbox.xhi),
-                               grid_->tile_of_y(bbox.yhi)});
+void GlobalRouter::run_phase(
+    exec::ThreadPool* pool, const exec::Cancellation* cancel, std::size_t lo,
+    std::size_t hi, const std::function<void(std::size_t)>& body) const {
+  // The body only reads the congestion graph (frozen at the batch start)
+  // and writes per-index slots, so the outcome is identical for any thread
+  // count — demands are merged afterwards, in index order, by the
+  // sequential barrier code at each call site.
+  if (pool != nullptr) {
+    pool->parallel_for(lo, hi, body, cancel);
+  } else {
+    for (std::size_t i = lo;
+         i < hi && !(cancel != nullptr && cancel->stop_requested()); ++i)
+      body(i);
   }
-  const MultilevelScheduler scheduler(graph_.tiles_x(), graph_.tiles_y());
-  const auto buckets = scheduler.schedule(tile_bboxes);
+}
 
-  const Rect full{0, 0, graph_.tiles_x() - 1, graph_.tiles_y() - 1};
-  std::size_t committed = 0;
-  for (int level = 0; level < scheduler.num_levels() && !stop_requested();
-       ++level) {
-    TELEMETRY_SPAN("global.level");
-    const auto& bucket = buckets[static_cast<std::size_t>(level)];
-    for (std::size_t lo = 0; lo < bucket.size() && !stop_requested();
-         lo += batch) {
-      const std::size_t hi = std::min(bucket.size(), lo + batch);
-      parallel_phase(lo, hi, [&](std::size_t i) {
-        const std::size_t idx = bucket[i];
-        const auto& subnet = subnets[idx];
-        TilePath& path = result.paths[idx];
-        path.net = subnet.net;
-        path.pin_a = subnet.a;
-        path.pin_b = subnet.b;
-        // Allow one tile of margin around the cluster for detours.
-        const Rect region = scheduler.cluster_region(tile_bboxes[idx], level)
-                                .inflated(1)
-                                .intersect(full);
-        const GCellId from{grid_->tile_of_x(subnet.a.x),
-                           grid_->tile_of_y(subnet.a.y)};
-        const GCellId to{grid_->tile_of_x(subnet.b.x),
-                         grid_->tile_of_y(subnet.b.y)};
-        path.tiles = search(from, to, region, config_.vertex_cost_weight);
-        if (path.tiles.empty())
-          path.tiles = search(from, to, full, config_.vertex_cost_weight);
-        path.routed = !path.tiles.empty();
-      });
-      // Batch barrier: merge the batch's demands in index order.
-      for (std::size_t i = lo; i < hi; ++i) {
-        const TilePath& path = result.paths[bucket[i]];
-        if (path.routed) {
-          commit(bucket[i], path, +1);
-          ++committed;
-        }
-      }
-      if (progress) progress(committed, subnets.size());
-    }
-  }
-
+void GlobalRouter::run_reroute_passes(GlobalResult& result,
+                                      exec::ThreadPool* pool,
+                                      const exec::Cancellation* cancel) {
   // Rip-up & reroute subnets crossing overflowed edges or vertices. The
   // congestion weight escalates each pass (negotiated-congestion style) so
   // stubborn overflows eventually justify longer detours.
+  const auto stop_requested = [&] {
+    return cancel != nullptr && cancel->stop_requested();
+  };
+  const std::size_t batch =
+      config_.net_batch_size > 0
+          ? static_cast<std::size_t>(config_.net_batch_size)
+          : 1;
+  const Rect full{0, 0, graph_.tiles_x() - 1, graph_.tiles_y() - 1};
   const double base_vertex_weight = config_.vertex_cost_weight;
   telemetry::Counter& rerouted_counter =
       telemetry::counter(telemetry::keys::kGlobalRerouted);
@@ -315,7 +257,7 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
       for (const std::size_t idx : gathered)
         commit(idx, result.paths[idx], -1);
       fresh.assign(gathered.size(), {});
-      parallel_phase(0, gathered.size(), [&](std::size_t i) {
+      run_phase(pool, cancel, 0, gathered.size(), [&](std::size_t i) {
         const TilePath& path = result.paths[gathered[i]];
         // Search within the current path's neighbourhood; detours of a few
         // tiles suffice to move line ends out of hot tiles.
@@ -345,14 +287,181 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
                      << " subnets";
     if (rerouted == 0) break;
   }
+}
 
+void GlobalRouter::finalize_totals(GlobalResult& result) const {
+  result.wirelength = 0;
   for (const auto& path : result.paths)
     if (path.routed)
       result.wirelength += static_cast<std::int64_t>(path.tiles.size()) - 1;
   result.total_vertex_overflow = graph_.total_vertex_overflow();
   result.max_vertex_overflow = graph_.max_vertex_overflow();
   result.total_edge_overflow = graph_.total_edge_overflow();
+}
+
+GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
+                                 exec::ThreadPool* pool,
+                                 const exec::Cancellation* cancel,
+                                 const ProgressFn& progress) {
+  TELEMETRY_SPAN("global.route");
+  GlobalResult result;
+  result.paths.resize(subnets.size());
+  congestion_.reset(graph_, subnets.size(), config_.vertex_cost);
+
+  const auto stop_requested = [&] {
+    return cancel != nullptr && cancel->stop_requested();
+  };
+  const std::size_t batch = config_.net_batch_size > 0
+                                ? static_cast<std::size_t>(config_.net_batch_size)
+                                : 1;
+
+  // Bottom-up multilevel schedule: bucket subnets by the level at which
+  // they become local, then route level by level.
+  std::vector<Rect> tile_bboxes;
+  tile_bboxes.reserve(subnets.size());
+  for (const auto& subnet : subnets) {
+    const Rect bbox = subnet.bbox();
+    tile_bboxes.push_back(Rect{grid_->tile_of_x(bbox.xlo),
+                               grid_->tile_of_y(bbox.ylo),
+                               grid_->tile_of_x(bbox.xhi),
+                               grid_->tile_of_y(bbox.yhi)});
+  }
+  const MultilevelScheduler scheduler(graph_.tiles_x(), graph_.tiles_y());
+  const auto buckets = scheduler.schedule(tile_bboxes);
+
+  const Rect full{0, 0, graph_.tiles_x() - 1, graph_.tiles_y() - 1};
+  std::size_t committed = 0;
+  for (int level = 0; level < scheduler.num_levels() && !stop_requested();
+       ++level) {
+    TELEMETRY_SPAN("global.level");
+    const auto& bucket = buckets[static_cast<std::size_t>(level)];
+    for (std::size_t lo = 0; lo < bucket.size() && !stop_requested();
+         lo += batch) {
+      const std::size_t hi = std::min(bucket.size(), lo + batch);
+      run_phase(pool, cancel, lo, hi, [&](std::size_t i) {
+        const std::size_t idx = bucket[i];
+        const auto& subnet = subnets[idx];
+        TilePath& path = result.paths[idx];
+        path.net = subnet.net;
+        path.pin_a = subnet.a;
+        path.pin_b = subnet.b;
+        // Allow one tile of margin around the cluster for detours.
+        const Rect region = scheduler.cluster_region(tile_bboxes[idx], level)
+                                .inflated(1)
+                                .intersect(full);
+        const GCellId from{grid_->tile_of_x(subnet.a.x),
+                           grid_->tile_of_y(subnet.a.y)};
+        const GCellId to{grid_->tile_of_x(subnet.b.x),
+                         grid_->tile_of_y(subnet.b.y)};
+        path.tiles = search(from, to, region, config_.vertex_cost_weight);
+        if (path.tiles.empty())
+          path.tiles = search(from, to, full, config_.vertex_cost_weight);
+        path.routed = !path.tiles.empty();
+      });
+      // Batch barrier: merge the batch's demands in index order.
+      for (std::size_t i = lo; i < hi; ++i) {
+        const TilePath& path = result.paths[bucket[i]];
+        if (path.routed) {
+          commit(bucket[i], path, +1);
+          ++committed;
+        }
+      }
+      if (progress) progress(committed, subnets.size());
+    }
+  }
+
+  run_reroute_passes(result, pool, cancel);
+  finalize_totals(result);
   return result;
+}
+
+void GlobalRouter::seed(const GlobalResult& result) {
+  TELEMETRY_SPAN("global.seed");
+  // Fresh capacities, then replay every committed path in index order. The
+  // demand state (and the psi memo it feeds) afterwards is exactly what a
+  // route() ending in `result` left behind, which is what makes a reloaded
+  // resident design bit-identical to a long-lived one.
+  graph_ = RoutingGraph(*grid_, config_.stitch_aware_capacity);
+  congestion_.reset(graph_, result.paths.size(), config_.vertex_cost);
+  for (std::size_t idx = 0; idx < result.paths.size(); ++idx)
+    if (result.paths[idx].routed)
+      congestion_.commit(graph_, idx, result.paths[idx].tiles, +1);
+}
+
+std::vector<std::size_t> GlobalRouter::rip_dirty_closure(
+    GlobalResult& result, const std::vector<std::size_t>& targets) {
+  TELEMETRY_SPAN("global.rip_closure");
+  std::vector<std::uint8_t> in_closure(result.paths.size(), 0);
+  for (const std::size_t idx : targets) {
+    if (idx >= result.paths.size() || in_closure[idx] != 0) continue;
+    in_closure[idx] = 1;
+    if (result.paths[idx].routed) commit(idx, result.paths[idx], -1);
+  }
+  // One ascending scan: ripping the targets only lowered demand, so any
+  // subnet still congested now stays congested until *it* is ripped —
+  // which happens right here, keeping the scan exact without iterating to
+  // a fixed point. Ripping a survivor can relieve later subnets; they are
+  // then correctly skipped.
+  std::vector<std::size_t> closure;
+  for (std::size_t idx = 0; idx < result.paths.size(); ++idx) {
+    if (in_closure[idx] != 0) {
+      closure.push_back(idx);
+      continue;
+    }
+    if (result.paths[idx].routed && congestion_.congested(idx)) {
+      in_closure[idx] = 1;
+      commit(idx, result.paths[idx], -1);
+      closure.push_back(idx);
+    }
+  }
+  return closure;
+}
+
+void GlobalRouter::reroute_subset(const std::vector<netlist::Subnet>& subnets,
+                                  GlobalResult& result,
+                                  const std::vector<std::size_t>& dirty,
+                                  exec::ThreadPool* pool,
+                                  const exec::Cancellation* cancel) {
+  TELEMETRY_SPAN("global.eco");
+  const Rect full{0, 0, graph_.tiles_x() - 1, graph_.tiles_y() - 1};
+  const std::size_t batch =
+      config_.net_batch_size > 0
+          ? static_cast<std::size_t>(config_.net_batch_size)
+          : 1;
+  // Batch-synchronous initial routing of the closure, in ascending index
+  // order against the live demand of the untouched remainder. The region
+  // policy mirrors the reroute passes (pin-bbox hull plus margin, full-grid
+  // fallback); both ECO compare paths run this same code, which is all the
+  // bit-identity check needs.
+  for (std::size_t lo = 0; lo < dirty.size(); lo += batch) {
+    const std::size_t hi = std::min(dirty.size(), lo + batch);
+    if (cancel != nullptr && cancel->stop_requested()) break;
+    run_phase(pool, cancel, lo, hi, [&](std::size_t i) {
+      const std::size_t idx = dirty[i];
+      const auto& subnet = subnets[idx];
+      TilePath& path = result.paths[idx];
+      path.net = subnet.net;
+      path.pin_a = subnet.a;
+      path.pin_b = subnet.b;
+      const GCellId from{grid_->tile_of_x(subnet.a.x),
+                         grid_->tile_of_y(subnet.a.y)};
+      const GCellId to{grid_->tile_of_x(subnet.b.x),
+                       grid_->tile_of_y(subnet.b.y)};
+      const Rect region = Rect{std::min(from.tx, to.tx), std::min(from.ty, to.ty),
+                               std::max(from.tx, to.tx), std::max(from.ty, to.ty)}
+                              .inflated(4)
+                              .intersect(full);
+      path.tiles = search(from, to, region, config_.vertex_cost_weight);
+      if (path.tiles.empty())
+        path.tiles = search(from, to, full, config_.vertex_cost_weight);
+      path.routed = !path.tiles.empty();
+    });
+    for (std::size_t i = lo; i < hi; ++i)
+      if (result.paths[dirty[i]].routed)
+        commit(dirty[i], result.paths[dirty[i]], +1);
+  }
+  run_reroute_passes(result, pool, cancel);
+  finalize_totals(result);
 }
 
 }  // namespace mebl::global

@@ -158,6 +158,40 @@ class GlobalRouter {
                      const exec::Cancellation* cancel = nullptr,
                      const ProgressFn& progress = {});
 
+  // --- incremental (ECO) rerouting -----------------------------------------
+  // A resident design holds one GlobalRouter whose graph carries the
+  // committed demand of the current GlobalResult. An ECO rips up a dirty
+  // closure of subnets and reroutes only that closure against the untouched
+  // remainder (DESIGN.md §12). Bit-identity contract: seed() followed by
+  // rip_dirty_closure() + reroute_subset() produces the same GlobalResult
+  // whether the router is long-lived or freshly seeded from a saved state,
+  // because both read identical demand and the schedules are index-ordered.
+
+  /// Rebuild the demand state from a previously-routed result: fresh graph,
+  /// then commit every routed path in index order. After this the router is
+  /// resident for `result` and ready for rip_dirty_closure().
+  void seed(const GlobalResult& result);
+
+  /// Rip up the targets and return the dirty closure in ascending index
+  /// order: the targets plus every committed subnet still crossing an
+  /// overflowed resource after the rip (those must re-negotiate, since the
+  /// freed capacity may relieve them — and rerouting them may in turn free
+  /// more). Rip-up only lowers demand, so one ascending scan is exact. All
+  /// closure paths are off the graph on return; the non-closure remainder
+  /// keeps its committed demand.
+  [[nodiscard]] std::vector<std::size_t> rip_dirty_closure(
+      GlobalResult& result, const std::vector<std::size_t>& targets);
+
+  /// Reroute exactly the (ripped) closure subnets batch-synchronously in
+  /// index order against the live demand, run the escalating reroute passes
+  /// over the whole result, and recompute the aggregate fields. `dirty`
+  /// must be ascending (rip_dirty_closure's order).
+  void reroute_subset(const std::vector<netlist::Subnet>& subnets,
+                      GlobalResult& result,
+                      const std::vector<std::size_t>& dirty,
+                      exec::ThreadPool* pool = nullptr,
+                      const exec::Cancellation* cancel = nullptr);
+
   [[nodiscard]] const RoutingGraph& graph() const noexcept { return graph_; }
   [[nodiscard]] const grid::RoutingGrid& grid() const noexcept { return *grid_; }
 
@@ -177,6 +211,20 @@ class GlobalRouter {
   /// Commit (+1) or rip up (-1) subnet `idx`'s path: demand bookkeeping and
   /// the congestion index move together.
   void commit(std::size_t idx, const TilePath& path, int sign);
+
+  /// Run `body(i)` for i in [lo, hi) on the pool (or inline when null),
+  /// honouring `cancel`. The parallel unit of every batch-synchronous phase.
+  void run_phase(exec::ThreadPool* pool, const exec::Cancellation* cancel,
+                 std::size_t lo, std::size_t hi,
+                 const std::function<void(std::size_t)>& body) const;
+
+  /// The negotiated-congestion rip-up & reroute passes over `result`,
+  /// shared by route() and reroute_subset().
+  void run_reroute_passes(GlobalResult& result, exec::ThreadPool* pool,
+                          const exec::Cancellation* cancel);
+
+  /// Recompute wirelength and the overflow aggregates from the live graph.
+  void finalize_totals(GlobalResult& result) const;
 
   const grid::RoutingGrid* grid_;
   GlobalRouterConfig config_;

@@ -142,6 +142,8 @@ Json to_json(const RunReport& report, const WriteOptions& options) {
   root["counters"] = counters_to_json(report.counters, options.include_timing);
   root["ilp_budget_exceeded"] = report.ilp_budget_exceeded;
   root["cancelled"] = report.cancelled;
+  if (report.cancelled)
+    root["cancel_reason"] = exec::stop_reason_name(report.cancel_reason);
   if (options.include_timing)
     root["timing"]["total_seconds"] = report.total_seconds;
   return root;
@@ -260,6 +262,11 @@ std::optional<RunReport> parse_run_report(const Json& json) {
   report.counters = counters_from_json(json.get("counters"));
   report.ilp_budget_exceeded = get_bool(json, "ilp_budget_exceeded");
   report.cancelled = get_bool(json, "cancelled");
+  if (const std::string reason = get_string(json, "cancel_reason");
+      reason == "deadline")
+    report.cancel_reason = exec::StopReason::kDeadline;
+  else if (reason == "user")
+    report.cancel_reason = exec::StopReason::kUser;
   if (const Json* timing = json.get("timing"))
     report.total_seconds = get_double(*timing, "total_seconds");
   return report;
@@ -317,6 +324,7 @@ RunReport build_run_report(const core::RoutingResult& result,
   report.counters = result.stats();
   report.ilp_budget_exceeded = result.ilp_budget_exceeded;
   report.cancelled = result.cancelled;
+  report.cancel_reason = result.stop_reason;
 
   if (result.grid != nullptr) {
     const eval::CongestionMap congestion =

@@ -125,6 +125,10 @@ struct RunReport {
   double total_seconds = 0.0;
   bool ilp_budget_exceeded = false;
   bool cancelled = false;
+  /// Why the run stopped early ("user" or "deadline"); kNone — and absent
+  /// from the serialized form — when the run completed. Only emitted when
+  /// cancelled is true, so completed-run reports keep their exact bytes.
+  exec::StopReason cancel_reason = exec::StopReason::kNone;
 };
 
 [[nodiscard]] Json to_json(const RunReport& report,

@@ -1,0 +1,111 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace mebl::serve {
+
+Client::~Client() { disconnect(); }
+
+bool Client::connect(const std::string& socket_path) {
+  disconnect();
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    util::log_warn() << "serve client: bad socket path '" << socket_path
+                     << "'";
+    return false;
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    util::log_warn() << "serve client: cannot connect to '" << socket_path
+                     << "': " << std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+std::int64_t Client::send(Request request) {
+  if (fd_ < 0) return -1;
+  request.id = next_id_++;
+  const std::string line = encode(request);
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      disconnect();
+      return -1;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return request.id;
+}
+
+std::optional<Response> Client::receive() {
+  if (fd_ < 0) return std::nullopt;
+  char chunk[1 << 14];
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      const std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (line.empty()) continue;
+      std::optional<Response> response = decode_response(line);
+      if (!response) {
+        util::log_warn() << "serve client: malformed server line";
+        disconnect();
+      }
+      return response;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      disconnect();
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<Response> Client::call(Request request,
+                                     const ProgressFn& progress) {
+  // Inline ops (ping / status / cancel) terminate with their ack; queued
+  // ops ack first and terminate with done / cancelled / error.
+  const bool ack_terminal = request.op == Op::kPing ||
+                            request.op == Op::kStatus ||
+                            request.op == Op::kCancel;
+  const std::int64_t id = send(std::move(request));
+  if (id < 0) return std::nullopt;
+  for (;;) {
+    std::optional<Response> response = receive();
+    if (!response) return std::nullopt;
+    const bool terminal =
+        response->type == "done" || response->type == "error" ||
+        response->type == "cancelled" ||
+        (ack_terminal && response->type == "ack");
+    if (response->id == id && terminal) return response;
+    if (progress) progress(*response);
+  }
+}
+
+}  // namespace mebl::serve

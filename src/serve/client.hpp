@@ -1,0 +1,56 @@
+#pragma once
+
+// mebl::serve client — a blocking line-protocol connection to a running
+// mebl_serve daemon. One instance is one AF_UNIX connection; request ids
+// auto-increment per connection, and call() hides the streamed progress
+// lines (optionally forwarding them) and returns the terminal response
+// (done / cancelled / error) for the request.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace mebl::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the daemon's socket. False (with errno in the log) when
+  /// the daemon is not there.
+  bool connect(const std::string& socket_path);
+  void disconnect();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Send one request (assigning the next request id; request.id is
+  /// overwritten) and read responses until the terminal one for that id
+  /// arrives. Progress lines and the enqueue ack are passed to `progress`
+  /// when set, dropped otherwise. std::nullopt on connection loss or a
+  /// malformed server line.
+  using ProgressFn = std::function<void(const Response&)>;
+  [[nodiscard]] std::optional<Response> call(Request request,
+                                             const ProgressFn& progress = {});
+
+  /// Fire-and-collect-ack send for requests whose terminal response the
+  /// caller reads later (or never, e.g. cancel). Returns the assigned id,
+  /// or -1 on send failure.
+  std::int64_t send(Request request);
+
+  /// Read the next response line (any id), blocking. std::nullopt on
+  /// connection loss or malformed data.
+  [[nodiscard]] std::optional<Response> receive();
+
+ private:
+  int fd_ = -1;
+  std::int64_t next_id_ = 1;
+  std::string buffer_;  ///< received bytes not yet split into lines
+};
+
+}  // namespace mebl::serve

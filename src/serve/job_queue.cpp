@@ -1,0 +1,71 @@
+#include "serve/job_queue.hpp"
+
+namespace mebl::serve {
+
+std::uint64_t JobQueue::push(std::uint64_t client, Request request) {
+  Job job;
+  job.client = client;
+  job.cancel = std::make_shared<exec::Cancellation>();
+  if (request.deadline_seconds > 0.0)
+    job.cancel->set_deadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(request.deadline_seconds)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  job.sequence = next_sequence_++;
+  const Key key{-request.priority, job.sequence};
+  live_[{client, request.id}] = job.cancel;
+  job.request = std::move(request);
+  const std::uint64_t sequence = job.sequence;
+  queue_.emplace(key, std::move(job));
+  ready_.notify_one();
+  return sequence;
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  auto first = queue_.begin();
+  Job job = std::move(first->second);
+  queue_.erase(first);
+  return job;
+}
+
+bool JobQueue::cancel(std::uint64_t client, std::int64_t id,
+                      exec::StopReason reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = live_.find({client, id});
+  if (it == live_.end()) return false;
+  it->second->request_stop(reason);
+  return true;
+}
+
+void JobQueue::cancel_client(std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, token] : live_)
+    if (key.first == client) token->request_stop(exec::StopReason::kUser);
+}
+
+void JobQueue::finish(std::uint64_t client, std::int64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_.erase({client, id});
+}
+
+void JobQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  ready_.notify_all();
+}
+
+std::size_t JobQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace mebl::serve

@@ -1,0 +1,84 @@
+#pragma once
+
+// mebl::serve job queue — the multiplexing point between client
+// connections and the routing worker (DESIGN.md §12).
+//
+// Jobs are ordered by (priority descending, arrival ascending): a
+// monotonically increasing push sequence breaks priority ties, so equal
+// priorities run strictly FIFO. Every job carries a shared Cancellation
+// token that is registered under (client, request id) for the job's whole
+// lifetime — from push until finish() — so a cancel request can stop a job
+// whether it is still queued or already running, and a deadline (measured
+// from enqueue, so queue wait counts against the budget) trips the token
+// lazily through Cancellation's deadline check.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "exec/cancellation.hpp"
+#include "serve/protocol.hpp"
+
+namespace mebl::serve {
+
+/// One queued unit of work: a request plus its cancellation token and the
+/// connection it came from (`client` is an opaque token, the fd in the
+/// socket server).
+struct Job {
+  std::uint64_t sequence = 0;  ///< push order, the FIFO tie-break
+  std::uint64_t client = 0;
+  Request request;
+  std::shared_ptr<exec::Cancellation> cancel;
+};
+
+class JobQueue {
+ public:
+  /// Enqueue a job for `client`. Creates the job's Cancellation token,
+  /// arms its deadline from request.deadline_seconds (measured from now),
+  /// registers it under (client, request.id) for cancel(), and wakes one
+  /// pop()per. Returns the assigned sequence number.
+  std::uint64_t push(std::uint64_t client, Request request);
+
+  /// Block until a job is available or the queue is closed; highest
+  /// priority first, FIFO within a priority. std::nullopt after close()
+  /// once the queue has drained.
+  [[nodiscard]] std::optional<Job> pop();
+
+  /// Request-stop the token registered under (client, id) — queued or
+  /// running. Returns false when no such live job exists.
+  bool cancel(std::uint64_t client, std::int64_t id,
+              exec::StopReason reason = exec::StopReason::kUser);
+
+  /// Cancel every live job of one client (connection teardown).
+  void cancel_client(std::uint64_t client);
+
+  /// Drop the (client, id) cancel registration once the job has finished.
+  void finish(std::uint64_t client, std::int64_t id);
+
+  /// Wake all poppers; pop() returns std::nullopt once the queue is empty.
+  void close();
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  /// Ordering key: smaller runs first. Priority is negated so higher
+  /// priorities sort first; the sequence breaks ties FIFO.
+  using Key = std::pair<int, std::uint64_t>;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::map<Key, Job> queue_;
+  std::map<std::pair<std::uint64_t, std::int64_t>,
+           std::shared_ptr<exec::Cancellation>>
+      live_;
+  std::uint64_t next_sequence_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mebl::serve

@@ -1,0 +1,453 @@
+#include "serve/resident_design.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "assign/panel_ops.hpp"
+#include "assign/track_assign.hpp"
+#include "eval/metrics.hpp"
+#include "exec/thread_pool.hpp"
+#include "netlist/decompose.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mebl::serve {
+
+using geom::LayerId;
+using geom::Orientation;
+using geom::Point;
+using geom::Point3;
+
+std::string canonical_quality_block(const report::RunReport& report) {
+  report::WriteOptions options;
+  options.include_timing = false;
+  const auto json = report::Json::parse(report::serialize(report, options));
+  report::Json block = report::Json::object();
+  if (json) {
+    for (const char* key : {"design", "quality", "heatmaps", "nets"})
+      if (const report::Json* member = json->get(key)) block[key] = *member;
+  }
+  return block.dump();
+}
+
+ResidentDesign::ResidentDesign(netlist::Design design,
+                               core::RouterConfig config)
+    : design_(std::move(design)), config_(std::move(config)) {
+  subnets_ = netlist::decompose_all(design_.netlist);
+}
+
+void ResidentDesign::adopt_residency() {
+  subnets_ = netlist::decompose_all(design_.netlist);
+  global_ = std::make_unique<global::GlobalRouter>(design_.grid,
+                                                   config_.global);
+  global_->seed(result_.global);
+  detailed_ =
+      std::make_unique<detail::DetailedRouter>(*result_.grid, config_.detail);
+  detailed_->claim_pins(design_.netlist);
+  detailed_->restore(subnets_, result_.plan, result_.detail);
+  routed_ = true;
+}
+
+std::unique_ptr<ResidentDesign> ResidentDesign::from_state(
+    std::istream& in, core::RouterConfig config) {
+  auto loaded = read_routed_state(in);
+  if (!loaded) return nullptr;
+
+  auto resident = std::make_unique<ResidentDesign>(
+      std::move(loaded->state.design), std::move(config));
+  resident->result_.global = std::move(loaded->state.global);
+  resident->result_.plan = std::move(loaded->state.plan);
+  resident->result_.detail = std::move(loaded->state.detail);
+  resident->subnets_ = netlist::decompose_all(resident->design_.netlist);
+
+  const auto& detail = resident->result_.detail;
+  if (detail.subnet_nodes.size() != resident->subnets_.size() ||
+      resident->result_.global.paths.size() != resident->subnets_.size()) {
+    util::log_warn() << "from_state: subnet count mismatch";
+    return nullptr;
+  }
+
+  // Reseed the global demand from the paths; the saved arrays are the
+  // integrity check that the paths and the demand agree.
+  resident->global_ = std::make_unique<global::GlobalRouter>(
+      resident->design_.grid, resident->config_.global);
+  resident->global_->seed(resident->result_.global);
+  if (!verify_demand(*loaded, resident->global_->graph())) {
+    util::log_warn() << "from_state: demand integrity check failed";
+    return nullptr;
+  }
+
+  resident->result_.grid =
+      std::make_shared<detail::GridGraph>(resident->design_.grid);
+  resident->detailed_ = std::make_unique<detail::DetailedRouter>(
+      *resident->result_.grid, resident->config_.detail);
+  resident->detailed_->claim_pins(resident->design_.netlist);
+
+  // Reject geometry the grid cannot carry (out of bounds or conflicting
+  // claims) before restore() asserts on it.
+  const auto& rg = resident->design_.grid;
+  for (std::size_t i = 0; i < resident->subnets_.size(); ++i)
+    for (const Point3 p : detail.subnet_nodes[i]) {
+      if (p.x < 0 || p.x >= rg.width() || p.y < 0 || p.y >= rg.height() ||
+          p.layer < 0 || p.layer >= rg.num_layers()) {
+        util::log_warn() << "from_state: node out of bounds";
+        return nullptr;
+      }
+      if (!resident->result_.grid->is_free_or(p, resident->subnets_[i].net)) {
+        util::log_warn() << "from_state: conflicting geometry claims";
+        return nullptr;
+      }
+    }
+  resident->detailed_->restore(resident->subnets_, resident->result_.plan,
+                               resident->result_.detail);
+  resident->result_.metrics =
+      eval::compute_metrics(*resident->result_.grid, resident->design_.netlist,
+                            resident->subnets_, resident->result_.detail);
+  resident->routed_ = true;
+  return resident;
+}
+
+EcoOutcome ResidentDesign::route_full(exec::ThreadPool* pool,
+                                      exec::Cancellation* cancel,
+                                      core::ProgressObserver* observer) {
+  EcoOutcome out;
+  util::Timer timer;
+  core::StitchAwareRouter router(design_.grid, design_.netlist, config_);
+  report::RunReportBuilder builder;
+  router.add_observer(&builder);
+  if (observer != nullptr) router.add_observer(observer);
+  router.set_pool(pool);
+  router.set_cancellation(cancel);
+  result_ = router.run();
+  out.seconds = timer.seconds();
+  out.cancelled = result_.cancelled;
+  out.stop_reason = result_.stop_reason;
+  if (result_.cancelled || result_.grid == nullptr) {
+    routed_ = false;
+    out.error = "run cancelled";
+  } else {
+    adopt_residency();
+    out.ok = true;
+  }
+  out.report = builder.build(result_, design_.grid, design_.netlist);
+  return out;
+}
+
+std::vector<netlist::NetId> ResidentDesign::resolve_nets(
+    const EcoRequest& request, std::string& error) const {
+  std::vector<netlist::NetId> nets = request.nets;
+  for (const std::string& name : request.net_names) {
+    netlist::NetId found = -1;
+    for (const netlist::Net& net : design_.netlist.nets())
+      if (net.name == name) {
+        found = net.id;
+        break;
+      }
+    if (found < 0) {
+      error = "unknown net name '" + name + "'";
+      return {};
+    }
+    nets.push_back(found);
+  }
+  for (const netlist::NetId net : nets)
+    if (net < 0 ||
+        static_cast<std::size_t>(net) >= design_.netlist.num_nets()) {
+      error = "net id " + std::to_string(net) + " out of range";
+      return {};
+    }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  return nets;
+}
+
+EcoOutcome ResidentDesign::eco(const EcoRequest& request,
+                               exec::ThreadPool* pool,
+                               exec::Cancellation* cancel) {
+  EcoOutcome out;
+  if (!routed_) {
+    out.error = "design is not routed; run a full route first";
+    return out;
+  }
+  std::vector<netlist::NetId> nets = resolve_nets(request, out.error);
+  if (!out.error.empty()) return out;
+
+  // --- pin-move validation (before any mutation) ---------------------------
+  std::vector<detail::DetailedRouter::PinMove> pin_moves;
+  bool moving_pin = false;
+  netlist::NetId pin_net = -1;
+  Point pin_from;
+  if (request.move_pin >= 0) {
+    if (static_cast<std::size_t>(request.move_pin) >=
+        design_.netlist.num_pins()) {
+      out.error = "pin id out of range";
+      return out;
+    }
+    const netlist::Pin& pin = design_.netlist.pin(request.move_pin);
+    pin_net = pin.net;
+    pin_from = pin.pos;
+    if (!design_.grid.in_bounds(request.move_to)) {
+      out.error = "pin destination out of bounds";
+      return out;
+    }
+    moving_pin = request.move_to != pin_from;
+    if (moving_pin) {
+      for (const netlist::Pin& other : design_.netlist.pins())
+        if (other.pos == request.move_to) {
+          out.error = "pin destination already carries a pin";
+          return out;
+        }
+    }
+    nets.push_back(pin_net);
+    // Nets whose wires occupy the destination nodes must reroute so the
+    // pin reservation can claim them.
+    for (const LayerId layer : {LayerId{0}, LayerId{1}}) {
+      const netlist::NetId owner =
+          result_.grid->owner({request.move_to.x, request.move_to.y, layer});
+      if (owner != -1 && owner != pin_net) nets.push_back(owner);
+    }
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  }
+  if (nets.empty()) {
+    out.error = "nothing to reroute";
+    return out;
+  }
+
+  // --- bit-identity snapshot (the pre-ECO state) ---------------------------
+  std::string snapshot;
+  if (request.verify) {
+    std::ostringstream snap;
+    if (!save_state(snap)) {
+      out.error = "cannot snapshot state for verification";
+      return out;
+    }
+    snapshot = snap.str();
+  }
+
+  const telemetry::StatsSnapshot stats_before = telemetry::snapshot_counters();
+  util::Timer timer;
+  exec::Cancellation local_cancel;
+  exec::Cancellation& stop = cancel != nullptr ? *cancel : local_cancel;
+
+  // --- apply the pin move to the netlist and the subnet list ---------------
+  if (moving_pin) {
+    design_.netlist.move_pin(request.move_pin, request.move_to);
+    const auto fresh = netlist::decompose_net(design_.netlist, pin_net);
+    std::vector<std::size_t> slots;
+    for (std::size_t i = 0; i < subnets_.size(); ++i)
+      if (subnets_[i].net == pin_net) slots.push_back(i);
+    if (slots.size() != fresh.size()) {
+      // Decomposition is pin-count-preserving, so this cannot happen on a
+      // consistent resident; bail out rather than corrupt state.
+      out.error = "pin move changed the subnet count";
+      routed_ = false;
+      return out;
+    }
+    for (std::size_t k = 0; k < slots.size(); ++k)
+      subnets_[slots[k]] = fresh[k];
+    pin_moves.push_back({pin_net, pin_from, request.move_to});
+  }
+
+  // --- global: rip the dirty closure, reroute only it ----------------------
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0; i < subnets_.size(); ++i)
+    if (std::binary_search(nets.begin(), nets.end(), subnets_[i].net))
+      targets.push_back(i);
+  const std::vector<std::size_t> closure =
+      global_->rip_dirty_closure(result_.global, targets);
+  out.dirty_subnets = closure.size();
+
+  if (static_cast<double>(closure.size()) >
+      request.full_fallback_fraction * static_cast<double>(subnets_.size())) {
+    // The closure no longer pays for itself; reroute the whole design
+    // through the ordinary pipeline (which rebuilds all resident state).
+    EcoOutcome full = route_full(pool, cancel, nullptr);
+    full.fallback_full = true;
+    full.dirty_subnets = closure.size();
+    return full;
+  }
+
+  global_->reroute_subset(subnets_, result_.global, closure, pool, &stop);
+
+  // --- assignment: replan only the panels the closure touches --------------
+  std::vector<std::uint8_t> changed(result_.global.paths.size(), 0);
+  for (const std::size_t idx : closure) changed[idx] = 1;
+  assign::RoutePlan old_plan = std::move(result_.plan);
+  assign::RoutePlan plan = assign::extract_runs(result_.global, design_.grid);
+
+  // Unchanged paths produce identical runs, positionally; carry their
+  // layer/track assignment over so only dirty panels replan.
+  for (std::size_t p = 0; p < plan.runs_of_path.size(); ++p) {
+    if (p < changed.size() && changed[p] != 0) continue;
+    if (p >= old_plan.runs_of_path.size()) continue;
+    const auto& old_runs = old_plan.runs_of_path[p];
+    const auto& new_runs = plan.runs_of_path[p];
+    if (old_runs.size() != new_runs.size()) continue;
+    for (std::size_t j = 0; j < new_runs.size(); ++j) {
+      const assign::GlobalRun& src = old_plan.runs[old_runs[j]];
+      assign::GlobalRun& dst = plan.runs[new_runs[j]];
+      dst.layer = src.layer;
+      dst.pieces = src.pieces;
+      dst.ripped = src.ripped;
+      dst.bad_ends = src.bad_ends;
+    }
+  }
+
+  // Dirty panels: every panel holding a run of a changed path, in the old
+  // or the new plan (a rerouted path may leave one panel and enter another).
+  std::set<int> dirty_columns, dirty_rows;
+  const auto collect_panels = [&](const assign::RoutePlan& from) {
+    for (std::size_t p = 0; p < from.runs_of_path.size(); ++p) {
+      if (p >= changed.size() || changed[p] == 0) continue;
+      for (const std::size_t run_id : from.runs_of_path[p]) {
+        const assign::GlobalRun& run = from.runs[run_id];
+        (run.dir == Orientation::kVertical ? dirty_columns : dirty_rows)
+            .insert(run.fixed_tile);
+      }
+    }
+  };
+  collect_panels(old_plan);
+  collect_panels(plan);
+
+  const bool colorable =
+      config_.layer_algorithm == core::LayerAlgorithm::kColorableSubset;
+  const auto v_layers = design_.grid.layers_with(Orientation::kVertical);
+  const auto h_layers = design_.grid.layers_with(Orientation::kHorizontal);
+  for (const int tx : dirty_columns)
+    assign::assign_panel_layers(plan, assign::runs_in_column_panel(plan, tx),
+                                v_layers, /*column_panel=*/true, colorable);
+  for (const int ty : dirty_rows)
+    assign::assign_panel_layers(plan, assign::runs_in_row_panel(plan, ty),
+                                h_layers, /*column_panel=*/false, colorable);
+
+  // Track assignment over the dirty column panels. ECO always uses the
+  // deterministic heuristics: the ILP's wall-clock budget would break the
+  // bit-identity contract, so TrackAlgorithm::kIlp degrades to the graph
+  // heuristic here (documented limitation, DESIGN.md §12).
+  const std::vector<int> columns(dirty_columns.begin(), dirty_columns.end());
+  std::vector<assign::TrackPanelTask> tasks =
+      assign::build_track_tasks(plan, design_.grid, columns);
+  for (assign::TrackPanelTask& task : tasks) {
+    const assign::TrackAssignResult assigned =
+        config_.track_algorithm == core::TrackAlgorithm::kBaseline
+            ? assign::track_assign_baseline(task.instance)
+            : assign::track_assign_graph(task.instance);
+    assign::apply_track_result(plan, task, assigned);
+  }
+  result_.plan = std::move(plan);
+
+  // --- detail: rip and reroute exactly the affected nets -------------------
+  detailed_->reroute_nets(nets, pool, &stop, {}, pin_moves);
+
+  // --- refresh metrics and the run record ----------------------------------
+  result_.metrics = eval::compute_metrics(*result_.grid, design_.netlist,
+                                          subnets_, result_.detail);
+  out.cancelled = stop.stop_requested();
+  result_.cancelled = out.cancelled;
+  if (out.cancelled) {
+    out.stop_reason = stop.reason() == exec::StopReason::kNone
+                          ? exec::StopReason::kUser
+                          : stop.reason();
+    result_.stop_reason = out.stop_reason;
+    // A cancelled ECO leaves ripped-but-unrouted paths behind; the
+    // resident must be re-routed from scratch before the next ECO.
+    routed_ = false;
+  } else {
+    result_.stop_reason = exec::StopReason::kNone;
+  }
+  result_.stats_ =
+      telemetry::delta(stats_before, telemetry::snapshot_counters());
+  out.seconds = timer.seconds();
+  out.report = report::build_run_report(result_, design_.grid,
+                                        design_.netlist);
+  out.ok = !out.cancelled;
+
+  // --- bit-identity check: replay on a resident rebuilt from the snapshot --
+  if (request.verify && out.ok) {
+    std::istringstream snap(snapshot);
+    auto rebuilt = from_state(snap, config_);
+    bool matched = false;
+    if (rebuilt != nullptr) {
+      EcoRequest replay = request;
+      replay.verify = false;
+      const EcoOutcome replayed = rebuilt->eco(replay, pool, nullptr);
+      matched = replayed.ok && canonical_quality_block(out.report) ==
+                                   canonical_quality_block(replayed.report);
+    }
+    out.verified = matched;
+    out.verify_mismatch = !matched;
+    if (!matched)
+      util::log_warn()
+          << "eco verify: incremental result diverged from the replay on "
+             "the reloaded pre-ECO state";
+  }
+  return out;
+}
+
+bool ResidentDesign::save_state(std::ostream& out) const {
+  if (!routed_ || global_ == nullptr) return false;
+  RoutedState state{design_, result_.global, result_.plan, result_.detail};
+  write_routed_state(out, state, global_->graph());
+  return static_cast<bool>(out);
+}
+
+bool ResidentDesign::save_state(const std::string& path) const {
+  std::ofstream out(path);
+  return out && save_state(out);
+}
+
+// ------------------------------------------------------------- DesignCache
+
+std::shared_ptr<ResidentDesign> DesignCache::get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it)
+    if (it->first == name) {
+      entries_.splice(entries_.begin(), entries_, it);
+      return entries_.front().second;
+    }
+  return nullptr;
+}
+
+std::vector<std::string> DesignCache::put(
+    const std::string& name, std::shared_ptr<ResidentDesign> design) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it)
+    if (it->first == name) {
+      entries_.erase(it);
+      break;
+    }
+  entries_.emplace_front(name, std::move(design));
+  std::vector<std::string> evicted;
+  while (capacity_ > 0 && entries_.size() > capacity_) {
+    evicted.push_back(entries_.back().first);
+    entries_.pop_back();
+  }
+  return evicted;
+}
+
+void DesignCache::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it)
+    if (it->first == name) {
+      entries_.erase(it);
+      return;
+    }
+}
+
+std::vector<std::string> DesignCache::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.first);
+  return out;
+}
+
+std::size_t DesignCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace mebl::serve

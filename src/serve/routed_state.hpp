@@ -1,0 +1,77 @@
+#pragma once
+
+// Routed-state serialization (DESIGN.md §12): the persistent form of a
+// routed design — everything a ResidentDesign needs to resume incremental
+// (ECO) rerouting in a later process, plus an integrity section.
+//
+// Plain-text format ("mebl_routed 1"), whitespace-separated like the MEBL1
+// design format it embeds:
+//
+//   mebl_routed 1
+//   design <nbytes>\n<MEBL1 text, exactly nbytes bytes>
+//   paths <n>            one `p` record per global tile path
+//   runs <n>             one `r` record per RoutePlan run
+//   path_runs <n>        one `q` record per path: its run indices
+//   subnets <n>          one `s` record per subnet: routed flag, method,
+//                        committed grid nodes
+//   detail_totals ...    the DetailedResult stage counters
+//   global_totals ...    wirelength + overflow aggregates
+//   demand_h/_v/_vertex  the committed global demand arrays — the
+//                        integrity check: a loader reseeds a RoutingGraph
+//                        from the paths and must reproduce these exactly,
+//                        or the file is rejected as inconsistent
+//   end
+//
+// The writer emits fields in deterministic order, so saving the same state
+// twice produces identical bytes.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "assign/panel.hpp"
+#include "detail/detailed_router.hpp"
+#include "global/global_router.hpp"
+#include "netlist/io.hpp"
+
+namespace mebl::serve {
+
+/// The serialized view of a routed design: the design itself plus the
+/// three per-stage artifacts that carry routed state. (Metrics and demand
+/// are derived: metrics recompute from the occupancy, demand reseeds from
+/// the paths.)
+struct RoutedState {
+  netlist::Design design;
+  global::GlobalResult global;
+  assign::RoutePlan plan;
+  detail::DetailedResult detail;
+};
+
+/// Serialize `state`, reading the committed demand arrays for the
+/// integrity section from `graph` (which must carry exactly the demand of
+/// state.global — the resident router's graph).
+void write_routed_state(std::ostream& out, const RoutedState& state,
+                        const global::RoutingGraph& graph);
+
+/// Parse a routed-state document; std::nullopt on malformed input (the
+/// reason is reported through util::log_warn). The demand integrity
+/// section is parsed and checked by verify_demand — callers reseed a
+/// RoutingGraph from the returned paths and hand it back.
+struct LoadedState {
+  RoutedState state;
+  std::vector<int> h_demand, v_demand, vertex_demand;  ///< saved arrays
+};
+
+[[nodiscard]] std::optional<LoadedState> read_routed_state(std::istream& in);
+
+/// True iff `graph`'s demand arrays equal the saved ones — the load-time
+/// integrity check that the paths and the demand agree.
+[[nodiscard]] bool verify_demand(const LoadedState& loaded,
+                                 const global::RoutingGraph& graph);
+
+bool save_routed_state(const std::string& path, const RoutedState& state,
+                       const global::RoutingGraph& graph);
+[[nodiscard]] std::optional<LoadedState> load_routed_state(
+    const std::string& path);
+
+}  // namespace mebl::serve

@@ -1,0 +1,520 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "netlist/io.hpp"
+#include "util/log.hpp"
+
+namespace mebl::serve {
+namespace {
+
+/// One streamed "progress" line per pipeline stage boundary / global-stage
+/// net batch, written from the dispatcher thread while the router runs.
+class ProgressSender final : public core::ProgressObserver {
+ public:
+  using SendFn = std::function<void(const Response&)>;
+  ProgressSender(std::int64_t id, SendFn send)
+      : id_(id), send_(std::move(send)) {}
+
+  void on_stage_begin(core::Stage stage) override {
+    Response event;
+    event.type = "progress";
+    event.id = id_;
+    event.payload["event"] = "stage_begin";
+    event.payload["stage"] = core::stage_name(stage);
+    send_(event);
+  }
+
+  void on_stage_end(core::Stage stage, double seconds) override {
+    Response event;
+    event.type = "progress";
+    event.id = id_;
+    event.payload["event"] = "stage_end";
+    event.payload["stage"] = core::stage_name(stage);
+    event.payload["seconds"] = seconds;
+    send_(event);
+  }
+
+  void on_nets_routed(std::size_t routed, std::size_t total) override {
+    Response event;
+    event.type = "progress";
+    event.id = id_;
+    event.payload["event"] = "nets_routed";
+    event.payload["routed"] = static_cast<std::int64_t>(routed);
+    event.payload["total"] = static_cast<std::int64_t>(total);
+    send_(event);
+  }
+
+ private:
+  std::int64_t id_;
+  SendFn send_;
+};
+
+Response make_error(std::int64_t id, std::string message) {
+  Response response;
+  response.type = "error";
+  response.id = id;
+  response.error = std::move(message);
+  return response;
+}
+
+/// The cancelled / deadline-exceeded terminal response for a stopped job:
+/// user cancels get a "cancelled" line, expired deadlines an "error"
+/// naming the reason (see exec::StopReason).
+Response make_stopped(std::int64_t id, exec::StopReason reason) {
+  if (reason == exec::StopReason::kDeadline)
+    return make_error(id, "deadline exceeded");
+  Response response;
+  response.type = "cancelled";
+  response.id = id;
+  return response;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), cache_(config_.cache_capacity) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    util::log_warn() << "serve: bad socket path '" << config_.socket_path
+                     << "'";
+    return false;
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    util::log_warn() << "serve: socket(): " << std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(config_.socket_path.c_str());  // stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    util::log_warn() << "serve: cannot listen on '" << config_.socket_path
+                     << "': " << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::pipe(wake_fds_) != 0) {
+    util::log_warn() << "serve: pipe(): " << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  // The poll loop drains the pipe until EAGAIN; the read end must not block.
+  ::fcntl(wake_fds_[0], F_SETFL,
+          ::fcntl(wake_fds_[0], F_GETFL, 0) | O_NONBLOCK);
+
+  pool_ = std::make_unique<exec::ThreadPool>(config_.threads);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (listen_fd_ < 0 && !io_thread_.joinable() && !dispatch_thread_.joinable())
+    return;
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  wake_io();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& [client, conn] : connections_) ::close(conn.fd);
+    connections_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+  }
+  for (int& fd : wake_fds_)
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  pool_.reset();
+  running_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(stopped_mutex_);
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stopped_mutex_);
+  stopped_cv_.wait(lock, [this] {
+    return !running_.load(std::memory_order_acquire) ||
+           stopping_.load(std::memory_order_acquire);
+  });
+}
+
+void Server::wake_io() {
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void Server::io_loop() {
+  std::string read_buffer(1 << 16, '\0');
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> clients;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      for (const auto& [client, conn] : connections_) {
+        fds.push_back({conn.fd, POLLIN, 0});
+        clients.push_back(client);
+      }
+    }
+    if (::poll(fds.data(), fds.size(), /*timeout_ms=*/500) < 0) {
+      if (errno == EINTR) continue;
+      util::log_warn() << "serve: poll(): " << std::strerror(errno);
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        connections_[static_cast<std::uint64_t>(fd)] = Connection{fd, {}};
+      }
+    }
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::uint64_t client = clients[i - 2];
+      const ssize_t n =
+          ::read(fds[i].fd, read_buffer.data(), read_buffer.size());
+      if (n <= 0) {
+        queue_.cancel_client(client);
+        drop_connection(client);
+        continue;
+      }
+      // Take the lines out of the connection buffer, then handle them
+      // without the lock (handlers may push jobs or write responses).
+      std::vector<std::string> lines;
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        auto it = connections_.find(client);
+        if (it == connections_.end()) continue;
+        it->second.buffer.append(read_buffer.data(),
+                                 static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl = it->second.buffer.find('\n');
+             nl != std::string::npos;
+             nl = it->second.buffer.find('\n', start)) {
+          lines.push_back(it->second.buffer.substr(start, nl - start));
+          start = nl + 1;
+        }
+        it->second.buffer.erase(0, start);
+      }
+      for (const std::string& line : lines) handle_line(client, line);
+    }
+  }
+}
+
+void Server::handle_line(std::uint64_t client, std::string_view line) {
+  if (line.empty()) return;
+  const std::optional<Request> request = decode_request(line);
+  if (!request) {
+    send_response(client, make_error(0, "malformed request"));
+    return;
+  }
+  switch (request->op) {
+    case Op::kPing: {
+      Response response;
+      response.type = "ack";
+      response.id = request->id;
+      response.payload["server"] = "mebl_serve";
+      send_response(client, response);
+      return;
+    }
+    case Op::kStatus: {
+      Response response;
+      response.type = "ack";
+      response.id = request->id;
+      response.payload = status_payload();
+      send_response(client, response);
+      return;
+    }
+    case Op::kCancel: {
+      Response response;
+      response.type = "ack";
+      response.id = request->id;
+      response.payload["cancelled"] = queue_.cancel(client, request->cancel_id);
+      send_response(client, response);
+      return;
+    }
+    default: {
+      queue_.push(client, *request);
+      Response response;
+      response.type = "ack";
+      response.id = request->id;
+      response.payload["queued"] = true;
+      response.payload["pending"] =
+          static_cast<std::int64_t>(queue_.pending());
+      send_response(client, response);
+      return;
+    }
+  }
+}
+
+void Server::dispatch_loop() {
+  while (true) {
+    std::optional<Job> job = queue_.pop();
+    if (!job) break;
+    if (job->request.op == Op::kShutdown) {
+      Response response;
+      response.type = "done";
+      response.id = job->request.id;
+      response.payload["shutdown"] = true;
+      send_response(job->client, response);
+      queue_.finish(job->client, job->request.id);
+      break;
+    }
+    execute(*job);
+  }
+  // Drain-and-stop: tell the I/O loop and any wait()er we are done.
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  wake_io();
+  {
+    std::lock_guard<std::mutex> lock(stopped_mutex_);
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::execute(const Job& job) {
+  Response response;
+  if (job.cancel->stop_requested()) {
+    // Cancelled (or timed out) while still queued: answer without working.
+    response = make_stopped(job.request.id, job.cancel->reason());
+  } else {
+    switch (job.request.op) {
+      case Op::kLoad: response = run_load(job); break;
+      case Op::kRoute: response = run_route(job); break;
+      case Op::kEco: response = run_eco(job); break;
+      case Op::kSaveState: response = run_save_state(job); break;
+      case Op::kLoadState: response = run_load_state(job); break;
+      default:
+        response = make_error(job.request.id, "unsupported operation");
+        break;
+    }
+  }
+  queue_.finish(job.client, job.request.id);
+  jobs_completed_.fetch_add(1, std::memory_order_acq_rel);
+  send_response(job.client, response);
+}
+
+Response Server::run_load(const Job& job) {
+  const Request& request = job.request;
+  if (request.design.empty())
+    return make_error(request.id, "load needs a design name");
+  std::optional<netlist::Design> design;
+  if (!request.design_text.empty()) {
+    std::istringstream in(request.design_text);
+    design = netlist::read_design(in);
+  } else if (!request.path.empty()) {
+    design = netlist::load_design(request.path);
+  } else {
+    return make_error(request.id, "load needs design_text or path");
+  }
+  if (!design) return make_error(request.id, "cannot parse design");
+
+  Response response;
+  response.type = "done";
+  response.id = request.id;
+  response.payload["design"] = request.design;
+  response.payload["nets"] =
+      static_cast<std::int64_t>(design->netlist.num_nets());
+  response.payload["pins"] =
+      static_cast<std::int64_t>(design->netlist.num_pins());
+  auto resident =
+      std::make_shared<ResidentDesign>(std::move(*design), config_.router);
+  const std::vector<std::string> evicted =
+      cache_.put(request.design, std::move(resident));
+  if (!evicted.empty()) {
+    report::Json names = report::Json::array();
+    for (const std::string& name : evicted) names.push_back(name);
+    response.payload["evicted"] = names;
+  }
+  return response;
+}
+
+Response Server::run_route(const Job& job) {
+  const Request& request = job.request;
+  std::shared_ptr<ResidentDesign> resident = cache_.get(request.design);
+  if (resident == nullptr)
+    return make_error(request.id, "unknown design '" + request.design + "'");
+
+  const std::uint64_t client = job.client;
+  ProgressSender progress(request.id, [this, client](const Response& event) {
+    send_response(client, event);
+  });
+  const EcoOutcome outcome =
+      resident->route_full(pool_.get(), job.cancel.get(), &progress);
+  if (outcome.cancelled)
+    return make_stopped(request.id, outcome.stop_reason);
+  if (!outcome.ok) return make_error(request.id, outcome.error);
+
+  Response response;
+  response.type = "done";
+  response.id = request.id;
+  response.payload["report"] = report::to_json(outcome.report);
+  response.payload["seconds"] = outcome.seconds;
+  return response;
+}
+
+Response Server::run_eco(const Job& job) {
+  const Request& request = job.request;
+  std::shared_ptr<ResidentDesign> resident = cache_.get(request.design);
+  if (resident == nullptr)
+    return make_error(request.id, "unknown design '" + request.design + "'");
+
+  EcoRequest eco;
+  eco.nets = request.nets;
+  eco.net_names = request.net_names;
+  eco.move_pin = request.move_pin;
+  eco.move_to = request.move_to;
+  eco.verify = request.verify;
+  const EcoOutcome outcome = resident->eco(eco, pool_.get(), job.cancel.get());
+  if (outcome.cancelled)
+    return make_stopped(request.id, outcome.stop_reason);
+  if (!outcome.ok) return make_error(request.id, outcome.error);
+
+  Response response;
+  response.type = "done";
+  response.id = request.id;
+  response.payload["report"] = report::to_json(outcome.report);
+  response.payload["seconds"] = outcome.seconds;
+  report::Json& summary = response.payload["eco"];
+  summary["dirty_subnets"] = static_cast<std::int64_t>(outcome.dirty_subnets);
+  summary["fallback_full"] = outcome.fallback_full;
+  if (request.verify) {
+    summary["verified"] = outcome.verified;
+    summary["verify_mismatch"] = outcome.verify_mismatch;
+  }
+  return response;
+}
+
+Response Server::run_save_state(const Job& job) {
+  const Request& request = job.request;
+  std::shared_ptr<ResidentDesign> resident = cache_.get(request.design);
+  if (resident == nullptr)
+    return make_error(request.id, "unknown design '" + request.design + "'");
+  if (!resident->routed())
+    return make_error(request.id, "design is not routed");
+  if (request.path.empty())
+    return make_error(request.id, "save_state needs a path");
+  if (!resident->save_state(request.path))
+    return make_error(request.id, "cannot write '" + request.path + "'");
+  Response response;
+  response.type = "done";
+  response.id = request.id;
+  response.payload["path"] = request.path;
+  return response;
+}
+
+Response Server::run_load_state(const Job& job) {
+  const Request& request = job.request;
+  if (request.design.empty())
+    return make_error(request.id, "load_state needs a design name");
+  if (request.path.empty())
+    return make_error(request.id, "load_state needs a path");
+  std::ifstream in(request.path);
+  if (!in)
+    return make_error(request.id, "cannot read '" + request.path + "'");
+  std::unique_ptr<ResidentDesign> resident =
+      ResidentDesign::from_state(in, config_.router);
+  if (resident == nullptr)
+    return make_error(request.id,
+                      "'" + request.path + "' is not a consistent state");
+
+  Response response;
+  response.type = "done";
+  response.id = request.id;
+  response.payload["design"] = request.design;
+  response.payload["routed"] = true;
+  response.payload["nets"] = static_cast<std::int64_t>(
+      resident->design().netlist.num_nets());
+  const std::vector<std::string> evicted =
+      cache_.put(request.design, std::move(resident));
+  if (!evicted.empty()) {
+    report::Json names = report::Json::array();
+    for (const std::string& name : evicted) names.push_back(name);
+    response.payload["evicted"] = names;
+  }
+  return response;
+}
+
+report::Json Server::status_payload() const {
+  report::Json payload = report::Json::object();
+  payload["pending"] = static_cast<std::int64_t>(queue_.pending());
+  payload["jobs_completed"] =
+      static_cast<std::int64_t>(jobs_completed_.load(std::memory_order_acquire));
+  payload["cache_capacity"] = static_cast<std::int64_t>(cache_.capacity());
+  report::Json designs = report::Json::array();
+  for (const std::string& name : cache_.names()) designs.push_back(name);
+  payload["designs"] = designs;
+  return payload;
+}
+
+void Server::send_response(std::uint64_t client, const Response& response) {
+  const std::string line = encode(response);
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    const auto it = connections_.find(client);
+    if (it == connections_.end()) return;  // client went away mid-job
+    fd = it->second.fd;
+  }
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // disconnect; the I/O loop will reap the fd
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::drop_connection(std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  const auto it = connections_.find(client);
+  if (it == connections_.end()) return;
+  ::close(it->second.fd);
+  connections_.erase(it);
+}
+
+}  // namespace mebl::serve

@@ -1,0 +1,131 @@
+#pragma once
+
+// mebl::serve socket server — the routing-as-a-service daemon core
+// (DESIGN.md §12).
+//
+// One poll()-driven I/O thread owns the AF_UNIX listening socket and every
+// client connection: it splits the byte stream into wire lines, answers
+// ping / status / cancel inline, and pushes everything else onto the
+// JobQueue. One dispatcher thread pops jobs in (priority, arrival) order
+// and executes them one at a time against the DesignCache on a shared
+// router ThreadPool — serializing jobs keeps every resident design's
+// incremental state single-writer, which the bit-identity contract needs.
+// Responses (acks, streamed progress events, the final done/error line)
+// can be written from either thread; a write mutex keeps lines whole.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "serve/job_queue.hpp"
+#include "serve/resident_design.hpp"
+
+namespace mebl::exec {
+class ThreadPool;
+}  // namespace mebl::exec
+
+namespace mebl::serve {
+
+struct ServerConfig {
+  /// AF_UNIX socket path; bound on start(), unlinked on stop().
+  std::string socket_path;
+  /// Router pool threads shared by every job; <= 0 = hardware concurrency.
+  int threads = 0;
+  /// Resident designs kept in memory (LRU beyond this).
+  std::size_t cache_capacity = 4;
+  /// Pipeline configuration every job routes with.
+  core::RouterConfig router = core::RouterConfig::stitch_aware();
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on the socket and start the I/O and dispatcher threads.
+  /// False (with a log line) when the socket cannot be bound.
+  bool start();
+
+  /// Close the queue, stop both threads, drop every connection, unlink the
+  /// socket. Idempotent; also run by the destructor.
+  void stop();
+
+  /// Block until the server stops (a shutdown request or stop()).
+  void wait();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// True once a shutdown request (or stop()) has been seen; the daemon
+  /// main polls this from its signal loop.
+  [[nodiscard]] bool stopping() const noexcept {
+    return stopping_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+  [[nodiscard]] std::uint64_t jobs_completed() const noexcept {
+    return jobs_completed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string buffer;  ///< bytes received, not yet newline-terminated
+  };
+
+  void io_loop();
+  void dispatch_loop();
+
+  /// Parse + act on one wire line from `client` (inline ops answer here,
+  /// the rest queue).
+  void handle_line(std::uint64_t client, std::string_view line);
+
+  /// Execute one queued job on the dispatcher thread and send its
+  /// responses.
+  void execute(const Job& job);
+  [[nodiscard]] Response run_load(const Job& job);
+  [[nodiscard]] Response run_route(const Job& job);
+  [[nodiscard]] Response run_eco(const Job& job);
+  [[nodiscard]] Response run_save_state(const Job& job);
+  [[nodiscard]] Response run_load_state(const Job& job);
+
+  [[nodiscard]] report::Json status_payload() const;
+
+  /// Write one response line to the client; silently drops it when the
+  /// connection is gone (disconnected mid-job).
+  void send_response(std::uint64_t client, const Response& response);
+  void drop_connection(std::uint64_t client);
+  void wake_io();
+
+  ServerConfig config_;
+  JobQueue queue_;
+  DesignCache cache_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: poke the poll() loop
+
+  mutable std::mutex conn_mutex_;
+  std::map<std::uint64_t, Connection> connections_;
+  std::mutex write_mutex_;
+
+  std::thread io_thread_;
+  std::thread dispatch_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::mutex stopped_mutex_;
+  std::condition_variable stopped_cv_;
+};
+
+}  // namespace mebl::serve

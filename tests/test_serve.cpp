@@ -1,0 +1,498 @@
+// Serving-layer tests (ctest label `serve`): protocol codec round-trips,
+// job-queue ordering/cancellation/deadlines, the incremental-ECO
+// bit-identity contract on S5378, and an end-to-end daemon smoke over a
+// real AF_UNIX socket.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/circuit_generator.hpp"
+#include "netlist/io.hpp"
+#include "serve/client.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/protocol.hpp"
+#include "serve/resident_design.hpp"
+#include "serve/server.hpp"
+
+namespace mebl::serve {
+namespace {
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, RequestRoundTripsEveryField) {
+  Request request;
+  request.op = Op::kEco;
+  request.id = 42;
+  request.design = "chip";
+  request.design_text = "mebl 1\ngrid 10 10 3 5\n";
+  request.path = "/tmp/state.bin";
+  request.priority = 3;
+  request.deadline_seconds = 1.5;
+  request.nets = {4, 17, 23};
+  request.net_names = {"clk", "rst"};
+  request.move_pin = 9;
+  request.move_to = {12, 34};
+  request.verify = true;
+  request.cancel_id = 7;
+
+  const std::string line = encode(request);
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << "wire form must be one line";
+
+  const auto decoded = decode_request(line);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, Op::kEco);
+  EXPECT_EQ(decoded->id, 42);
+  EXPECT_EQ(decoded->design, "chip");
+  EXPECT_EQ(decoded->design_text, request.design_text);
+  EXPECT_EQ(decoded->path, "/tmp/state.bin");
+  EXPECT_EQ(decoded->priority, 3);
+  EXPECT_DOUBLE_EQ(decoded->deadline_seconds, 1.5);
+  EXPECT_EQ(decoded->nets, request.nets);
+  EXPECT_EQ(decoded->net_names, request.net_names);
+  EXPECT_EQ(decoded->move_pin, 9);
+  EXPECT_EQ(decoded->move_to.x, 12);
+  EXPECT_EQ(decoded->move_to.y, 34);
+  EXPECT_TRUE(decoded->verify);
+  EXPECT_EQ(decoded->cancel_id, 7);
+}
+
+TEST(ServeProtocol, EscapesControlAndQuoteCharacters) {
+  Request request;
+  request.op = Op::kLoad;
+  request.design = "q\"uo\\te";
+  request.design_text = "line one\nline\ttwo\r\x01 end";
+
+  const std::string line = encode(request);
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+  const auto decoded = decode_request(line);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->design, request.design);
+  EXPECT_EQ(decoded->design_text, request.design_text);
+}
+
+TEST(ServeProtocol, ResponseRoundTripsPayload) {
+  Response response;
+  response.type = "done";
+  response.id = 5;
+  response.payload["seconds"] = 1.25;
+  response.payload["dirty"] = std::int64_t{12};
+  response.payload["names"].push_back("a");
+  response.payload["names"].push_back("b");
+  response.payload["nested"]["flag"] = true;
+
+  const auto decoded = decode_response(encode(response));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, "done");
+  EXPECT_EQ(decoded->id, 5);
+  EXPECT_EQ(decoded->payload, response.payload);
+}
+
+TEST(ServeProtocol, ErrorResponseCarriesMessage) {
+  Response response;
+  response.type = "error";
+  response.id = 3;
+  response.error = "unknown design 'x'";
+  const auto decoded = decode_response(encode(response));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, "error");
+  EXPECT_EQ(decoded->error, "unknown design 'x'");
+}
+
+TEST(ServeProtocol, RejectsMalformedLines) {
+  EXPECT_FALSE(decode_request("not json").has_value());
+  EXPECT_FALSE(decode_request("{\"op\":\"warp\"}").has_value());
+  EXPECT_FALSE(decode_response("{").has_value());
+}
+
+// --------------------------------------------------------------- job queue
+
+Request make_request(Op op, std::int64_t id, int priority = 0) {
+  Request request;
+  request.op = op;
+  request.id = id;
+  request.priority = priority;
+  return request;
+}
+
+TEST(ServeJobQueue, PriorityDescendingThenFifo) {
+  JobQueue queue;
+  queue.push(1, make_request(Op::kRoute, 1, 0));
+  queue.push(1, make_request(Op::kRoute, 2, 5));
+  queue.push(1, make_request(Op::kRoute, 3, 0));
+  queue.push(1, make_request(Op::kRoute, 4, 5));
+
+  std::vector<std::int64_t> order;
+  for (int i = 0; i < 4; ++i) {
+    const auto job = queue.pop();
+    ASSERT_TRUE(job.has_value());
+    order.push_back(job->request.id);
+  }
+  EXPECT_EQ(order, (std::vector<std::int64_t>{2, 4, 1, 3}));
+}
+
+TEST(ServeJobQueue, CancelStopsQueuedJobToken) {
+  JobQueue queue;
+  queue.push(1, make_request(Op::kRoute, 10));
+  EXPECT_TRUE(queue.cancel(1, 10));
+  const auto job = queue.pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_TRUE(job->cancel->stop_requested());
+  EXPECT_EQ(job->cancel->reason(), exec::StopReason::kUser);
+}
+
+TEST(ServeJobQueue, CancelNeedsMatchingClientAndId) {
+  JobQueue queue;
+  queue.push(1, make_request(Op::kRoute, 10));
+  EXPECT_FALSE(queue.cancel(2, 10)) << "another client's id must not cancel";
+  EXPECT_FALSE(queue.cancel(1, 11));
+  EXPECT_TRUE(queue.cancel(1, 10));
+}
+
+TEST(ServeJobQueue, DeadlineTripsTokenWithDeadlineReason) {
+  JobQueue queue;
+  Request request = make_request(Op::kRoute, 20);
+  request.deadline_seconds = 0.01;
+  queue.push(1, request);
+  const auto job = queue.pop();
+  ASSERT_TRUE(job.has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(job->cancel->stop_requested());
+  EXPECT_EQ(job->cancel->reason(), exec::StopReason::kDeadline);
+}
+
+TEST(ServeJobQueue, FinishUnregistersCancelTarget) {
+  JobQueue queue;
+  queue.push(1, make_request(Op::kRoute, 30));
+  const auto job = queue.pop();
+  ASSERT_TRUE(job.has_value());
+  queue.finish(1, 30);
+  EXPECT_FALSE(queue.cancel(1, 30));
+}
+
+TEST(ServeJobQueue, CancelClientStopsAllItsJobs) {
+  JobQueue queue;
+  queue.push(1, make_request(Op::kRoute, 1));
+  queue.push(1, make_request(Op::kRoute, 2));
+  queue.push(2, make_request(Op::kRoute, 1));
+  queue.cancel_client(1);
+  for (int i = 0; i < 3; ++i) {
+    const auto job = queue.pop();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->cancel->stop_requested(), job->client == 1);
+  }
+}
+
+TEST(ServeJobQueue, CloseDrainsThenReturnsNullopt) {
+  JobQueue queue;
+  queue.push(1, make_request(Op::kRoute, 1));
+  queue.close();
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+// ----------------------------------------------------- incremental reroute
+
+constexpr unsigned kSeed = 20130602;
+
+netlist::Design s5378_design() {
+  const auto* spec = bench_suite::find_spec("S5378");
+  auto circuit = bench_suite::generate_circuit(*spec, {}, kSeed);
+  return netlist::Design{circuit.grid, std::move(circuit.netlist)};
+}
+
+/// The first `count` nets with at least two pins (single-pin nets have no
+/// subnets and nothing to reroute).
+std::vector<netlist::NetId> routable_nets(const netlist::Netlist& netlist,
+                                          std::size_t count) {
+  std::vector<netlist::NetId> nets;
+  for (const netlist::Net& net : netlist.nets()) {
+    if (net.degree() < 2) continue;
+    nets.push_back(net.id);
+    if (nets.size() == count) break;
+  }
+  return nets;
+}
+
+TEST(ServeEco, EcoIsBitIdenticalToReplayOnS5378) {
+  ResidentDesign resident(s5378_design());
+  const EcoOutcome full = resident.route_full();
+  ASSERT_TRUE(full.ok);
+
+  EcoRequest request;
+  request.nets = routable_nets(resident.design().netlist, 12);
+  ASSERT_GE(request.nets.size(), 12u);
+  request.verify = true;
+
+  const EcoOutcome outcome = resident.eco(request);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_GE(outcome.dirty_subnets, 10u);
+  EXPECT_FALSE(outcome.fallback_full);
+  EXPECT_TRUE(outcome.verified)
+      << "incremental ECO diverged from the from-scratch replay";
+  EXPECT_FALSE(outcome.verify_mismatch);
+  // The headline acceptance gate: incremental work well under a quarter of
+  // the full route.
+  EXPECT_LT(outcome.seconds, 0.25 * full.seconds);
+}
+
+TEST(ServeEco, PinMoveReroutesAndStaysConsistent) {
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "unit";
+  spec.um_width = 100;
+  spec.um_height = 100;
+  spec.layers = 3;
+  spec.nets = 80;
+  spec.pins = 220;
+  auto circuit = bench_suite::generate_circuit(spec, {}, 11);
+  netlist::Design design{circuit.grid, std::move(circuit.netlist)};
+
+  ResidentDesign resident(std::move(design));
+  ASSERT_TRUE(resident.route_full().ok);
+
+  // Find a pin and a nearby destination no other pin occupies.
+  const netlist::Netlist& netlist = resident.design().netlist;
+  netlist::PinId pin = -1;
+  geom::Point to;
+  for (netlist::PinId candidate = 0;
+       candidate < static_cast<netlist::PinId>(netlist.num_pins()) &&
+       pin < 0;
+       ++candidate) {
+    if (netlist.net(netlist.pin(candidate).net).degree() < 2) continue;
+    for (geom::Coord dx = 1; dx <= 3 && pin < 0; ++dx) {
+      const geom::Point p{netlist.pin(candidate).pos.x + dx,
+                          netlist.pin(candidate).pos.y};
+      if (!resident.design().grid.in_bounds(p)) continue;
+      bool taken = false;
+      for (const netlist::Pin& other : netlist.pins())
+        if (other.pos == p) {
+          taken = true;
+          break;
+        }
+      if (!taken) {
+        pin = candidate;
+        to = p;
+      }
+    }
+  }
+  ASSERT_GE(pin, 0) << "no movable pin found";
+
+  EcoRequest request;
+  request.move_pin = pin;
+  request.move_to = to;
+  request.verify = true;
+  const EcoOutcome outcome = resident.eco(request);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_TRUE(outcome.verified);
+  EXPECT_EQ(resident.design().netlist.pin(pin).pos, to);
+}
+
+TEST(ServeEco, UnknownNetNameFailsCleanly) {
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "unit";
+  spec.um_width = 100;
+  spec.um_height = 100;
+  spec.layers = 3;
+  spec.nets = 20;
+  spec.pins = 60;
+  auto circuit = bench_suite::generate_circuit(spec, {}, 3);
+  ResidentDesign resident(
+      netlist::Design{circuit.grid, std::move(circuit.netlist)});
+  ASSERT_TRUE(resident.route_full().ok);
+  EcoRequest request;
+  request.net_names = {"no_such_net"};
+  const EcoOutcome outcome = resident.eco(request);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("no_such_net"), std::string::npos);
+  EXPECT_TRUE(resident.routed()) << "a rejected ECO must not corrupt state";
+}
+
+TEST(ServeEco, EcoBeforeRouteFails) {
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "unit";
+  spec.um_width = 100;
+  spec.um_height = 100;
+  spec.layers = 3;
+  spec.nets = 10;
+  spec.pins = 30;
+  auto circuit = bench_suite::generate_circuit(spec, {}, 4);
+  ResidentDesign resident(
+      netlist::Design{circuit.grid, std::move(circuit.netlist)});
+  EcoRequest request;
+  request.nets = {0};
+  EXPECT_FALSE(resident.eco(request).ok);
+}
+
+// ----------------------------------------------------------- design cache
+
+TEST(ServeDesignCache, EvictsLeastRecentlyUsed) {
+  DesignCache cache(2);
+  EXPECT_TRUE(cache.put("a", nullptr).empty());
+  EXPECT_TRUE(cache.put("b", nullptr).empty());
+  (void)cache.get("a");  // touch: b becomes LRU
+  const auto evicted = cache.put("c", nullptr);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted.front(), "b");
+  EXPECT_EQ(cache.names(), (std::vector<std::string>{"c", "a"}));
+}
+
+// ------------------------------------------------------------- end-to-end
+
+std::string test_socket_path() {
+  return "/tmp/mebl_serve_test_" + std::to_string(::getpid()) + ".sock";
+}
+
+double payload_seconds(const Response& response) {
+  const report::Json* seconds = response.payload.get("seconds");
+  return seconds != nullptr ? seconds->as_double() : -1.0;
+}
+
+TEST(ServeServer, EndToEndRouteThenEcoOverSocket) {
+  ServerConfig config;
+  config.socket_path = test_socket_path();
+  config.cache_capacity = 2;
+  Server server(config);
+  ASSERT_TRUE(server.start());
+
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path));
+
+  // Liveness.
+  auto response = client.call(make_request(Op::kPing, 0));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->type, "ack");
+
+  // Load S5378 as inline design text.
+  const netlist::Design design = s5378_design();
+  std::ostringstream design_text;
+  netlist::write_design(design_text, design);
+  Request load = make_request(Op::kLoad, 0);
+  load.design = "s5378";
+  load.design_text = design_text.str();
+  response = client.call(std::move(load));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->type, "done") << response->error;
+
+  // Full route, with streamed progress.
+  int stage_events = 0;
+  Request route = make_request(Op::kRoute, 0);
+  route.design = "s5378";
+  response = client.call(std::move(route),
+                         [&stage_events](const Response& event) {
+                           if (event.type == "progress") ++stage_events;
+                         });
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->type, "done") << response->error;
+  EXPECT_GT(stage_events, 0) << "route must stream progress events";
+  const double full_seconds = payload_seconds(*response);
+  ASSERT_GT(full_seconds, 0.0);
+  ASSERT_NE(response->payload.get("report"), nullptr);
+
+  // Incremental reroute of >= 10 nets with the bit-identity check on.
+  Request eco = make_request(Op::kEco, 0);
+  eco.design = "s5378";
+  eco.nets = routable_nets(design.netlist, 12);
+  ASSERT_GE(eco.nets.size(), 10u);
+  eco.verify = true;
+  response = client.call(std::move(eco));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->type, "done") << response->error;
+  const report::Json* summary = response->payload.get("eco");
+  ASSERT_NE(summary, nullptr);
+  ASSERT_NE(summary->get("verified"), nullptr);
+  EXPECT_TRUE(summary->get("verified")->as_bool());
+  const double eco_seconds = payload_seconds(*response);
+  ASSERT_GT(eco_seconds, 0.0);
+  EXPECT_LT(eco_seconds, 0.25 * full_seconds)
+      << "ECO must run well under a quarter of the full route";
+
+  // Status sees the resident design and the finished jobs.
+  response = client.call(make_request(Op::kStatus, 0));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->type, "ack");
+  const report::Json* designs = response->payload.get("designs");
+  ASSERT_NE(designs, nullptr);
+  ASSERT_EQ(designs->items().size(), 1u);
+  EXPECT_EQ(designs->items().front().as_string(), "s5378");
+
+  // Cancelling an unknown id acks with cancelled=false.
+  Request cancel = make_request(Op::kCancel, 0);
+  cancel.cancel_id = 9999;
+  response = client.call(std::move(cancel));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_NE(response->payload.get("cancelled"), nullptr);
+  EXPECT_FALSE(response->payload.get("cancelled")->as_bool());
+
+  // Drain-and-stop shutdown.
+  response = client.call(make_request(Op::kShutdown, 0));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->type, "done");
+  server.wait();
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeServer, SaveAndLoadStateRoundTripOverSocket) {
+  ServerConfig config;
+  config.socket_path = test_socket_path() + ".b";
+  Server server(config);
+  ASSERT_TRUE(server.start());
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path));
+
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "unit";
+  spec.um_width = 100;
+  spec.um_height = 100;
+  spec.layers = 3;
+  spec.nets = 40;
+  spec.pins = 120;
+  auto circuit = bench_suite::generate_circuit(spec, {}, 5);
+  const netlist::Design design{circuit.grid, std::move(circuit.netlist)};
+  std::ostringstream design_text;
+  netlist::write_design(design_text, design);
+
+  Request load = make_request(Op::kLoad, 0);
+  load.design = "unit";
+  load.design_text = design_text.str();
+  auto response = client.call(std::move(load));
+  ASSERT_TRUE(response && response->type == "done");
+  Request route = make_request(Op::kRoute, 0);
+  route.design = "unit";
+  response = client.call(std::move(route));
+  ASSERT_TRUE(response && response->type == "done");
+
+  const std::string state_path = config.socket_path + ".state";
+  Request save = make_request(Op::kSaveState, 0);
+  save.design = "unit";
+  save.path = state_path;
+  response = client.call(std::move(save));
+  ASSERT_TRUE(response && response->type == "done") << response->error;
+
+  Request reload = make_request(Op::kLoadState, 0);
+  reload.design = "unit2";
+  reload.path = state_path;
+  response = client.call(std::move(reload));
+  ASSERT_TRUE(response && response->type == "done") << response->error;
+  ASSERT_NE(response->payload.get("routed"), nullptr);
+  EXPECT_TRUE(response->payload.get("routed")->as_bool());
+
+  // The reloaded resident accepts an ECO directly — no fresh full route.
+  Request eco = make_request(Op::kEco, 0);
+  eco.design = "unit2";
+  eco.nets = routable_nets(design.netlist, 4);
+  response = client.call(std::move(eco));
+  ASSERT_TRUE(response && response->type == "done") << response->error;
+
+  ::unlink(state_path.c_str());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace mebl::serve
