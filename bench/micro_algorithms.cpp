@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "assign/layer_assign.hpp"
+#include "assign/panel.hpp"
+#include "assign/stage.hpp"
 #include "assign/track_assign.hpp"
 #include "bench_common.hpp"
 #include "bench_suite/layer_instance_generator.hpp"
@@ -435,6 +437,130 @@ void BM_TrackAssignIlp(benchmark::State& state) {
 }
 BENCHMARK(BM_TrackAssignIlp)->Arg(3)->Arg(5);
 
+/// Fixed S5378 assignment-stage workload shared by BM_LayerAssign /
+/// BM_TrackAssign and their mebl.bench_report rows: one global route + run
+/// extraction up front, then the assign::Stage API over a fresh copy of the
+/// plan per measurement (the stages annotate runs in place).
+struct AssignWorkload {
+  bench_suite::GeneratedCircuit circuit;
+  assign::RoutePlan plan;          ///< extracted, layers unassigned
+  assign::RoutePlan layered_plan;  ///< after LayerAssignStage
+};
+
+AssignWorkload make_assign_workload() {
+  const auto* spec = bench_suite::find_spec("S5378");
+  AssignWorkload w{bench_common::generate(*spec), {}, {}};
+  const auto subnets = netlist::decompose_all(w.circuit.netlist);
+  global::GlobalRouter router(w.circuit.grid, {});
+  const auto global_result = router.route(subnets);
+  w.plan = assign::extract_runs(global_result, w.circuit.grid);
+  w.layered_plan = w.plan;
+  exec::ThreadPool pool(g_threads);
+  assign::LayerAssignStage(assign::StageConfig{})
+      .run(w.layered_plan, w.circuit.grid, pool);
+  return w;
+}
+
+void BM_LayerAssign(benchmark::State& state) {
+  const AssignWorkload w = make_assign_workload();
+  exec::ThreadPool pool(g_threads);
+  assign::LayerAssignStage stage{assign::StageConfig{}};
+  std::int64_t panels = 0;
+  for (auto _ : state) {
+    assign::RoutePlan plan = w.plan;
+    const auto stats = stage.run(plan, w.circuit.grid, pool);
+    panels += stats.panels;
+    benchmark::DoNotOptimize(plan.runs.data());
+  }
+  state.SetItemsProcessed(panels);
+}
+BENCHMARK(BM_LayerAssign);
+
+void BM_TrackAssign(benchmark::State& state) {
+  const AssignWorkload w = make_assign_workload();
+  exec::ThreadPool pool(g_threads);
+  assign::TrackAssignStage stage{assign::StageConfig{}};
+  std::int64_t panels = 0;
+  for (auto _ : state) {
+    assign::RoutePlan plan = w.layered_plan;
+    const auto stats = stage.run(plan, w.circuit.grid, pool);
+    panels += stats.panels;
+    benchmark::DoNotOptimize(plan.runs.data());
+  }
+  state.SetItemsProcessed(panels);
+}
+BENCHMARK(BM_TrackAssign);
+
+/// Fixed seeded ILP solve sequence — the warm sweep's random panel family —
+/// solved through the seed path (sequential DFS, cold start) or the
+/// overhauled ilp::Solver path (split fan-out + graph-heuristic warm
+/// start). Both see the same instances and the same node cap, so the
+/// seconds are commensurable; on a single core the speedup measures the
+/// warm-start pruning, not parallelism. Backs BM_IlpSolver,
+/// BM_IlpSolverSeedPath and the mebl.bench_report "ilp_solver" row.
+struct IlpSolverStats {
+  std::int64_t nodes = 0;
+  int optimal = 0;
+  double seconds = 0.0;
+};
+
+IlpSolverStats run_ilp_solver_workload(bool overhauled) {
+  const grid::StitchPlan stitch(90, 15, 1);
+  util::Rng rng(bench_common::kSeed);
+  std::vector<assign::TrackAssignInstance> instances(12);
+  for (auto& instance : instances) {
+    instance.x_span = {30, 44};
+    instance.stitch = &stitch;
+    const int n = static_cast<int>(rng.uniform_int(4, 8));
+    for (int i = 0; i < n; ++i) {
+      const auto lo = static_cast<geom::Coord>(rng.uniform_int(0, 5));
+      instance.segments.push_back(
+          {static_cast<std::size_t>(i),
+           {lo, lo + static_cast<geom::Coord>(rng.uniform_int(0, 3))},
+           static_cast<int>(rng.uniform_int(-1, 1)),
+           static_cast<int>(rng.uniform_int(-1, 1)),
+           static_cast<netlist::NetId>(i)});
+    }
+  }
+  assign::IlpTrackOptions options;
+  options.max_nodes = 500'000;
+  if (overhauled)
+    options.warm_start = true;  // split fan-out is the solver default
+  else
+    options.split_target = 1;  // the seed solver, node for node
+  IlpSolverStats stats;
+  util::Timer timer;
+  for (const auto& instance : instances) {
+    const auto result = assign::track_assign_ilp(instance, options);
+    stats.nodes += result.ilp_nodes;
+    if (result.optimal) ++stats.optimal;
+  }
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+void BM_IlpSolver(benchmark::State& state) {
+  std::int64_t nodes = 0;
+  for (auto _ : state) {
+    const IlpSolverStats stats = run_ilp_solver_workload(true);
+    nodes += stats.nodes;
+    benchmark::DoNotOptimize(stats.optimal);
+  }
+  state.SetItemsProcessed(nodes);
+}
+BENCHMARK(BM_IlpSolver);
+
+void BM_IlpSolverSeedPath(benchmark::State& state) {
+  std::int64_t nodes = 0;
+  for (auto _ : state) {
+    const IlpSolverStats stats = run_ilp_solver_workload(false);
+    nodes += stats.nodes;
+    benchmark::DoNotOptimize(stats.optimal);
+  }
+  state.SetItemsProcessed(nodes);
+}
+BENCHMARK(BM_IlpSolverSeedPath);
+
 void BM_ExecParallelFor(benchmark::State& state) {
   exec::ThreadPool pool(g_threads);
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -532,6 +658,72 @@ int main(int argc, char** argv) {
               {"total_vertex_overflow", result.total_vertex_overflow},
               {"total_edge_overflow", result.total_edge_overflow},
               {"seconds", seconds},
+          });
+    }
+
+    // Assignment-stage rows: the Stage API on S5378's extracted plan, one
+    // timed pass per stage on the report pool. Panel counts and bad-end /
+    // rip-up totals are deterministic; the seconds field is what the
+    // regression diff watches.
+    {
+      const AssignWorkload w = make_assign_workload();
+      mebl::exec::ThreadPool pool(g_threads);
+      {
+        mebl::assign::RoutePlan plan = w.plan;
+        mebl::assign::LayerAssignStage stage{mebl::assign::StageConfig{}};
+        mebl::util::Timer timer;
+        const auto stats = stage.run(plan, w.circuit.grid, pool);
+        std::int64_t assigned = 0;
+        for (const auto& run : plan.runs)
+          if (run.layer >= 0) ++assigned;
+        report_scope.add(
+            "S5378", "layer_assign",
+            mebl::report::Json::Object{
+                {"panels", static_cast<std::int64_t>(stats.panels)},
+                {"runs", static_cast<std::int64_t>(plan.runs.size())},
+                {"assigned", assigned},
+                {"seconds", timer.seconds()},
+            });
+      }
+      {
+        mebl::assign::RoutePlan plan = w.layered_plan;
+        mebl::assign::TrackAssignStage stage{mebl::assign::StageConfig{}};
+        mebl::util::Timer timer;
+        const auto stats = stage.run(plan, w.circuit.grid, pool);
+        std::int64_t bad_ends = 0, ripped = 0;
+        for (const auto& run : plan.runs) {
+          bad_ends += run.bad_ends;
+          ripped += run.ripped ? 1 : 0;
+        }
+        report_scope.add(
+            "S5378", "track_assign",
+            mebl::report::Json::Object{
+                {"panels", static_cast<std::int64_t>(stats.panels)},
+                {"bad_ends", bad_ends},
+                {"ripped", ripped},
+                {"seconds", timer.seconds()},
+            });
+      }
+    }
+
+    // ILP solver row: the overhauled Solver path (warm start + split
+    // fan-out) vs. the seed sequential DFS on the identical instance
+    // sequence. The speedup field is the regression gate for the
+    // assignment-stage kernel overhaul.
+    {
+      const IlpSolverStats overhauled = run_ilp_solver_workload(true);
+      const IlpSolverStats seed = run_ilp_solver_workload(false);
+      report_scope.add(
+          "synthetic_panels", "ilp_solver",
+          mebl::report::Json::Object{
+              {"nodes", overhauled.nodes},
+              {"seed_nodes", seed.nodes},
+              {"optimal", static_cast<std::int64_t>(overhauled.optimal)},
+              {"seconds", overhauled.seconds},
+              {"seed_seconds", seed.seconds},
+              {"speedup", overhauled.seconds > 0.0
+                              ? seed.seconds / overhauled.seconds
+                              : 0.0},
           });
     }
   }

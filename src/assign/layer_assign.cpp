@@ -11,6 +11,35 @@
 
 namespace mebl::assign {
 
+namespace {
+
+/// Reusable buffers for assign_layers_ours, kept per worker thread. The
+/// iterative heuristic runs several rounds per panel and many panels per
+/// worker; memoizing the interval-graph machinery (adjacency, the active
+/// vertex set, the Carlisle–Lloyd flow network) turns the per-round cost
+/// from "rebuild everything" into "refresh what changed" with zero
+/// steady-state allocation. Plain scratch only — every round still computes
+/// the exact quantities of the original implementation, in the same
+/// floating-point summation order, so results are bit-identical.
+struct OursScratch {
+  // adj[v] lists (neighbor, edge weight) in edge order — the same order the
+  // per-round edge scans visited them, so weight sums round identically.
+  std::vector<std::vector<std::pair<graph::NodeId, double>>> adj;
+  std::vector<std::size_t> active;  // unassigned vertices, ascending
+  std::vector<double> weight;
+  std::vector<graph::WeightedInterval> intervals;
+  std::vector<std::size_t> owner;  // interval -> segment index
+  std::vector<int> round_color;    // -1 outside the using round
+  graph::KColoringScratch coloring;
+};
+
+OursScratch& ours_scratch() {
+  static thread_local OursScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 LayerAssignment assign_layers_mst(const ConflictGraph& graph, int k) {
   assert(k >= 1);
   const std::size_t n = graph.segments.size();
@@ -67,78 +96,96 @@ LayerAssignment assign_layers_ours(const ConflictGraph& graph, int k) {
     return out;
   }
 
-  std::vector<bool> assigned(n, false);
-  std::size_t num_assigned = 0;
-  bool first_round = true;
+  OursScratch& s = ours_scratch();
+  // Adjacency once, in edge order. Unassigned vertices read their weight as
+  // 1.0 + sum over incident edges with the other endpoint unassigned — the
+  // same terms, in the same order, as the original full edge rescans.
+  if (s.adj.size() < n) s.adj.resize(n);
+  for (std::size_t v = 0; v < n; ++v) s.adj[v].clear();
+  for (const auto& e : graph.edges) {
+    s.adj[static_cast<std::size_t>(e.a)].emplace_back(e.b, e.weight);
+    s.adj[static_cast<std::size_t>(e.b)].emplace_back(e.a, e.weight);
+  }
+  s.active.resize(n);
+  for (std::size_t v = 0; v < n; ++v) s.active[v] = v;
+  if (s.weight.size() < n) s.weight.resize(n);
+  if (s.round_color.size() < n) s.round_color.resize(n);
+  for (std::size_t v = 0; v < n; ++v) s.round_color[v] = -1;
 
-  while (num_assigned < n) {
+  bool first_round = true;
+  while (!s.active.empty()) {
     // Vertex weights over the remaining subgraph. A +1 offset makes every
-    // vertex worth selecting so rounds always make progress.
-    std::vector<double> weight(n, 1.0);
-    for (const auto& e : graph.edges) {
-      if (assigned[static_cast<std::size_t>(e.a)] ||
-          assigned[static_cast<std::size_t>(e.b)])
-        continue;
-      weight[static_cast<std::size_t>(e.a)] += e.weight;
-      weight[static_cast<std::size_t>(e.b)] += e.weight;
+    // vertex worth selecting so rounds always make progress. Assignment is
+    // exactly out.group[v] != -1, so no separate assigned[] bitmap.
+    for (const std::size_t v : s.active) {
+      double w = 1.0;
+      for (const auto& [u, edge_weight] : s.adj[v])
+        if (out.group[static_cast<std::size_t>(u)] == -1) w += edge_weight;
+      s.weight[v] = w;
     }
 
     // Max-weight k-colorable subset of the remaining segments.
-    std::vector<graph::WeightedInterval> intervals;
-    std::vector<std::size_t> owner;  // interval -> segment index
-    for (std::size_t v = 0; v < n; ++v) {
-      if (assigned[v]) continue;
-      intervals.push_back(
-          graph::WeightedInterval{graph.segments[v].span, weight[v]});
-      owner.push_back(v);
+    s.intervals.clear();
+    s.owner.clear();
+    for (const std::size_t v : s.active) {
+      s.intervals.push_back(
+          graph::WeightedInterval{graph.segments[v].span, s.weight[v]});
+      s.owner.push_back(v);
     }
-    const auto subset = graph::max_weight_k_colorable_subset(intervals, k);
+    const auto subset =
+        graph::max_weight_k_colorable_subset(s.intervals, k, s.coloring);
     assert(!subset.chosen.empty());
 
     // This round's coloring groups.
-    std::vector<int> round_color(n, -1);
     for (std::size_t c = 0; c < subset.chosen.size(); ++c) {
-      const std::size_t v = owner[subset.chosen[c]];
-      round_color[v] = subset.color_of_chosen[c];
+      const std::size_t v = s.owner[subset.chosen[c]];
+      s.round_color[v] = subset.color_of_chosen[c];
     }
 
     if (first_round) {
-      for (std::size_t v = 0; v < n; ++v)
-        if (round_color[v] != -1) out.group[v] = round_color[v];
+      for (const std::size_t v : s.active)
+        if (s.round_color[v] != -1) out.group[v] = s.round_color[v];
       first_round = false;
     } else {
       // Merge with the accumulated groups: complete bipartite matching where
       // cost(g,h) = conflict weight created by fusing existing group g with
-      // this round's group h (pseudo-empty groups cost nothing).
+      // this round's group h (pseudo-empty groups cost nothing). Edge
+      // weights are integral (conflict densities), so summing per colored
+      // vertex instead of per edge is exact.
       std::vector<std::vector<double>> cost(
           static_cast<std::size_t>(k),
           std::vector<double>(static_cast<std::size_t>(k), 0.0));
-      for (const auto& e : graph.edges) {
-        const auto a = static_cast<std::size_t>(e.a);
-        const auto b = static_cast<std::size_t>(e.b);
-        if (out.group[a] != -1 && round_color[b] != -1)
-          cost[static_cast<std::size_t>(out.group[a])]
-              [static_cast<std::size_t>(round_color[b])] += e.weight;
-        if (out.group[b] != -1 && round_color[a] != -1)
-          cost[static_cast<std::size_t>(out.group[b])]
-              [static_cast<std::size_t>(round_color[a])] += e.weight;
+      for (const std::size_t v : s.active) {
+        const int rc = s.round_color[v];
+        if (rc == -1) continue;
+        for (const auto& [u, edge_weight] : s.adj[v]) {
+          const int g = out.group[static_cast<std::size_t>(u)];
+          if (g != -1)
+            cost[static_cast<std::size_t>(g)][static_cast<std::size_t>(rc)] +=
+                edge_weight;
+        }
       }
       const auto match = graph::min_weight_perfect_matching(cost);
       // match[g] = round color merged into accumulated group g.
       std::vector<int> group_of_round(static_cast<std::size_t>(k), 0);
       for (int g = 0; g < k; ++g)
         group_of_round[match[static_cast<std::size_t>(g)]] = g;
-      for (std::size_t v = 0; v < n; ++v)
-        if (round_color[v] != -1)
-          out.group[v] = group_of_round[static_cast<std::size_t>(round_color[v])];
+      for (const std::size_t v : s.active)
+        if (s.round_color[v] != -1)
+          out.group[v] =
+              group_of_round[static_cast<std::size_t>(s.round_color[v])];
     }
 
-    for (std::size_t v = 0; v < n; ++v) {
-      if (round_color[v] != -1 && !assigned[v]) {
-        assigned[v] = true;
-        ++num_assigned;
-      }
+    // Retire this round's vertices from the active set, restoring the
+    // round_color = -1 invariant for the next round.
+    std::size_t kept = 0;
+    for (const std::size_t v : s.active) {
+      if (s.round_color[v] == -1)
+        s.active[kept++] = v;
+      else
+        s.round_color[v] = -1;
     }
+    s.active.resize(kept);
   }
 
   out.cost = graph.coloring_cost(out.group);

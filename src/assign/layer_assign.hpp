@@ -4,6 +4,14 @@
 
 namespace mebl::assign {
 
+/// Layer-assignment heuristic selection (Table VI comparison). Defined at
+/// the assign layer so stage configs and the core router share one
+/// vocabulary (core::LayerAlgorithm aliases this).
+enum class LayerMethod {
+  kMaxSpanningTree,  ///< baseline of [4]
+  kColorableSubset,  ///< ours (iterative max-weight k-colorable subsets)
+};
+
 /// Result of distributing the segments of one panel over k same-direction
 /// layers: a group (color) in [0,k) per segment and the coloring cost
 /// (total weight of monochromatic conflict edges; smaller = better

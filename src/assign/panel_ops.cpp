@@ -1,5 +1,7 @@
 #include "assign/panel_ops.hpp"
 
+#include <chrono>
+
 #include "assign/conflict_graph.hpp"
 #include "assign/layer_assign.hpp"
 
@@ -64,6 +66,36 @@ void apply_track_result(RoutePlan& plan, const TrackPanelTask& task,
     run.ripped = solved.tracks[i].ripped;
     run.bad_ends = solved.tracks[i].bad_ends;
   }
+}
+
+TrackAssignResult solve_track_task(const TrackPanelTask& task,
+                                   TrackMethod method,
+                                   const IlpTrackOptions& options,
+                                   TrackTaskStats& stats) {
+  stats = {};
+  switch (method) {
+    case TrackMethod::kBaseline:
+      return track_assign_baseline(task.instance);
+    case TrackMethod::kGraph:
+      return track_assign_graph(task.instance);
+    case TrackMethod::kIlp:
+      break;
+  }
+  // Replayable node-budget mode never consults the clock; deadline mode
+  // falls back immediately on panels that start past the shared deadline.
+  if (options.node_budget <= 0 && options.deadline &&
+      std::chrono::steady_clock::now() >= *options.deadline) {
+    stats.ilp_fallback = true;
+    return track_assign_graph(task.instance);
+  }
+  TrackAssignResult assigned = track_assign_ilp(task.instance, options);
+  stats.ilp_nodes = assigned.ilp_nodes;
+  stats.ilp_budget_hit = assigned.budget_hit;
+  if (!assigned.solved) {
+    stats.ilp_fallback = true;
+    assigned = track_assign_graph(task.instance);
+  }
+  return assigned;
 }
 
 }  // namespace mebl::assign

@@ -47,4 +47,22 @@ struct TrackPanelTask {
 void apply_track_result(RoutePlan& plan, const TrackPanelTask& task,
                         const TrackAssignResult& solved);
 
+/// What one solve_track_task call did, for the caller's telemetry.
+struct TrackTaskStats {
+  std::int64_t ilp_nodes = 0;   ///< branch-and-bound nodes (ILP method only)
+  bool ilp_fallback = false;    ///< ILP gave up / deadline passed; graph used
+  bool ilp_budget_hit = false;  ///< the solve was truncated by its budget
+};
+
+/// Solve one track task under `method`. This is the single fallback policy
+/// shared by the batch stages and the incremental ECO path: the ILP method
+/// skips panels that start past the shared deadline (unless a deterministic
+/// node budget is set, in which case the clock is never consulted) and falls
+/// back to the graph heuristic whenever the solve returns no usable
+/// assignment.
+[[nodiscard]] TrackAssignResult solve_track_task(const TrackPanelTask& task,
+                                                 TrackMethod method,
+                                                 const IlpTrackOptions& options,
+                                                 TrackTaskStats& stats);
+
 }  // namespace mebl::assign

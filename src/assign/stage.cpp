@@ -1,0 +1,197 @@
+#include "assign/stage.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "telemetry/keys.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/timer.hpp"
+
+namespace mebl::assign {
+
+namespace {
+
+namespace keys = telemetry::keys;
+
+/// One panel's layer assignment plus its telemetry. Returns whether the
+/// panel had runs (the panel counter's unit).
+bool layer_assign_panel(RoutePlan& plan,
+                        const std::vector<std::size_t>& run_ids,
+                        const std::vector<geom::LayerId>& layers,
+                        bool column_panel, const StageConfig& config,
+                        telemetry::Counter& panels) {
+  if (run_ids.empty()) return false;
+  TELEMETRY_SPAN("assign.layer.panel");
+  assign_panel_layers(plan, run_ids, layers, column_panel,
+                      config.layer == LayerMethod::kColorableSubset);
+  panels.add(1);
+  return true;
+}
+
+/// Shared context of one track-assignment fan-out: the resolved per-panel
+/// options and the counter handles, created once per stage run so counter
+/// registration does not depend on which panels run where.
+struct TrackRun {
+  IlpTrackOptions options;
+  std::atomic<bool> budget_exceeded{false};
+  telemetry::Counter& panels = telemetry::counter(keys::kTrackPanels);
+  telemetry::Counter& ilp_nodes = telemetry::counter(keys::kTrackIlpNodes);
+  telemetry::Counter& ilp_fallbacks =
+      telemetry::counter(keys::kTrackIlpFallbacks);
+  telemetry::Counter& ilp_budget_hits =
+      telemetry::counter(keys::kTrackIlpBudgetHits);
+  telemetry::Counter& bad_ends = telemetry::counter(keys::kTrackBadEnds);
+  telemetry::Counter& ripped = telemetry::counter(keys::kTrackRipped);
+  telemetry::Histogram& panel_ns = telemetry::histogram(keys::kTrackPanelNs);
+};
+
+/// Resolve the per-panel ILP options for one stage run: the stage's pool
+/// always, and either the deterministic node budget (no wall-clock limits
+/// at all) or one absolute deadline shared by every worker — so a single
+/// over-budget panel cannot overshoot the circuit budget.
+IlpTrackOptions make_track_options(const StageConfig& config,
+                                   exec::ThreadPool& pool) {
+  IlpTrackOptions options = config.ilp;
+  options.pool = &pool;
+  if (options.node_budget > 0) {
+    options.deadline.reset();
+  } else {
+    options.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(config.ilp_budget_seconds));
+  }
+  return options;
+}
+
+void track_solve_one(RoutePlan& plan, const TrackPanelTask& task,
+                     TrackMethod method, TrackRun& run) {
+  TELEMETRY_SPAN("assign.track.panel");
+  const std::uint64_t panel_start_ns = telemetry::now_ns();
+
+  TrackTaskStats stats;
+  const TrackAssignResult assigned =
+      solve_track_task(task, method, run.options, stats);
+  apply_track_result(plan, task, assigned);
+
+  run.panels.add(1);
+  run.bad_ends.add(assigned.total_bad_ends);
+  run.ripped.add(assigned.total_ripped);
+  run.ilp_nodes.add(stats.ilp_nodes);
+  if (stats.ilp_fallback) run.ilp_fallbacks.add(1);
+  if (stats.ilp_budget_hit) run.ilp_budget_hits.add(1);
+  // The Table VII "NA" flag means the ILP column no longer describes this
+  // circuit: a panel was handed to the heuristic (deadline skip or unsolved
+  // fallback). A truncated solve that still produced a usable assignment
+  // stays an ILP result — it only bumps the budget-hit counter above.
+  if (stats.ilp_fallback)
+    run.budget_exceeded.store(true, std::memory_order_relaxed);
+  run.panel_ns.record_ns(telemetry::now_ns() - panel_start_ns);
+}
+
+}  // namespace
+
+StageStats LayerAssignStage::run(RoutePlan& plan,
+                                 const grid::RoutingGrid& grid,
+                                 exec::ThreadPool& pool) {
+  telemetry::Counter& panels = telemetry::counter(keys::kLayerPanels);
+  std::atomic<int> assigned{0};
+  // Each panel owns a disjoint set of runs, so panels are independent tasks:
+  // a body writes only its own runs' layer slots and the outcome does not
+  // depend on the execution order.
+  const auto v_layers = grid.layers_with(geom::Orientation::kVertical);
+  pool.parallel_for(0, static_cast<std::size_t>(grid.tiles_x()),
+                    [&](std::size_t tx) {
+                      if (layer_assign_panel(
+                              plan,
+                              runs_in_column_panel(plan, static_cast<int>(tx)),
+                              v_layers, true, config_, panels))
+                        assigned.fetch_add(1, std::memory_order_relaxed);
+                    });
+  const auto h_layers = grid.layers_with(geom::Orientation::kHorizontal);
+  pool.parallel_for(0, static_cast<std::size_t>(grid.tiles_y()),
+                    [&](std::size_t ty) {
+                      if (layer_assign_panel(
+                              plan,
+                              runs_in_row_panel(plan, static_cast<int>(ty)),
+                              h_layers, false, config_, panels))
+                        assigned.fetch_add(1, std::memory_order_relaxed);
+                    });
+  StageStats stats;
+  stats.panels = assigned.load(std::memory_order_relaxed);
+  return stats;
+}
+
+StageStats TrackAssignStage::run(RoutePlan& plan,
+                                 const grid::RoutingGrid& grid,
+                                 exec::ThreadPool& pool) {
+  // Gather every (column panel, vertical layer) instance up front; each is
+  // an independent task writing a disjoint set of runs.
+  std::vector<int> all_panels(static_cast<std::size_t>(grid.tiles_x()));
+  for (int tx = 0; tx < grid.tiles_x(); ++tx)
+    all_panels[static_cast<std::size_t>(tx)] = tx;
+  const std::vector<TrackPanelTask> tasks =
+      build_track_tasks(plan, grid, all_panels);
+
+  TrackRun run{make_track_options(config_, pool)};
+  util::Timer stage_timer;
+  pool.parallel_for(0, tasks.size(), [&](std::size_t t) {
+    track_solve_one(plan, tasks[t], config_.track, run);
+  });
+  telemetry::counter(keys::kTrackIlpNs)
+      .add(static_cast<std::int64_t>(stage_timer.seconds() * 1e9));
+
+  StageStats stats;
+  stats.panels = static_cast<int>(tasks.size());
+  stats.ilp_budget_exceeded =
+      run.budget_exceeded.load(std::memory_order_relaxed);
+  return stats;
+}
+
+StageStats FusedAssignStage::run(RoutePlan& plan,
+                                 const grid::RoutingGrid& grid,
+                                 exec::ThreadPool& pool) {
+  telemetry::Counter& layer_panels = telemetry::counter(keys::kLayerPanels);
+  TrackRun run{make_track_options(config_, pool)};
+  const auto v_layers = grid.layers_with(geom::Orientation::kVertical);
+  const auto h_layers = grid.layers_with(geom::Orientation::kHorizontal);
+  const auto tiles_x = static_cast<std::size_t>(grid.tiles_x());
+  const auto tiles_y = static_cast<std::size_t>(grid.tiles_y());
+  std::atomic<int> track_tasks{0};
+
+  util::Timer stage_timer;
+  pool.parallel_for(0, tiles_x + tiles_y, [&](std::size_t i) {
+    if (i < tiles_x) {
+      // Fused column-panel task: layers first, then immediately this
+      // panel's track solves — nothing outside the panel is read or
+      // written, so no barrier is needed between the two.
+      const int tx = static_cast<int>(i);
+      layer_assign_panel(plan, runs_in_column_panel(plan, tx), v_layers, true,
+                         config_, layer_panels);
+      const std::vector<TrackPanelTask> tasks =
+          build_track_tasks(plan, grid, {tx});
+      for (const TrackPanelTask& task : tasks)
+        track_solve_one(plan, task, config_.track, run);
+      track_tasks.fetch_add(static_cast<int>(tasks.size()),
+                            std::memory_order_relaxed);
+    } else {
+      // Row panels are layer-only; they fill pool gaps between column tasks.
+      layer_assign_panel(plan,
+                         runs_in_row_panel(plan, static_cast<int>(i - tiles_x)),
+                         h_layers, false, config_, layer_panels);
+    }
+  });
+  telemetry::counter(keys::kTrackIlpNs)
+      .add(static_cast<std::int64_t>(stage_timer.seconds() * 1e9));
+
+  StageStats stats;
+  stats.panels = track_tasks.load(std::memory_order_relaxed);
+  stats.ilp_budget_exceeded =
+      run.budget_exceeded.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace mebl::assign

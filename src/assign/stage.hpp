@@ -1,0 +1,119 @@
+#pragma once
+
+// assign::Stage — one uniform entry point per assignment stage: a routing
+// plan goes in, the plan's runs are annotated in place, and a small
+// telemetry summary comes out. The core router used to own two bespoke
+// private methods for layer and track assignment; putting both behind one
+// interface lets the orchestrator, the fused panel pipeline and the report
+// observer treat the stages uniformly, and keeps the panel decomposition
+// at the assign layer where the incremental (ECO) path can reuse it.
+
+#include <string_view>
+
+#include "assign/layer_assign.hpp"
+#include "assign/panel_ops.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mebl::exec {
+class ThreadPool;
+}  // namespace mebl::exec
+
+namespace mebl::assign {
+
+/// Everything the assignment stages need, mapped from the core RouterConfig
+/// by the orchestrator (core depends on assign, never the other way).
+struct StageConfig {
+  LayerMethod layer = LayerMethod::kColorableSubset;
+  TrackMethod track = TrackMethod::kGraph;
+  /// Per-panel ILP knobs. The track stages overwrite `deadline` (from
+  /// ilp_budget_seconds at run start; cleared entirely when node_budget > 0)
+  /// and `pool` (with the stage's pool) — everything else passes through.
+  IlpTrackOptions ilp;
+  /// Wall-clock budget for all ILP panels of one run, converted to one
+  /// absolute deadline shared by every worker when the track stage starts.
+  /// Ignored in deterministic mode (ilp.node_budget > 0).
+  double ilp_budget_seconds = 60.0;
+};
+
+/// Telemetry summary of one stage execution. The detailed counters land in
+/// the telemetry registry (telemetry/keys.hpp) as the stage runs, so
+/// stage-boundary observers see them in the right per-stage delta; this
+/// struct carries only what the orchestrator consumes directly.
+struct StageStats {
+  int panels = 0;  ///< panel (or panel × layer) tasks processed
+  /// An ILP panel fell back to the graph heuristic — it started past the
+  /// shared deadline or its solve returned no usable assignment (maps to
+  /// RoutingResult::ilp_budget_exceeded — the Table VII "NA" flag). Solves
+  /// merely truncated by a limit but still usable only bump the budget-hit
+  /// counter.
+  bool ilp_budget_exceeded = false;
+};
+
+/// Uniform stage interface: annotate `plan` in place over `grid`, fanning
+/// panel tasks out on `pool`. Implementations write disjoint per-run slots
+/// from parallel bodies and commit in deterministic order, so the resulting
+/// plan is bit-identical at every pool size (DESIGN.md §7).
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  virtual StageStats run(RoutePlan& plan, const grid::RoutingGrid& grid,
+                         exec::ThreadPool& pool) = 0;
+};
+
+/// Layer assignment of every panel: column panels over the vertical layer
+/// list, row panels over the horizontal one, one task per panel.
+class LayerAssignStage final : public Stage {
+ public:
+  explicit LayerAssignStage(const StageConfig& config) : config_(config) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "layer_assign";
+  }
+  StageStats run(RoutePlan& plan, const grid::RoutingGrid& grid,
+                 exec::ThreadPool& pool) override;
+
+ private:
+  StageConfig config_;
+};
+
+/// Track assignment of every (column panel, vertical layer) task. Expects
+/// layers assigned (i.e. LayerAssignStage already ran on the plan).
+class TrackAssignStage final : public Stage {
+ public:
+  explicit TrackAssignStage(const StageConfig& config) : config_(config) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "track_assign";
+  }
+  StageStats run(RoutePlan& plan, const grid::RoutingGrid& grid,
+                 exec::ThreadPool& pool) override;
+
+ private:
+  StageConfig config_;
+};
+
+/// The panel pipeline: one fused task per column panel runs that panel's
+/// layer assignment and then immediately its track assignment, so on the
+/// pool the layer work of panel i+1 overlaps the track work of panel i
+/// instead of waiting at a global barrier between the stages. Row panels
+/// (layer-only) ride along as extra tasks of the same fan-out.
+///
+/// The fused plan is bit-identical to LayerAssignStage followed by
+/// TrackAssignStage: every task touches only its own panel's runs, and a
+/// panel's track solve depends on nothing but that panel's layer result.
+/// Two observable differences: the per-stage telemetry deltas land in the
+/// fused (track) stage rather than split across two stages, and the shared
+/// ILP deadline starts ticking before layer work rather than after it.
+class FusedAssignStage final : public Stage {
+ public:
+  explicit FusedAssignStage(const StageConfig& config) : config_(config) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "assign_pipeline";
+  }
+  StageStats run(RoutePlan& plan, const grid::RoutingGrid& grid,
+                 exec::ThreadPool& pool) override;
+
+ private:
+  StageConfig config_;
+};
+
+}  // namespace mebl::assign

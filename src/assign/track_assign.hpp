@@ -1,13 +1,27 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "grid/stitch_plan.hpp"
 #include "netlist/netlist.hpp"
 
+namespace mebl::exec {
+class ThreadPool;
+}  // namespace mebl::exec
+
 namespace mebl::assign {
+
+/// Track-assignment algorithm selection (Table VII comparison). Defined at
+/// the assign layer so stage configs, panel helpers and the core router
+/// share one vocabulary (core::TrackAlgorithm aliases this).
+enum class TrackMethod {
+  kBaseline,  ///< stitch-oblivious first-fit (baseline router)
+  kIlp,       ///< exact multicommodity-flow ILP (eqs. 5-9)
+  kGraph,     ///< graph-based dogleg heuristic (SIII-C2)
+};
 
 /// One vertical segment to be given an exact track inside a column panel.
 struct TrackSegment {
@@ -43,6 +57,10 @@ struct TrackAssignResult {
   bool solved = true;     ///< false when the ILP hit its limits (caller falls back)
   bool optimal = false;   ///< ILP proved optimality
   std::int64_t ilp_nodes = 0;  ///< branch-and-bound nodes (ILP only)
+  /// True when the branch-and-bound was cut short by any limit — the node
+  /// budget in replayable mode, wall clock otherwise — even if a usable
+  /// (feasible, unproven) assignment was still returned.
+  bool budget_hit = false;
 };
 
 /// True when a vertical line end on track `x` whose horizontal wire leaves
@@ -87,6 +105,27 @@ struct IlpTrackOptions {
   /// ilp_budget_seconds converted at stage start). The solver aborts
   /// mid-search once it passes; unset = only the per-panel limits apply.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Deterministic per-panel effort: > 0 caps the branch-and-bound at this
+  /// many nodes and disables every wall-clock limit (time_limit_seconds and
+  /// deadline are ignored), making the result a pure function of the
+  /// instance. Replayable flows — the mebl_serve ECO path and its verify
+  /// replay gate — use this instead of a deadline.
+  std::int64_t node_budget = 0;
+  /// Seed the solver with the graph heuristic's assignment as the initial
+  /// incumbent and branching hint (ilp::SolveOptions::warm_start). Pruning
+  /// then starts at the heuristic cost instead of +inf, which typically cuts
+  /// the node count sharply. The objective value is unaffected, but when
+  /// several optima tie the returned geometry may differ from a cold solve,
+  /// so this defaults off; the router's stage config turns it on.
+  bool warm_start = false;
+  /// Pool for the solver's parallel subproblem fan-out. nullptr solves
+  /// sequentially. Calls from inside pool workers degrade gracefully (nested
+  /// fan-out runs inline), so the batch router passes its pool unconditionally
+  /// and the sequential ECO path gets real speedup from it.
+  exec::ThreadPool* pool = nullptr;
+  /// ilp::SolveOptions::split_target passthrough: root subproblem count,
+  /// fixed per configuration, never thread-derived. 0 = solver default.
+  int split_target = 0;
 };
 
 /// Exact ILP-based short-polygon-avoiding track assignment (paper SIII-C1):

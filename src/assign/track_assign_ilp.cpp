@@ -4,7 +4,7 @@
 #include <map>
 
 #include "assign/track_assign.hpp"
-#include "ilp/branch_and_bound.hpp"
+#include "ilp/solver.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace mebl::assign {
@@ -42,8 +42,18 @@ class IlpBuilder {
     solve_options.time_limit_seconds = options_.time_limit_seconds;
     solve_options.max_nodes = options_.max_nodes;
     solve_options.deadline = options_.deadline;
-    const ilp::Solution solution = ilp::solve(model_, solve_options);
+    solve_options.node_budget = options_.node_budget;
+    solve_options.split_target = options_.split_target;
+    if (options_.warm_start) seed_warm_start(solve_options);
+
+    // One Solver per worker thread: panel solves are synchronous, so the
+    // per-worker instance is never re-entered, and its search scratch
+    // persists across the panels that worker processes.
+    static thread_local ilp::Solver solver;
+    solver.set_pool(options_.pool);
+    const ilp::Solution solution = solver.solve(model_, solve_options);
     result.ilp_nodes = solution.nodes_explored;
+    result.budget_hit = solution.limit_hit;
 
     if (solution.values.empty()) {
       result.solved = false;  // limit hit or proven infeasible: caller falls back
@@ -62,6 +72,57 @@ class IlpBuilder {
     return is_bad_end(xs_[t], continuation, *instance_.stitch)
                ? options_.bad_end_penalty
                : 0.0;
+  }
+
+  /// Map the graph heuristic's assignment onto the model as the initial
+  /// incumbent plus branching hint. Embedding can fail — a ripped segment, a
+  /// dogleg wider than max_dogleg, or (defensively) a constraint violation —
+  /// in which case `out` is left cold and the solve starts from +inf.
+  void seed_warm_start(ilp::SolveOptions& out) const {
+    const TrackAssignResult heur = track_assign_graph(instance_);
+    const auto T = num_tracks();
+    const auto track_at = [&](Coord x) -> std::size_t {
+      const auto it = std::lower_bound(xs_.begin(), xs_.end(), x);
+      if (it == xs_.end() || *it != x) return T;  // stitch column or off-panel
+      return static_cast<std::size_t>(it - xs_.begin());
+    };
+
+    std::vector<std::uint8_t> values(model_.num_vars(), 0);
+    for (std::size_t k = 0; k < instance_.segments.size(); ++k) {
+      const auto& seg = instance_.segments[k];
+      const SegmentTrack& tr = heur.tracks[k];
+      if (tr.ripped || tr.pieces.empty()) return;
+      std::size_t cur = track_at(tr.pieces.front().second);
+      if (cur == T) return;
+      values[static_cast<std::size_t>(src_[k][cur])] = 1;
+      if (tgt_[k].empty()) continue;  // single-row: occupancy var only
+      std::size_t piece = 0;
+      for (Coord r = seg.rows.lo + 1; r <= seg.rows.hi; ++r) {
+        while (tr.pieces[piece].first.hi < r) {
+          ++piece;
+          if (piece >= tr.pieces.size()) return;
+        }
+        const std::size_t next = track_at(tr.pieces[piece].second);
+        if (next == T) return;
+        const auto g = static_cast<std::size_t>(r - seg.rows.lo - 1);
+        ilp::VarId var = -1;
+        for (const auto& [j, v] : edge_[k][g][cur])
+          if (j == next) {
+            var = v;
+            break;
+          }
+        if (var < 0) return;  // dogleg wider than the model allows
+        values[static_cast<std::size_t>(var)] = 1;
+        cur = next;
+      }
+      values[static_cast<std::size_t>(tgt_[k][cur])] = 1;
+    }
+    if (!model_.is_feasible(values)) return;
+
+    out.branch_hint.clear();
+    for (std::size_t v = 0; v < values.size(); ++v)
+      if (values[v] != 0) out.branch_hint.push_back(static_cast<ilp::VarId>(v));
+    out.warm_start = std::move(values);
   }
 
   void build() {

@@ -1,23 +1,21 @@
 #pragma once
 
-#include "assign/track_assign.hpp"
+#include <cstdint>
+
+#include "assign/stage.hpp"
 #include "detail/detailed_router.hpp"
 #include "global/global_router.hpp"
 
 namespace mebl::core {
 
-/// Layer-assignment heuristic selection (Table VI comparison).
-enum class LayerAlgorithm {
-  kMaxSpanningTree,  ///< baseline of [4]
-  kColorableSubset,  ///< ours (iterative max-weight k-colorable subsets)
-};
+/// Layer-assignment heuristic selection (Table VI comparison). Alias of the
+/// assign-level enum so RouterConfig and assign::StageConfig share one
+/// vocabulary; the enumerator names are unchanged.
+using LayerAlgorithm = assign::LayerMethod;
 
-/// Track-assignment algorithm selection (Table VII comparison).
-enum class TrackAlgorithm {
-  kBaseline,  ///< stitch-oblivious first-fit (baseline router)
-  kIlp,       ///< exact multicommodity-flow ILP (eqs. 5-9)
-  kGraph,     ///< graph-based dogleg heuristic (SIII-C2)
-};
+/// Track-assignment algorithm selection (Table VII comparison); alias of
+/// the assign-level enum, as above.
+using TrackAlgorithm = assign::TrackMethod;
 
 /// Full pipeline configuration. The default constructs the paper's
 /// stitch-aware router; `baseline()` constructs the comparison router of
@@ -38,14 +36,34 @@ struct RouterConfig {
   global::GlobalRouterConfig global;
   LayerAlgorithm layer_algorithm = LayerAlgorithm::kColorableSubset;
   TrackAlgorithm track_algorithm = TrackAlgorithm::kGraph;
+  /// Per-panel ILP knobs. Like `ilp.deadline`, the `warm_start`, `pool` and
+  /// `node_budget` members are overwritten by the assignment stage from the
+  /// router-level fields below; set those instead.
   assign::IlpTrackOptions ilp;
   /// Wall-clock budget for all ILP panels of one circuit, enforced as one
   /// absolute deadline shared by every worker: panels that start after it
   /// fall back to the graph heuristic, and the branch-and-bound aborts
   /// mid-solve when it passes, so a single over-budget panel cannot blow
   /// past the budget. Runs that hit the deadline are flagged (the paper
-  /// reports such circuits as NA).
+  /// reports such circuits as NA). Where a cut-off lands is inherently
+  /// machine-dependent; replayable flows set ilp_node_budget instead.
   double ilp_budget_seconds = 60.0;
+  /// Deterministic alternative to the wall-clock budget: > 0 caps every
+  /// panel's branch-and-bound at this many nodes and disables all wall-clock
+  /// ILP limits, making track assignment a pure function of the input at
+  /// any thread count and on any machine. This is what the mebl_serve ECO
+  /// path uses so node-budgeted ILP reroutes pass the replay verify gate.
+  std::int64_t ilp_node_budget = 0;
+  /// Seed each panel's ILP with the graph heuristic's assignment (initial
+  /// incumbent + branch hint). Pruning starts at the heuristic cost instead
+  /// of +inf — usually a large node-count cut at identical objective value.
+  bool ilp_warm_start = true;
+  /// Fuse layer and track assignment into one panel-level pipeline: each
+  /// column panel's track solve starts the moment its own layer assignment
+  /// lands, so layer work of panel i+1 overlaps track work of panel i on
+  /// the pool. The routed result is bit-identical to the staged order; the
+  /// per-stage telemetry split moves into the fused stage.
+  bool assign_pipeline = true;
   detail::DetailedConfig detail;
   /// Worker threads for the parallel pipeline stages (panel-parallel
   /// layer/track assignment, net-batch-parallel global routing,
@@ -72,6 +90,24 @@ struct RouterConfig {
   /// Wall-clock ILP budget (absolute deadline) in seconds.
   RouterConfig& with_ilp_budget(double seconds) {
     ilp_budget_seconds = seconds;
+    return *this;
+  }
+  /// Deterministic ILP budget: cap each panel's branch-and-bound at `nodes`
+  /// and drop every wall-clock ILP limit (see ilp_node_budget above).
+  RouterConfig& with_ilp_node_budget(std::int64_t nodes) {
+    ilp_node_budget = nodes;
+    return *this;
+  }
+  /// Toggle graph-heuristic warm starts for the per-panel ILP solves.
+  RouterConfig& with_ilp_warm_start(bool enabled) {
+    ilp_warm_start = enabled;
+    return *this;
+  }
+  /// Toggle the fused layer/track panel pipeline (see assign_pipeline
+  /// above). Off runs the two stages with a barrier between them; the
+  /// routed result is identical either way.
+  RouterConfig& with_assign_pipeline(bool enabled) {
+    assign_pipeline = enabled;
     return *this;
   }
   /// Toggle the disjoint-batch parallel main pass of detailed routing

@@ -1,11 +1,9 @@
 #include "core/stitch_router.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <optional>
 
-#include "assign/panel_ops.hpp"
+#include "assign/stage.hpp"
 #include "exec/cancellation.hpp"
 #include "exec/thread_pool.hpp"
 #include "netlist/decompose.hpp"
@@ -16,126 +14,37 @@
 
 namespace mebl::core {
 
-using geom::LayerId;
-using geom::Orientation;
-
 StitchAwareRouter::StitchAwareRouter(const grid::RoutingGrid& grid,
                                      const netlist::Netlist& netlist,
                                      RouterConfig config)
     : grid_(&grid), netlist_(&netlist), config_(std::move(config)) {}
 
+assign::StageConfig StitchAwareRouter::make_stage_config() const {
+  assign::StageConfig stage;
+  stage.layer = config_.layer_algorithm;
+  stage.track = config_.track_algorithm;
+  stage.ilp = config_.ilp;
+  stage.ilp.node_budget = config_.ilp_node_budget;
+  stage.ilp.warm_start = config_.ilp_warm_start;
+  stage.ilp_budget_seconds = config_.ilp_budget_seconds;
+  return stage;
+}
+
 void StitchAwareRouter::assign_layers(assign::RoutePlan& plan,
                                       exec::ThreadPool& pool) const {
-  telemetry::Counter& panels = telemetry::counter(telemetry::keys::kLayerPanels);
-  // Each panel owns a disjoint set of runs, so panels are independent tasks:
-  // a body writes only its own runs' layer slots and the outcome does not
-  // depend on the execution order. The per-panel work lives in
-  // assign::assign_panel_layers so the ECO path can re-run single panels.
-  const bool colorable_subset =
-      config_.layer_algorithm == LayerAlgorithm::kColorableSubset;
-  const auto assign_panel = [&](const std::vector<std::size_t>& run_ids,
-                                const std::vector<LayerId>& layers,
-                                bool column_panel) {
-    if (run_ids.empty()) return;
-    TELEMETRY_SPAN("assign.layer.panel");
-    assign::assign_panel_layers(plan, run_ids, layers, column_panel,
-                                colorable_subset);
-    panels.add(1);
-  };
-
-  const auto v_layers = grid_->layers_with(Orientation::kVertical);
-  pool.parallel_for(0, static_cast<std::size_t>(grid_->tiles_x()),
-                    [&](std::size_t tx) {
-                      assign_panel(assign::runs_in_column_panel(
-                                       plan, static_cast<int>(tx)),
-                                   v_layers, true);
-                    });
-  const auto h_layers = grid_->layers_with(Orientation::kHorizontal);
-  pool.parallel_for(0, static_cast<std::size_t>(grid_->tiles_y()),
-                    [&](std::size_t ty) {
-                      assign_panel(
-                          assign::runs_in_row_panel(plan, static_cast<int>(ty)),
-                          h_layers, false);
-                    });
+  assign::LayerAssignStage stage(make_stage_config());
+  stage.run(plan, *grid_, pool);
 }
 
 void StitchAwareRouter::assign_tracks(assign::RoutePlan& plan,
                                       RoutingResult& result,
                                       exec::ThreadPool& pool) const {
-  using telemetry::counter;
-  namespace keys = telemetry::keys;
-  telemetry::Counter& panels = counter(keys::kTrackPanels);
-  telemetry::Counter& ilp_nodes = counter(keys::kTrackIlpNodes);
-  telemetry::Counter& ilp_fallbacks = counter(keys::kTrackIlpFallbacks);
-  telemetry::Counter& bad_ends = counter(keys::kTrackBadEnds);
-  telemetry::Counter& ripped = counter(keys::kTrackRipped);
-  telemetry::Histogram& panel_ns = telemetry::histogram(keys::kTrackPanelNs);
-
-  // Gather every (column panel, vertical layer) instance up front; each is
-  // an independent task writing a disjoint set of runs. Task construction
-  // lives in assign::build_track_tasks so the ECO path can rebuild exactly
-  // the panels it dirtied.
-  std::vector<int> all_panels(static_cast<std::size_t>(grid_->tiles_x()));
-  for (int tx = 0; tx < grid_->tiles_x(); ++tx)
-    all_panels[static_cast<std::size_t>(tx)] = tx;
-  std::vector<assign::TrackPanelTask> tasks =
-      assign::build_track_tasks(plan, *grid_, all_panels);
-
-  // The ILP budget is one absolute deadline shared by every worker: panels
-  // starting after it fall back to the heuristic immediately, and the
-  // branch-and-bound aborts mid-search when it passes (SolveOptions::
-  // deadline), so one over-budget panel cannot overshoot the budget.
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(config_.ilp_budget_seconds));
-  auto ilp_options = config_.ilp;
-  ilp_options.deadline = deadline;
-  std::atomic<bool> budget_exceeded{false};
-
-  util::Timer stage_timer;
-  pool.parallel_for(0, tasks.size(), [&](std::size_t t) {
-    assign::TrackPanelTask& task = tasks[t];
-    TELEMETRY_SPAN("assign.track.panel");
-    const std::uint64_t panel_start_ns = telemetry::now_ns();
-
-    assign::TrackAssignResult assigned;
-    switch (config_.track_algorithm) {
-      case TrackAlgorithm::kBaseline:
-        assigned = assign::track_assign_baseline(task.instance);
-        break;
-      case TrackAlgorithm::kGraph:
-        assigned = assign::track_assign_graph(task.instance);
-        break;
-      case TrackAlgorithm::kIlp: {
-        if (std::chrono::steady_clock::now() >= deadline) {
-          budget_exceeded.exchange(true, std::memory_order_acq_rel);
-          ilp_fallbacks.add(1);
-          assigned = assign::track_assign_graph(task.instance);
-        } else {
-          assigned = assign::track_assign_ilp(task.instance, ilp_options);
-          ilp_nodes.add(assigned.ilp_nodes);
-          if (!assigned.solved) {
-            budget_exceeded.exchange(true, std::memory_order_acq_rel);
-            ilp_fallbacks.add(1);
-            assigned = assign::track_assign_graph(task.instance);
-          }
-        }
-        break;
-      }
-    }
-
-    assign::apply_track_result(plan, task, assigned);
-    panels.add(1);
-    bad_ends.add(assigned.total_bad_ends);
-    ripped.add(assigned.total_ripped);
-    panel_ns.record_ns(telemetry::now_ns() - panel_start_ns);
-  });
-
-  if (budget_exceeded.load(std::memory_order_acquire))
-    result.ilp_budget_exceeded = true;
-  counter(keys::kTrackIlpNs)
-      .add(static_cast<std::int64_t>(stage_timer.seconds() * 1e9));
+  const assign::StageConfig config = make_stage_config();
+  const assign::StageStats stats =
+      config_.assign_pipeline
+          ? assign::FusedAssignStage(config).run(plan, *grid_, pool)
+          : assign::TrackAssignStage(config).run(plan, *grid_, pool);
+  if (stats.ilp_budget_exceeded) result.ilp_budget_exceeded = true;
 }
 
 RoutingResult StitchAwareRouter::run() {
@@ -220,7 +129,10 @@ RoutingResult StitchAwareRouter::run() {
     TELEMETRY_SPAN("pipeline.layer_assign");
     begin_stage(Stage::kLayerAssign);
     result.plan = assign::extract_runs(result.global, *grid_);
-    assign_layers(result.plan, pool);
+    // In fused-pipeline mode layer assignment runs inside the track stage
+    // (assign::FusedAssignStage), so this stage only extracts the runs and
+    // its counters land in the fused stage's delta.
+    if (!config_.assign_pipeline) assign_layers(result.plan, pool);
   }
   result.times.layer_seconds = timer.seconds();
   end_stage(Stage::kLayerAssign, result.times.layer_seconds);

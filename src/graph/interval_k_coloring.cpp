@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <map>
 
 #include "graph/min_cost_flow.hpp"
 
@@ -16,15 +15,40 @@ namespace {
 constexpr std::int64_t kScale = 1 << 20;
 }  // namespace
 
+// One source->sink step of the flow decomposition:
+// (next node, interval index or -1 for a line arc, remaining units).
+struct KColoringScratch::Impl {
+  struct Hop {
+    NodeId to;
+    std::ptrdiff_t interval;  // -1 for a line arc
+    std::int64_t units;
+  };
+
+  std::vector<geom::Coord> coords;
+  MinCostFlow flow;
+  std::vector<std::size_t> arc_of_interval;
+  std::vector<std::vector<Hop>> hops;  // first coords.size() slots valid
+};
+
+KColoringScratch::KColoringScratch() : impl_(std::make_unique<Impl>()) {}
+KColoringScratch::~KColoringScratch() = default;
+KColoringScratch::KColoringScratch(KColoringScratch&&) noexcept = default;
+KColoringScratch& KColoringScratch::operator=(KColoringScratch&&) noexcept =
+    default;
+
 KColorableSubset max_weight_k_colorable_subset(
-    const std::vector<WeightedInterval>& intervals, int k) {
+    const std::vector<WeightedInterval>& intervals, int k,
+    KColoringScratch& scratch) {
   assert(k >= 1);
   KColorableSubset result;
   if (intervals.empty()) return result;
+  KColoringScratch::Impl& s = scratch.impl();
+  using Hop = KColoringScratch::Impl::Hop;
 
   // Coordinate-compress {lo, hi+1} of every interval; consecutive
   // coordinates become the "line" arcs of capacity k.
-  std::vector<geom::Coord> coords;
+  std::vector<geom::Coord>& coords = s.coords;
+  coords.clear();
   coords.reserve(intervals.size() * 2);
   for (const auto& iv : intervals) {
     assert(!iv.span.empty());
@@ -40,13 +64,15 @@ KColorableSubset max_weight_k_colorable_subset(
   };
 
   const std::size_t n = coords.size();
-  MinCostFlow flow(n);
+  MinCostFlow& flow = s.flow;
+  flow.reset(n);
   // Line arcs let unused color slots pass over every point.
   for (std::size_t i = 0; i + 1 < n; ++i)
     flow.add_arc(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), k, 0);
   // Interval arcs: selecting interval i routes one unit across its span and
   // "earns" its weight (negative cost).
-  std::vector<std::size_t> arc_of_interval(intervals.size());
+  std::vector<std::size_t>& arc_of_interval = s.arc_of_interval;
+  arc_of_interval.resize(intervals.size());
   for (std::size_t i = 0; i < intervals.size(); ++i) {
     const auto& iv = intervals[i];
     arc_of_interval[i] =
@@ -58,13 +84,9 @@ KColorableSubset max_weight_k_colorable_subset(
 
   // Decompose the flow into k source->sink chains; each chain is one color
   // class (intervals on the same chain are disjoint by construction).
-  // remaining[node] -> list of (next_node, interval_index or -1, count).
-  struct Hop {
-    NodeId to;
-    std::ptrdiff_t interval;  // -1 for a line arc
-    std::int64_t units;
-  };
-  std::vector<std::vector<Hop>> hops(n);
+  std::vector<std::vector<Hop>>& hops = s.hops;
+  if (hops.size() < n) hops.resize(n);
+  for (std::size_t i = 0; i < n; ++i) hops[i].clear();
   for (std::size_t i = 0; i + 1 < n; ++i) {
     const std::int64_t f = flow.flow_on(i);  // line arcs were added first
     if (f > 0)
@@ -101,6 +123,12 @@ KColorableSubset max_weight_k_colorable_subset(
     }
   }
   return result;
+}
+
+KColorableSubset max_weight_k_colorable_subset(
+    const std::vector<WeightedInterval>& intervals, int k) {
+  KColoringScratch scratch;
+  return max_weight_k_colorable_subset(intervals, k, scratch);
 }
 
 }  // namespace mebl::graph

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "geom/interval.hpp"
@@ -22,14 +23,38 @@ struct KColorableSubset {
   double total_weight = 0.0;
 };
 
+/// Reusable buffers for max_weight_k_colorable_subset: the flow network,
+/// the coordinate-compression table and the chain-decomposition lists.
+/// Layer assignment calls the selection once per round of its iterative
+/// heuristic; threading one scratch through the loop removes every
+/// per-round allocation. A scratch is single-owner state — share one per
+/// worker, never across threads.
+class KColoringScratch {
+ public:
+  KColoringScratch();
+  ~KColoringScratch();
+  KColoringScratch(KColoringScratch&&) noexcept;
+  KColoringScratch& operator=(KColoringScratch&&) noexcept;
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() noexcept { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Carlisle–Lloyd: maximum-weight k-colorable subset of intervals, solved
 /// exactly with min-cost flow on the coordinate-compressed line network
 /// (paper SIII-B cites [2]; this is the polynomial-time core of our layer
 /// assignment heuristic).
 ///
 /// Weights must be non-negative. Two intervals conflict when they share an
-/// integer point (closed-interval overlap).
+/// integer point (closed-interval overlap). The two overloads compute the
+/// same result; the scratch form reuses the caller's buffers.
 [[nodiscard]] KColorableSubset max_weight_k_colorable_subset(
     const std::vector<WeightedInterval>& intervals, int k);
+[[nodiscard]] KColorableSubset max_weight_k_colorable_subset(
+    const std::vector<WeightedInterval>& intervals, int k,
+    KColoringScratch& scratch);
 
 }  // namespace mebl::graph

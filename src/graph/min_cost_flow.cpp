@@ -11,7 +11,16 @@ namespace {
 constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
 }
 
-MinCostFlow::MinCostFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+MinCostFlow::MinCostFlow(std::size_t num_nodes)
+    : num_nodes_(num_nodes), graph_(num_nodes) {}
+
+void MinCostFlow::reset(std::size_t num_nodes) {
+  if (graph_.size() < num_nodes) graph_.resize(num_nodes);
+  for (std::size_t u = 0; u < std::max(num_nodes_, num_nodes); ++u)
+    graph_[u].clear();
+  num_nodes_ = num_nodes;
+  handles_.clear();
+}
 
 std::size_t MinCostFlow::add_arc(NodeId from, NodeId to, std::int64_t capacity,
                                  std::int64_t cost) {
@@ -27,11 +36,12 @@ std::size_t MinCostFlow::add_arc(NodeId from, NodeId to, std::int64_t capacity,
 
 MinCostFlow::Result MinCostFlow::solve(NodeId s, NodeId t,
                                        std::int64_t flow_limit) {
-  const std::size_t n = graph_.size();
+  const std::size_t n = num_nodes_;
   Result result;
 
   // Initial potentials via Bellman-Ford (handles negative arc costs).
-  std::vector<std::int64_t> potential(n, kInf);
+  std::vector<std::int64_t>& potential = potential_;
+  potential.assign(n, kInf);
   potential[static_cast<std::size_t>(s)] = 0;
   for (std::size_t round = 0; round + 1 < n || round == 0; ++round) {
     bool changed = false;
@@ -49,9 +59,12 @@ MinCostFlow::Result MinCostFlow::solve(NodeId s, NodeId t,
     if (!changed) break;
   }
 
-  std::vector<std::int64_t> dist(n);
-  std::vector<NodeId> prev_node(n);
-  std::vector<std::size_t> prev_arc(n);
+  std::vector<std::int64_t>& dist = dist_;
+  dist.resize(n);
+  std::vector<NodeId>& prev_node = prev_node_;
+  prev_node.resize(n);
+  std::vector<std::size_t>& prev_arc = prev_arc_;
+  prev_arc.resize(n);
 
   while (result.flow < flow_limit) {
     // Dijkstra with reduced costs.

@@ -14,7 +14,7 @@ namespace mebl::graph {
 /// where interval arcs carry cost = -weight.
 class MinCostFlow {
  public:
-  explicit MinCostFlow(std::size_t num_nodes);
+  explicit MinCostFlow(std::size_t num_nodes = 0);
 
   /// Add a directed arc; returns an arc handle for flow queries.
   /// Capacities must be non-negative.
@@ -26,14 +26,21 @@ class MinCostFlow {
     std::int64_t cost = 0;
   };
 
+  /// Drop every arc and previous solve, keeping the allocated adjacency and
+  /// search buffers, and resize to `num_nodes`. Lets one instance solve a
+  /// sequence of networks (the per-round Carlisle–Lloyd flows of layer
+  /// assignment) without reallocating per round. After reset the object
+  /// behaves exactly like a freshly constructed one.
+  void reset(std::size_t num_nodes);
+
   /// Push up to `flow_limit` units from s to t at minimum total cost.
-  /// May be called once per instance.
+  /// May be called once per instance (or once per reset()).
   Result solve(NodeId s, NodeId t, std::int64_t flow_limit);
 
   /// Flow currently assigned to the arc returned by add_arc.
   [[nodiscard]] std::int64_t flow_on(std::size_t arc_handle) const;
 
-  [[nodiscard]] std::size_t num_nodes() const noexcept { return graph_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
 
  private:
   struct Arc {
@@ -43,6 +50,9 @@ class MinCostFlow {
     std::size_t reverse;  // index of the reverse arc in graph_[to]
   };
 
+  // graph_ may keep more (empty) adjacency slots than num_nodes_ so reset()
+  // can shrink without freeing per-node capacity.
+  std::size_t num_nodes_ = 0;
   std::vector<std::vector<Arc>> graph_;
   struct ArcRef {
     NodeId node;
@@ -50,6 +60,12 @@ class MinCostFlow {
     std::int64_t original_capacity;
   };
   std::vector<ArcRef> handles_;
+
+  // Reusable solve() buffers.
+  std::vector<std::int64_t> potential_;
+  std::vector<std::int64_t> dist_;
+  std::vector<NodeId> prev_node_;
+  std::vector<std::size_t> prev_arc_;
 };
 
 }  // namespace mebl::graph

@@ -1,320 +1,12 @@
 #include "ilp/branch_and_bound.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-
-#include "util/timer.hpp"
-
 namespace mebl::ilp {
 
-namespace {
-
-constexpr double kTol = 1e-9;
-
-/// Internal DFS state for the branch-and-bound search.
-class Search {
- public:
-  Search(const Model& model, const SolveOptions& options)
-      : model_(model), options_(options) {
-    const std::size_t n = model.num_vars();
-    value_.assign(n, -1);
-    of_var_.assign(n, {});
-    const auto& cons = model.constraints();
-    min_lhs_.resize(cons.size());
-    max_lhs_.resize(cons.size());
-    for (std::size_t c = 0; c < cons.size(); ++c) {
-      double lo = 0.0, hi = 0.0;
-      bool all_unit = true;
-      for (const Term& t : cons[c].terms) {
-        lo += std::min(0.0, t.coeff);
-        hi += std::max(0.0, t.coeff);
-        of_var_[static_cast<std::size_t>(t.var)].push_back(c);
-        if (std::abs(t.coeff - 1.0) > kTol) all_unit = false;
-      }
-      min_lhs_[c] = lo;
-      max_lhs_[c] = hi;
-      // "Cover" constraints (sum x >= 1 or == 1 with unit coefficients)
-      // drive both the branching rule and the disjoint lower bound.
-      if (all_unit && cons[c].rhs >= 1.0 - kTol &&
-          (cons[c].sense == Sense::kGe || cons[c].sense == Sense::kEq))
-        covers_.push_back(c);
-    }
-    base_bound_ = 0.0;
-    for (std::size_t v = 0; v < n; ++v)
-      base_bound_ += std::min(0.0, model.objective_coeff(static_cast<VarId>(v)));
-    used_mark_.assign(n, 0);
-  }
-
-  Solution run() {
-    Solution solution;
-    if (options_.warm_start) {
-      assert(model_.is_feasible(*options_.warm_start));
-      incumbent_ = *options_.warm_start;
-      incumbent_obj_ = model_.objective_value(incumbent_);
-    }
-    // Seed the propagation queue with every constraint so trivially
-    // infeasible models are detected at the root.
-    for (std::size_t c = 0; c < model_.constraints().size(); ++c)
-      dirty_.push_back(c);
-    const bool complete = dfs();
-    solution.nodes_explored = nodes_;
-    if (!incumbent_.empty()) {
-      solution.values = incumbent_;
-      solution.objective = incumbent_obj_;
-      solution.status = complete ? SolveStatus::kOptimal : SolveStatus::kFeasible;
-    } else {
-      solution.status = complete ? SolveStatus::kInfeasible : SolveStatus::kLimit;
-    }
-    return solution;
-  }
-
- private:
-  // --- assignment / trail --------------------------------------------------
-
-  bool assign(VarId var, std::int8_t val) {
-    auto& slot = value_[static_cast<std::size_t>(var)];
-    if (slot != -1) return slot == val;
-    slot = val;
-    trail_.push_back(var);
-    fixed_cost_ += val == 1 ? model_.objective_coeff(var) : 0.0;
-    // The var leaves the relaxation term sum(min(0, c_i) over unfixed).
-    relax_gain_ -= std::min(0.0, model_.objective_coeff(var));
-    for (std::size_t c : of_var_[static_cast<std::size_t>(var)]) {
-      const Constraint& con = model_.constraints()[c];
-      // Find this var's coefficient (vars appear once per constraint).
-      for (const Term& t : con.terms) {
-        if (t.var != var) continue;
-        if (t.coeff > 0.0) {
-          if (val == 1)
-            min_lhs_[c] += t.coeff;  // range [0,c] -> {c}
-          else
-            max_lhs_[c] -= t.coeff;  // range [0,c] -> {0}
-        } else if (t.coeff < 0.0) {
-          if (val == 1)
-            max_lhs_[c] += t.coeff;  // range [c,0] -> {c}
-          else
-            min_lhs_[c] -= t.coeff;  // range [c,0] -> {0}
-        }
-        break;
-      }
-      dirty_.push_back(c);
-    }
-    return true;
-  }
-
-  void undo_to(std::size_t trail_mark) {
-    while (trail_.size() > trail_mark) {
-      const VarId var = trail_.back();
-      trail_.pop_back();
-      const std::int8_t val = value_[static_cast<std::size_t>(var)];
-      value_[static_cast<std::size_t>(var)] = -1;
-      fixed_cost_ -= val == 1 ? model_.objective_coeff(var) : 0.0;
-      relax_gain_ += std::min(0.0, model_.objective_coeff(var));
-      for (std::size_t c : of_var_[static_cast<std::size_t>(var)]) {
-        const Constraint& con = model_.constraints()[c];
-        for (const Term& t : con.terms) {
-          if (t.var != var) continue;
-          if (t.coeff > 0.0) {
-            if (val == 1)
-              min_lhs_[c] -= t.coeff;
-            else
-              max_lhs_[c] += t.coeff;
-          } else if (t.coeff < 0.0) {
-            if (val == 1)
-              max_lhs_[c] -= t.coeff;
-            else
-              min_lhs_[c] += t.coeff;
-          }
-          break;
-        }
-      }
-    }
-  }
-
-  // --- propagation ---------------------------------------------------------
-
-  /// Bounds-consistency pass over constraints touched since the last call.
-  /// Returns false on a detected conflict.
-  bool propagate() {
-    while (!dirty_.empty()) {
-      const std::size_t c = dirty_.back();
-      dirty_.pop_back();
-      const Constraint& con = model_.constraints()[c];
-      const bool need_le = con.sense != Sense::kGe;
-      const bool need_ge = con.sense != Sense::kLe;
-      if (need_le && min_lhs_[c] > con.rhs + kTol) return false;
-      if (need_ge && max_lhs_[c] < con.rhs - kTol) return false;
-      for (const Term& t : con.terms) {
-        if (value_[static_cast<std::size_t>(t.var)] != -1 || t.coeff == 0.0)
-          continue;
-        if (t.coeff > 0.0) {
-          // Setting to 1 adds coeff to min; setting to 0 removes it from max.
-          if (need_le && min_lhs_[c] + t.coeff > con.rhs + kTol) {
-            if (!assign(t.var, 0)) return false;
-          } else if (need_ge && max_lhs_[c] - t.coeff < con.rhs - kTol) {
-            if (!assign(t.var, 1)) return false;
-          }
-        } else {
-          if (need_le && min_lhs_[c] - t.coeff > con.rhs + kTol) {
-            if (!assign(t.var, 1)) return false;
-          } else if (need_ge && max_lhs_[c] + t.coeff < con.rhs - kTol) {
-            if (!assign(t.var, 0)) return false;
-          }
-        }
-      }
-    }
-    return true;
-  }
-
-  // --- bounding ------------------------------------------------------------
-
-  /// Lower bound on any completion of the current partial assignment.
-  double lower_bound() {
-    double bound = fixed_cost_ + base_bound_ + relax_gain_;
-    // Greedy disjoint cover bound: unsatisfied "choose one" constraints with
-    // pairwise-disjoint unfixed supports each force at least their cheapest
-    // member into the solution.
-    ++epoch_;
-    for (std::size_t c : covers_) {
-      const Constraint& con = model_.constraints()[c];
-      double cheapest = std::numeric_limits<double>::infinity();
-      bool satisfied = false;
-      bool disjoint = true;
-      for (const Term& t : con.terms) {
-        const auto v = static_cast<std::size_t>(t.var);
-        if (value_[v] == 1) {
-          satisfied = true;
-          break;
-        }
-        if (value_[v] == 0) continue;
-        if (used_mark_[v] == epoch_) disjoint = false;
-        cheapest = std::min(cheapest, model_.objective_coeff(t.var));
-      }
-      if (satisfied || !disjoint || cheapest <= 0.0 ||
-          cheapest == std::numeric_limits<double>::infinity())
-        continue;
-      bound += cheapest;
-      for (const Term& t : con.terms) {
-        const auto v = static_cast<std::size_t>(t.var);
-        if (value_[v] == -1) used_mark_[v] = epoch_;
-      }
-    }
-    return bound;
-  }
-
-  // --- branching -----------------------------------------------------------
-
-  /// Choose the next variable to branch on: the cheapest unfixed member of
-  /// the first unsatisfied cover constraint, else the first unfixed var.
-  [[nodiscard]] VarId pick_branch_var() const {
-    for (std::size_t c : covers_) {
-      const Constraint& con = model_.constraints()[c];
-      VarId best = -1;
-      double best_cost = std::numeric_limits<double>::infinity();
-      bool satisfied = false;
-      for (const Term& t : con.terms) {
-        const auto v = static_cast<std::size_t>(t.var);
-        if (value_[v] == 1) {
-          satisfied = true;
-          break;
-        }
-        if (value_[v] == -1 && model_.objective_coeff(t.var) < best_cost) {
-          best_cost = model_.objective_coeff(t.var);
-          best = t.var;
-        }
-      }
-      if (!satisfied && best != -1) return best;
-    }
-    for (std::size_t v = 0; v < value_.size(); ++v)
-      if (value_[v] == -1) return static_cast<VarId>(v);
-    return -1;
-  }
-
-  /// Returns true when the subtree was searched exhaustively (no limit hit).
-  bool dfs() {
-    ++nodes_;
-    if ((nodes_ & 0x3ff) == 0 &&
-        (timer_.seconds() > options_.time_limit_seconds ||
-         nodes_ > options_.max_nodes ||
-         (options_.deadline &&
-          std::chrono::steady_clock::now() > *options_.deadline)))
-      return false;
-
-    const std::size_t mark = trail_.size();
-    if (!propagate()) {
-      dirty_.clear();
-      undo_to(mark);
-      return true;  // conflict: subtree exhausted
-    }
-    if (!incumbent_.empty() && lower_bound() >= incumbent_obj_ - kTol) {
-      undo_to(mark);
-      return true;  // pruned
-    }
-
-    const VarId var = pick_branch_var();
-    if (var == -1) {
-      // Full assignment; propagation kept every constraint satisfiable and
-      // all bounds are now tight, so it is feasible.
-      std::vector<std::uint8_t> values(value_.size());
-      for (std::size_t v = 0; v < value_.size(); ++v)
-        values[v] = static_cast<std::uint8_t>(value_[v]);
-      const double obj = fixed_cost_;
-      if (incumbent_.empty() || obj < incumbent_obj_) {
-        incumbent_ = std::move(values);
-        incumbent_obj_ = obj;
-      }
-      undo_to(mark);
-      return true;
-    }
-
-    bool complete = true;
-    for (const std::int8_t branch_val : {std::int8_t{1}, std::int8_t{0}}) {
-      const std::size_t inner = trail_.size();
-      dirty_.clear();
-      if (assign(var, branch_val)) {
-        if (!dfs()) complete = false;
-      }
-      undo_to(inner);
-      if (!complete) break;  // limit hit; stop immediately
-    }
-    undo_to(mark);
-    return complete;
-  }
-
-  const Model& model_;
-  const SolveOptions& options_;
-  util::Timer timer_;
-
-  std::vector<std::int8_t> value_;               // -1 unknown / 0 / 1
-  std::vector<std::vector<std::size_t>> of_var_;  // var -> constraint indices
-  std::vector<double> min_lhs_;
-  std::vector<double> max_lhs_;
-  std::vector<std::size_t> covers_;
-  std::vector<std::size_t> dirty_;
-  std::vector<VarId> trail_;
-
-  double fixed_cost_ = 0.0;
-  double base_bound_ = 0.0;   // sum of min(0, c_i) over all vars
-  double relax_gain_ = 0.0;   // correction as vars leave the relaxation
-  std::vector<std::uint32_t> used_mark_;
-  std::uint32_t epoch_ = 0;
-
-  std::vector<std::uint8_t> incumbent_;
-  double incumbent_obj_ = std::numeric_limits<double>::infinity();
-  std::int64_t nodes_ = 0;
-};
-
-}  // namespace
-
 Solution solve(const Model& model, const SolveOptions& options) {
-  if (model.num_vars() == 0) {
-    Solution s;
-    s.status = SolveStatus::kOptimal;
-    s.objective = 0.0;
-    return s;
-  }
-  return Search(model, options).run();
+  SolveOptions sequential = options;
+  sequential.split_target = 1;
+  Solver solver;
+  return solver.solve(model, sequential);
 }
 
 }  // namespace mebl::ilp

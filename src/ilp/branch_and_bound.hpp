@@ -1,57 +1,18 @@
 #pragma once
 
-#include <chrono>
-#include <cstdint>
-#include <limits>
-#include <optional>
-#include <vector>
+// Deprecated entry point. The branch-and-bound solver now lives behind the
+// stateful ilp::Solver object (ilp/solver.hpp), which adds pool-parallel
+// subtree exploration, warm starts and a deterministic node budget. This
+// header remains for one release so out-of-tree callers keep compiling;
+// in-tree code has been migrated.
 
-#include "ilp/model.hpp"
+#include "ilp/solver.hpp"
 
 namespace mebl::ilp {
 
-/// Outcome of a branch-and-bound run.
-enum class SolveStatus {
-  kOptimal,     ///< proven optimal solution found
-  kFeasible,    ///< stopped by a limit with an incumbent, optimality unproven
-  kInfeasible,  ///< proven infeasible
-  kLimit,       ///< stopped by a limit with no incumbent found
-};
-
-/// Solver knobs. The defaults are effectively unlimited; the experiment
-/// harnesses set a time limit so the Table VII "ILP too slow / NA" behaviour
-/// of the paper reproduces in bounded wall-clock time.
-struct SolveOptions {
-  double time_limit_seconds = std::numeric_limits<double>::infinity();
-  std::int64_t max_nodes = std::numeric_limits<std::int64_t>::max();
-  /// Absolute wall-clock deadline, typically shared by many solves (the
-  /// router's per-circuit ILP budget under parallel panel fan-out). Checked
-  /// inside the search alongside time_limit_seconds, so one over-budget
-  /// solve stops mid-search instead of blowing past the budget. Unset =
-  /// no deadline.
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  /// Optional warm-start assignment: must be feasible; used as the initial
-  /// incumbent so pruning starts immediately.
-  std::optional<std::vector<std::uint8_t>> warm_start;
-};
-
-/// Solve result: status, incumbent (when any), objective and search stats.
-struct Solution {
-  SolveStatus status = SolveStatus::kLimit;
-  double objective = std::numeric_limits<double>::infinity();
-  std::vector<std::uint8_t> values;  // empty when no incumbent
-  std::int64_t nodes_explored = 0;
-};
-
-/// Exact DFS branch-and-bound for 0/1 minimization ILPs.
-///
-/// Techniques: bounds-consistency propagation on every constraint, objective
-/// lower bounding (fixed cost + negative-coefficient relaxation + a greedy
-/// disjoint bound over unsatisfied set-covering constraints), and cover-
-/// constraint guided branching (pick the cheapest unfixed variable of a
-/// tight "choose one" constraint, try 1 first). Exact but exponential in the
-/// worst case — a faithful stand-in for the paper's CPLEX usage, including
-/// its blow-up on large panels.
+/// \deprecated Use ilp::Solver. Thin shim: constructs a throwaway Solver
+/// and runs the plain sequential DFS (split_target = 1), which preserves
+/// the retired free function's behaviour — node counts included.
 [[nodiscard]] Solution solve(const Model& model, const SolveOptions& options = {});
 
 }  // namespace mebl::ilp

@@ -10,6 +10,7 @@
 #include "eval/metrics.hpp"
 #include "exec/thread_pool.hpp"
 #include "netlist/decompose.hpp"
+#include "telemetry/keys.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -323,19 +324,41 @@ EcoOutcome ResidentDesign::eco(const EcoRequest& request,
     assign::assign_panel_layers(plan, assign::runs_in_row_panel(plan, ty),
                                 h_layers, /*column_panel=*/false, colorable);
 
-  // Track assignment over the dirty column panels. ECO always uses the
-  // deterministic heuristics: the ILP's wall-clock budget would break the
-  // bit-identity contract, so TrackAlgorithm::kIlp degrades to the graph
-  // heuristic here (documented limitation, DESIGN.md §12).
+  // Track assignment over the dirty column panels. ECO only runs solvers
+  // whose result is a pure function of the instance: a wall-clock ILP
+  // budget would break the bit-identity / replay contract, so
+  // TrackAlgorithm::kIlp runs here only in its deterministic node-budget
+  // mode (RouterConfig::ilp_node_budget > 0, no clock consulted anywhere)
+  // and degrades to the graph heuristic otherwise (DESIGN.md §12). The
+  // panel loop stays sequential; the node-budgeted solver fans its
+  // subproblems out on the job pool, which is deterministic at any pool
+  // size, so ECO ILP reroutes still pass the verify replay gate.
+  assign::TrackMethod track_method = config_.track_algorithm;
+  assign::IlpTrackOptions ilp_options = config_.ilp;
+  if (track_method == assign::TrackMethod::kIlp) {
+    if (config_.ilp_node_budget > 0) {
+      ilp_options.node_budget = config_.ilp_node_budget;
+      ilp_options.warm_start = config_.ilp_warm_start;
+      ilp_options.deadline.reset();
+      ilp_options.pool = pool;
+    } else {
+      track_method = assign::TrackMethod::kGraph;
+    }
+  }
   const std::vector<int> columns(dirty_columns.begin(), dirty_columns.end());
   std::vector<assign::TrackPanelTask> tasks =
       assign::build_track_tasks(plan, design_.grid, columns);
+  telemetry::Counter& ilp_nodes =
+      telemetry::counter(telemetry::keys::kTrackIlpNodes);
+  telemetry::Counter& ilp_budget_hits =
+      telemetry::counter(telemetry::keys::kTrackIlpBudgetHits);
   for (assign::TrackPanelTask& task : tasks) {
+    assign::TrackTaskStats track_stats;
     const assign::TrackAssignResult assigned =
-        config_.track_algorithm == core::TrackAlgorithm::kBaseline
-            ? assign::track_assign_baseline(task.instance)
-            : assign::track_assign_graph(task.instance);
+        assign::solve_track_task(task, track_method, ilp_options, track_stats);
     assign::apply_track_result(plan, task, assigned);
+    ilp_nodes.add(track_stats.ilp_nodes);
+    if (track_stats.ilp_budget_hit) ilp_budget_hits.add(1);
   }
   result_.plan = std::move(plan);
 

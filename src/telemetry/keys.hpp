@@ -30,11 +30,18 @@ inline constexpr char kGlobalScratchReuses[] = "global.search.scratch_reuses";
 // layer assignment
 inline constexpr char kLayerPanels[] = "assign.layer.panels";
 
-// track assignment
+// track assignment. Panel counts, bad ends and rip-ups are functions of the
+// routing decisions alone and stay in canonical reports. The ILP *search
+// effort* counters are not: where a wall-clock deadline cuts a solve off is
+// machine-dependent (fallbacks, budget hits), and under cross-subproblem
+// incumbent sharing the node count varies with thread interleaving even
+// though the solution does not. execution_dependent() below excludes all
+// three so canonical report bytes keep their cross-thread identity.
 inline constexpr char kTrackPanels[] = "assign.track.panels";
 inline constexpr char kTrackIlpNodes[] = "assign.track.ilp_nodes";
 inline constexpr char kTrackIlpNs[] = "assign.track.ilp_ns";
 inline constexpr char kTrackIlpFallbacks[] = "assign.track.ilp_fallbacks";
+inline constexpr char kTrackIlpBudgetHits[] = "assign.track.ilp_budget_hits";
 inline constexpr char kTrackBadEnds[] = "assign.track.bad_ends";
 inline constexpr char kTrackRipped[] = "assign.track.ripped";
 
@@ -76,12 +83,15 @@ inline constexpr char kDetailBatchNs[] = "detail.parallel.batch_ns";
 inline constexpr char kTrackPanelNs[] = "assign.track.panel_ns";
 
 /// Counters that measure the execution environment (wall-clock timings,
-/// per-worker cache warm starts) rather than routing decisions: their
+/// per-worker cache warm starts, where a deadline or a shared-incumbent
+/// search happened to be cut off) rather than routing decisions: their
 /// values legitimately vary with the thread count and the machine, so the
 /// canonical (include_timing = false) run-report form excludes them to keep
 /// its cross-thread byte-identity contract (DESIGN.md §8).
 [[nodiscard]] inline bool execution_dependent(std::string_view name) {
-  return name.ends_with("_ns") || name == kGlobalScratchReuses;
+  return name.ends_with("_ns") || name == kGlobalScratchReuses ||
+         name == kTrackIlpNodes || name == kTrackIlpFallbacks ||
+         name == kTrackIlpBudgetHits;
 }
 
 }  // namespace mebl::telemetry::keys

@@ -1,14 +1,27 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
 #include "ilp/branch_and_bound.hpp"
+#include "ilp/solver.hpp"
 #include "util/rng.hpp"
 
 namespace mebl::ilp {
 namespace {
 
+/// Most tests exercise the Solver API through a throwaway instance; the
+/// deprecated free-function shim keeps exactly one dedicated test below.
+Solution solve_with(const Model& model, const SolveOptions& options = {}) {
+  Solver solver;
+  return solver.solve(model, options);
+}
+
 TEST(Ilp, EmptyModelIsOptimalZero) {
   Model model;
-  const auto solution = solve(model);
+  const auto solution = solve_with(model);
   EXPECT_EQ(solution.status, SolveStatus::kOptimal);
   EXPECT_DOUBLE_EQ(solution.objective, 0.0);
 }
@@ -17,7 +30,7 @@ TEST(Ilp, UnconstrainedMinimizationSetsPositiveCostVarsToZero) {
   Model model;
   model.add_binary(3.0);
   model.add_binary(-2.0);
-  const auto solution = solve(model);
+  const auto solution = solve_with(model);
   ASSERT_EQ(solution.status, SolveStatus::kOptimal);
   EXPECT_DOUBLE_EQ(solution.objective, -2.0);
   EXPECT_EQ(solution.values[0], 0);
@@ -30,7 +43,7 @@ TEST(Ilp, ChooseOnePicksCheapest) {
   const VarId b = model.add_binary(2.0);
   const VarId c = model.add_binary(9.0);
   model.add_sum_constraint({a, b, c}, Sense::kEq, 1.0);
-  const auto solution = solve(model);
+  const auto solution = solve_with(model);
   ASSERT_EQ(solution.status, SolveStatus::kOptimal);
   EXPECT_DOUBLE_EQ(solution.objective, 2.0);
   EXPECT_EQ(solution.values[static_cast<std::size_t>(b)], 1);
@@ -40,7 +53,7 @@ TEST(Ilp, InfeasibleDetected) {
   Model model;
   const VarId a = model.add_binary(1.0);
   model.add_sum_constraint({a}, Sense::kGe, 2.0);  // impossible for binary
-  const auto solution = solve(model);
+  const auto solution = solve_with(model);
   EXPECT_EQ(solution.status, SolveStatus::kInfeasible);
 }
 
@@ -49,7 +62,7 @@ TEST(Ilp, ConflictingEqualities) {
   const VarId a = model.add_binary(1.0);
   model.add_sum_constraint({a}, Sense::kEq, 1.0);
   model.add_sum_constraint({a}, Sense::kEq, 0.0);
-  EXPECT_EQ(solve(model).status, SolveStatus::kInfeasible);
+  EXPECT_EQ(solve_with(model).status, SolveStatus::kInfeasible);
 }
 
 TEST(Ilp, NegativeCoefficientConstraint) {
@@ -58,7 +71,7 @@ TEST(Ilp, NegativeCoefficientConstraint) {
   const VarId x = model.add_binary(1.0);
   const VarId y = model.add_binary(-2.0);
   model.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::kGe, 0.0);
-  const auto solution = solve(model);
+  const auto solution = solve_with(model);
   ASSERT_EQ(solution.status, SolveStatus::kOptimal);
   EXPECT_DOUBLE_EQ(solution.objective, -1.0);
   EXPECT_EQ(solution.values[static_cast<std::size_t>(x)], 1);
@@ -74,7 +87,7 @@ TEST(Ilp, SetCoverSmall) {
   model.add_sum_constraint({s0, s1}, Sense::kGe, 1.0);       // a
   model.add_sum_constraint({s0, s1}, Sense::kGe, 1.0);       // b
   model.add_sum_constraint({s1, s2}, Sense::kGe, 1.0);       // c
-  const auto solution = solve(model);
+  const auto solution = solve_with(model);
   ASSERT_EQ(solution.status, SolveStatus::kOptimal);
   EXPECT_DOUBLE_EQ(solution.objective, 4.0);
 }
@@ -86,7 +99,7 @@ TEST(Ilp, WarmStartActsAsIncumbent) {
   model.add_sum_constraint({a, b}, Sense::kGe, 1.0);
   SolveOptions options;
   options.warm_start = std::vector<std::uint8_t>{1, 1};  // feasible, cost 3
-  const auto solution = solve(model, options);
+  const auto solution = solve_with(model, options);
   ASSERT_EQ(solution.status, SolveStatus::kOptimal);
   EXPECT_DOUBLE_EQ(solution.objective, 1.0);  // still finds the optimum
 }
@@ -102,7 +115,7 @@ TEST(Ilp, NodeLimitReportsFeasibleOrLimit) {
                              Sense::kGe, 1.0);
   SolveOptions options;
   options.max_nodes = 3;
-  const auto solution = solve(model, options);
+  const auto solution = solve_with(model, options);
   EXPECT_TRUE(solution.status == SolveStatus::kFeasible ||
               solution.status == SolveStatus::kLimit ||
               solution.status == SolveStatus::kOptimal);
@@ -138,7 +151,7 @@ TEST(Ilp, MatchesBruteForceOnRandomModels) {
         best = std::min(best, model.objective_value(assignment));
     }
 
-    const auto solution = solve(model);
+    const auto solution = solve_with(model);
     if (best == std::numeric_limits<double>::infinity()) {
       EXPECT_EQ(solution.status, SolveStatus::kInfeasible) << "round " << round;
     } else {
@@ -147,6 +160,119 @@ TEST(Ilp, MatchesBruteForceOnRandomModels) {
       EXPECT_TRUE(model.is_feasible(solution.values));
     }
   }
+}
+
+// ---------------------------------------------------------------- Solver API
+
+/// A random model family dense enough that split solves actually branch.
+Model random_model(util::Rng& rng, int n) {
+  Model model;
+  std::vector<VarId> vars;
+  for (int i = 0; i < n; ++i)
+    vars.push_back(model.add_binary(static_cast<double>(rng.uniform_int(1, 9))));
+  for (int i = 0; i + 4 < n; i += 2)
+    model.add_sum_constraint({vars[static_cast<std::size_t>(i)],
+                              vars[static_cast<std::size_t>(i + 2)],
+                              vars[static_cast<std::size_t>(i + 4)]},
+                             Sense::kEq, 1.0);
+  for (int i = 1; i + 3 < n; i += 3)
+    model.add_sum_constraint({vars[static_cast<std::size_t>(i)],
+                              vars[static_cast<std::size_t>(i + 3)]},
+                             Sense::kLe, 1.0);
+  return model;
+}
+
+TEST(IlpSolver, DeprecatedSolveShimMatchesSequentialSolver) {
+  util::Rng rng(7);
+  const Model model = random_model(rng, 18);
+  SolveOptions sequential;
+  sequential.split_target = 1;
+  Solver solver;
+  const Solution via_solver = solver.solve(model, sequential);
+  const Solution via_shim = solve(model);  // deprecated free function
+  EXPECT_EQ(via_shim.status, via_solver.status);
+  EXPECT_DOUBLE_EQ(via_shim.objective, via_solver.objective);
+  EXPECT_EQ(via_shim.values, via_solver.values);
+  EXPECT_EQ(via_shim.nodes_explored, via_solver.nodes_explored);
+}
+
+TEST(IlpSolver, SplitSolveMatchesSequentialAtEveryPoolSize) {
+  util::Rng rng(41);
+  for (int round = 0; round < 8; ++round) {
+    const Model model = random_model(rng, 16 + 2 * round);
+    SolveOptions sequential;
+    sequential.split_target = 1;
+    const Solution expect = solve_with(model, sequential);
+
+    for (const int threads : {0, 2, 8}) {
+      SolveOptions split;
+      split.split_target = 32;
+      Solver solver;
+      std::optional<exec::ThreadPool> pool;
+      if (threads > 0) {
+        pool.emplace(threads);
+        solver.set_pool(&*pool);
+      }
+      const Solution got = solver.solve(model, split);
+      EXPECT_EQ(got.status, expect.status) << "round " << round;
+      if (!expect.values.empty()) {
+        EXPECT_DOUBLE_EQ(got.objective, expect.objective) << "round " << round;
+        EXPECT_EQ(got.values, expect.values)
+            << "round " << round << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(IlpSolver, NodeBudgetIsDeterministicAcrossPoolSizes) {
+  util::Rng rng(99);
+  const Model model = random_model(rng, 26);
+  SolveOptions options;
+  options.node_budget = 60;  // small enough to truncate the search
+
+  std::optional<Solution> reference;
+  for (const int threads : {0, 2, 8}) {
+    Solver solver;
+    std::optional<exec::ThreadPool> pool;
+    if (threads > 0) {
+      pool.emplace(threads);
+      solver.set_pool(&*pool);
+    }
+    const Solution got = solver.solve(model, options);
+    if (!reference) {
+      reference = got;
+      continue;
+    }
+    EXPECT_EQ(got.status, reference->status) << "threads " << threads;
+    EXPECT_EQ(got.values, reference->values) << "threads " << threads;
+    EXPECT_EQ(got.nodes_explored, reference->nodes_explored)
+        << "threads " << threads;
+    EXPECT_EQ(got.limit_hit, reference->limit_hit) << "threads " << threads;
+  }
+}
+
+TEST(IlpSolver, SolveWarmedReusesPreviousIncumbent) {
+  util::Rng rng(55);
+  const Model model = random_model(rng, 20);
+  Solver solver;
+  const Solution cold = solver.solve(model);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  const Solution warm = solver.solve_warmed(model);
+  EXPECT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(warm.objective, cold.objective);
+  EXPECT_TRUE(model.is_feasible(warm.values));
+}
+
+TEST(IlpSolver, LimitHitFlagSetOnTruncatedSearch) {
+  util::Rng rng(31);
+  const Model model = random_model(rng, 30);
+  SolveOptions options;
+  options.node_budget = 2;
+  const Solution solution = solve_with(model, options);
+  EXPECT_TRUE(solution.limit_hit);
+
+  const Solution full = solve_with(model);
+  EXPECT_FALSE(full.limit_hit);
 }
 
 }  // namespace

@@ -19,6 +19,8 @@
 #include "serve/protocol.hpp"
 #include "serve/resident_design.hpp"
 #include "serve/server.hpp"
+#include "telemetry/keys.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mebl::serve {
 namespace {
@@ -291,6 +293,35 @@ TEST(ServeEco, PinMoveReroutesAndStaysConsistent) {
   ASSERT_TRUE(outcome.ok) << outcome.error;
   EXPECT_TRUE(outcome.verified);
   EXPECT_EQ(resident.design().netlist.pin(pin).pos, to);
+}
+
+// ECO replanning with the exact ILP is only allowed in its deterministic
+// node-budget mode (DESIGN.md §12/§13); this pins that such an ECO passes
+// the replay gate and that the ILP actually ran (no silent degrade to the
+// graph heuristic).
+TEST(ServeEco, NodeBudgetedIlpEcoPassesVerifyReplay) {
+  auto config = core::RouterConfig::stitch_aware()
+                    .with_track_algorithm(core::TrackAlgorithm::kIlp)
+                    .with_ilp_node_budget(512);
+  ResidentDesign resident(s5378_design(), std::move(config));
+  ASSERT_TRUE(resident.route_full().ok);
+
+  EcoRequest request;
+  request.nets = routable_nets(resident.design().netlist, 12);
+  ASSERT_GE(request.nets.size(), 12u);
+  request.verify = true;
+
+  const auto before = telemetry::snapshot_counters();
+  const EcoOutcome outcome = resident.eco(request);
+  const auto stats = telemetry::delta(before, telemetry::snapshot_counters());
+
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_TRUE(outcome.verified)
+      << "node-budgeted ILP ECO diverged from the from-scratch replay";
+  EXPECT_FALSE(outcome.verify_mismatch);
+  // Both the incremental ECO and its replay solve the dirty panels with
+  // branch-and-bound; zero nodes would mean the ILP silently degraded.
+  EXPECT_GT(stats.value(telemetry::keys::kTrackIlpNodes), 0);
 }
 
 TEST(ServeEco, UnknownNetNameFailsCleanly) {
