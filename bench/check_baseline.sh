@@ -1,0 +1,29 @@
+#!/bin/sh
+# Regression gate against the checked-in bench baseline: re-run the
+# eco_reroute harness, emit its mebl.bench_report JSON, and `mebl_report
+# diff` it against bench/BENCH_baseline.json. Deterministic row metrics
+# (batch_nets, dirty_subnets) are gated — a missing row or a changed value
+# fails; wall-clock columns (eco_seconds, full_seconds, eco_over_full) are
+# informational only, so the gate cannot flake on machine speed.
+#
+#   usage: bench/check_baseline.sh [BUILD_DIR]   (default: build)
+#
+# Exit codes follow `mebl_report diff`: 0 pass, 1 gated regression,
+# 2 bad invocation/IO, 3 schema mismatch.
+set -eu
+
+repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_dir/build"}
+baseline="$repo_dir/bench/BENCH_baseline.json"
+candidate=$(mktemp /tmp/BENCH_eco_reroute.XXXXXX.json)
+trap 'rm -f "$candidate"' EXIT
+
+for binary in "$build_dir/bench/eco_reroute" "$build_dir/examples/mebl_report"; do
+  if [ ! -x "$binary" ]; then
+    echo "check_baseline: missing $binary (build the repo first)" >&2
+    exit 2
+  fi
+done
+
+"$build_dir/bench/eco_reroute" --json "$candidate" > /dev/null
+"$build_dir/examples/mebl_report" diff "$baseline" "$candidate"

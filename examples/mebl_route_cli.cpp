@@ -29,6 +29,7 @@
 #include "report/spatial.hpp"
 #include "serve/client.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -60,6 +61,10 @@ void usage() {
       "  --eco LIST          after routing, incrementally reroute the\n"
       "                      comma-separated nets (ids or names)\n"
       "  --eco-verify        run the daemon's bit-identity check on the ECO\n"
+      "  --metrics           print the daemon's Prometheus metrics and exit\n"
+      "  --dump              ask the daemon to dump its flight recorder and\n"
+      "                      print the dump path\n"
+      "  --log-level L       logging threshold: debug, info, warn, error\n"
       "\n"
       "All output sinks compose: one routing run feeds --report, --heatmap,\n"
       "--svg, --trace, --stats, and --progress simultaneously. The report's\n"
@@ -111,6 +116,43 @@ void print_remote_quality(const mebl::report::Json& payload) {
   const mebl::report::Json* seconds = payload.get("seconds");
   if (seconds != nullptr)
     std::cout << "server seconds     : " << seconds->as_double() << "\n";
+}
+
+/// --metrics / --dump: one inline request against the daemon, print the
+/// answer, exit. No design is loaded or routed.
+int run_inspect_mode(const std::string& socket_path, bool metrics) {
+  using namespace mebl;
+
+  serve::Client client;
+  if (!client.connect(socket_path)) {
+    std::cerr << "cannot connect to mebl_serve at " << socket_path << "\n";
+    return 1;
+  }
+  serve::Request request;
+  request.op = metrics ? serve::Op::kMetrics : serve::Op::kDump;
+  const auto response = client.call(std::move(request));
+  if (!response || response->type == "error") {
+    std::cerr << (metrics ? "metrics" : "dump") << " failed: "
+              << (response ? response->error : std::string("connection lost"))
+              << "\n";
+    return 1;
+  }
+  if (metrics) {
+    const report::Json* text = response->payload.get("text");
+    if (text == nullptr) {
+      std::cerr << "daemon response carries no metrics text\n";
+      return 1;
+    }
+    std::cout << text->as_string();
+  } else {
+    const report::Json* path = response->payload.get("path");
+    const report::Json* events = response->payload.get("events");
+    std::cout << "flight recorder dumped to "
+              << (path != nullptr ? path->as_string() : std::string("?"))
+              << " (" << (events != nullptr ? events->as_int() : 0)
+              << " events)\n";
+  }
+  return 0;
 }
 
 /// Route (and optionally ECO) on a mebl_serve daemon instead of in-process.
@@ -227,6 +269,8 @@ int main(int argc, char** argv) {
   std::string remote_name;
   std::string eco_list;
   bool eco_verify = false;
+  bool remote_metrics = false;
+  bool remote_dump = false;
   bool baseline = false;
   bool refine = false;
   bool progress = false;
@@ -266,6 +310,18 @@ int main(int argc, char** argv) {
       eco_list = argv[++i];
     } else if (arg == "--eco-verify") {
       eco_verify = true;
+    } else if (arg == "--metrics") {
+      remote_metrics = true;
+    } else if (arg == "--dump") {
+      remote_dump = true;
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      const auto level = util::log_level_from_name(argv[++i]);
+      if (!level) {
+        std::cerr << "bad --log-level '" << argv[i]
+                  << "' (debug, info, warn, error)\n";
+        return 2;
+      }
+      util::Log::set_level(*level);
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -276,6 +332,16 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+
+  // --metrics / --dump are pure daemon inspection: no design involved.
+  if (remote_metrics || remote_dump) {
+    if (connect_socket.empty()) {
+      std::cerr << "--metrics/--dump need --connect (they query a running "
+                   "daemon)\n";
+      return 2;
+    }
+    return run_inspect_mode(connect_socket, remote_metrics);
   }
 
   // Load the design, or synthesize a demo one.

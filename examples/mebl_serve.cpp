@@ -23,6 +23,8 @@
 #include <thread>
 
 #include "serve/server.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -37,6 +39,13 @@ void usage() {
       "  --threads N     router worker threads (0 = one per hardware thread)\n"
       "  --cache N       resident designs kept in memory, LRU beyond (default 4)\n"
       "  --baseline      route with the conventional (stitch-oblivious) flow\n"
+      "  --log-level L   logging threshold: debug, info, warn, error\n"
+      "  --slow-job S    WARN with a stage breakdown for jobs >= S seconds\n"
+      "  --flight-dir D  directory for flight-recorder dumps (crash handler\n"
+      "                  and {\"op\":\"dump\"} requests; default: cwd)\n"
+      "\n"
+      "Scrape metrics with `mebl_route_cli --connect PATH --metrics` or a\n"
+      "raw {\"op\":\"metrics\"} request (Prometheus text exposition).\n"
       "\n"
       "Stops on SIGINT/SIGTERM or a {\"op\":\"shutdown\"} request (which\n"
       "drains the queue first).\n";
@@ -48,6 +57,7 @@ int main(int argc, char** argv) {
   using namespace mebl;
 
   serve::ServerConfig config;
+  std::string flight_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
@@ -59,6 +69,18 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--baseline") {
       config.router = core::RouterConfig::baseline();
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      const auto level = util::log_level_from_name(argv[++i]);
+      if (!level) {
+        std::cerr << "bad --log-level '" << argv[i]
+                  << "' (debug, info, warn, error)\n";
+        return 2;
+      }
+      util::Log::set_level(*level);
+    } else if (arg == "--slow-job" && i + 1 < argc) {
+      config.slow_job_seconds = std::atof(argv[++i]);
+    } else if (arg == "--flight-dir" && i + 1 < argc) {
+      flight_dir = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -74,6 +96,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.router.with_threads(config.threads);
+
+  // Arm the flight recorder before any worker starts: every span and log
+  // line from here on lands in the in-memory ring, and a fatal signal dumps
+  // it next to (or into) --flight-dir.
+  if (!flight_dir.empty() && flight_dir.back() != '/') flight_dir += '/';
+  config.flight_prefix = flight_dir + "mebl_flight";
+  telemetry::FlightRecorder::enable();
+  telemetry::FlightRecorder::install_crash_handler(config.flight_prefix);
 
   serve::Server server(std::move(config));
   if (!server.start()) return 1;

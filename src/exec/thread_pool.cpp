@@ -8,9 +8,31 @@
 #include <mutex>
 #include <utility>
 
+#include "telemetry/keys.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace mebl::exec {
 
 namespace {
+
+// Pool scheduling counters (all in telemetry::keys::execution_dependent():
+// steal counts and wake-ups are thread-timing accidents, never routing
+// output). References cached once; add() is a relaxed sharded increment.
+telemetry::Counter& steals_counter() {
+  static telemetry::Counter& counter =
+      telemetry::counter(telemetry::keys::kExecSteals);
+  return counter;
+}
+telemetry::Counter& chunks_counter() {
+  static telemetry::Counter& counter =
+      telemetry::counter(telemetry::keys::kExecChunksRun);
+  return counter;
+}
+telemetry::Counter& wakeups_counter() {
+  static telemetry::Counter& counter =
+      telemetry::counter(telemetry::keys::kExecIdleWakeups);
+  return counter;
+}
 
 /// Set while a pool worker (or a caller already inside parallel_for) is
 /// executing chunks; nested parallel_for calls detect it and run inline.
@@ -104,9 +126,11 @@ void ThreadPool::run_participant(Job& job, std::size_t participant) {
         chunk = victim.chunks.front();
         victim.chunks.pop_front();
         found = true;
+        steals_counter().add(1);
       }
     }
     if (!found) return;
+    chunks_counter().add(1);
 
     if (job.failed.load(std::memory_order_acquire) ||
         (job.cancel != nullptr && job.cancel->stop_requested()))
@@ -141,6 +165,7 @@ void ThreadPool::worker_loop(std::size_t participant) {
       job = state_->job;
       ++job->active_workers;
     }
+    wakeups_counter().add(1);
     t_inside_parallel_for = true;
     run_participant(*job, participant);
     t_inside_parallel_for = false;

@@ -89,11 +89,13 @@ std::optional<Response> Client::receive() {
 
 std::optional<Response> Client::call(Request request,
                                      const ProgressFn& progress) {
-  // Inline ops (ping / status / cancel) terminate with their ack; queued
-  // ops ack first and terminate with done / cancelled / error.
-  const bool ack_terminal = request.op == Op::kPing ||
-                            request.op == Op::kStatus ||
-                            request.op == Op::kCancel;
+  // Inline ops (ping / status / cancel / metrics / dump) terminate with
+  // their ack; queued ops ack first and terminate with done / cancelled /
+  // error.
+  const bool ack_terminal =
+      request.op == Op::kPing || request.op == Op::kStatus ||
+      request.op == Op::kCancel || request.op == Op::kMetrics ||
+      request.op == Op::kDump;
   const std::int64_t id = send(std::move(request));
   if (id < 0) return std::nullopt;
   for (;;) {

@@ -1,10 +1,13 @@
 #include "serve/job_queue.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace mebl::serve {
 
 std::uint64_t JobQueue::push(std::uint64_t client, Request request) {
   Job job;
   job.client = client;
+  job.enqueue_ns = telemetry::now_ns();
   job.cancel = std::make_shared<exec::Cancellation>();
   if (request.deadline_seconds > 0.0)
     job.cancel->set_deadline(

@@ -32,6 +32,9 @@ namespace mebl::serve {
 struct Job {
   std::uint64_t sequence = 0;  ///< push order, the FIFO tie-break
   std::uint64_t client = 0;
+  /// telemetry::now_ns() at push; the dispatcher turns it into the
+  /// serve.queue_wait span and the serve.queue.wait_ns histogram sample.
+  std::uint64_t enqueue_ns = 0;
   Request request;
   std::shared_ptr<exec::Cancellation> cancel;
 };

@@ -9,9 +9,10 @@ using report::Json;
 
 namespace {
 
-constexpr std::array<const char*, 9> kOpNames = {
+constexpr std::array<const char*, 11> kOpNames = {
     "ping",       "load",       "route",    "eco",      "cancel",
-    "status",     "save_state", "load_state", "shutdown"};
+    "status",     "save_state", "load_state", "shutdown", "metrics",
+    "dump"};
 
 std::int64_t get_int(const Json& json, std::string_view key,
                      std::int64_t fallback = 0) {

@@ -21,8 +21,9 @@
 
 namespace mebl::serve {
 
-/// Operations a client can request. kPing / kStatus / kCancel are answered
-/// inline by the I/O thread; everything else becomes a queued job.
+/// Operations a client can request. kPing / kStatus / kCancel / kMetrics /
+/// kDump are answered inline by the I/O thread; everything else becomes a
+/// queued job.
 enum class Op : std::uint8_t {
   kPing,       ///< liveness probe, answered with an ack
   kLoad,       ///< register a design (inline MEBL1 text or file path)
@@ -33,6 +34,8 @@ enum class Op : std::uint8_t {
   kSaveState,  ///< write a resident design's routed state to a file
   kLoadState,  ///< make a design resident from a routed-state file
   kShutdown,   ///< drain and stop the server
+  kMetrics,    ///< Prometheus text exposition of the telemetry registry
+  kDump,       ///< write a flight-recorder dump (`path` overrides the default)
 };
 
 [[nodiscard]] const char* op_name(Op op) noexcept;

@@ -115,6 +115,7 @@ EcoOutcome ResidentDesign::route_full(exec::ThreadPool* pool,
                                       exec::Cancellation* cancel,
                                       core::ProgressObserver* observer) {
   EcoOutcome out;
+  TELEMETRY_SPAN("serve.route_full");
   util::Timer timer;
   core::StitchAwareRouter router(design_.grid, design_.netlist, config_);
   report::RunReportBuilder builder;
@@ -168,6 +169,7 @@ EcoOutcome ResidentDesign::eco(const EcoRequest& request,
                                exec::ThreadPool* pool,
                                exec::Cancellation* cancel) {
   EcoOutcome out;
+  TELEMETRY_SPAN("serve.eco");
   if (!routed_) {
     out.error = "design is not routed; run a full route first";
     return out;
@@ -257,8 +259,10 @@ EcoOutcome ResidentDesign::eco(const EcoRequest& request,
   for (std::size_t i = 0; i < subnets_.size(); ++i)
     if (std::binary_search(nets.begin(), nets.end(), subnets_[i].net))
       targets.push_back(i);
-  const std::vector<std::size_t> closure =
-      global_->rip_dirty_closure(result_.global, targets);
+  const std::vector<std::size_t> closure = [&] {
+    TELEMETRY_SPAN("serve.eco.global");
+    return global_->rip_dirty_closure(result_.global, targets);
+  }();
   out.dirty_subnets = closure.size();
 
   if (static_cast<double>(closure.size()) >
@@ -271,9 +275,14 @@ EcoOutcome ResidentDesign::eco(const EcoRequest& request,
     return full;
   }
 
-  global_->reroute_subset(subnets_, result_.global, closure, pool, &stop);
+  {
+    TELEMETRY_SPAN("serve.eco.global");
+    global_->reroute_subset(subnets_, result_.global, closure, pool, &stop);
+  }
 
   // --- assignment: replan only the panels the closure touches --------------
+  {
+  TELEMETRY_SPAN("serve.eco.assign");
   std::vector<std::uint8_t> changed(result_.global.paths.size(), 0);
   for (const std::size_t idx : closure) changed[idx] = 1;
   assign::RoutePlan old_plan = std::move(result_.plan);
@@ -361,9 +370,13 @@ EcoOutcome ResidentDesign::eco(const EcoRequest& request,
     if (track_stats.ilp_budget_hit) ilp_budget_hits.add(1);
   }
   result_.plan = std::move(plan);
+  }
 
   // --- detail: rip and reroute exactly the affected nets -------------------
-  detailed_->reroute_nets(nets, pool, &stop, {}, pin_moves);
+  {
+    TELEMETRY_SPAN("serve.eco.detail");
+    detailed_->reroute_nets(nets, pool, &stop, {}, pin_moves);
+  }
 
   // --- refresh metrics and the run record ----------------------------------
   result_.metrics = eval::compute_metrics(*result_.grid, design_.netlist,

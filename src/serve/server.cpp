@@ -14,10 +14,16 @@
 
 #include "exec/thread_pool.hpp"
 #include "netlist/io.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/keys.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace mebl::serve {
 namespace {
+
+namespace keys = telemetry::keys;
 
 /// One streamed "progress" line per pipeline stage boundary / global-stage
 /// net batch, written from the dispatcher thread while the router runs.
@@ -248,9 +254,11 @@ void Server::handle_line(std::uint64_t client, std::string_view line) {
   if (line.empty()) return;
   const std::optional<Request> request = decode_request(line);
   if (!request) {
+    telemetry::counter(keys::kServeMalformed).add(1);
     send_response(client, make_error(0, "malformed request"));
     return;
   }
+  telemetry::counter(keys::kServeRequests).add(1);
   switch (request->op) {
     case Op::kPing: {
       Response response;
@@ -273,6 +281,35 @@ void Server::handle_line(std::uint64_t client, std::string_view line) {
       response.type = "ack";
       response.id = request->id;
       response.payload["cancelled"] = queue_.cancel(client, request->cancel_id);
+      send_response(client, response);
+      return;
+    }
+    case Op::kMetrics: {
+      Response response;
+      response.type = "ack";
+      response.id = request->id;
+      response.payload["content_type"] = "text/plain; version=0.0.4";
+      response.payload["text"] = metrics_text();
+      send_response(client, response);
+      return;
+    }
+    case Op::kDump: {
+      const std::string path =
+          request->path.empty()
+              ? telemetry::FlightRecorder::timestamped_path(
+                    config_.flight_prefix)
+              : request->path;
+      if (!telemetry::FlightRecorder::dump_to_file(path)) {
+        send_response(client,
+                      make_error(request->id, "cannot write '" + path + "'"));
+        return;
+      }
+      Response response;
+      response.type = "ack";
+      response.id = request->id;
+      response.payload["path"] = path;
+      response.payload["events"] = static_cast<std::int64_t>(
+          telemetry::FlightRecorder::snapshot().size());
       send_response(client, response);
       return;
     }
@@ -316,11 +353,25 @@ void Server::dispatch_loop() {
 }
 
 void Server::execute(const Job& job) {
+  // Request-scoped tracing: the tag is process-global (RequestScope docs)
+  // and the dispatcher serializes jobs, so every span recorded from here —
+  // including those on pool workers inside the router stages — carries this
+  // job's request id.
+  const telemetry::RequestScope request_scope(
+      static_cast<std::uint64_t>(job.request.id));
+  const std::uint64_t start_ns = telemetry::now_ns();
+  const std::uint64_t wait_ns =
+      start_ns > job.enqueue_ns ? start_ns - job.enqueue_ns : 0;
+  telemetry::histogram(keys::kServeQueueWaitNs).record_ns(wait_ns);
+  telemetry::Tracer::record_span("serve.queue_wait", job.enqueue_ns, wait_ns);
+  jobs_inflight_.fetch_add(1, std::memory_order_relaxed);
+
   Response response;
   if (job.cancel->stop_requested()) {
     // Cancelled (or timed out) while still queued: answer without working.
     response = make_stopped(job.request.id, job.cancel->reason());
   } else {
+    TELEMETRY_SPAN("serve.dispatch");
     switch (job.request.op) {
       case Op::kLoad: response = run_load(job); break;
       case Op::kRoute: response = run_route(job); break;
@@ -332,6 +383,26 @@ void Server::execute(const Job& job) {
         break;
     }
   }
+
+  const std::uint64_t run_ns = telemetry::now_ns() - start_ns;
+  telemetry::histogram(keys::kServeJobNs).record_ns(run_ns);
+  if (job.request.op == Op::kRoute)
+    telemetry::histogram(keys::kServeRouteNs).record_ns(run_ns);
+  else if (job.request.op == Op::kEco)
+    telemetry::histogram(keys::kServeEcoNs).record_ns(run_ns);
+  if (response.type == "error")
+    telemetry::counter(keys::kServeJobsFailed).add(1);
+  else if (response.type == "cancelled")
+    telemetry::counter(keys::kServeJobsCancelled).add(1);
+  const double run_seconds = static_cast<double>(run_ns) / 1e9;
+  if (config_.slow_job_seconds > 0.0 &&
+      run_seconds >= config_.slow_job_seconds) {
+    telemetry::counter(keys::kServeSlowJobs).add(1);
+    log_slow_job(job, response, static_cast<double>(wait_ns) / 1e9,
+                 run_seconds);
+  }
+
+  jobs_inflight_.fetch_sub(1, std::memory_order_relaxed);
   queue_.finish(job.client, job.request.id);
   jobs_completed_.fetch_add(1, std::memory_order_acq_rel);
   send_response(job.client, response);
@@ -382,6 +453,7 @@ Response Server::run_route(const Job& job) {
   ProgressSender progress(request.id, [this, client](const Response& event) {
     send_response(client, event);
   });
+  telemetry::counter(keys::kServeJobsRoute).add(1);
   const EcoOutcome outcome =
       resident->route_full(pool_.get(), job.cancel.get(), &progress);
   if (outcome.cancelled)
@@ -408,7 +480,10 @@ Response Server::run_eco(const Job& job) {
   eco.move_pin = request.move_pin;
   eco.move_to = request.move_to;
   eco.verify = request.verify;
+  telemetry::counter(keys::kServeJobsEco).add(1);
   const EcoOutcome outcome = resident->eco(eco, pool_.get(), job.cancel.get());
+  if (outcome.fallback_full)
+    telemetry::counter(keys::kServeEcoFallbackFull).add(1);
   if (outcome.cancelled)
     return make_stopped(request.id, outcome.stop_reason);
   if (!outcome.ok) return make_error(request.id, outcome.error);
@@ -481,6 +556,7 @@ Response Server::run_load_state(const Job& job) {
 report::Json Server::status_payload() const {
   report::Json payload = report::Json::object();
   payload["pending"] = static_cast<std::int64_t>(queue_.pending());
+  payload["inflight"] = jobs_inflight_.load(std::memory_order_relaxed);
   payload["jobs_completed"] =
       static_cast<std::int64_t>(jobs_completed_.load(std::memory_order_acquire));
   payload["cache_capacity"] = static_cast<std::int64_t>(cache_.capacity());
@@ -488,6 +564,65 @@ report::Json Server::status_payload() const {
   for (const std::string& name : cache_.names()) designs.push_back(name);
   payload["designs"] = designs;
   return payload;
+}
+
+std::string Server::metrics_text() const {
+  // Counters and histograms come straight from the telemetry registry; the
+  // point-in-time values below are the server's own state, rendered as
+  // gauges. Per-design residency gauges carry the design name as a label.
+  std::vector<telemetry::PrometheusGauge> gauges;
+  gauges.push_back({"serve.queue.depth",
+                    static_cast<double>(queue_.pending()), {}});
+  gauges.push_back(
+      {"serve.jobs.inflight",
+       static_cast<double>(jobs_inflight_.load(std::memory_order_relaxed)),
+       {}});
+  gauges.push_back(
+      {"serve.jobs.completed",
+       static_cast<double>(jobs_completed_.load(std::memory_order_acquire)),
+       {}});
+  const std::vector<std::string> residents = cache_.names();
+  gauges.push_back(
+      {"serve.cache.residents", static_cast<double>(residents.size()), {}});
+  gauges.push_back(
+      {"serve.cache.capacity", static_cast<double>(cache_.capacity()), {}});
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    gauges.push_back({"serve.connections",
+                      static_cast<double>(connections_.size()), {}});
+  }
+  for (const std::string& name : residents)
+    gauges.push_back({"serve.cache.resident", 1.0, {{"design", name}}});
+  return telemetry::prometheus_text(gauges);
+}
+
+void Server::log_slow_job(const Job& job, const Response& response,
+                          double wait_seconds, double run_seconds) const {
+  std::ostringstream line;
+  line << "slow_job op=" << op_name(job.request.op) << " client=" << job.client
+       << " id=" << job.request.id;
+  if (!job.request.design.empty()) line << " design=" << job.request.design;
+  line << " queue_wait_s=" << wait_seconds << " run_s=" << run_seconds
+       << " threshold_s=" << config_.slow_job_seconds;
+  // Per-stage breakdown from the job's own report — the span view of the
+  // request without needing the tracer enabled.
+  if (const report::Json* report = response.payload.get("report")) {
+    if (const report::Json* stages = report->get("stages");
+        stages != nullptr && stages->kind() == report::Json::Kind::kArray) {
+      line << " stages=[";
+      bool first = true;
+      for (const report::Json& entry : stages->items()) {
+        const report::Json* name = entry.get("name");
+        const report::Json* seconds = entry.get("seconds");
+        if (name == nullptr || seconds == nullptr) continue;
+        if (!first) line << ",";
+        line << name->as_string() << "=" << seconds->as_double() << "s";
+        first = false;
+      }
+      line << "]";
+    }
+  }
+  util::log_warn() << line.str();
 }
 
 void Server::send_response(std::uint64_t client, const Response& response) {

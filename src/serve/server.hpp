@@ -41,6 +41,12 @@ struct ServerConfig {
   std::size_t cache_capacity = 4;
   /// Pipeline configuration every job routes with.
   core::RouterConfig router = core::RouterConfig::stitch_aware();
+  /// Jobs running at least this many seconds emit one structured WARN line
+  /// with their per-stage breakdown (DESIGN.md §14). 0 disables.
+  double slow_job_seconds = 0.0;
+  /// Path prefix for flight-recorder dumps written by kDump requests that
+  /// carry no explicit path; the daemon points this into --flight-dir.
+  std::string flight_prefix = "mebl_flight";
 };
 
 class Server {
@@ -101,6 +107,15 @@ class Server {
 
   [[nodiscard]] report::Json status_payload() const;
 
+  /// Prometheus text exposition: the full telemetry registry plus serve
+  /// gauges (queue depth, in-flight jobs, cache occupancy, connections).
+  [[nodiscard]] std::string metrics_text() const;
+
+  /// Slow-job structured WARN line (op, client, wait/run seconds, stage
+  /// breakdown pulled from the response's report).
+  void log_slow_job(const Job& job, const Response& response,
+                    double wait_seconds, double run_seconds) const;
+
   /// Write one response line to the client; silently drops it when the
   /// connection is gone (disconnected mid-job).
   void send_response(std::uint64_t client, const Response& response);
@@ -124,6 +139,7 @@ class Server {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::int64_t> jobs_inflight_{0};
   std::mutex stopped_mutex_;
   std::condition_variable stopped_cv_;
 };

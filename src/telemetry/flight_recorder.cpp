@@ -1,0 +1,391 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "telemetry/keys.hpp"
+
+namespace mebl::telemetry {
+
+namespace internal {
+std::atomic<bool> g_flight_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// One recorded event. Every field is an atomic written with relaxed stores
+// and published by the trailing release store of `seq`; readers (including
+// the signal handler) use acquire loads and a seq re-check, so there is no
+// lock anywhere and no undefined racing on the slot bytes.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};  // 0 = empty / being (re)written
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint8_t> kind{0};
+  std::atomic<std::uint32_t> tid{0};
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+  std::atomic<std::uint64_t> req{0};
+  std::array<std::atomic<char>, FlightRecorder::kTextBytes> text{};
+};
+
+struct Ring {
+  std::atomic<std::uint64_t> count{0};  // events ever written to this ring
+  std::array<Slot, FlightRecorder::kSlotsPerThread> slots{};
+};
+
+Ring g_rings[FlightRecorder::kMaxThreads];
+std::atomic<std::uint32_t> g_ring_count{0};
+std::atomic<std::uint64_t> g_seq{0};
+
+// -2 = not assigned yet, -1 = no ring available (thread #65+).
+thread_local int t_ring = -2;
+
+int ring_index() noexcept {
+  if (t_ring == -2) {
+    const std::uint32_t idx = g_ring_count.fetch_add(1, std::memory_order_relaxed);
+    t_ring = idx < FlightRecorder::kMaxThreads ? static_cast<int>(idx) : -1;
+  }
+  return t_ring;
+}
+
+void record_event(std::uint8_t kind, const char* name, std::uint32_t tid,
+                  std::uint64_t start_ns, std::uint64_t dur_ns,
+                  std::uint64_t req, const char* text,
+                  std::size_t text_len) noexcept {
+  const int ring_idx = ring_index();
+  if (ring_idx < 0) {
+    static Counter& dropped = counter(keys::kFlightDroppedEvents);
+    dropped.add(1);
+    return;
+  }
+  Ring& ring = g_rings[ring_idx];
+  const std::uint64_t n = ring.count.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring.slots[n % FlightRecorder::kSlotsPerThread];
+  const std::uint64_t seq = g_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  slot.seq.store(0, std::memory_order_release);  // readers skip mid-write
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.kind.store(kind, std::memory_order_relaxed);
+  slot.tid.store(tid, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.req.store(req, std::memory_order_relaxed);
+  const std::size_t copy =
+      std::min(text_len, FlightRecorder::kTextBytes - 1);
+  for (std::size_t i = 0; i < copy; ++i)
+    slot.text[i].store(text[i], std::memory_order_relaxed);
+  slot.text[copy].store('\0', std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+// Stack-only decoded slot, safe to build inside a signal handler (the
+// public Event carries std::string, which allocates).
+struct RawEvent {
+  std::uint64_t seq = 0;
+  std::uint8_t kind = 0;
+  const char* name = nullptr;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t req = 0;
+  char text[FlightRecorder::kTextBytes] = {0};
+  std::size_t text_len = 0;
+  bool torn = false;
+};
+
+bool read_slot(const Slot& slot, RawEvent& out) noexcept {
+  const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+  if (seq1 == 0) return false;
+  out.seq = seq1;
+  out.kind = slot.kind.load(std::memory_order_relaxed);
+  out.name = slot.name.load(std::memory_order_relaxed);
+  out.tid = slot.tid.load(std::memory_order_relaxed);
+  out.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+  out.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+  out.req = slot.req.load(std::memory_order_relaxed);
+  out.text_len = 0;
+  for (std::size_t i = 0; i < FlightRecorder::kTextBytes; ++i) {
+    const char c = slot.text[i].load(std::memory_order_relaxed);
+    if (c == '\0') break;
+    out.text[out.text_len++] = c;
+  }
+  out.torn = slot.seq.load(std::memory_order_acquire) != seq1;
+  return true;
+}
+
+// ------------------------- async-signal-safe formatting (stack only)
+
+std::size_t format_u64(char* buf, std::uint64_t v) noexcept {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+// Buffered fd writer built on write(2) alone.
+class FdWriter {
+ public:
+  explicit FdWriter(int fd) noexcept : fd_(fd) {}
+  ~FdWriter() { flush(); }
+
+  void append(const char* s) noexcept {
+    while (*s != '\0') put(*s++);
+  }
+  void append_n(const char* s, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) put(s[i]);
+  }
+  void append_u64(std::uint64_t v) noexcept {
+    char buf[20];
+    append_n(buf, format_u64(buf, v));
+  }
+  void flush() noexcept {
+    std::size_t done = 0;
+    while (done < used_) {
+      const ssize_t n = ::write(fd_, buffer_ + done, used_ - done);
+      if (n <= 0) break;
+      done += static_cast<std::size_t>(n);
+    }
+    used_ = 0;
+  }
+
+ private:
+  void put(char c) noexcept {
+    if (used_ == sizeof buffer_) flush();
+    buffer_[used_++] = c;
+  }
+  int fd_;
+  char buffer_[512];
+  std::size_t used_ = 0;
+};
+
+void write_event_line(FdWriter& out, const RawEvent& event) noexcept {
+  out.append_u64(event.seq);
+  out.append(" tid=");
+  out.append_u64(event.tid);
+  out.append(" req=");
+  out.append_u64(event.req);
+  if (event.kind ==
+      static_cast<std::uint8_t>(FlightRecorder::Event::Kind::kLog)) {
+    out.append(" log ");
+    out.append(event.name != nullptr ? event.name : "?");
+    out.append(" ts_ns=");
+    out.append_u64(event.start_ns);
+    out.append(" ");
+    out.append_n(event.text, event.text_len);
+  } else {
+    out.append(" span ");
+    out.append(event.name != nullptr ? event.name : "?");
+    out.append(" start_ns=");
+    out.append_u64(event.start_ns);
+    out.append(" dur_ns=");
+    out.append_u64(event.dur_ns);
+  }
+  if (event.torn) out.append(" [torn]");
+  out.append("\n");
+}
+
+// Crash-handler state: prefix copied at install time so the handler never
+// touches std::string.
+char g_crash_prefix[200] = {0};
+std::atomic<bool> g_handlers_installed{false};
+constexpr int kCrashSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+std::uint64_t realtime_ns() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// Builds `<prefix>_<pid>_<ns>.log` into buf; returns length. Signal-safe.
+std::size_t build_dump_path(char* buf, std::size_t cap,
+                            const char* prefix) noexcept {
+  std::size_t n = 0;
+  for (const char* p = prefix; *p != '\0' && n + 48 < cap; ++p) buf[n++] = *p;
+  buf[n++] = '_';
+  n += format_u64(buf + n, static_cast<std::uint64_t>(::getpid()));
+  buf[n++] = '_';
+  n += format_u64(buf + n, realtime_ns());
+  for (const char* p = ".log"; *p != '\0'; ++p) buf[n++] = *p;
+  buf[n] = '\0';
+  return n;
+}
+
+extern "C" void mebl_flight_crash_handler(int sig) {
+  char path[320];
+  const std::size_t path_len =
+      build_dump_path(path, sizeof path, g_crash_prefix);
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    FlightRecorder::dump_to_fd(fd, sig);
+    ::close(fd);
+    const char* msg = "mebl flight recorder: dumped to ";
+    (void)!::write(2, msg, ::strlen(msg));
+    (void)!::write(2, path, path_len);
+    (void)!::write(2, "\n", 1);
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+namespace internal {
+
+void flight_record_span(const SpanEvent& event) noexcept {
+  record_event(static_cast<std::uint8_t>(FlightRecorder::Event::Kind::kSpan),
+               event.name, event.tid, event.start_ns, event.dur_ns, event.req,
+               nullptr, 0);
+}
+
+}  // namespace internal
+
+void FlightRecorder::enable() noexcept {
+  internal::g_flight_enabled.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::disable() noexcept {
+  internal::g_flight_enabled.store(false, std::memory_order_relaxed);
+}
+
+void FlightRecorder::record_log(const char* level_tag,
+                                std::string_view message) noexcept {
+  if (!enabled()) return;
+  record_event(static_cast<std::uint8_t>(Event::Kind::kLog), level_tag,
+               internal::thread_tid(), now_ns(), 0, current_request(),
+               message.data(), message.size());
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::snapshot() {
+  std::vector<Event> out;
+  const std::uint32_t rings =
+      std::min<std::uint32_t>(g_ring_count.load(std::memory_order_relaxed),
+                              static_cast<std::uint32_t>(kMaxThreads));
+  for (std::uint32_t r = 0; r < rings; ++r) {
+    const Ring& ring = g_rings[r];
+    const std::uint64_t count = ring.count.load(std::memory_order_acquire);
+    const std::uint64_t first =
+        count > kSlotsPerThread ? count - kSlotsPerThread : 0;
+    for (std::uint64_t i = first; i < count; ++i) {
+      RawEvent raw;
+      if (!read_slot(ring.slots[i % kSlotsPerThread], raw)) continue;
+      Event event;
+      event.seq = raw.seq;
+      event.kind = static_cast<Event::Kind>(raw.kind);
+      event.name = raw.name;
+      event.tid = raw.tid;
+      event.start_ns = raw.start_ns;
+      event.dur_ns = raw.dur_ns;
+      event.req = raw.req;
+      event.text.assign(raw.text, raw.text_len);
+      event.torn = raw.torn;
+      out.push_back(std::move(event));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& out) {
+  const std::vector<Event> events = snapshot();
+  out << "# mebl flight recorder v1 pid=" << ::getpid()
+      << " events=" << events.size() << "\n";
+  for (const Event& event : events) {
+    out << event.seq << " tid=" << event.tid << " req=" << event.req;
+    if (event.kind == Event::Kind::kLog) {
+      out << " log " << (event.name != nullptr ? event.name : "?")
+          << " ts_ns=" << event.start_ns << " " << event.text;
+    } else {
+      out << " span " << (event.name != nullptr ? event.name : "?")
+          << " start_ns=" << event.start_ns << " dur_ns=" << event.dur_ns;
+    }
+    if (event.torn) out << " [torn]";
+    out << "\n";
+  }
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  dump(out);
+  return out.good();
+}
+
+void FlightRecorder::dump_to_fd(int fd, int fatal_signal) noexcept {
+  FdWriter out(fd);
+  out.append("# mebl flight recorder v1 pid=");
+  out.append_u64(static_cast<std::uint64_t>(::getpid()));
+  out.append(" seq=");
+  out.append_u64(g_seq.load(std::memory_order_relaxed));
+  out.append("\n");
+  if (fatal_signal > 0) {
+    out.append("# fatal signal ");
+    out.append_u64(static_cast<std::uint64_t>(fatal_signal));
+    out.append("\n");
+  }
+  const std::uint32_t rings =
+      std::min<std::uint32_t>(g_ring_count.load(std::memory_order_relaxed),
+                              static_cast<std::uint32_t>(kMaxThreads));
+  for (std::uint32_t r = 0; r < rings; ++r) {
+    const Ring& ring = g_rings[r];
+    const std::uint64_t count = ring.count.load(std::memory_order_acquire);
+    const std::uint64_t first =
+        count > kSlotsPerThread ? count - kSlotsPerThread : 0;
+    for (std::uint64_t i = first; i < count; ++i) {
+      RawEvent raw;
+      if (read_slot(ring.slots[i % kSlotsPerThread], raw))
+        write_event_line(out, raw);
+    }
+  }
+  out.flush();
+}
+
+std::string FlightRecorder::timestamped_path(const std::string& prefix) {
+  char buf[320];
+  char safe_prefix[200];
+  const std::size_t n = std::min(prefix.size(), sizeof safe_prefix - 1);
+  std::memcpy(safe_prefix, prefix.data(), n);
+  safe_prefix[n] = '\0';
+  build_dump_path(buf, sizeof buf, safe_prefix);
+  return std::string(buf);
+}
+
+void FlightRecorder::install_crash_handler(const std::string& path_prefix) {
+  const std::size_t n =
+      std::min(path_prefix.size(), sizeof g_crash_prefix - 1);
+  std::memcpy(g_crash_prefix, path_prefix.data(), n);
+  g_crash_prefix[n] = '\0';
+  if (g_handlers_installed.exchange(true)) return;
+  struct sigaction action{};
+  action.sa_handler = &mebl_flight_crash_handler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  for (const int sig : kCrashSignals) ::sigaction(sig, &action, nullptr);
+}
+
+void FlightRecorder::reset_for_testing() {
+  disable();
+  const std::uint32_t rings =
+      std::min<std::uint32_t>(g_ring_count.load(std::memory_order_relaxed),
+                              static_cast<std::uint32_t>(kMaxThreads));
+  for (std::uint32_t r = 0; r < rings; ++r) {
+    for (Slot& slot : g_rings[r].slots)
+      slot.seq.store(0, std::memory_order_relaxed);
+    g_rings[r].count.store(0, std::memory_order_relaxed);
+  }
+  g_seq.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mebl::telemetry

@@ -1,0 +1,95 @@
+#pragma once
+
+// mebl::telemetry::FlightRecorder — a crash-surviving ring of recent
+// span/log events, the serving layer's postmortem artifact (DESIGN.md §14).
+//
+// Every thread that records gets its own fixed-size ring of slots, so the
+// hot path is wait-free and lock-free: claim the next slot from a
+// thread-owned index, store the fields with relaxed atomics, publish the
+// sequence number last with a release store. There are no mutexes anywhere
+// on the write OR the read path, which is what makes dump_to_fd() safe to
+// call from a fatal-signal handler: it walks the same atomics with acquire
+// loads, formats integers into a stack buffer, and write(2)s the result.
+// A reader racing a writer can observe a slot mid-overwrite; the sequence
+// re-check marks such events torn rather than emitting garbage.
+//
+// The recorder is fed automatically once enabled: Span destructors and
+// Tracer::record_span() forward every span (flight recording works even
+// when the Perfetto tracer is off — the daemon's default), and util::Log
+// forwards every emitted log line. Events carry the telemetry request tag,
+// so a postmortem shows which request the daemon died under.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace mebl::telemetry {
+
+class FlightRecorder {
+ public:
+  /// Threads beyond kMaxThreads are not recorded (counted in
+  /// telemetry.flight.dropped_events); each recorded thread keeps its most
+  /// recent kSlotsPerThread events. Log text beyond kTextBytes-1 is
+  /// truncated.
+  static constexpr std::size_t kMaxThreads = 64;
+  static constexpr std::size_t kSlotsPerThread = 256;
+  static constexpr std::size_t kTextBytes = 96;
+
+  /// One decoded event, as returned by snapshot().
+  struct Event {
+    enum class Kind : std::uint8_t { kSpan = 1, kLog = 2 };
+    std::uint64_t seq = 0;  ///< global record order (1, 2, ...)
+    Kind kind = Kind::kSpan;
+    const char* name = nullptr;  ///< span name, or log level tag
+    std::uint32_t tid = 0;
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;  ///< 0 for log events
+    std::uint64_t req = 0;     ///< request tag active at record time
+    std::string text;          ///< log message (empty for spans)
+    bool torn = false;         ///< overwritten while being read
+  };
+
+  static void enable() noexcept;
+  static void disable() noexcept;
+  [[nodiscard]] static bool enabled() noexcept {
+    return internal::g_flight_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Record one log line (called by util::Log). No-op when disabled.
+  static void record_log(const char* level_tag,
+                         std::string_view message) noexcept;
+
+  /// Decoded copy of every live slot, sorted by sequence number.
+  [[nodiscard]] static std::vector<Event> snapshot();
+
+  /// Human-readable dump: one `# mebl flight recorder v1 ...` header line,
+  /// then one line per event in global record order.
+  static void dump(std::ostream& out);
+  [[nodiscard]] static bool dump_to_file(const std::string& path);
+
+  /// Async-signal-safe dump (rings walked in thread order, lines carry seq
+  /// for re-sorting). `fatal_signal` > 0 adds a `# fatal signal N` line.
+  static void dump_to_fd(int fd, int fatal_signal = 0) noexcept;
+
+  /// `<prefix>_<pid>_<realtime_ns>.log` — the naming scheme both the crash
+  /// handler and the on-demand kDump request use.
+  [[nodiscard]] static std::string timestamped_path(const std::string& prefix);
+
+  /// Arm SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL handlers that dump to
+  /// timestamped_path(prefix), then re-raise with the default disposition
+  /// so the process still dies with the original signal. The prefix is
+  /// copied into static storage (truncated past ~200 bytes). Idempotent.
+  static void install_crash_handler(const std::string& path_prefix);
+
+  /// Drop all recorded events and disable the recorder (crash handlers
+  /// stay installed). Ring ownership of threads that already recorded is
+  /// kept — thread ids stay stable within a process.
+  static void reset_for_testing();
+};
+
+}  // namespace mebl::telemetry

@@ -82,16 +82,48 @@ inline constexpr char kAstarSearchNs[] = "detail.astar.search_ns";
 inline constexpr char kDetailBatchNs[] = "detail.parallel.batch_ns";
 inline constexpr char kTrackPanelNs[] = "assign.track.panel_ns";
 
+// serving layer (DESIGN.md §14). All serve.* keys describe daemon traffic —
+// how many requests arrived, how long jobs waited and ran — never routing
+// decisions, so every one of them is execution-dependent and excluded from
+// canonical report bytes by prefix below.
+inline constexpr char kServeRequests[] = "serve.requests.decoded";
+inline constexpr char kServeMalformed[] = "serve.requests.malformed";
+inline constexpr char kServeJobsRoute[] = "serve.jobs.route";
+inline constexpr char kServeJobsEco[] = "serve.jobs.eco";
+inline constexpr char kServeEcoFallbackFull[] = "serve.jobs.eco_fallback_full";
+inline constexpr char kServeJobsFailed[] = "serve.jobs.failed";
+inline constexpr char kServeJobsCancelled[] = "serve.jobs.cancelled";
+inline constexpr char kServeSlowJobs[] = "serve.jobs.slow";
+// serving-layer histograms (queue wait + per-kind job latency)
+inline constexpr char kServeQueueWaitNs[] = "serve.queue.wait_ns";
+inline constexpr char kServeJobNs[] = "serve.job.total_ns";
+inline constexpr char kServeRouteNs[] = "serve.job.route_ns";
+inline constexpr char kServeEcoNs[] = "serve.job.eco_ns";
+
+// exec pool. Steal counts and idle wake-ups are scheduling accidents —
+// pure functions of thread timing, never of routing output — so the whole
+// exec.pool.* prefix is execution-dependent.
+inline constexpr char kExecSteals[] = "exec.pool.steals";
+inline constexpr char kExecChunksRun[] = "exec.pool.chunks_run";
+inline constexpr char kExecIdleWakeups[] = "exec.pool.idle_wakeups";
+
+// telemetry self-observation
+inline constexpr char kTraceDroppedSpans[] = "telemetry.trace.dropped_spans";
+inline constexpr char kFlightDroppedEvents[] =
+    "telemetry.flight.dropped_events";
+
 /// Counters that measure the execution environment (wall-clock timings,
 /// per-worker cache warm starts, where a deadline or a shared-incumbent
-/// search happened to be cut off) rather than routing decisions: their
-/// values legitimately vary with the thread count and the machine, so the
+/// search happened to be cut off, serving-layer traffic, pool scheduling,
+/// telemetry self-observation) rather than routing decisions: their values
+/// legitimately vary with the thread count and the machine, so the
 /// canonical (include_timing = false) run-report form excludes them to keep
 /// its cross-thread byte-identity contract (DESIGN.md §8).
 [[nodiscard]] inline bool execution_dependent(std::string_view name) {
   return name.ends_with("_ns") || name == kGlobalScratchReuses ||
          name == kTrackIlpNodes || name == kTrackIlpFallbacks ||
-         name == kTrackIlpBudgetHits;
+         name == kTrackIlpBudgetHits || name.starts_with("serve.") ||
+         name.starts_with("exec.pool.") || name.starts_with("telemetry.");
 }
 
 }  // namespace mebl::telemetry::keys

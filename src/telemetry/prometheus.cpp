@@ -1,0 +1,109 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/telemetry.hpp"
+
+namespace mebl::telemetry {
+
+namespace {
+
+bool valid_metric_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Deterministic number formatting: integers (the common case — counter
+/// values, nanosecond quantiles) print exactly; everything else prints with
+/// enough digits to round-trip.
+void write_value(std::ostream& out, double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.0e15) {
+    out << static_cast<std::int64_t>(value);
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out << buf;
+}
+
+void write_labels(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out << ',';
+    out << key << "=\"" << prometheus_escape_label(value) << '"';
+    first = false;
+  }
+  out << '}';
+}
+
+void write_summary(std::ostream& out, const std::string& metric,
+                   const HistogramSnapshot& snapshot) {
+  out << "# TYPE " << metric << " summary\n";
+  static constexpr std::pair<const char*, double> kQuantiles[] = {
+      {"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}};
+  for (const auto& [label, q] : kQuantiles) {
+    out << metric << "{quantile=\"" << label << "\"} "
+        << snapshot.quantile_ns(q) << '\n';
+  }
+  out << metric << "_sum " << snapshot.total_ns << '\n';
+  out << metric << "_count " << snapshot.count << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(std::string_view name) {
+  std::string out = "mebl_";
+  out.reserve(name.size() + out.size());
+  for (const char c : name) out.push_back(valid_metric_char(c) ? c : '_');
+  return out;
+}
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& out,
+                      const std::vector<PrometheusGauge>& gauges) {
+  for (const auto& [name, value] : snapshot_counters().counters) {
+    const std::string metric = prometheus_metric_name(name);
+    out << "# TYPE " << metric << " counter\n" << metric << ' ' << value
+        << '\n';
+  }
+  for (const auto& [name, snapshot] : snapshot_histograms())
+    write_summary(out, prometheus_metric_name(name), snapshot);
+  for (const PrometheusGauge& gauge : gauges) {
+    const std::string metric = prometheus_metric_name(gauge.name);
+    out << "# TYPE " << metric << " gauge\n" << metric;
+    write_labels(out, gauge.labels);
+    out << ' ';
+    write_value(out, gauge.value);
+    out << '\n';
+  }
+}
+
+std::string prometheus_text(const std::vector<PrometheusGauge>& gauges) {
+  std::ostringstream out;
+  write_prometheus(out, gauges);
+  return out.str();
+}
+
+}  // namespace mebl::telemetry

@@ -1,0 +1,44 @@
+#pragma once
+
+// Prometheus text-exposition rendering of the telemetry registry
+// (DESIGN.md §14). Naming scheme: every metric is the registry name with
+// '.' (and any other character outside [a-zA-Z0-9_:]) mapped to '_' and a
+// `mebl_` prefix, so `serve.queue.wait_ns` scrapes as
+// `mebl_serve_queue_wait_ns`. Counters render as Prometheus counters,
+// histograms as summaries (p50/p95/p99 quantile lines from
+// HistogramSnapshot plus `_sum`/`_count`), and caller-supplied gauges —
+// point-in-time values like queue depth that are not monotonic counters —
+// as gauges with optional labels. Output is deterministic: registries are
+// name-sorted, gauges keep caller order, and numbers use fixed formatting.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mebl::telemetry {
+
+/// A point-in-time value the caller owns (the registry only holds monotonic
+/// counters and histograms). `name` uses registry spelling ("serve.queue.
+/// depth"); labels are raw values, escaped during rendering.
+struct PrometheusGauge {
+  std::string name;
+  double value = 0.0;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// Registry name -> Prometheus metric name (sanitize + `mebl_` prefix).
+[[nodiscard]] std::string prometheus_metric_name(std::string_view name);
+
+/// Label-value escaping per the exposition format: backslash, double quote
+/// and newline become \\, \" and \n.
+[[nodiscard]] std::string prometheus_escape_label(std::string_view value);
+
+/// Render the full registry (every counter and histogram) plus `gauges`.
+void write_prometheus(std::ostream& out,
+                      const std::vector<PrometheusGauge>& gauges = {});
+[[nodiscard]] std::string prometheus_text(
+    const std::vector<PrometheusGauge>& gauges = {});
+
+}  // namespace mebl::telemetry

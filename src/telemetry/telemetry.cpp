@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <ostream>
+
+#include "telemetry/keys.hpp"
 
 namespace mebl::telemetry {
 
@@ -31,6 +34,12 @@ std::vector<SpanEvent>& event_buffer() {
   static auto* events = new std::vector<SpanEvent>();
   return *events;
 }
+
+constexpr std::size_t kDefaultTraceCapacity = std::size_t{1} << 18;
+std::atomic<std::size_t> g_trace_capacity{kDefaultTraceCapacity};
+
+// Process-global (not thread-local) on purpose; see RequestScope docs.
+std::atomic<std::uint64_t> g_request_tag{0};
 
 // Small dense thread ids (1, 2, ... in order of first span) keep traces and
 // tests readable; std::thread::id hashes would churn between runs.
@@ -70,6 +79,8 @@ void set_clock_for_testing(ClockFn clock) {
 
 namespace internal {
 
+std::uint32_t thread_tid() noexcept { return this_thread_tid(); }
+
 std::size_t counter_shard() noexcept {
   static std::atomic<std::size_t> next{0};
   thread_local const std::size_t shard =
@@ -106,6 +117,75 @@ std::array<std::int64_t, Histogram::kBuckets> Histogram::buckets()
 Histogram& histogram(std::string_view name) {
   const std::lock_guard<std::mutex> lock(g_registry_mutex);
   return histogram_registry()[std::string(name)];
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+  count += other.count;
+  total_ns += other.total_ns;
+  for (int i = 0; i < Histogram::kBuckets; ++i)
+    buckets[static_cast<std::size_t>(i)] +=
+        other.buckets[static_cast<std::size_t>(i)];
+}
+
+std::uint64_t HistogramSnapshot::bucket_lower_ns(int bucket) noexcept {
+  if (bucket <= 0) return 0;
+  return (std::uint64_t{1} << (bucket - 1)) * 1000;
+}
+
+std::uint64_t HistogramSnapshot::bucket_upper_ns(int bucket) noexcept {
+  if (bucket < 0) return 0;
+  const int capped = std::min(bucket, Histogram::kBuckets - 1);
+  return (std::uint64_t{1} << capped) * 1000;
+}
+
+std::uint64_t HistogramSnapshot::quantile_ns(double q) const noexcept {
+  if (count <= 0) return 0;
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  std::int64_t rank =
+      static_cast<std::int64_t>(std::ceil(clamped * static_cast<double>(count)));
+  rank = std::min(std::max(rank, std::int64_t{1}), count);
+  std::int64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const std::int64_t in_bucket = buckets[static_cast<std::size_t>(b)];
+    if (in_bucket <= 0) continue;
+    if (rank <= cumulative + in_bucket) {
+      const std::uint64_t lower = bucket_lower_ns(b);
+      const std::uint64_t upper = bucket_upper_ns(b);
+      const std::int64_t position = rank - cumulative;  // 1..in_bucket
+      return lower + (upper - lower) * static_cast<std::uint64_t>(position) /
+                         static_cast<std::uint64_t>(in_bucket);
+    }
+    cumulative += in_bucket;
+  }
+  return bucket_upper_ns(Histogram::kBuckets - 1);
+}
+
+HistogramSnapshot snapshot_histogram(const Histogram& h) {
+  HistogramSnapshot out;
+  out.count = h.count();
+  out.total_ns = h.total_ns();
+  out.buckets = h.buckets();
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> snapshot_histograms() {
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  out.reserve(histogram_registry().size());
+  for (const auto& [name, histo] : histogram_registry())
+    out.emplace_back(name, snapshot_histogram(histo));
+  return out;  // std::map iteration is already name-sorted
+}
+
+RequestScope::RequestScope(std::uint64_t tag) noexcept
+    : previous_(g_request_tag.exchange(tag, std::memory_order_relaxed)) {}
+
+RequestScope::~RequestScope() {
+  g_request_tag.store(previous_, std::memory_order_relaxed);
+}
+
+std::uint64_t current_request() noexcept {
+  return g_request_tag.load(std::memory_order_relaxed);
 }
 
 std::int64_t StatsSnapshot::value(std::string_view name) const noexcept {
@@ -195,8 +275,35 @@ void Tracer::clear() {
 }
 
 void Tracer::record(const SpanEvent& event) {
-  const std::lock_guard<std::mutex> lock(g_events_mutex);
-  event_buffer().push_back(event);
+  {
+    const std::lock_guard<std::mutex> lock(g_events_mutex);
+    if (event_buffer().size() <
+        g_trace_capacity.load(std::memory_order_relaxed)) {
+      event_buffer().push_back(event);
+      return;
+    }
+  }
+  // Buffer full: drop, but leave an audit trail. The counter reference is
+  // cached so the overflow path does not hammer the registry mutex.
+  static Counter& dropped = counter(keys::kTraceDroppedSpans);
+  dropped.add(1);
+}
+
+void Tracer::record_span(const char* name, std::uint64_t start_ns,
+                         std::uint64_t dur_ns) {
+  const SpanEvent event{name, this_thread_tid(), 0, start_ns, dur_ns,
+                        current_request()};
+  if (enabled()) record(event);
+  if (internal::g_flight_enabled.load(std::memory_order_relaxed))
+    internal::flight_record_span(event);
+}
+
+std::size_t Tracer::capacity() noexcept {
+  return g_trace_capacity.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_capacity(std::size_t capacity) noexcept {
+  g_trace_capacity.store(capacity, std::memory_order_relaxed);
 }
 
 std::vector<SpanEvent> Tracer::events() {
@@ -225,7 +332,9 @@ void Tracer::write_chrome_trace(std::ostream& out) {
     out << ", \"dur\": ";
     write_us(out, event.dur_ns);
     out << ", \"pid\": 1, \"tid\": " << event.tid
-        << ", \"args\": {\"depth\": " << event.depth << "}}";
+        << ", \"args\": {\"depth\": " << event.depth;
+    if (event.req != 0) out << ", \"req\": " << event.req;
+    out << "}}";
     first = false;
   }
   out << "\n], \"displayTimeUnit\": \"ms\"}\n";
@@ -248,15 +357,21 @@ void Span::begin(const char* name) {
 void Span::end() {
   const std::uint64_t end_ns = now_ns();
   --t_depth;
-  // Spans opened before a disable() still record; spans opened while the
-  // tracer was off never reach here. Either way depth stays balanced.
-  Tracer::record(SpanEvent{name_, this_thread_tid(), depth_, start_ns_,
-                           end_ns - start_ns_});
+  // Spans opened while both sinks were off never reach here, so depth
+  // bookkeeping stays balanced; each sink re-checks its own flag because
+  // either may have toggled while the span was open.
+  const SpanEvent event{name_, this_thread_tid(), depth_, start_ns_,
+                        end_ns - start_ns_, current_request()};
+  if (Tracer::enabled()) Tracer::record(event);
+  if (internal::g_flight_enabled.load(std::memory_order_relaxed))
+    internal::flight_record_span(event);
 }
 
 void reset_for_testing() {
   Tracer::disable();
   Tracer::clear();
+  Tracer::set_capacity(kDefaultTraceCapacity);
+  g_request_tag.store(0, std::memory_order_relaxed);
   set_clock_for_testing(nullptr);
   const std::lock_guard<std::mutex> lock(g_registry_mutex);
   for (auto& [name, ctr] : counter_registry())

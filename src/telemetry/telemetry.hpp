@@ -110,6 +110,37 @@ class Histogram {
 /// The process-wide histogram `name`; same lifetime rules as counter().
 [[nodiscard]] Histogram& histogram(std::string_view name);
 
+/// Mergeable point-in-time copy of one histogram. Buckets are the fixed
+/// log2(microsecond) layout of Histogram, so snapshots taken on different
+/// shards/processes merge by bucket-wise addition — merge() is associative
+/// and commutative, which is what lets per-worker snapshots be combined in
+/// any order without changing the reported quantiles.
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::array<std::int64_t, Histogram::kBuckets> buckets{};
+
+  void merge(const HistogramSnapshot& other) noexcept;
+
+  /// Lower/upper bound of bucket `b` in nanoseconds. Bucket 0 covers
+  /// [0, 1us); bucket i covers [2^(i-1), 2^i) us; the last bucket is
+  /// treated as one more doubling for interpolation purposes.
+  [[nodiscard]] static std::uint64_t bucket_lower_ns(int bucket) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper_ns(int bucket) noexcept;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// bucket holding rank ceil(q*count). Deterministic integer math; 0 when
+  /// the snapshot is empty.
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const noexcept;
+};
+
+/// Snapshot of the process-wide histogram state of `h`.
+[[nodiscard]] HistogramSnapshot snapshot_histogram(const Histogram& h);
+
+/// Name-sorted snapshots of every registered histogram.
+[[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
+snapshot_histograms();
+
 // --------------------------------------------------------- stats snapshots
 
 /// Point-in-time copy of every registered counter, name-sorted. Subtracting
@@ -142,7 +173,39 @@ struct SpanEvent {
   std::int32_t depth;     ///< nesting depth within the thread (0 = root)
   std::uint64_t start_ns;
   std::uint64_t dur_ns;
+  std::uint64_t req = 0;  ///< request tag active at record time (0 = none)
 };
+
+// --------------------------------------------------------- request tagging
+
+/// Tag every span recorded until destruction with `tag` (a serve-layer
+/// request id). The tag is process-global, not thread-local, on purpose:
+/// mebl_serve runs one dispatcher, so exactly one job executes at a time,
+/// and the exec-pool workers it fans out to must inherit the job's tag.
+/// Scopes nest; the previous tag is restored on destruction.
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t tag) noexcept;
+  ~RequestScope();
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+/// The currently active request tag (0 when no RequestScope is live).
+[[nodiscard]] std::uint64_t current_request() noexcept;
+
+namespace internal {
+/// Set by the flight recorder so Span construction stays one (well, two)
+/// relaxed loads when both the tracer and the recorder are off.
+extern std::atomic<bool> g_flight_enabled;
+/// Flight-recorder span sink; defined in flight_recorder.cpp.
+void flight_record_span(const SpanEvent& event) noexcept;
+/// The calling thread's small dense telemetry id (same numbering spans use).
+[[nodiscard]] std::uint32_t thread_tid() noexcept;
+}  // namespace internal
 
 /// Global span recorder. enable() before the traced region, then export
 /// with write_chrome_trace*() — the output opens directly in Perfetto
@@ -167,6 +230,19 @@ class Tracer {
   static void write_chrome_trace(std::ostream& out);
   [[nodiscard]] static bool write_chrome_trace_file(const std::string& path);
 
+  /// Record a span that was measured manually (no RAII scope) — e.g. the
+  /// serve layer's queue-wait span, whose start predates the dispatcher
+  /// thread picking the job up. Tagged with current_request() and fed to
+  /// the flight recorder exactly like a Span.
+  static void record_span(const char* name, std::uint64_t start_ns,
+                          std::uint64_t dur_ns);
+
+  /// The event buffer holds at most capacity() events; further records are
+  /// dropped and counted in telemetry::keys::kTraceDroppedSpans. The
+  /// default (1<<18 events, ~12 MiB) is far above one pipeline run.
+  [[nodiscard]] static std::size_t capacity() noexcept;
+  static void set_capacity(std::size_t capacity) noexcept;
+
  private:
   friend class Span;
   static void record(const SpanEvent& event);
@@ -179,7 +255,9 @@ class Tracer {
 class Span {
  public:
   explicit Span(const char* name) {
-    if (Tracer::enabled()) begin(name);
+    if (Tracer::enabled() ||
+        internal::g_flight_enabled.load(std::memory_order_relaxed))
+      begin(name);
   }
   ~Span() {
     if (active_) end();

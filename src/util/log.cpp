@@ -4,6 +4,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace mebl::util {
 
 namespace {
@@ -36,9 +38,32 @@ void Log::set_sink(std::ostream* sink) noexcept {
   g_sink = sink;
 }
 
+std::optional<LogLevel> log_level_from_name(std::string_view name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
 void Log::write(LogLevel level, const std::string& message) {
   const LogLevel threshold = g_level.load(std::memory_order_relaxed);
   if (level < threshold || threshold == LogLevel::kOff) return;
+  // Lines that pass the threshold also land in the flight recorder, so a
+  // postmortem dump interleaves recent log output with span history.
+  telemetry::FlightRecorder::record_log(tag(level), message);
   const std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
   out << "[mebl " << tag(level) << "] " << message << '\n';

@@ -1,13 +1,24 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace mebl::util {
 
 /// Severity levels for the library logger.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Parse a CLI-style level name ("debug", "info", "warn", "error", "off");
+/// nullopt for anything else. Case-sensitive on purpose — flags document
+/// the lowercase spellings.
+[[nodiscard]] std::optional<LogLevel> log_level_from_name(
+    std::string_view name) noexcept;
+
+/// The canonical lowercase name for `level` ("debug", ...).
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
 
 /// Minimal leveled logger. The routing stages use it for progress and
 /// anomaly reporting; benches set the threshold to kWarn so table output

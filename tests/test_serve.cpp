@@ -7,6 +7,8 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -19,6 +21,7 @@
 #include "serve/protocol.hpp"
 #include "serve/resident_design.hpp"
 #include "serve/server.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/keys.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -522,6 +525,182 @@ TEST(ServeServer, SaveAndLoadStateRoundTripOverSocket) {
   ASSERT_TRUE(response && response->type == "done") << response->error;
 
   ::unlink(state_path.c_str());
+  server.stop();
+}
+
+// ----------------------------------------------------------- observability
+
+netlist::Design small_design(unsigned seed) {
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "unit";
+  spec.um_width = 100;
+  spec.um_height = 100;
+  spec.layers = 3;
+  spec.nets = 40;
+  spec.pins = 120;
+  auto circuit = bench_suite::generate_circuit(spec, {}, seed);
+  return netlist::Design{circuit.grid, std::move(circuit.netlist)};
+}
+
+/// Load `design` onto the daemon as `name` and route it; asserts success.
+void load_and_route(Client& client, const std::string& name,
+                    const netlist::Design& design) {
+  std::ostringstream design_text;
+  netlist::write_design(design_text, design);
+  Request load = make_request(Op::kLoad, 0);
+  load.design = name;
+  load.design_text = design_text.str();
+  auto response = client.call(std::move(load));
+  ASSERT_TRUE(response && response->type == "done") << response->error;
+  Request route = make_request(Op::kRoute, 0);
+  route.design = name;
+  response = client.call(std::move(route));
+  ASSERT_TRUE(response && response->type == "done") << response->error;
+}
+
+TEST(ServeServer, MetricsRequestRendersValidPrometheusText) {
+  ServerConfig config;
+  config.socket_path = test_socket_path() + ".m";
+  Server server(config);
+  ASSERT_TRUE(server.start());
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path));
+
+  const netlist::Design design = small_design(5);
+  load_and_route(client, "unit", design);
+
+  auto response = client.call(make_request(Op::kMetrics, 0));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->type, "ack") << response->error;
+  const report::Json* content_type = response->payload.get("content_type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_EQ(content_type->as_string(), "text/plain; version=0.0.4");
+  const report::Json* text_json = response->payload.get("text");
+  ASSERT_NE(text_json, nullptr);
+  const std::string text = text_json->as_string();
+
+  // The exposition parses: every line is a `# TYPE mebl_* <kind>` comment
+  // or `mebl_name[{labels}] <number>`.
+  std::istringstream lines(text);
+  int metric_lines = 0;
+  for (std::string line; std::getline(lines, line);) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE mebl_", 0), 0u) << line;
+      continue;
+    }
+    EXPECT_EQ(line.rfind("mebl_", 0), 0u) << line;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* end = nullptr;
+    (void)std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+    ++metric_lines;
+  }
+  EXPECT_GT(metric_lines, 10);
+
+  // Queue-wait and route-latency summaries with p50/p95/p99 lines, plus the
+  // server's own gauges (queue depth, in-flight, per-design residency).
+  for (const char* needle :
+       {"# TYPE mebl_serve_queue_wait_ns summary",
+        "mebl_serve_queue_wait_ns{quantile=\"0.5\"} ",
+        "mebl_serve_queue_wait_ns{quantile=\"0.95\"} ",
+        "mebl_serve_queue_wait_ns{quantile=\"0.99\"} ",
+        "mebl_serve_job_route_ns{quantile=\"0.99\"} ",
+        "mebl_serve_job_total_ns_count ",
+        "mebl_serve_requests_decoded ",
+        "mebl_serve_jobs_route ",
+        "mebl_serve_queue_depth 0",
+        "mebl_serve_jobs_inflight 0",
+        "mebl_serve_cache_residents 1",
+        "mebl_serve_cache_resident{design=\"unit\"} 1"})
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "metrics text lacks: " << needle;
+
+  server.stop();
+}
+
+TEST(ServeServer, EcoSpansAllCarryTheRequestId) {
+  ServerConfig config;
+  config.socket_path = test_socket_path() + ".t";
+  Server server(config);
+  ASSERT_TRUE(server.start());
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path));
+
+  const netlist::Design design = small_design(7);
+  load_and_route(client, "unit", design);
+
+  // Trace exactly the ECO request's lifetime.
+  telemetry::Tracer::enable();
+  telemetry::Tracer::clear();
+  Request eco = make_request(Op::kEco, 0);
+  eco.design = "unit";
+  eco.nets = routable_nets(design.netlist, 4);
+  ASSERT_GE(eco.nets.size(), 4u);
+  auto response = client.call(std::move(eco));
+  telemetry::Tracer::disable();
+  ASSERT_TRUE(response && response->type == "done") << response->error;
+  const std::uint64_t request_id = static_cast<std::uint64_t>(response->id);
+  ASSERT_GT(request_id, 0u);
+
+  const auto events = telemetry::Tracer::events();
+  ASSERT_FALSE(events.empty());
+  bool saw_queue_wait = false;
+  bool saw_dispatch = false;
+  bool saw_eco = false;
+  for (const telemetry::SpanEvent& event : events) {
+    EXPECT_EQ(event.req, request_id)
+        << "span '" << event.name << "' lost the request tag";
+    const std::string name = event.name;
+    saw_queue_wait |= name == "serve.queue_wait";
+    saw_dispatch |= name == "serve.dispatch";
+    saw_eco |= name == "serve.eco";
+  }
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_dispatch);
+  EXPECT_TRUE(saw_eco);
+
+  telemetry::Tracer::clear();
+  server.stop();
+}
+
+TEST(ServeServer, DumpRequestWritesFlightRecorderFile) {
+  telemetry::FlightRecorder::enable();
+  ServerConfig config;
+  config.socket_path = test_socket_path() + ".d";
+  Server server(config);
+  ASSERT_TRUE(server.start());
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path));
+
+  const netlist::Design design = small_design(9);
+  load_and_route(client, "unit", design);
+
+  const std::string dump_path = config.socket_path + ".flight";
+  Request dump = make_request(Op::kDump, 0);
+  dump.path = dump_path;
+  auto response = client.call(std::move(dump));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->type, "ack") << response->error;
+  const report::Json* path_json = response->payload.get("path");
+  ASSERT_NE(path_json, nullptr);
+  EXPECT_EQ(path_json->as_string(), dump_path);
+  const report::Json* events_json = response->payload.get("events");
+  ASSERT_NE(events_json, nullptr);
+  EXPECT_GT(events_json->as_int(), 0);
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_EQ(text.rfind("# mebl flight recorder v1", 0), 0u);
+  EXPECT_NE(text.find(" span serve."), std::string::npos)
+      << "dump carries no serve-layer spans";
+
+  telemetry::FlightRecorder::reset_for_testing();
+  ::unlink(dump_path.c_str());
   server.stop();
 }
 

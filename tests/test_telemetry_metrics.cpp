@@ -1,0 +1,425 @@
+// Observability-layer tests (ctest label `obs`): histogram quantile
+// snapshots, Prometheus text exposition, tracer capacity / drop accounting,
+// request-scoped span tagging, the flight recorder (including a real
+// crash-handler dump in a forked child), and log-level plumbing.
+//
+// Like test_telemetry.cpp, these mutate process-global telemetry state
+// (clock stubs, enable/disable, capacity overrides), so they live in their
+// own binary and never share a process with the pipeline tests.
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/keys.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/log.hpp"
+
+namespace mebl::telemetry {
+namespace {
+
+// Deterministic clock stub: every now_ns() call advances one microsecond.
+std::uint64_t g_fake_now_ns = 0;
+std::uint64_t fake_clock() { return g_fake_now_ns += 1000; }
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_for_testing();
+    FlightRecorder::reset_for_testing();
+    g_fake_now_ns = 0;
+  }
+  void TearDown() override {
+    reset_for_testing();
+    FlightRecorder::reset_for_testing();
+    util::Log::set_level(util::LogLevel::kWarn);
+  }
+};
+
+// ------------------------------------------------- histogram snapshots
+
+// The worked example from telemetry.hpp's bucket layout: samples land in
+// buckets [0,1us) x4, [1us,2us) x4, [2us,4us) x2, and the interpolated
+// quantiles are exact, deterministic values.
+TEST_F(ObsTest, HistogramSnapshotQuantilesAreExact) {
+  Histogram& h = histogram("obs.quantiles_ns");
+  for (int i = 0; i < 4; ++i) h.record_ns(500);
+  for (int i = 0; i < 4; ++i) h.record_ns(1500);
+  for (int i = 0; i < 2; ++i) h.record_ns(3000);
+
+  const HistogramSnapshot snapshot = snapshot_histogram(h);
+  EXPECT_EQ(snapshot.count, 10);
+  EXPECT_EQ(snapshot.total_ns, 4 * 500u + 4 * 1500u + 2 * 3000u);
+
+  // p50: rank 5 is the 1st of 4 samples in [1000, 2000) -> 1250.
+  EXPECT_EQ(snapshot.quantile_ns(0.50), 1250u);
+  // p95 and p99: rank 10 is the last of 2 samples in [2000, 4000) -> 4000.
+  EXPECT_EQ(snapshot.quantile_ns(0.95), 4000u);
+  EXPECT_EQ(snapshot.quantile_ns(0.99), 4000u);
+  // Extremes clamp to real ranks: q=0 reads rank 1, q=1 reads rank count.
+  EXPECT_EQ(snapshot.quantile_ns(0.0), snapshot.quantile_ns(0.1));
+  EXPECT_EQ(snapshot.quantile_ns(1.0), 4000u);
+}
+
+TEST_F(ObsTest, EmptyHistogramSnapshotIsAllZero) {
+  const HistogramSnapshot snapshot;
+  EXPECT_EQ(snapshot.count, 0);
+  EXPECT_EQ(snapshot.quantile_ns(0.5), 0u);
+  EXPECT_EQ(snapshot.quantile_ns(0.99), 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundsMatchDocumentedLayout) {
+  EXPECT_EQ(HistogramSnapshot::bucket_lower_ns(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper_ns(0), 1000u);
+  EXPECT_EQ(HistogramSnapshot::bucket_lower_ns(1), 1000u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper_ns(1), 2000u);
+  EXPECT_EQ(HistogramSnapshot::bucket_lower_ns(5), 16000u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper_ns(5), 32000u);
+}
+
+// Snapshots from different "workers" must merge in any order / grouping and
+// report the same quantiles as one histogram that saw every sample.
+TEST_F(ObsTest, HistogramSnapshotMergeIsAssociativeAndCommutative) {
+  Histogram& ha = histogram("obs.merge_a_ns");
+  Histogram& hb = histogram("obs.merge_b_ns");
+  Histogram& hc = histogram("obs.merge_c_ns");
+  Histogram& all = histogram("obs.merge_all_ns");
+  const std::vector<std::uint64_t> sa = {500, 500, 900};
+  const std::vector<std::uint64_t> sb = {1500, 1700};
+  const std::vector<std::uint64_t> sc = {3000, 64000, 64000};
+  for (const auto ns : sa) { ha.record_ns(ns); all.record_ns(ns); }
+  for (const auto ns : sb) { hb.record_ns(ns); all.record_ns(ns); }
+  for (const auto ns : sc) { hc.record_ns(ns); all.record_ns(ns); }
+
+  const HistogramSnapshot a = snapshot_histogram(ha);
+  const HistogramSnapshot b = snapshot_histogram(hb);
+  const HistogramSnapshot c = snapshot_histogram(hc);
+
+  HistogramSnapshot ab_c = a;   // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  HistogramSnapshot bc = b;     // a + (b + c)
+  bc.merge(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.merge(bc);
+  HistogramSnapshot ba = b;     // b + a
+  ba.merge(a);
+  HistogramSnapshot ab = a;     // a + b
+  ab.merge(b);
+
+  EXPECT_EQ(ab_c.count, a_bc.count);
+  EXPECT_EQ(ab_c.total_ns, a_bc.total_ns);
+  EXPECT_EQ(ab_c.buckets, a_bc.buckets);
+  EXPECT_EQ(ab.buckets, ba.buckets);
+
+  const HistogramSnapshot whole = snapshot_histogram(all);
+  EXPECT_EQ(ab_c.count, whole.count);
+  EXPECT_EQ(ab_c.total_ns, whole.total_ns);
+  EXPECT_EQ(ab_c.buckets, whole.buckets);
+  for (const double q : {0.5, 0.95, 0.99})
+    EXPECT_EQ(ab_c.quantile_ns(q), whole.quantile_ns(q)) << "q=" << q;
+}
+
+// --------------------------------------------------- prometheus rendering
+
+TEST_F(ObsTest, PrometheusMetricNamesAreSanitizedAndPrefixed) {
+  EXPECT_EQ(prometheus_metric_name("serve.queue.wait_ns"),
+            "mebl_serve_queue_wait_ns");
+  EXPECT_EQ(prometheus_metric_name("weird-name with spaces"),
+            "mebl_weird_name_with_spaces");
+  EXPECT_EQ(prometheus_metric_name("ok_name:colons"), "mebl_ok_name:colons");
+}
+
+TEST_F(ObsTest, PrometheusLabelEscaping) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("quote\"back\\slash\nnewline"),
+            "quote\\\"back\\\\slash\\nnewline");
+}
+
+TEST_F(ObsTest, PrometheusRenderingIsDeterministicAndOrdered) {
+  // Register deliberately out of order: output must be name-sorted.
+  counter("obs.zz.second").add(7);
+  counter("obs.aa.first").add(3);
+  Histogram& h = histogram("obs.lat_ns");
+  for (int i = 0; i < 4; ++i) h.record_ns(500);
+  for (int i = 0; i < 4; ++i) h.record_ns(1500);
+  for (int i = 0; i < 2; ++i) h.record_ns(3000);
+
+  const std::vector<PrometheusGauge> gauges = {
+      {"serve.queue.depth", 5.0, {}},
+      {"serve.cache.resident", 1.0, {{"design", "chip\"v2\""}}},
+  };
+  const std::string text = prometheus_text(gauges);
+
+  EXPECT_NE(text.find("# TYPE mebl_obs_aa_first counter\n"
+                      "mebl_obs_aa_first 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mebl_obs_zz_second 7\n"), std::string::npos);
+  EXPECT_LT(text.find("mebl_obs_aa_first"), text.find("mebl_obs_zz_second"));
+
+  // The histogram renders as a summary with the exact worked quantiles.
+  EXPECT_NE(text.find("# TYPE mebl_obs_lat_ns summary\n"
+                      "mebl_obs_lat_ns{quantile=\"0.5\"} 1250\n"
+                      "mebl_obs_lat_ns{quantile=\"0.95\"} 4000\n"
+                      "mebl_obs_lat_ns{quantile=\"0.99\"} 4000\n"
+                      "mebl_obs_lat_ns_sum 14000\n"
+                      "mebl_obs_lat_ns_count 10\n"),
+            std::string::npos);
+
+  // Gauges keep caller order and escape label values.
+  EXPECT_NE(text.find("# TYPE mebl_serve_queue_depth gauge\n"
+                      "mebl_serve_queue_depth 5\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("mebl_serve_cache_resident{design=\"chip\\\"v2\\\"\"} 1\n"),
+      std::string::npos);
+
+  // Byte-stable: rendering twice gives identical text.
+  EXPECT_EQ(text, prometheus_text(gauges));
+
+  // Every line is either a comment or `name[{labels}] value`.
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE mebl_", 0), 0u) << line;
+      continue;
+    }
+    EXPECT_EQ(line.rfind("mebl_", 0), 0u) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+// --------------------------------------------- tracer capacity + tagging
+
+TEST_F(ObsTest, TracerDropsAtCapacityAndCountsDrops) {
+  set_clock_for_testing(&fake_clock);
+  Tracer::set_capacity(4);
+  Tracer::enable();
+  for (int i = 0; i < 7; ++i) Tracer::record_span("span", 1000, 500);
+
+  EXPECT_EQ(Tracer::events().size(), 4u);
+  EXPECT_EQ(counter(keys::kTraceDroppedSpans).value(), 3);
+
+  // reset_for_testing restores the default capacity and zeroes the counter.
+  reset_for_testing();
+  EXPECT_GT(Tracer::capacity(), 4u);
+  EXPECT_EQ(counter(keys::kTraceDroppedSpans).value(), 0);
+}
+
+TEST_F(ObsTest, RequestScopeTagsSpansAndNests) {
+  set_clock_for_testing(&fake_clock);
+  Tracer::enable();
+  EXPECT_EQ(current_request(), 0u);
+  {
+    RequestScope outer(42);
+    EXPECT_EQ(current_request(), 42u);
+    { TELEMETRY_SPAN("tagged.outer"); }
+    {
+      RequestScope inner(43);
+      EXPECT_EQ(current_request(), 43u);
+      { TELEMETRY_SPAN("tagged.inner"); }
+    }
+    EXPECT_EQ(current_request(), 42u);
+    Tracer::record_span("tagged.manual", 100, 50);
+  }
+  EXPECT_EQ(current_request(), 0u);
+  { TELEMETRY_SPAN("untagged"); }
+
+  const auto events = Tracer::events();
+  ASSERT_EQ(events.size(), 4u);
+  for (const SpanEvent& event : events) {
+    const std::string name = event.name;
+    if (name == "tagged.outer") { EXPECT_EQ(event.req, 42u); }
+    if (name == "tagged.inner") { EXPECT_EQ(event.req, 43u); }
+    if (name == "tagged.manual") { EXPECT_EQ(event.req, 42u); }
+    if (name == "untagged") { EXPECT_EQ(event.req, 0u); }
+  }
+}
+
+// ------------------------------------------------------- flight recorder
+
+TEST_F(ObsTest, FlightRecorderCapturesSpansAndLogs) {
+  set_clock_for_testing(&fake_clock);
+  FlightRecorder::enable();
+  ASSERT_FALSE(Tracer::enabled());  // recording works with the tracer off
+  {
+    RequestScope scope(9);
+    TELEMETRY_SPAN("flight.span");
+  }
+  FlightRecorder::record_log("WARN", "something odd");
+
+  const auto events = FlightRecorder::snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, FlightRecorder::Event::Kind::kSpan);
+  EXPECT_STREQ(events[0].name, "flight.span");
+  EXPECT_EQ(events[0].req, 9u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_EQ(events[1].kind, FlightRecorder::Event::Kind::kLog);
+  EXPECT_STREQ(events[1].name, "WARN");
+  EXPECT_EQ(events[1].text, "something odd");
+
+  // The tracer saw nothing: the two sinks are independent.
+  EXPECT_TRUE(Tracer::events().empty());
+}
+
+TEST_F(ObsTest, FlightRecorderRingKeepsMostRecentEvents) {
+  FlightRecorder::enable();
+  const int total = static_cast<int>(FlightRecorder::kSlotsPerThread) + 50;
+  for (int i = 0; i < total; ++i)
+    FlightRecorder::record_log("INFO", "line " + std::to_string(i));
+
+  const auto events = FlightRecorder::snapshot();
+  ASSERT_EQ(events.size(), FlightRecorder::kSlotsPerThread);
+  // The survivors are exactly the newest kSlotsPerThread, in order.
+  EXPECT_EQ(events.front().text,
+            "line " + std::to_string(total -
+                                     static_cast<int>(
+                                         FlightRecorder::kSlotsPerThread)));
+  EXPECT_EQ(events.back().text, "line " + std::to_string(total - 1));
+}
+
+TEST_F(ObsTest, FlightRecorderDumpFileIsReadable) {
+  set_clock_for_testing(&fake_clock);
+  FlightRecorder::enable();
+  {
+    RequestScope scope(7);
+    TELEMETRY_SPAN("dump.span");
+  }
+  FlightRecorder::record_log("ERROR", "bad thing");
+
+  const std::string path =
+      ::testing::TempDir() + "mebl_obs_dump_" + std::to_string(::getpid()) +
+      ".log";
+  ASSERT_TRUE(FlightRecorder::dump_to_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  EXPECT_EQ(text.rfind("# mebl flight recorder v1", 0), 0u);
+  EXPECT_NE(text.find("span dump.span"), std::string::npos);
+  EXPECT_NE(text.find("req=7"), std::string::npos);
+  EXPECT_NE(text.find("log ERROR"), std::string::npos);
+  EXPECT_NE(text.find("bad thing"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, UtilLogLinesReachTheFlightRecorder) {
+  FlightRecorder::enable();
+  // Route the log sink somewhere quiet; the recorder taps write() upstream.
+  std::ostringstream sink;
+  util::Log::set_sink(&sink);
+  util::log_warn() << "recorded line";
+  util::Log::set_level(util::LogLevel::kError);
+  util::log_warn() << "below threshold, not recorded";
+  util::Log::set_sink(nullptr);
+  util::Log::set_level(util::LogLevel::kWarn);
+
+  const auto events = FlightRecorder::snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FlightRecorder::Event::Kind::kLog);
+  EXPECT_EQ(events[0].text, "recorded line");
+}
+
+TEST_F(ObsTest, TimestampedPathEmbedsPidAndSuffix) {
+  const std::string path = FlightRecorder::timestamped_path("/tmp/prefix");
+  EXPECT_EQ(path.rfind("/tmp/prefix_", 0), 0u);
+  EXPECT_NE(path.find(std::to_string(::getpid())), std::string::npos);
+  EXPECT_EQ(path.substr(path.size() - 4), ".log");
+}
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MEBL_OBS_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define MEBL_OBS_TSAN 1
+#endif
+
+// End-to-end crash path: a forked child arms the crash handler, records a
+// few events, and dies on SIGSEGV; the parent finds the dump file and reads
+// the header back. Skipped under TSan (fork + signal-handler re-raise trips
+// the runtime's interceptors, and the dump path itself is exercised above).
+TEST_F(ObsTest, CrashHandlerWritesDumpOnFatalSignal) {
+#if defined(MEBL_OBS_TSAN)
+  GTEST_SKIP() << "fork+fatal-signal test skipped under ThreadSanitizer";
+#else
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("mebl_obs_crash_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string prefix = (dir / "crash").string();
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: no gtest from here on. Die under a live request tag so the
+    // dump attributes the spans.
+    FlightRecorder::enable();
+    FlightRecorder::install_crash_handler(prefix);
+    RequestScope scope(1234);
+    { TELEMETRY_SPAN("crash.work"); }
+    FlightRecorder::record_log("INFO", "about to crash");
+    ::raise(SIGSEGV);
+    ::_exit(97);  // unreachable
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  std::vector<fs::path> dumps;
+  for (const auto& entry : fs::directory_iterator(dir))
+    dumps.push_back(entry.path());
+  ASSERT_EQ(dumps.size(), 1u);
+  std::ifstream in(dumps[0]);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  EXPECT_EQ(text.rfind("# mebl flight recorder v1", 0), 0u);
+  EXPECT_NE(text.find("# fatal signal " + std::to_string(SIGSEGV)),
+            std::string::npos);
+  EXPECT_NE(text.find("span crash.work"), std::string::npos);
+  EXPECT_NE(text.find("req=1234"), std::string::npos);
+  EXPECT_NE(text.find("about to crash"), std::string::npos);
+  fs::remove_all(dir);
+#endif
+}
+
+// ------------------------------------------------------------- log levels
+
+TEST_F(ObsTest, LogLevelNamesRoundTrip) {
+  using util::LogLevel;
+  EXPECT_EQ(util::log_level_from_name("debug"), LogLevel::kDebug);
+  EXPECT_EQ(util::log_level_from_name("info"), LogLevel::kInfo);
+  EXPECT_EQ(util::log_level_from_name("warn"), LogLevel::kWarn);
+  EXPECT_EQ(util::log_level_from_name("error"), LogLevel::kError);
+  EXPECT_EQ(util::log_level_from_name("off"), LogLevel::kOff);
+  EXPECT_FALSE(util::log_level_from_name("verbose").has_value());
+  EXPECT_FALSE(util::log_level_from_name("WARN").has_value());
+  for (const LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError,
+        LogLevel::kOff})
+    EXPECT_EQ(util::log_level_from_name(util::log_level_name(level)), level);
+}
+
+}  // namespace
+}  // namespace mebl::telemetry
