@@ -1,29 +1,44 @@
 #!/bin/sh
-# Regression gate against the checked-in bench baseline: re-run the
-# eco_reroute harness, emit its mebl.bench_report JSON, and `mebl_report
-# diff` it against bench/BENCH_baseline.json. Deterministic row metrics
-# (batch_nets, dirty_subnets) are gated — a missing row or a changed value
-# fails; wall-clock columns (eco_seconds, full_seconds, eco_over_full) are
-# informational only, so the gate cannot flake on machine speed.
+# Regression gate against the checked-in bench baselines: re-run the
+# eco_reroute and full_scale harnesses, emit their mebl.bench_report JSON,
+# and `mebl_report diff` each against its baseline
+# (bench/BENCH_baseline.json, bench/BENCH_baseline_full_scale.json).
+# Deterministic row metrics (batch_nets, dirty_subnets, wirelength,
+# overflow, tiles_materialized, memory_fraction, ...) are gated — a missing
+# row or a changed value fails; wall-clock columns (eco_seconds,
+# full_seconds, speedup, peak_rss_kb) are informational or loosely slacked,
+# so the gate cannot flake on machine speed.
 #
 #   usage: bench/check_baseline.sh [BUILD_DIR]   (default: build)
 #
-# Exit codes follow `mebl_report diff`: 0 pass, 1 gated regression,
-# 2 bad invocation/IO, 3 schema mismatch.
+# Exit code: worst `mebl_report diff` outcome across the harnesses
+# (0 pass, 1 gated regression, 2 bad invocation/IO, 3 schema mismatch).
 set -eu
 
 repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_dir/build"}
-baseline="$repo_dir/bench/BENCH_baseline.json"
-candidate=$(mktemp /tmp/BENCH_eco_reroute.XXXXXX.json)
-trap 'rm -f "$candidate"' EXIT
+report="$build_dir/examples/mebl_report"
 
-for binary in "$build_dir/bench/eco_reroute" "$build_dir/examples/mebl_report"; do
+for binary in "$build_dir/bench/eco_reroute" "$build_dir/bench/full_scale" \
+              "$report"; do
   if [ ! -x "$binary" ]; then
     echo "check_baseline: missing $binary (build the repo first)" >&2
     exit 2
   fi
 done
 
-"$build_dir/bench/eco_reroute" --json "$candidate" > /dev/null
-"$build_dir/examples/mebl_report" diff "$baseline" "$candidate"
+worst=0
+for bench in eco_reroute full_scale; do
+  case "$bench" in
+    eco_reroute) baseline="$repo_dir/bench/BENCH_baseline.json" ;;
+    full_scale) baseline="$repo_dir/bench/BENCH_baseline_full_scale.json" ;;
+  esac
+  candidate=$(mktemp "/tmp/BENCH_$bench.XXXXXX.json")
+  "$build_dir/bench/$bench" --json "$candidate" > /dev/null
+  status=0
+  "$report" diff "$baseline" "$candidate" || status=$?
+  rm -f "$candidate"
+  [ "$status" -gt "$worst" ] && worst=$status || :
+done
+
+exit "$worst"

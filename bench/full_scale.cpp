@@ -1,0 +1,166 @@
+// Paper-scale global routing (DESIGN.md §15): generate a full-scale
+// instance (~16k tracks wide for S38417 — the paper's physical die at a
+// two-feature track pitch), route it with the tiled sparse grid plus the
+// coarsen–route–refine multilevel pass, and record the memory curve
+// (tiles materialized, resident bytes vs the dense estimate, peak RSS)
+// alongside runtime and quality. A second row compares multilevel against
+// the flat schedule on the same instance.
+//
+//   full_scale [--threads N] [--json FILE] [--trace FILE] [--stats FILE]
+//
+// MEBL_FULL_SCALE_CIRCUIT selects the spec (default S38417).
+
+#include <sys/resource.h>
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "exec/thread_pool.hpp"
+#include "global/global_router.hpp"
+#include "netlist/decompose.hpp"
+#include "telemetry/keys.hpp"
+
+namespace {
+
+/// Max resident set of this process so far, in kilobytes (getrusage;
+/// /usr/bin/time -v reports the same number — bench/peak_mem.sh merges the
+/// external measurement when available). -1 when unavailable.
+long peak_rss_kb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
+  return usage.ru_maxrss;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mebl;
+  bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("full_scale", argc, argv);
+  bench_common::QuietLogs quiet;
+  exec::ThreadPool pool(bench_common::threads_from_args(argc, argv));
+
+  const char* circuit_name = std::getenv("MEBL_FULL_SCALE_CIRCUIT");
+  const auto* spec =
+      bench_suite::find_spec(circuit_name != nullptr ? circuit_name : "S38417");
+  if (spec == nullptr) {
+    std::cerr << "full_scale: unknown circuit\n";
+    return 2;
+  }
+
+  const auto generator_config = bench_suite::GeneratorConfig::full_scale();
+  const auto circuit =
+      bench_suite::generate_circuit(*spec, generator_config, bench_common::kSeed);
+  const auto subnets = netlist::decompose_all(circuit.netlist);
+
+  global::GlobalRouterConfig ml_config;
+  ml_config.net_batch_size = 32;  // the pipeline's parallel batching default
+  ml_config.tiled_grid = true;
+  ml_config.multilevel.enabled = true;
+
+  util::Timer timer;
+  global::GlobalRouter ml_router(circuit.grid, ml_config);
+  const auto ml_result = ml_router.route(subnets, &pool);
+  const double ml_seconds = timer.seconds();
+  const long rss_kb = peak_rss_kb();
+
+  const auto& graph = ml_router.graph();
+  const auto tiles_total = graph.tiles_total();
+  const auto tiles_materialized = graph.tiles_materialized();
+  const double materialized_fraction =
+      tiles_total > 0
+          ? static_cast<double>(tiles_materialized) / static_cast<double>(tiles_total)
+          : 0.0;
+  const auto storage_bytes = graph.storage_bytes();
+  const auto dense_bytes = global::RoutingGraph::dense_storage_bytes(
+      graph.tiles_x(), graph.tiles_y());
+  const double memory_fraction =
+      dense_bytes > 0
+          ? static_cast<double>(storage_bytes) / static_cast<double>(dense_bytes)
+          : 0.0;
+  const auto counter_value = [](const char* key) {
+    return telemetry::counter(key).value();
+  };
+  const auto coarse_nets = counter_value(telemetry::keys::kMlCoarseNets);
+  const auto corridor_hits = counter_value(telemetry::keys::kMlCorridorHits);
+  const auto corridor_fallbacks =
+      counter_value(telemetry::keys::kMlCorridorFallbacks);
+
+  {
+    report::Json::Object metrics;
+    metrics["subnets"] = static_cast<std::int64_t>(subnets.size());
+    metrics["wirelength"] = ml_result.wirelength;
+    metrics["total_vertex_overflow"] = ml_result.total_vertex_overflow;
+    metrics["max_vertex_overflow"] = ml_result.max_vertex_overflow;
+    metrics["total_edge_overflow"] = ml_result.total_edge_overflow;
+    metrics["seconds"] = ml_seconds;
+    metrics["peak_rss_kb"] = static_cast<std::int64_t>(rss_kb);
+    metrics["tiles_total"] = static_cast<std::int64_t>(tiles_total);
+    metrics["tiles_materialized"] = static_cast<std::int64_t>(tiles_materialized);
+    metrics["materialized_fraction"] = materialized_fraction;
+    metrics["storage_bytes"] = static_cast<std::int64_t>(storage_bytes);
+    metrics["dense_storage_bytes"] = static_cast<std::int64_t>(dense_bytes);
+    metrics["memory_fraction"] = memory_fraction;
+    metrics["coarse_nets"] = coarse_nets;
+    metrics["corridor_hits"] = corridor_hits;
+    metrics["corridor_fallbacks"] = corridor_fallbacks;
+    report_scope.add(spec->name + "@full_scale", "global_route_pass",
+                     std::move(metrics));
+  }
+
+  // Flat comparison: same instance, same tiled storage, multilevel off —
+  // so the delta isolates the coarsen–route–refine schedule.
+  global::GlobalRouterConfig flat_config = ml_config;
+  flat_config.multilevel.enabled = false;
+  timer.reset();
+  global::GlobalRouter flat_router(circuit.grid, flat_config);
+  const auto flat_result = flat_router.route(subnets, &pool);
+  const double flat_seconds = timer.seconds();
+
+  {
+    report::Json::Object metrics;
+    metrics["wirelength"] = ml_result.wirelength;
+    metrics["flat_wirelength"] = flat_result.wirelength;
+    metrics["total_vertex_overflow"] = ml_result.total_vertex_overflow;
+    metrics["flat_total_vertex_overflow"] = flat_result.total_vertex_overflow;
+    metrics["total_edge_overflow"] = ml_result.total_edge_overflow;
+    metrics["flat_total_edge_overflow"] = flat_result.total_edge_overflow;
+    metrics["seconds"] = ml_seconds;
+    metrics["flat_seconds"] = flat_seconds;
+    metrics["speedup"] = ml_seconds > 0.0 ? flat_seconds / ml_seconds : 0.0;
+    metrics["coarse_nets"] = coarse_nets;
+    metrics["corridor_hits"] = corridor_hits;
+    metrics["corridor_fallbacks"] = corridor_fallbacks;
+    report_scope.add("full_scale", "multilevel_vs_flat", std::move(metrics));
+  }
+
+  util::Table table("Circuit", "Tracks", "Subnets", "WL", "TVOF", "CPU(s)",
+                    "RSS(MB)", "Tiles", "Materialized", "TileFrac", "MemFrac");
+  table.add_row(
+      spec->name + "@full_scale",
+      std::to_string(circuit.grid.width()) + "x" +
+          std::to_string(circuit.grid.height()),
+      std::to_string(subnets.size()), std::to_string(ml_result.wirelength),
+      std::to_string(ml_result.total_vertex_overflow),
+      util::Table::fixed(ml_seconds, 2),
+      std::to_string(rss_kb >= 0 ? rss_kb / 1024 : -1),
+      std::to_string(tiles_total), std::to_string(tiles_materialized),
+      util::Table::fixed(materialized_fraction, 4),
+      util::Table::fixed(memory_fraction, 4));
+  std::cout << table.str("Full-scale global routing (tiled + multilevel)")
+            << "\nmultilevel " << util::Table::fixed(ml_seconds, 2)
+            << " s vs flat " << util::Table::fixed(flat_seconds, 2)
+            << " s (speedup "
+            << util::Table::fixed(
+                   ml_seconds > 0.0 ? flat_seconds / ml_seconds : 0.0, 2)
+            << "x); coarse nets " << coarse_nets << ", corridor hits "
+            << corridor_hits << ", fallbacks " << corridor_fallbacks << "\n";
+
+  if (memory_fraction >= 0.25) {
+    std::cerr << "full_scale: WARNING memory_fraction "
+              << util::Table::fixed(memory_fraction, 4)
+              << " >= 0.25 of the dense estimate\n";
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Memory-curve harness for the full-scale bench row: run bench/full_scale
+# under /usr/bin/time -v so the OS-observed maximum resident set is recorded
+# next to the harness's own getrusage column, and merge it into the bench
+# JSON as "external_peak_rss_kb" on every row. When /usr/bin/time is absent
+# (minimal containers), the JSON keeps only the getrusage peak_rss_kb column
+# the harness always writes — the curve is still tracked, just self-reported.
+#
+#   usage: bench/peak_mem.sh [BUILD_DIR] [OUT_JSON]
+#          (defaults: build, bench JSON next to the baseline as
+#           BENCH_full_scale.json in the working directory)
+#
+# Exit code: the harness's own.
+set -eu
+
+repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_dir/build"}
+out_json=${2:-"BENCH_full_scale.json"}
+harness="$build_dir/bench/full_scale"
+
+if [ ! -x "$harness" ]; then
+  echo "peak_mem: missing $harness (build the repo first)" >&2
+  exit 2
+fi
+
+time_log=$(mktemp /tmp/peak_mem.XXXXXX.log)
+trap 'rm -f "$time_log"' EXIT
+
+status=0
+if [ -x /usr/bin/time ] && /usr/bin/time -v true 2> /dev/null; then
+  /usr/bin/time -v "$harness" --json "$out_json" 2> "$time_log" || status=$?
+  # GNU time prints: "Maximum resident set size (kbytes): N"
+  max_rss=$(sed -n 's/.*Maximum resident set size (kbytes): \([0-9][0-9]*\).*/\1/p' \
+            "$time_log" | head -n 1)
+  # time -v swallowed the harness's stderr; replay everything that is not
+  # part of the time report so warnings stay visible.
+  grep -v -e 'Command being timed' -e 'resident set size' -e 'wall clock' \
+       -e '(kbytes)' -e 'Exit status' -e 'CPU this job got' -e 'swaps' \
+       -e 'context switches' -e 'page faults' -e 'Signals delivered' \
+       -e 'Socket messages' -e 'File system' -e 'Page size' \
+       -e 'User time (seconds)' -e 'System time (seconds)' \
+       "$time_log" >&2 || true
+else
+  "$harness" --json "$out_json" || status=$?
+  max_rss=""
+fi
+
+if [ -n "${max_rss:-}" ] && [ -f "$out_json" ]; then
+  # Merge the externally observed peak into every row's metrics object. The
+  # writer emits "metrics": { ... } on nested lines; inject after each
+  # opening brace of a metrics object. Pure-POSIX text edit, no JSON tool
+  # needed: the writer's output shape is our own, stable format.
+  tmp_json=$(mktemp /tmp/peak_mem.XXXXXX.json)
+  awk -v rss="$max_rss" '
+    {
+      print
+      if ($0 ~ /"metrics": \{$/)
+        print "        \"external_peak_rss_kb\": " rss ","
+    }
+  ' "$out_json" > "$tmp_json" && mv "$tmp_json" "$out_json"
+  echo "peak_mem: external max RSS ${max_rss} kB merged into $out_json" >&2
+fi
+
+exit "$status"

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cctype>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 namespace mebl::bench_suite {
@@ -51,23 +53,102 @@ const BenchmarkSpec* find_spec(const std::string& name) {
   return nullptr;
 }
 
+namespace {
+
+/// Reject degenerate inputs with a parameter-naming error instead of
+/// emitting an empty instance, looping forever hunting a free track point,
+/// or tripping an assert only in debug builds.
+void validate(const BenchmarkSpec& spec, const GeneratorConfig& config) {
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("generate_circuit(" + spec.name + "): " + what);
+  };
+  if (spec.nets < 1) fail("spec.nets must be >= 1, got " +
+                          std::to_string(spec.nets));
+  if (spec.pins < 2 * spec.nets)
+    fail("spec.pins must be >= 2 * spec.nets (every net needs two pins), got " +
+         std::to_string(spec.pins) + " pins for " + std::to_string(spec.nets) +
+         " nets");
+  if (spec.layers < 1) fail("spec.layers must be >= 1, got " +
+                            std::to_string(spec.layers));
+  if (!(spec.um_width > 0.0) || !(spec.um_height > 0.0))
+    fail("spec.um_width/um_height must be positive, got " +
+         std::to_string(spec.um_width) + " x " + std::to_string(spec.um_height));
+  if (spec.feature_nm <= 0) fail("spec.feature_nm must be positive, got " +
+                                 std::to_string(spec.feature_nm));
+  if (config.scale == Scale::kLaptop && !(config.pin_density > 0.0))
+    fail("config.pin_density must be positive, got " +
+         std::to_string(config.pin_density));
+  if (config.tile_size < 2) fail("config.tile_size must be >= 2, got " +
+                                 std::to_string(config.tile_size));
+  if (config.stitch_pitch < 2)
+    fail("config.stitch_pitch must be >= 2, got " +
+         std::to_string(config.stitch_pitch));
+  if (config.stitch_epsilon < 0 ||
+      2 * config.stitch_epsilon + 1 >= config.stitch_pitch)
+    fail("config.stitch_epsilon must satisfy 0 <= 2*epsilon+1 < stitch_pitch "
+         "(otherwise every vertical track is stitch-unfriendly), got epsilon " +
+         std::to_string(config.stitch_epsilon) + " at pitch " +
+         std::to_string(config.stitch_pitch));
+  if (config.escape_halfwidth < 0)
+    fail("config.escape_halfwidth must be >= 0, got " +
+         std::to_string(config.escape_halfwidth));
+  if (!(config.local_spread >= 0.0))
+    fail("config.local_spread must be >= 0, got " +
+         std::to_string(config.local_spread));
+  if (!(config.global_net_fraction >= 0.0 && config.global_net_fraction <= 1.0))
+    fail("config.global_net_fraction must be in [0, 1], got " +
+         std::to_string(config.global_net_fraction));
+  if (!(config.global_spread_fraction > 0.0))
+    fail("config.global_spread_fraction must be positive, got " +
+         std::to_string(config.global_spread_fraction));
+  if (config.max_degree < 2) fail("config.max_degree must be >= 2, got " +
+                                  std::to_string(config.max_degree));
+  if (!(config.pin_on_line_fraction >= 0.0 &&
+        config.pin_on_line_fraction <= 1.0))
+    fail("config.pin_on_line_fraction must be in [0, 1], got " +
+         std::to_string(config.pin_on_line_fraction));
+}
+
+}  // namespace
+
 GeneratedCircuit generate_circuit(const BenchmarkSpec& spec,
                                   const GeneratorConfig& config,
                                   std::uint64_t seed) {
-  assert(spec.nets >= 1 && spec.pins >= spec.nets);
+  validate(spec, config);
   util::Rng rng(seed ^ std::hash<std::string>{}(spec.name));
 
-  // Extent: area = pins / density, split by the paper's aspect ratio, and
-  // rounded up to whole tiles.
-  const double aspect = spec.um_width / spec.um_height;
-  const double area = static_cast<double>(spec.pins) / config.pin_density;
-  Coord width = static_cast<Coord>(std::lround(std::sqrt(area * aspect)));
-  Coord height = static_cast<Coord>(std::lround(std::sqrt(area / aspect)));
+  // Extent: at laptop scale, area = pins / density split by the paper's
+  // aspect ratio; at full scale, the paper's physical die at a two-feature
+  // track pitch. Either way rounded up to whole tiles.
+  Coord width = 0;
+  Coord height = 0;
+  if (config.scale == Scale::kFull) {
+    const double pitch_nm = 2.0 * spec.feature_nm;
+    width = static_cast<Coord>(std::lround(spec.um_width * 1000.0 / pitch_nm));
+    height =
+        static_cast<Coord>(std::lround(spec.um_height * 1000.0 / pitch_nm));
+  } else {
+    const double aspect = spec.um_width / spec.um_height;
+    const double area = static_cast<double>(spec.pins) / config.pin_density;
+    width = static_cast<Coord>(std::lround(std::sqrt(area * aspect)));
+    height = static_cast<Coord>(std::lround(std::sqrt(area / aspect)));
+  }
   const auto round_tiles = [&](Coord v) {
     return ((v + config.tile_size - 1) / config.tile_size) * config.tile_size;
   };
   width = std::max(round_tiles(width), 2 * config.tile_size);
   height = std::max(round_tiles(height), 2 * config.tile_size);
+
+  // The pin placer needs headroom to find distinct free points; a netlist
+  // denser than a quarter of all track points would spin (or emit pins
+  // stacked against the stitch columns), so refuse it up front.
+  if (static_cast<double>(spec.pins) >
+      0.25 * static_cast<double>(width) * static_cast<double>(height))
+    throw std::invalid_argument(
+        "generate_circuit(" + spec.name + "): " + std::to_string(spec.pins) +
+        " pins exceed a quarter of the " + std::to_string(width) + " x " +
+        std::to_string(height) +
+        " track points; lower pin_density or shrink the netlist");
 
   grid::StitchPlan plan(width, config.stitch_pitch, config.stitch_epsilon,
                         config.escape_halfwidth);
@@ -125,8 +206,11 @@ GeneratedCircuit generate_circuit(const BenchmarkSpec& spec,
     const Point center{static_cast<Coord>(rng.uniform_int(0, width - 1)),
                        static_cast<Coord>(rng.uniform_int(0, height - 1))};
     const bool global_net = rng.chance(config.global_net_fraction);
+    // The default fraction 0.25 reproduces the historical min/4 spread
+    // bit-for-bit (scaling by a power of two is exact).
     const double spread =
-        global_net ? static_cast<double>(std::min(width, height)) / 4.0
+        global_net ? static_cast<double>(std::min(width, height)) *
+                         config.global_spread_fraction
                    : config.local_spread * (0.5 - std::log(1.0 - rng.uniform01()));
     for (int d = 0; d < degree[static_cast<std::size_t>(n)]; ++d)
       place_pin(net, center, spread);

@@ -32,6 +32,19 @@ struct BenchmarkSpec {
 /// Look up a spec by (case-insensitive) name across both suites.
 [[nodiscard]] const BenchmarkSpec* find_spec(const std::string& name);
 
+/// Extent derivation mode of the generator (DESIGN.md §15).
+enum class Scale {
+  /// Track extents from the target pin density and the spec's aspect ratio
+  /// — the seed behavior (~1.1k tracks for S38417), routable on a laptop.
+  kLaptop,
+  /// Track extents from the paper's physical die at a two-feature track
+  /// pitch: tracks = um * 1000 / (2 * feature_nm) per axis (~16k tracks
+  /// wide for S38417 at 36 nm). The netlist keeps the spec's net/pin
+  /// counts, so pin density drops ~200x — like a real placed die, most of
+  /// the fabric is empty and nets are *relatively* tiny.
+  kFull,
+};
+
 /// Generator knobs. Track extents are derived from the target pin density
 /// and the spec's aspect ratio, so circuits stay routable at laptop scale
 /// while preserving the paper's relative sizes.
@@ -43,8 +56,11 @@ struct GeneratorConfig {
   geom::Coord escape_halfwidth = 2;
   /// Mean half-extent (tracks) of a local net's pin cloud.
   double local_spread = 8.0;
-  /// Fraction of nets that are semi-global (pin cloud spans ~1/4 chip).
+  /// Fraction of nets that are semi-global (pin cloud spans a
+  /// global_spread_fraction of the chip).
   double global_net_fraction = 0.06;
+  /// Semi-global pin-cloud half-extent as a fraction of min(width, height).
+  double global_spread_fraction = 0.25;
   /// Upper bound on a single net's pin count.
   int max_degree = 24;
   /// Fraction of pins allowed to sit on a stitching-line column. Real
@@ -52,6 +68,22 @@ struct GeneratorConfig {
   /// pins whose via violations the paper tolerates (Tables III/VII/VIII
   /// report them as #VV).
   double pin_on_line_fraction = 0.01;
+  /// Extent derivation; see Scale.
+  Scale scale = Scale::kLaptop;
+
+  /// Paper-scale preset: physical extents plus a paper-like net-length
+  /// distribution. Local clouds keep their absolute track spread (so they
+  /// become relatively tiny at 16k tracks, as placed cells do), and the
+  /// semi-global tail is thinner and shorter than the laptop default —
+  /// at constant gate count a larger die does not grow more long nets.
+  [[nodiscard]] static GeneratorConfig full_scale() {
+    GeneratorConfig config;
+    config.scale = Scale::kFull;
+    config.local_spread = 5.0;
+    config.global_net_fraction = 0.02;
+    config.global_spread_fraction = 0.125;
+    return config;
+  }
 };
 
 /// A generated circuit: grid plus netlist (pins placed on distinct tracks).
@@ -62,8 +94,13 @@ struct GeneratedCircuit {
 };
 
 /// Deterministically synthesize a circuit matching `spec` (same #nets,
-/// #pins, #layers; extent from density and aspect ratio). The same
-/// (spec, config, seed) triple always produces the identical circuit.
+/// #pins, #layers; extent from config.scale). The same (spec, config, seed)
+/// triple always produces the identical circuit.
+///
+/// Throws std::invalid_argument — naming the offending parameter — on
+/// degenerate inputs (non-positive dimensions, pins < 2*nets, stitch
+/// epsilon swallowing the pitch, pin counts the die cannot hold, ...)
+/// instead of emitting an empty or self-overlapping instance.
 [[nodiscard]] GeneratedCircuit generate_circuit(const BenchmarkSpec& spec,
                                                 const GeneratorConfig& config,
                                                 std::uint64_t seed);

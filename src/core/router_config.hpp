@@ -118,6 +118,21 @@ struct RouterConfig {
     detail.parallel = enabled;
     return *this;
   }
+  /// Tiled/sparse congestion storage for global routing (DESIGN.md §15):
+  /// demand/cost tables materialize lazily per touched tile. The routed
+  /// result is bit-identical either way; turn it on for paper-scale grids
+  /// where the dense tables dominate memory.
+  RouterConfig& with_tiled_grid(bool enabled) {
+    global.tiled_grid = enabled;
+    return *this;
+  }
+  /// Toggle the coarsen–route–refine multilevel global pass (DESIGN.md
+  /// §15): long subnets route on a coarsened graph first, then refine
+  /// inside the resulting corridor (full-grid fallback on failure).
+  RouterConfig& with_multilevel(bool enabled) {
+    global.multilevel.enabled = enabled;
+    return *this;
+  }
 
   /// The paper's stitch-aware configuration (alpha=1, beta=10, gamma=5).
   static RouterConfig stitch_aware();

@@ -154,32 +154,77 @@ GlobalRouter::GlobalRouter(const grid::RoutingGrid& grid,
                            GlobalRouterConfig config)
     : grid_(&grid),
       config_(config),
-      graph_(grid, config.stitch_aware_capacity),
+      graph_(grid, config.stitch_aware_capacity, config.tiled_grid),
       pops_counter_(&telemetry::counter(telemetry::keys::kGlobalSearchPops)),
       pattern_hits_counter_(
           &telemetry::counter(telemetry::keys::kGlobalPatternHits)),
       scratch_reuses_counter_(
-          &telemetry::counter(telemetry::keys::kGlobalScratchReuses)) {}
+          &telemetry::counter(telemetry::keys::kGlobalScratchReuses)),
+      ml_coarse_counter_(&telemetry::counter(telemetry::keys::kMlCoarseNets)),
+      ml_corridor_hits_counter_(
+          &telemetry::counter(telemetry::keys::kMlCorridorHits)),
+      ml_corridor_fallbacks_counter_(
+          &telemetry::counter(telemetry::keys::kMlCorridorFallbacks)) {}
 
 std::vector<GCellId> GlobalRouter::search(GCellId from, GCellId to,
                                           const Rect& region,
-                                          double vertex_weight) const {
+                                          double vertex_weight,
+                                          bool corridor) const {
   if (from == to) return {from};
   GlobalSearchScratch& scratch = tl_scratch;
   const GlobalSearchParams params{config_.turn_cost, config_.vertex_cost,
                                   vertex_weight};
   // Fast path: a provably-optimal one-bend candidate skips the heap (and
-  // the scratch) entirely.
+  // the scratch) entirely. An accepted candidate is a *whole-grid* optimum,
+  // so corridor confinement never needs to reject it.
   if (try_pattern_route(graph_, params, from, to, scratch.path)) {
     pattern_hits_counter_->add(1);
     return {scratch.path.begin(), scratch.path.end()};
   }
-  const bool found =
-      search_tiles_astar(graph_, params, from, to, region, scratch);
+  const bool found = search_tiles_astar(graph_, params, from, to, region,
+                                        scratch, nullptr, corridor);
   pops_counter_->add(scratch.last_pops);
   if (scratch.last_reused) scratch_reuses_counter_->add(1);
   if (!found) return {};
   return {scratch.path.begin(), scratch.path.end()};
+}
+
+std::vector<std::vector<GCellId>> GlobalRouter::plan_coarse(
+    const std::vector<netlist::Subnet>& subnets,
+    const std::vector<Rect>& tile_bboxes) const {
+  TELEMETRY_SPAN("global.ml.coarse");
+  std::vector<std::vector<GCellId>> corridors(subnets.size());
+  const int factor = std::max(2, config_.multilevel.coarsen_factor);
+  RoutingGraph coarse = coarsen_graph(graph_, factor);
+  const Rect coarse_full{0, 0, coarse.tiles_x() - 1, coarse.tiles_y() - 1};
+  const GlobalSearchParams params{config_.turn_cost, config_.vertex_cost,
+                                  config_.vertex_cost_weight};
+  GlobalSearchScratch scratch;
+  std::int64_t coarse_nets = 0;
+  for (std::size_t idx = 0; idx < subnets.size(); ++idx) {
+    const Rect& bbox = tile_bboxes[idx];
+    const auto span =
+        std::max(bbox.xhi - bbox.xlo, bbox.yhi - bbox.ylo);
+    if (span < config_.multilevel.min_span) continue;
+    const auto& subnet = subnets[idx];
+    const GCellId cfrom{grid_->tile_of_x(subnet.a.x) / factor,
+                        grid_->tile_of_y(subnet.a.y) / factor};
+    const GCellId cto{grid_->tile_of_x(subnet.b.x) / factor,
+                      grid_->tile_of_y(subnet.b.y) / factor};
+    std::vector<GCellId> cells;
+    if (try_pattern_route(coarse, params, cfrom, cto, scratch.path)) {
+      cells.assign(scratch.path.begin(), scratch.path.end());
+    } else if (search_tiles_astar(coarse, params, cfrom, cto, coarse_full,
+                                  scratch)) {
+      cells.assign(scratch.path.begin(), scratch.path.end());
+    }
+    if (cells.empty()) continue;
+    commit_coarse_path(coarse, cells, +1);
+    corridors[idx] = std::move(cells);
+    ++coarse_nets;
+  }
+  ml_coarse_counter_->add(coarse_nets);
+  return corridors;
 }
 
 void GlobalRouter::commit(std::size_t idx, const TilePath& path, int sign) {
@@ -329,6 +374,17 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
   const MultilevelScheduler scheduler(graph_.tiles_x(), graph_.tiles_y());
   const auto buckets = scheduler.schedule(tile_bboxes);
 
+  // Coarsen–route–refine (DESIGN.md §15): plan corridors for long subnets
+  // on the coarsened graph before the fine schedule starts. The fine pass
+  // below refines each planned subnet inside its corridor (full-grid
+  // fallback on failure), which bounds the searched area independently of
+  // grid extent.
+  std::vector<std::vector<GCellId>> corridors;
+  if (config_.multilevel.enabled && !stop_requested())
+    corridors = plan_coarse(subnets, tile_bboxes);
+  const int ml_factor = std::max(2, config_.multilevel.coarsen_factor);
+  const int ml_margin = config_.multilevel.corridor_margin;
+
   const Rect full{0, 0, graph_.tiles_x() - 1, graph_.tiles_y() - 1};
   std::size_t committed = 0;
   for (int level = 0; level < scheduler.num_levels() && !stop_requested();
@@ -345,15 +401,31 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
         path.net = subnet.net;
         path.pin_a = subnet.a;
         path.pin_b = subnet.b;
-        // Allow one tile of margin around the cluster for detours.
-        const Rect region = scheduler.cluster_region(tile_bboxes[idx], level)
-                                .inflated(1)
-                                .intersect(full);
         const GCellId from{grid_->tile_of_x(subnet.a.x),
                            grid_->tile_of_y(subnet.a.y)};
         const GCellId to{grid_->tile_of_x(subnet.b.x),
                          grid_->tile_of_y(subnet.b.y)};
-        path.tiles = search(from, to, region, config_.vertex_cost_weight);
+        if (!corridors.empty() && !corridors[idx].empty()) {
+          // Refinement: stamp this subnet's corridor into the calling
+          // worker's scratch (the mask is thread-local, like the search
+          // arrays) and search inside it.
+          const Rect corridor_bbox =
+              stamp_corridor(corridors[idx], ml_factor, ml_margin,
+                             graph_.tiles_x(), graph_.tiles_y(), tl_scratch);
+          path.tiles = search(from, to, corridor_bbox,
+                              config_.vertex_cost_weight, /*corridor=*/true);
+          if (!path.tiles.empty())
+            ml_corridor_hits_counter_->add(1);
+          else
+            ml_corridor_fallbacks_counter_->add(1);
+        }
+        if (path.tiles.empty()) {
+          // Allow one tile of margin around the cluster for detours.
+          const Rect region = scheduler.cluster_region(tile_bboxes[idx], level)
+                                  .inflated(1)
+                                  .intersect(full);
+          path.tiles = search(from, to, region, config_.vertex_cost_weight);
+        }
         if (path.tiles.empty())
           path.tiles = search(from, to, full, config_.vertex_cost_weight);
         path.routed = !path.tiles.empty();
@@ -372,6 +444,14 @@ GlobalResult GlobalRouter::route(const std::vector<netlist::Subnet>& subnets,
 
   run_reroute_passes(result, pool, cancel);
   finalize_totals(result);
+  // Storage telemetry (execution-dependent by prefix: the dense and tiled
+  // modes produce different values over byte-identical routing).
+  telemetry::counter(telemetry::keys::kGridTilesMaterialized)
+      .add(static_cast<std::int64_t>(graph_.tiles_materialized()));
+  telemetry::counter(telemetry::keys::kGridTilesTotal)
+      .add(static_cast<std::int64_t>(graph_.tiles_total()));
+  telemetry::counter(telemetry::keys::kGridStorageBytes)
+      .add(static_cast<std::int64_t>(graph_.storage_bytes()));
   return result;
 }
 
@@ -381,7 +461,8 @@ void GlobalRouter::seed(const GlobalResult& result) {
   // demand state (and the psi memo it feeds) afterwards is exactly what a
   // route() ending in `result` left behind, which is what makes a reloaded
   // resident design bit-identical to a long-lived one.
-  graph_ = RoutingGraph(*grid_, config_.stitch_aware_capacity);
+  graph_ = RoutingGraph(*grid_, config_.stitch_aware_capacity,
+                        config_.tiled_grid);
   congestion_.reset(graph_, result.paths.size(), config_.vertex_cost);
   for (std::size_t idx = 0; idx < result.paths.size(); ++idx)
     if (result.paths[idx].routed)

@@ -48,6 +48,13 @@ struct GlobalRouterConfig {
   /// batch size the result is bit-identical for any thread count. Part of
   /// the determinism contract: never derive this from the thread count.
   int net_batch_size = 1;
+  /// Tiled/sparse congestion storage (DESIGN.md §15): demand/cost tables
+  /// materialize lazily per touched tile. Bit-identical results either way;
+  /// flip it on for paper-scale grids where the dense tables dominate
+  /// memory.
+  bool tiled_grid = false;
+  /// Coarsen–route–refine multilevel pass for long subnets (DESIGN.md §15).
+  MultilevelConfig multilevel;
 };
 
 /// Global route of one 2-pin subnet: a 4-connected GCell path from the tile
@@ -203,10 +210,25 @@ class GlobalRouter {
   /// pattern-route fast path, then the scratch A* kernel on the calling
   /// worker's thread-local scratch. Returns an empty vector when no path
   /// exists.
+  /// With `corridor = true` the A* kernel is confined to the corridor mask
+  /// the caller stamped into this thread's scratch (multilevel refinement);
+  /// the pattern fast path still runs first, since an accepted pattern
+  /// candidate is a whole-grid optimum.
   [[nodiscard]] std::vector<grid::GCellId> search(grid::GCellId from,
                                                   grid::GCellId to,
                                                   const geom::Rect& region,
-                                                  double vertex_weight) const;
+                                                  double vertex_weight,
+                                                  bool corridor = false) const;
+
+  /// Sequential coarse pass of the multilevel schedule: route every subnet
+  /// whose tile bbox spans >= multilevel.min_span on the coarsened graph
+  /// (committing coarse demand net by net, in index order, so long nets
+  /// spread out), and return the per-subnet coarse paths (empty vector =
+  /// not a coarse candidate). Deterministic: runs on the calling thread
+  /// against its own coarse graph.
+  [[nodiscard]] std::vector<std::vector<grid::GCellId>> plan_coarse(
+      const std::vector<netlist::Subnet>& subnets,
+      const std::vector<geom::Rect>& tile_bboxes) const;
 
   /// Commit (+1) or rip up (-1) subnet `idx`'s path: demand bookkeeping and
   /// the congestion index move together.
@@ -236,6 +258,9 @@ class GlobalRouter {
   telemetry::Counter* pops_counter_;
   telemetry::Counter* pattern_hits_counter_;
   telemetry::Counter* scratch_reuses_counter_;
+  telemetry::Counter* ml_coarse_counter_;
+  telemetry::Counter* ml_corridor_hits_counter_;
+  telemetry::Counter* ml_corridor_fallbacks_counter_;
 };
 
 }  // namespace mebl::global

@@ -47,4 +47,102 @@ std::vector<std::vector<std::size_t>> MultilevelScheduler::schedule(
   return buckets;
 }
 
+// ---------------------------------------------------------------------------
+// Coarsen–route–refine
+
+RoutingGraph coarsen_graph(const RoutingGraph& fine, int factor) {
+  assert(factor >= 2);
+  const int fx = fine.tiles_x();
+  const int fy = fine.tiles_y();
+  const int cx_count = (fx + factor - 1) / factor;
+  const int cy_count = (fy + factor - 1) / factor;
+  const auto lo_of = [&](int c) { return c * factor; };
+  const auto hi_of = [&](int c, int fine_count) {
+    return std::min((c + 1) * factor, fine_count);  // exclusive
+  };
+
+  std::vector<int> h_cap(
+      static_cast<std::size_t>(std::max(0, cx_count - 1)) * cy_count, 0);
+  std::vector<int> v_cap(
+      static_cast<std::size_t>(cx_count) * std::max(0, cy_count - 1), 0);
+  std::vector<int> vert_cap(static_cast<std::size_t>(cx_count) * cy_count, 0);
+
+  // A coarse h-edge (cx,cy) collapses the fine h-edges crossing the fine
+  // column boundary at tx = (cx+1)*factor - 1, over cy's fine rows.
+  for (int cy = 0; cy < cy_count; ++cy)
+    for (int cx = 0; cx + 1 < cx_count; ++cx) {
+      const int bx = (cx + 1) * factor - 1;
+      int sum = 0;
+      for (int ty = lo_of(cy); ty < hi_of(cy, fy); ++ty)
+        sum += fine.h_capacity(bx, ty);
+      h_cap[static_cast<std::size_t>(cy) * (cx_count - 1) + cx] = sum;
+    }
+  for (int cy = 0; cy + 1 < cy_count; ++cy)
+    for (int cx = 0; cx < cx_count; ++cx) {
+      const int by = (cy + 1) * factor - 1;
+      int sum = 0;
+      for (int tx = lo_of(cx); tx < hi_of(cx, fx); ++tx)
+        sum += fine.v_capacity(tx, by);
+      v_cap[static_cast<std::size_t>(cy) * cx_count + cx] = sum;
+    }
+  for (int cy = 0; cy < cy_count; ++cy)
+    for (int cx = 0; cx < cx_count; ++cx) {
+      int sum = 0;
+      for (int ty = lo_of(cy); ty < hi_of(cy, fy); ++ty)
+        for (int tx = lo_of(cx); tx < hi_of(cx, fx); ++tx)
+          sum += fine.vertex_capacity(tx, ty);
+      vert_cap[static_cast<std::size_t>(cy) * cx_count + cx] = sum;
+    }
+
+  return RoutingGraph::with_capacities(cx_count, cy_count, std::move(h_cap),
+                                       std::move(v_cap), std::move(vert_cap));
+}
+
+void commit_coarse_path(RoutingGraph& coarse,
+                        const std::vector<grid::GCellId>& cells, int sign) {
+  for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+    const grid::GCellId a = cells[i];
+    const grid::GCellId b = cells[i + 1];
+    if (a.ty == b.ty)
+      coarse.add_h_demand(std::min(a.tx, b.tx), a.ty, sign);
+    else
+      coarse.add_v_demand(a.tx, std::min(a.ty, b.ty), sign);
+  }
+  // Line ends at both end cells of every maximal vertical run, mirroring
+  // CongestionIndex::commit.
+  std::size_t i = 0;
+  while (i + 1 < cells.size()) {
+    if (cells[i].tx == cells[i + 1].tx) {
+      const std::size_t run_start = i;
+      while (i + 1 < cells.size() && cells[i].tx == cells[i + 1].tx) ++i;
+      coarse.add_vertex_demand(cells[run_start].tx, cells[run_start].ty, sign);
+      coarse.add_vertex_demand(cells[i].tx, cells[i].ty, sign);
+    } else {
+      ++i;
+    }
+  }
+}
+
+geom::Rect stamp_corridor(const std::vector<grid::GCellId>& coarse_cells,
+                          int factor, int margin, int tiles_x, int tiles_y,
+                          GlobalSearchScratch& scratch) {
+  assert(!coarse_cells.empty());
+  scratch.begin_corridor(static_cast<std::size_t>(tiles_x) * tiles_y);
+  geom::Rect bbox{tiles_x, tiles_y, -1, -1};  // empty until the first hull
+  bool first = true;
+  for (const grid::GCellId cell : coarse_cells) {
+    const geom::Rect fine_rect =
+        geom::Rect{cell.tx * factor, cell.ty * factor,
+                   (cell.tx + 1) * factor - 1, (cell.ty + 1) * factor - 1}
+            .inflated(margin)
+            .intersect(geom::Rect{0, 0, tiles_x - 1, tiles_y - 1});
+    for (geom::Coord ty = fine_rect.ylo; ty <= fine_rect.yhi; ++ty)
+      for (geom::Coord tx = fine_rect.xlo; tx <= fine_rect.xhi; ++tx)
+        scratch.admit_tile(static_cast<std::size_t>(ty) * tiles_x + tx);
+    bbox = first ? fine_rect : bbox.hull(fine_rect);
+    first = false;
+  }
+  return bbox;
+}
+
 }  // namespace mebl::global

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "geom/rect.hpp"
+#include "global/search_scratch.hpp"
 #include "netlist/netlist.hpp"
 
 namespace mebl::global {
@@ -40,5 +41,56 @@ class MultilevelScheduler {
   int tiles_y_;
   int num_levels_;
 };
+
+// ---------------------------------------------------------------------------
+// Coarsen–route–refine (DESIGN.md §15)
+//
+// The scheduler above orders subnets bottom-up; the machinery below adds the
+// *top-down* half that makes paper-scale grids tractable: long subnets are
+// first routed on a coarsened congestion graph (factor x factor tiles per
+// coarse cell, capacities aggregated by summing the fine boundary/vertex
+// capacities each coarse edge/cell collapses), the coarse path is committed
+// as coarse demand so later long nets spread out, and the fine search is
+// then confined to the corridor of fine tiles under the coarse path. A
+// corridor search that fails falls back to the full grid, exactly like the
+// cluster-region fallback of the flat pass.
+
+/// Knobs of the coarsen–route–refine global pass.
+struct MultilevelConfig {
+  bool enabled = false;
+  /// Fine tiles per coarse cell along each axis (>= 2).
+  int coarsen_factor = 8;
+  /// Minimum fine-tile bbox span of a subnet for coarse-first routing;
+  /// shorter subnets keep the flat cluster-region schedule (a corridor
+  /// cannot beat a region that small).
+  int min_span = 16;
+  /// Fine tiles of margin around each coarse cell when the corridor is
+  /// stamped, so refinement can detour around congestion crossing the
+  /// corridor boundary.
+  int corridor_margin = 2;
+};
+
+/// Aggregate `fine` into a dense coarse graph of ceil(X/factor) x
+/// ceil(Y/factor) cells: a coarse h-edge's capacity sums the fine h-edge
+/// capacities along the collapsed column boundary (v-edges and line-end
+/// vertices likewise). Demands start at zero — the coarse pass prices only
+/// coarse-level contention.
+[[nodiscard]] RoutingGraph coarsen_graph(const RoutingGraph& fine, int factor);
+
+/// Commit (+1) or rip (-1) a coarse tile path's demand onto `coarse`: edge
+/// demand per step and line-end demand at both end cells of every maximal
+/// vertical run — the same bookkeeping CongestionIndex::commit applies to
+/// fine paths, minus the reverse index (the sequential coarse pass needs
+/// none).
+void commit_coarse_path(RoutingGraph& coarse,
+                        const std::vector<grid::GCellId>& cells, int sign);
+
+/// Stamp the fine-tile corridor of `coarse_cells` (margin-inflated, clipped
+/// to the fine grid) into `scratch`'s corridor mask and return its bounding
+/// box — the region rect of the refinement search. Must run on the thread
+/// that will search, since the mask lives in that thread's scratch.
+geom::Rect stamp_corridor(const std::vector<grid::GCellId>& coarse_cells,
+                          int factor, int margin, int tiles_x, int tiles_y,
+                          GlobalSearchScratch& scratch);
 
 }  // namespace mebl::global

@@ -48,10 +48,22 @@ bool GlobalSearchScratch::begin(std::size_t num_states) {
   return reused;
 }
 
+void GlobalSearchScratch::begin_corridor(std::size_t num_tiles) {
+  if (corridor_stamp.size() < num_tiles) {
+    corridor_stamp.assign(num_tiles, 0);
+    corridor_epoch = 0;
+  }
+  if (++corridor_epoch == 0) {  // wrap-around, as in begin()
+    std::fill(corridor_stamp.begin(), corridor_stamp.end(), 0);
+    corridor_epoch = 1;
+  }
+}
+
 bool search_tiles_astar(const RoutingGraph& graph,
                         const GlobalSearchParams& params, GCellId from,
                         GCellId to, const Rect& region,
-                        GlobalSearchScratch& scratch, double* cost) {
+                        GlobalSearchScratch& scratch, double* cost,
+                        bool corridor) {
   scratch.path.clear();
   if (from == to) {
     scratch.path.push_back(from);
@@ -61,7 +73,9 @@ bool search_tiles_astar(const RoutingGraph& graph,
   const int tiles_x = graph.tiles_x();
   const auto in_region = [&](int tx, int ty) {
     return tx >= region.xlo && tx <= region.xhi && ty >= region.ylo &&
-           ty <= region.yhi;
+           ty <= region.yhi &&
+           (!corridor ||
+            scratch.in_corridor(static_cast<std::size_t>(ty) * tiles_x + tx));
   };
   assert(in_region(from.tx, from.ty) && in_region(to.tx, to.ty));
 

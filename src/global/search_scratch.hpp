@@ -44,6 +44,21 @@ struct GlobalSearchScratch {
   /// Tiles of the most recent successful search, in start-to-goal order.
   std::vector<grid::GCellId> path;
 
+  /// Corridor mask for multilevel refinement (DESIGN.md §15): tiles stamped
+  /// with the current corridor epoch are admissible. Epoch-stamped like the
+  /// dist arrays, so stamping a new corridor is O(corridor), not O(grid),
+  /// and the storage is allocation-free once grown to the fine tile count.
+  std::vector<std::uint32_t> corridor_stamp;
+  std::uint32_t corridor_epoch = 0;
+
+  /// Start a new (empty) corridor over `num_tiles` tiles; admit tiles with
+  /// admit_tile before searching with corridor = true.
+  void begin_corridor(std::size_t num_tiles);
+  void admit_tile(std::size_t tile) { corridor_stamp[tile] = corridor_epoch; }
+  [[nodiscard]] bool in_corridor(std::size_t tile) const {
+    return corridor_stamp[tile] == corridor_epoch;
+  }
+
   // Per-call kernel stats, read by the router's telemetry flush.
   std::int64_t last_pops = 0;     ///< heap pops of the last kernel run
   bool last_reused = false;       ///< last kernel run reused the storage
@@ -63,9 +78,15 @@ struct GlobalSearchScratch {
 /// routed result is identical to the pre-scratch kernel: same expansion
 /// order, same tie-breaks, costs read from the RoutingGraph's cached rows
 /// which are bit-identical to direct psi.
+///
+/// With `corridor = true` expansion is additionally confined to the tiles
+/// the caller admitted into scratch's corridor mask (which must include
+/// both endpoints) — the multilevel refinement path. The cost model is
+/// unchanged; only the admissible tile set shrinks.
 bool search_tiles_astar(const RoutingGraph& graph,
                         const GlobalSearchParams& params, grid::GCellId from,
                         grid::GCellId to, const geom::Rect& region,
-                        GlobalSearchScratch& scratch, double* cost = nullptr);
+                        GlobalSearchScratch& scratch, double* cost = nullptr,
+                        bool corridor = false);
 
 }  // namespace mebl::global

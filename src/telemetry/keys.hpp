@@ -27,6 +27,23 @@ inline constexpr char kGlobalSearchPops[] = "global.search.pops";
 inline constexpr char kGlobalPatternHits[] = "global.search.pattern_hits";
 inline constexpr char kGlobalScratchReuses[] = "global.search.scratch_reuses";
 
+// multilevel coarsen–route–refine pass (DESIGN.md §15). All three are
+// functions of the subnet set and congestion state alone — the coarse pass
+// is sequential and each corridor outcome is per-subnet deterministic — so
+// they stay in canonical reports across --threads.
+inline constexpr char kMlCoarseNets[] = "global.ml.coarse_nets";
+inline constexpr char kMlCorridorHits[] = "global.ml.corridor_hits";
+inline constexpr char kMlCorridorFallbacks[] = "global.ml.corridor_fallbacks";
+
+// grid storage (DESIGN.md §15). Describes the *representation* (how many
+// tiles the sparse storage materialized, how many bytes it holds), not the
+// routed result: the dense and tiled modes produce byte-identical routing
+// but different grid.* values, so the whole prefix is execution-dependent —
+// canonical report bytes stay invariant under the storage switch.
+inline constexpr char kGridTilesMaterialized[] = "grid.tiles_materialized";
+inline constexpr char kGridTilesTotal[] = "grid.tiles_total";
+inline constexpr char kGridStorageBytes[] = "grid.storage_bytes";
+
 // layer assignment
 inline constexpr char kLayerPanels[] = "assign.layer.panels";
 
@@ -115,15 +132,17 @@ inline constexpr char kFlightDroppedEvents[] =
 /// Counters that measure the execution environment (wall-clock timings,
 /// per-worker cache warm starts, where a deadline or a shared-incumbent
 /// search happened to be cut off, serving-layer traffic, pool scheduling,
-/// telemetry self-observation) rather than routing decisions: their values
-/// legitimately vary with the thread count and the machine, so the
-/// canonical (include_timing = false) run-report form excludes them to keep
-/// its cross-thread byte-identity contract (DESIGN.md §8).
+/// grid-storage representation, telemetry self-observation) rather than
+/// routing decisions: their values legitimately vary with the thread count,
+/// the machine, or the storage mode, so the canonical (include_timing =
+/// false) run-report form excludes them to keep its cross-thread /
+/// cross-representation byte-identity contract (DESIGN.md §8, §15).
 [[nodiscard]] inline bool execution_dependent(std::string_view name) {
   return name.ends_with("_ns") || name == kGlobalScratchReuses ||
          name == kTrackIlpNodes || name == kTrackIlpFallbacks ||
          name == kTrackIlpBudgetHits || name.starts_with("serve.") ||
-         name.starts_with("exec.pool.") || name.starts_with("telemetry.");
+         name.starts_with("exec.pool.") || name.starts_with("grid.") ||
+         name.starts_with("telemetry.");
 }
 
 }  // namespace mebl::telemetry::keys

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 namespace mebl::bench_suite {
@@ -88,6 +90,102 @@ TEST(CircuitGenerator, AspectRatioRoughlyPreserved) {
   const double got = static_cast<double>(circuit.grid.width()) /
                      static_cast<double>(circuit.grid.height());
   EXPECT_NEAR(got, spec.um_width / spec.um_height, 0.35);
+}
+
+TEST(CircuitGeneratorValidation, RejectsDegenerateSpecsWithClearErrors) {
+  const BenchmarkSpec good = *find_spec("S5378");
+
+  BenchmarkSpec spec = good;
+  spec.nets = 0;
+  EXPECT_THROW(generate_circuit(spec, {}, 1), std::invalid_argument);
+
+  spec = good;
+  spec.pins = spec.nets;  // fewer than two pins per net on average
+  EXPECT_THROW(generate_circuit(spec, {}, 1), std::invalid_argument);
+
+  spec = good;
+  spec.layers = 0;
+  EXPECT_THROW(generate_circuit(spec, {}, 1), std::invalid_argument);
+
+  spec = good;
+  spec.um_width = -1.0;
+  EXPECT_THROW(generate_circuit(spec, {}, 1), std::invalid_argument);
+
+  spec = good;
+  spec.feature_nm = 0;
+  EXPECT_THROW(generate_circuit(spec, {}, 1), std::invalid_argument);
+}
+
+TEST(CircuitGeneratorValidation, RejectsDegenerateConfigs) {
+  const BenchmarkSpec spec = *find_spec("S5378");
+
+  GeneratorConfig config;
+  config.pin_density = 0.0;  // laptop scale derives the area from this
+  EXPECT_THROW(generate_circuit(spec, config, 1), std::invalid_argument);
+
+  config = GeneratorConfig{};
+  config.tile_size = 1;
+  EXPECT_THROW(generate_circuit(spec, config, 1), std::invalid_argument);
+
+  config = GeneratorConfig{};
+  config.stitch_epsilon = 8;  // 2e+1 >= pitch leaves no friendly track
+  EXPECT_THROW(generate_circuit(spec, config, 1), std::invalid_argument);
+
+  config = GeneratorConfig{};
+  config.global_net_fraction = 1.5;
+  EXPECT_THROW(generate_circuit(spec, config, 1), std::invalid_argument);
+
+  config = GeneratorConfig{};
+  config.local_spread = -2.0;
+  EXPECT_THROW(generate_circuit(spec, config, 1), std::invalid_argument);
+
+  config = GeneratorConfig{};
+  config.max_degree = 1;
+  EXPECT_THROW(generate_circuit(spec, config, 1), std::invalid_argument);
+}
+
+TEST(CircuitGeneratorValidation, ErrorNamesTheOffendingParameter) {
+  BenchmarkSpec spec = *find_spec("S5378");
+  spec.nets = -3;
+  try {
+    (void)generate_circuit(spec, {}, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nets"), std::string::npos)
+        << "message should name the parameter: " << e.what();
+  }
+}
+
+TEST(CircuitGeneratorFullScale, ExtentsComeFromThePhysicalDie) {
+  // A small die keeps the unit test fast while exercising the full-scale
+  // extent rule: tracks = um * 1000 / (2 * feature_nm) per axis.
+  BenchmarkSpec spec;
+  spec.name = "unit_full";
+  spec.um_width = 43.2;   // 600 tracks at a 72 nm pitch (whole tiles)
+  spec.um_height = 21.6;  // 300 tracks
+  spec.layers = 3;
+  spec.nets = 40;
+  spec.pins = 120;
+  spec.feature_nm = 36;
+  const auto circuit =
+      generate_circuit(spec, GeneratorConfig::full_scale(), 7);
+  EXPECT_EQ(circuit.grid.width(), 600);   // 43.2 um / (2 * 36 nm)
+  EXPECT_EQ(circuit.grid.height(), 300);  // 21.6 um / (2 * 36 nm)
+  EXPECT_EQ(circuit.netlist.num_nets(), 40u);
+  EXPECT_EQ(circuit.netlist.num_pins(), 120u);
+}
+
+TEST(CircuitGeneratorFullScale, RejectsPinCountsTheDieCannotHold) {
+  BenchmarkSpec spec;
+  spec.name = "unit_overfull";
+  spec.um_width = 1.0;  // rounds up to the 60x60-track floor (two tiles)
+  spec.um_height = 1.0;
+  spec.layers = 3;
+  spec.nets = 100;
+  spec.pins = 1000;  // > a quarter of the 3600 track points
+  spec.feature_nm = 36;
+  EXPECT_THROW(generate_circuit(spec, GeneratorConfig::full_scale(), 7),
+               std::invalid_argument);
 }
 
 TEST(CircuitGenerator, DensityNearTarget) {
