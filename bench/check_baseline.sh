@@ -1,13 +1,14 @@
 #!/bin/sh
 # Regression gate against the checked-in bench baselines: re-run the
-# eco_reroute and full_scale harnesses, emit their mebl.bench_report JSON,
-# and `mebl_report diff` each against its baseline
-# (bench/BENCH_baseline.json, bench/BENCH_baseline_full_scale.json).
-# Deterministic row metrics (batch_nets, dirty_subnets, wirelength,
-# overflow, tiles_materialized, memory_fraction, ...) are gated — a missing
-# row or a changed value fails; wall-clock columns (eco_seconds,
-# full_seconds, speedup, peak_rss_kb) are informational or loosely slacked,
-# so the gate cannot flake on machine speed.
+# eco_reroute, full_scale and serve_throughput harnesses, emit their
+# mebl.bench_report JSON, and `mebl_report diff` each against its baseline
+# (bench/BENCH_baseline.json, bench/BENCH_baseline_full_scale.json,
+# bench/BENCH_baseline_serve.json). Deterministic row metrics (batch_nets,
+# dirty_subnets, wirelength, overflow, tiles_materialized, jobs_completed,
+# eco_coalesced, reports_identical, ...) are gated — a missing row or a
+# changed value fails; wall-clock columns (eco_seconds, full_seconds,
+# speedup, qps, latency percentiles, peak_rss_kb) are informational or
+# loosely slacked, so the gate cannot flake on machine speed.
 #
 #   usage: bench/check_baseline.sh [BUILD_DIR]   (default: build)
 #
@@ -20,7 +21,7 @@ build_dir=${1:-"$repo_dir/build"}
 report="$build_dir/examples/mebl_report"
 
 for binary in "$build_dir/bench/eco_reroute" "$build_dir/bench/full_scale" \
-              "$report"; do
+              "$build_dir/bench/serve_throughput" "$report"; do
   if [ ! -x "$binary" ]; then
     echo "check_baseline: missing $binary (build the repo first)" >&2
     exit 2
@@ -28,10 +29,11 @@ for binary in "$build_dir/bench/eco_reroute" "$build_dir/bench/full_scale" \
 done
 
 worst=0
-for bench in eco_reroute full_scale; do
+for bench in eco_reroute full_scale serve_throughput; do
   case "$bench" in
     eco_reroute) baseline="$repo_dir/bench/BENCH_baseline.json" ;;
     full_scale) baseline="$repo_dir/bench/BENCH_baseline_full_scale.json" ;;
+    serve_throughput) baseline="$repo_dir/bench/BENCH_baseline_serve.json" ;;
   esac
   candidate=$(mktemp "/tmp/BENCH_$bench.XXXXXX.json")
   "$build_dir/bench/$bench" --json "$candidate" > /dev/null

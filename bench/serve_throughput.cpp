@@ -1,0 +1,430 @@
+// BM_ServeThroughput: closed-loop serving benchmark for the lane dispatcher
+// (DESIGN.md §16).
+//
+// Spins up an in-process mebl_serve Server, connects one client thread per
+// resident design (K designs whose names hash to K distinct lanes), and
+// drives a mixed workload over AF_UNIX: load, a full route, a pipelined
+// burst of E ECOs (sent in one write so they coalesce into one batched
+// rip-up/reroute; the last member asks for a verify replay), a status
+// probe, a second full route, and a final verified ECO. The whole workload
+// runs twice — --lanes 1 (the PR 6 single-dispatcher shape) and --lanes K —
+// and emits mebl.bench_report rows with QPS and client-observed latency
+// p50/p95/p99.
+//
+// Gated vs. informational: jobs_completed, eco_coalesced, eco_verified and
+// the cross-lane-count reports_identical bit are functions of the protocol
+// alone and gate strictly in bench/check_baseline.sh; wall-clock, QPS and
+// the latency percentiles are machine-dependent and stay informational.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "netlist/io.hpp"
+#include "serve/client.hpp"
+#include "serve/lane_scheduler.hpp"
+#include "serve/resident_design.hpp"
+#include "serve/server.hpp"
+#include "telemetry/keys.hpp"
+
+namespace {
+
+using namespace mebl;
+
+constexpr std::size_t kDesigns = 4;  ///< K: resident designs == max lanes
+constexpr std::size_t kEcoBurst = 4;  ///< E: pipelined ECOs per burst
+constexpr std::size_t kEcoNets = 6;   ///< nets per ECO request
+
+/// One resident design's share of the workload, fixed up front so both
+/// lane configurations replay byte-identical request sequences.
+struct DesignWorkload {
+  std::string name;
+  std::string text;  ///< MEBL1 design, sent inline with the load
+  std::vector<std::vector<netlist::NetId>> eco_batches;  ///< E burst members
+  std::vector<netlist::NetId> final_nets;
+};
+
+/// What one client thread observed.
+struct ClientResult {
+  bool ok = true;
+  std::string error;
+  std::size_t terminals = 0;         ///< terminal (done) responses received
+  std::vector<double> latencies_ms;  ///< send -> terminal, per queued job
+  std::size_t verified = 0;          ///< responses with eco.verified == true
+  std::size_t burst_coalesced = 0;   ///< eco.coalesced of the burst's last member
+  std::string burst_block;           ///< canonical quality bytes, burst report
+  std::string route2_block;          ///< canonical quality bytes, second route
+  std::string final_block;           ///< canonical quality bytes, final ECO
+};
+
+struct ConfigResult {
+  std::vector<ClientResult> clients;
+  double wall_seconds = 0.0;
+  std::int64_t coalesced_absorbed = 0;  ///< serve.eco.coalesced delta
+};
+
+/// First `count` nets with >= 2 pins starting at `offset` (wrapping), so
+/// the burst members touch different nets.
+std::vector<netlist::NetId> routable_nets(const netlist::Netlist& netlist,
+                                          std::size_t count,
+                                          std::size_t offset) {
+  std::vector<netlist::NetId> routable;
+  for (const netlist::Net& net : netlist.nets())
+    if (net.degree() >= 2) routable.push_back(net.id);
+  std::vector<netlist::NetId> picked;
+  if (routable.empty()) return picked;
+  for (std::size_t i = 0; i < count; ++i)
+    picked.push_back(routable[(offset + i) % routable.size()]);
+  std::sort(picked.begin(), picked.end());
+  picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+  return picked;
+}
+
+/// K mid-size designs (big enough that a route keeps its lane busy while
+/// the ECO burst lands in the queue) whose names hash to K distinct lanes,
+/// so --lanes K actually runs them K-wide.
+std::vector<DesignWorkload> build_workloads() {
+  std::vector<DesignWorkload> workloads;
+  std::set<std::size_t> lanes_taken;
+  for (int candidate = 0; workloads.size() < kDesigns; ++candidate) {
+    const std::string name = "mix" + std::to_string(candidate);
+    const std::size_t lane = serve::LaneScheduler::lane_for(name, kDesigns);
+    if (!lanes_taken.insert(lane).second) continue;
+
+    bench_suite::BenchmarkSpec spec;
+    spec.name = name;
+    spec.um_width = 100.0;
+    spec.um_height = 100.0;
+    spec.layers = 3;
+    spec.nets = 500;
+    spec.pins = 1500;
+    auto circuit = bench_suite::generate_circuit(
+        spec, bench_common::mcnc_config(),
+        bench_common::kSeed + static_cast<std::uint64_t>(candidate));
+
+    DesignWorkload workload;
+    workload.name = name;
+    for (std::size_t e = 0; e < kEcoBurst; ++e)
+      workload.eco_batches.push_back(
+          routable_nets(circuit.netlist, kEcoNets, e * kEcoNets));
+    workload.final_nets =
+        routable_nets(circuit.netlist, kEcoNets, kEcoBurst * kEcoNets);
+    std::ostringstream text;
+    netlist::write_design(
+        text, netlist::Design{circuit.grid, std::move(circuit.netlist)});
+    workload.text = text.str();
+    workloads.push_back(std::move(workload));
+  }
+  return workloads;
+}
+
+double ms_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Canonical quality bytes of the run report inside a terminal response;
+/// empty (and flags the result) when the response carries none.
+std::string canonical_block_of(const serve::Response& response,
+                               ClientResult& result) {
+  const report::Json* json = response.payload.get("report");
+  if (json == nullptr) {
+    result.ok = false;
+    result.error = "terminal response without a report";
+    return {};
+  }
+  const std::optional<report::RunReport> run = report::parse_run_report(*json);
+  if (!run) {
+    result.ok = false;
+    result.error = "unparseable run report";
+    return {};
+  }
+  return serve::canonical_quality_block(*run);
+}
+
+void fail(ClientResult& result, std::string message) {
+  result.ok = false;
+  result.error = std::move(message);
+}
+
+/// The per-design client script; one thread per design, closed loop.
+ClientResult run_client(const std::string& socket_path,
+                        const DesignWorkload& workload) {
+  ClientResult result;
+  serve::Client client;
+  if (!client.connect(socket_path)) {
+    fail(result, "cannot connect");
+    return result;
+  }
+
+  const auto timed_call = [&](serve::Request request) {
+    const auto start = std::chrono::steady_clock::now();
+    std::optional<serve::Response> response = client.call(std::move(request));
+    if (response && response->type == "done") {
+      result.latencies_ms.push_back(ms_since(start));
+      ++result.terminals;
+    }
+    return response;
+  };
+
+  // load (wait) — the design becomes resident before anything queues.
+  serve::Request load;
+  load.op = serve::Op::kLoad;
+  load.design = workload.name;
+  load.design_text = workload.text;
+  const std::optional<serve::Response> loaded = timed_call(std::move(load));
+  if (!loaded || loaded->type != "done") {
+    fail(result, "load failed");
+    return result;
+  }
+
+  // route + ECO burst, pipelined: the route occupies the lane while the
+  // burst (one socket write -> consecutive queue slots) lands behind it,
+  // so the dispatcher coalesces the burst into one batched reroute.
+  const auto pipeline_start = std::chrono::steady_clock::now();
+  serve::Request route;
+  route.op = serve::Op::kRoute;
+  route.design = workload.name;
+  const std::int64_t route_id = client.send(route);
+  std::vector<serve::Request> burst;
+  for (std::size_t e = 0; e < workload.eco_batches.size(); ++e) {
+    serve::Request eco;
+    eco.op = serve::Op::kEco;
+    eco.design = workload.name;
+    eco.nets = workload.eco_batches[e];
+    eco.verify = e + 1 == workload.eco_batches.size();
+    burst.push_back(std::move(eco));
+  }
+  const std::vector<std::int64_t> burst_ids =
+      client.send_batch(std::move(burst));
+  if (route_id < 0 || burst_ids.empty()) {
+    fail(result, "pipelined send failed");
+    return result;
+  }
+
+  std::set<std::int64_t> outstanding(burst_ids.begin(), burst_ids.end());
+  outstanding.insert(route_id);
+  while (!outstanding.empty()) {
+    std::optional<serve::Response> response = client.receive();
+    if (!response) {
+      fail(result, "connection lost mid-pipeline");
+      return result;
+    }
+    if (response->type == "ack" || response->type == "progress") continue;
+    if (outstanding.erase(response->id) == 0) continue;
+    if (response->type != "done") {
+      fail(result, "pipelined job failed: " + response->error);
+      return result;
+    }
+    result.latencies_ms.push_back(ms_since(pipeline_start));
+    ++result.terminals;
+    if (response->id == burst_ids.back()) {
+      result.burst_block = canonical_block_of(*response, result);
+      if (const report::Json* eco = response->payload.get("eco")) {
+        if (const report::Json* coalesced = eco->get("coalesced"))
+          result.burst_coalesced =
+              static_cast<std::size_t>(coalesced->as_int());
+        if (const report::Json* verified = eco->get("verified");
+            verified != nullptr && verified->as_bool())
+          ++result.verified;
+      }
+    }
+  }
+
+  // status probe (inline op, not a queued job) — the mixed-op leg.
+  serve::Request status;
+  status.op = serve::Op::kStatus;
+  if (!client.call(std::move(status))) {
+    fail(result, "status failed");
+    return result;
+  }
+
+  // second full route: resets the resident to a state that only depends on
+  // the netlist, so the blocks below compare across lane counts.
+  serve::Request route2;
+  route2.op = serve::Op::kRoute;
+  route2.design = workload.name;
+  const std::optional<serve::Response> rerouted = timed_call(std::move(route2));
+  if (!rerouted || rerouted->type != "done") {
+    fail(result, "second route failed");
+    return result;
+  }
+  result.route2_block = canonical_block_of(*rerouted, result);
+
+  // final ECO, alone and verified: the bit-identity probe.
+  serve::Request final_eco;
+  final_eco.op = serve::Op::kEco;
+  final_eco.design = workload.name;
+  final_eco.nets = workload.final_nets;
+  final_eco.verify = true;
+  const std::optional<serve::Response> finished =
+      timed_call(std::move(final_eco));
+  if (!finished || finished->type != "done") {
+    fail(result, "final eco failed");
+    return result;
+  }
+  result.final_block = canonical_block_of(*finished, result);
+  if (const report::Json* eco = finished->payload.get("eco"))
+    if (const report::Json* verified = eco->get("verified");
+        verified != nullptr && verified->as_bool())
+      ++result.verified;
+  return result;
+}
+
+ConfigResult run_config(int lanes, int threads,
+                        const std::vector<DesignWorkload>& workloads) {
+  serve::ServerConfig config;
+  config.socket_path =
+      "/tmp/mebl_bench_serve_" + std::to_string(::getpid()) + "_" +
+      std::to_string(lanes) + ".sock";
+  config.threads = threads;
+  config.lanes = lanes;
+  config.cache_capacity = workloads.size();
+  serve::Server server(std::move(config));
+  if (!server.start()) {
+    std::cerr << "[serve_throughput] cannot start server\n";
+    std::exit(1);
+  }
+
+  const std::int64_t absorbed_before =
+      telemetry::counter(telemetry::keys::kServeEcoCoalesced).value();
+  ConfigResult result;
+  result.clients.resize(workloads.size());
+  util::Timer timer;
+  std::vector<std::thread> threads_running;
+  for (std::size_t i = 0; i < workloads.size(); ++i)
+    threads_running.emplace_back([&, i] {
+      result.clients[i] = run_client(server.socket_path(), workloads[i]);
+    });
+  for (std::thread& thread : threads_running) thread.join();
+  result.wall_seconds = timer.seconds();
+  result.coalesced_absorbed =
+      telemetry::counter(telemetry::keys::kServeEcoCoalesced).value() -
+      absorbed_before;
+  server.stop();
+  return result;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_common::TelemetryScope telemetry_scope(argc, argv);
+  bench_common::ReportScope report_scope("serve_throughput", argc, argv);
+  bench_common::QuietLogs quiet;
+  const int threads = bench_common::threads_from_args(argc, argv);
+
+  const std::vector<DesignWorkload> workloads = build_workloads();
+  // Every design queues E+4 jobs: load, route, E burst ECOs, a second
+  // route, the final ECO. Two verify replays per design must come back
+  // verified, and each burst coalesces E-1 follow-ons into its batch.
+  const std::size_t expected_jobs = kDesigns * (kEcoBurst + 4);
+  const std::size_t expected_verified = kDesigns * 2;
+  const std::size_t expected_absorbed = kDesigns * (kEcoBurst - 1);
+
+  util::Table table("Lanes", "Jobs", "Coalesced", "Verified", "Wall(s)",
+                    "QPS", "p50(ms)", "p95(ms)", "p99(ms)");
+  const int lane_configs[] = {1, static_cast<int>(kDesigns)};
+  std::vector<ConfigResult> results;
+  bool ok = true;
+  for (const int lanes : lane_configs) {
+    ConfigResult result = run_config(lanes, threads, workloads);
+
+    std::size_t jobs = 0;
+    std::size_t verified = 0;
+    std::vector<double> latencies;
+    for (const ClientResult& client : result.clients) {
+      if (!client.ok) {
+        std::cerr << "[serve_throughput] lanes=" << lanes
+                  << " client failed: " << client.error << "\n";
+        ok = false;
+      }
+      jobs += client.terminals;
+      verified += client.verified;
+      latencies.insert(latencies.end(), client.latencies_ms.begin(),
+                       client.latencies_ms.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double qps = result.wall_seconds > 0.0
+                           ? static_cast<double>(jobs) / result.wall_seconds
+                           : 0.0;
+    const double p50 = percentile(latencies, 0.50);
+    const double p95 = percentile(latencies, 0.95);
+    const double p99 = percentile(latencies, 0.99);
+    ok = ok && jobs == expected_jobs && verified == expected_verified &&
+         result.coalesced_absorbed ==
+             static_cast<std::int64_t>(expected_absorbed);
+
+    table.add_row(std::to_string(lanes), std::to_string(jobs),
+                  std::to_string(result.coalesced_absorbed),
+                  std::to_string(verified),
+                  util::Table::fixed(result.wall_seconds, 3),
+                  util::Table::fixed(qps, 1), util::Table::fixed(p50, 1),
+                  util::Table::fixed(p95, 1), util::Table::fixed(p99, 1));
+
+    report::Json::Object metrics;
+    metrics["jobs_completed"] = static_cast<std::int64_t>(jobs);
+    metrics["eco_coalesced"] = result.coalesced_absorbed;
+    metrics["eco_verified"] = static_cast<std::int64_t>(verified);
+    metrics["wall_seconds"] = result.wall_seconds;
+    metrics["qps"] = qps;
+    metrics["latency_p50_ms"] = p50;
+    metrics["latency_p95_ms"] = p95;
+    metrics["latency_p99_ms"] = p99;
+    report_scope.add("serve_mix", "lanes" + std::to_string(lanes),
+                     std::move(metrics));
+    results.push_back(std::move(result));
+  }
+
+  // Cross-lane-count identity: the per-design canonical quality blocks of
+  // the serialized legs (second route, final verified ECO) must match byte
+  // for byte between --lanes 1 and --lanes K. The burst block compares too,
+  // but stays informational: its batch composition is timing-sensitive in
+  // principle even though the gated coalesce count pins it in practice.
+  bool identical = true;
+  bool burst_identical = true;
+  for (std::size_t i = 0; i < kDesigns; ++i) {
+    const ClientResult& a = results[0].clients[i];
+    const ClientResult& b = results[1].clients[i];
+    identical = identical && !a.route2_block.empty() &&
+                a.route2_block == b.route2_block &&
+                !a.final_block.empty() && a.final_block == b.final_block;
+    burst_identical = burst_identical && !a.burst_block.empty() &&
+                      a.burst_block == b.burst_block;
+  }
+  ok = ok && identical;
+
+  report::Json::Object identity;
+  identity["reports_identical"] = identical ? std::int64_t{1} : std::int64_t{0};
+  identity["batch_reports_identical"] =
+      burst_identical ? std::int64_t{1} : std::int64_t{0};
+  identity["designs"] = static_cast<std::int64_t>(kDesigns);
+  report_scope.add("serve_mix", "identity", std::move(identity));
+
+  std::cout << table.str("BM_ServeThroughput: " + std::to_string(kDesigns) +
+                         " designs x (load + route + " +
+                         std::to_string(kEcoBurst) +
+                         "-ECO burst + status + route + verified ECO)")
+            << "\nCross-lane identity: route/ECO reports "
+            << (identical ? "byte-identical" : "DIFFER") << " across lane "
+            << "counts; burst batch reports "
+            << (burst_identical ? "byte-identical" : "differ") << "\n";
+  return ok ? 0 : 1;
+}

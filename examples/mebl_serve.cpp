@@ -37,6 +37,9 @@ void usage() {
       "usage: mebl_serve --socket PATH [options]\n"
       "  --socket PATH   AF_UNIX socket to listen on (required)\n"
       "  --threads N     router worker threads (0 = one per hardware thread)\n"
+      "  --lanes N       dispatch lanes; each design hashes to one lane and\n"
+      "                  different designs route concurrently\n"
+      "                  (0 = hardware threads / 2, min 1)\n"
       "  --cache N       resident designs kept in memory, LRU beyond (default 4)\n"
       "  --baseline      route with the conventional (stitch-oblivious) flow\n"
       "  --log-level L   logging threshold: debug, info, warn, error\n"
@@ -64,6 +67,8 @@ int main(int argc, char** argv) {
       config.socket_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       config.threads = std::atoi(argv[++i]);
+    } else if (arg == "--lanes" && i + 1 < argc) {
+      config.lanes = std::atoi(argv[++i]);
     } else if (arg == "--cache" && i + 1 < argc) {
       config.cache_capacity =
           static_cast<std::size_t>(std::atoi(argv[++i]));
@@ -107,7 +112,9 @@ int main(int argc, char** argv) {
 
   serve::Server server(std::move(config));
   if (!server.start()) return 1;
-  std::cout << "mebl_serve: listening on " << server.socket_path() << "\n";
+  std::cout << "mebl_serve: listening on " << server.socket_path() << " ("
+            << server.lanes() << " lane" << (server.lanes() == 1 ? "" : "s")
+            << ")\n";
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);

@@ -52,6 +52,11 @@ struct Chunk {
 struct ThreadPool::Job {
   const std::function<void(std::size_t)>* body = nullptr;
   const Cancellation* cancel = nullptr;
+  /// The submitting thread's telemetry request tag; workers install it for
+  /// the duration of their participation so spans recorded inside the body
+  /// carry the right request id even when several serve dispatch lanes
+  /// share the process (each lane tags its own thread via RequestScope).
+  std::uint64_t request_tag = 0;
 
   /// Work-stealing deques, one per participant (0 = the calling thread).
   struct Queue {
@@ -166,9 +171,12 @@ void ThreadPool::worker_loop(std::size_t participant) {
       ++job->active_workers;
     }
     wakeups_counter().add(1);
+    const std::uint64_t previous_tag =
+        telemetry::exchange_request_tag(job->request_tag);
     t_inside_parallel_for = true;
     run_participant(*job, participant);
     t_inside_parallel_for = false;
+    telemetry::exchange_request_tag(previous_tag);
     {
       const std::lock_guard<std::mutex> lock(state_->mutex);
       if (--job->active_workers == 0) state_->done_cv.notify_all();
@@ -196,6 +204,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   Job job;
   job.body = &body;
   job.cancel = cancel;
+  job.request_tag = telemetry::current_request();
   const auto participants = static_cast<std::size_t>(concurrency_);
   // ~4 chunks per participant: coarse enough that scheduling stays cheap,
   // fine enough that one slow chunk can be compensated by stealing.

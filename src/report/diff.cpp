@@ -47,6 +47,16 @@ const MetricSpec kSpecs[] = {
     {"routability_pct", Direction::kHigherBetter, {}},
     {"routed_nets", Direction::kHigherBetter, {}},
     {"yield", Direction::kHigherBetter, {}},
+    // Serve-throughput gates (DESIGN.md §16): the deterministic side of the
+    // bench — every job answered, every expected ECO absorbed into a batch,
+    // per-design reports byte-identical across lane counts, verify replays
+    // clean. Strict: one dropped job or one mismatched byte is a
+    // regression. Wall-clock QPS / latency stay ungated (machine-
+    // dependent, informational rows only).
+    {"jobs_completed", Direction::kHigherBetter, {}},
+    {"eco_coalesced", Direction::kHigherBetter, {}},
+    {"reports_identical", Direction::kHigherBetter, {}},
+    {"eco_verified", Direction::kHigherBetter, {}},
 };
 
 const MetricSpec* find_spec(std::string_view name) {

@@ -62,6 +62,29 @@ std::int64_t Client::send(Request request) {
   return request.id;
 }
 
+std::vector<std::int64_t> Client::send_batch(std::vector<Request> requests) {
+  std::vector<std::int64_t> ids;
+  if (fd_ < 0 || requests.empty()) return ids;
+  std::string lines;
+  ids.reserve(requests.size());
+  for (Request& request : requests) {
+    request.id = next_id_++;
+    ids.push_back(request.id);
+    lines += encode(request);
+  }
+  std::size_t sent = 0;
+  while (sent < lines.size()) {
+    const ssize_t n = ::send(fd_, lines.data() + sent, lines.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      disconnect();
+      return {};
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return ids;
+}
+
 std::optional<Response> Client::receive() {
   if (fd_ < 0) return std::nullopt;
   char chunk[1 << 14];

@@ -10,6 +10,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "serve/protocol.hpp"
 
@@ -42,6 +43,12 @@ class Client {
   /// caller reads later (or never, e.g. cancel). Returns the assigned id,
   /// or -1 on send failure.
   std::int64_t send(Request request);
+
+  /// Pipeline several requests in one socket write: ids assign in order
+  /// and the server enqueues the jobs consecutively (no other client's
+  /// lines in between), which is what lets a burst of same-design ECOs
+  /// coalesce into one batch. Returns the assigned ids, empty on failure.
+  std::vector<std::int64_t> send_batch(std::vector<Request> requests);
 
   /// Read the next response line (any id), blocking. std::nullopt on
   /// connection loss or malformed data.

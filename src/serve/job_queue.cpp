@@ -4,7 +4,7 @@
 
 namespace mebl::serve {
 
-std::uint64_t JobQueue::push(std::uint64_t client, Request request) {
+bool JobQueue::push(std::uint64_t client, Request request) {
   Job job;
   job.client = client;
   job.enqueue_ns = telemetry::now_ns();
@@ -15,14 +15,14 @@ std::uint64_t JobQueue::push(std::uint64_t client, Request request) {
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(request.deadline_seconds)));
   std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return false;
   job.sequence = next_sequence_++;
   const Key key{-request.priority, job.sequence};
   live_[{client, request.id}] = job.cancel;
   job.request = std::move(request);
-  const std::uint64_t sequence = job.sequence;
   queue_.emplace(key, std::move(job));
   ready_.notify_one();
-  return sequence;
+  return true;
 }
 
 std::optional<Job> JobQueue::pop() {
@@ -30,6 +30,17 @@ std::optional<Job> JobQueue::pop() {
   ready_.wait(lock, [&] { return closed_ || !queue_.empty(); });
   if (queue_.empty()) return std::nullopt;
   auto first = queue_.begin();
+  Job job = std::move(first->second);
+  queue_.erase(first);
+  return job;
+}
+
+std::optional<Job> JobQueue::pop_head_if(
+    const std::function<bool(const Job&)>& matches) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  auto first = queue_.begin();
+  if (!matches(first->second)) return std::nullopt;
   Job job = std::move(first->second);
   queue_.erase(first);
   return job;

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,13 +45,20 @@ class JobQueue {
   /// Enqueue a job for `client`. Creates the job's Cancellation token,
   /// arms its deadline from request.deadline_seconds (measured from now),
   /// registers it under (client, request.id) for cancel(), and wakes one
-  /// pop()per. Returns the assigned sequence number.
-  std::uint64_t push(std::uint64_t client, Request request);
+  /// pop()per. False (nothing enqueued) once the queue is closed.
+  bool push(std::uint64_t client, Request request);
 
   /// Block until a job is available or the queue is closed; highest
   /// priority first, FIFO within a priority. std::nullopt after close()
   /// once the queue has drained.
   [[nodiscard]] std::optional<Job> pop();
+
+  /// Non-blocking: pop the current head job only if `matches` accepts it.
+  /// The dispatcher's ECO coalescer uses this to drain consecutive
+  /// same-design ECOs — it never reorders past a non-matching head, so
+  /// batching cannot change the order any single design observes.
+  [[nodiscard]] std::optional<Job> pop_head_if(
+      const std::function<bool(const Job&)>& matches);
 
   /// Request-stop the token registered under (client, id) — queued or
   /// running. Returns false when no such live job exists.

@@ -1,0 +1,55 @@
+#include "serve/lane_scheduler.hpp"
+
+namespace mebl::serve {
+
+LaneScheduler::LaneScheduler(std::size_t lanes) {
+  queues_.reserve(lanes == 0 ? 1 : lanes);
+  for (std::size_t i = 0; i < (lanes == 0 ? 1 : lanes); ++i)
+    queues_.push_back(std::make_unique<JobQueue>());
+}
+
+std::size_t LaneScheduler::lane_for(std::string_view design,
+                                    std::size_t lanes) noexcept {
+  if (lanes <= 1 || design.empty()) return 0;
+  // FNV-1a, 64-bit: stable across runs and platforms (std::hash is not).
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : design) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(hash % lanes);
+}
+
+bool LaneScheduler::push(std::uint64_t client, Request request) {
+  const std::size_t lane = lane_for(request.design);
+  return queues_[lane]->push(client, std::move(request));
+}
+
+bool LaneScheduler::cancel(std::uint64_t client, std::int64_t id,
+                           exec::StopReason reason) {
+  // The (client, id) registration lives on exactly one lane; ids are
+  // client-scoped, so at most one queue answers true.
+  for (const auto& queue : queues_)
+    if (queue->cancel(client, id, reason)) return true;
+  return false;
+}
+
+void LaneScheduler::cancel_client(std::uint64_t client) {
+  for (const auto& queue : queues_) queue->cancel_client(client);
+}
+
+void LaneScheduler::finish(std::uint64_t client, std::int64_t id) {
+  for (const auto& queue : queues_) queue->finish(client, id);
+}
+
+void LaneScheduler::close() {
+  for (const auto& queue : queues_) queue->close();
+}
+
+std::size_t LaneScheduler::pending() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue->pending();
+  return total;
+}
+
+}  // namespace mebl::serve

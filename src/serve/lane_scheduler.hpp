@@ -1,0 +1,77 @@
+#pragma once
+
+// mebl::serve lane scheduler — per-design dispatch lanes (DESIGN.md §16).
+//
+// One JobQueue per lane; every job's design key hashes (stable FNV-1a) to
+// exactly one lane, so all jobs for one design run on one lane thread in
+// (priority, arrival) order — the one-writer-per-resident invariant that
+// keeps the ECO bit-identity contract trivial — while jobs for different
+// designs route concurrently on other lanes. Ops without a design key
+// (shutdown) land on lane 0. With a single lane this degenerates to the
+// PR 6 single-dispatcher behavior exactly.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "serve/job_queue.hpp"
+
+namespace mebl::serve {
+
+class LaneScheduler {
+ public:
+  explicit LaneScheduler(std::size_t lanes);
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return queues_.size(); }
+
+  /// The lane a design key maps to: stable FNV-1a(design) mod lanes, so
+  /// the mapping never depends on arrival order or process state. Empty
+  /// keys (shutdown) map to lane 0.
+  [[nodiscard]] static std::size_t lane_for(std::string_view design,
+                                            std::size_t lanes) noexcept;
+  [[nodiscard]] std::size_t lane_for(std::string_view design) const noexcept {
+    return lane_for(design, queues_.size());
+  }
+
+  /// Enqueue onto the design's lane. False once the scheduler is closed.
+  bool push(std::uint64_t client, Request request);
+
+  /// Block on one lane's queue; see JobQueue::pop.
+  [[nodiscard]] std::optional<Job> pop(std::size_t lane) {
+    return queues_[lane]->pop();
+  }
+
+  /// Non-blocking head-match pop on one lane; see JobQueue::pop_head_if.
+  [[nodiscard]] std::optional<Job> pop_head_if(
+      std::size_t lane, const std::function<bool(const Job&)>& matches) {
+    return queues_[lane]->pop_head_if(matches);
+  }
+
+  /// Request-stop the job registered under (client, id) on whichever lane
+  /// holds it. False when no such live job exists.
+  bool cancel(std::uint64_t client, std::int64_t id,
+              exec::StopReason reason = exec::StopReason::kUser);
+
+  /// Cancel every live job of one client across all lanes.
+  void cancel_client(std::uint64_t client);
+
+  /// Drop the (client, id) cancel registration once the job has finished.
+  void finish(std::uint64_t client, std::int64_t id);
+
+  /// Close every lane queue; poppers drain and then see std::nullopt.
+  void close();
+
+  [[nodiscard]] std::size_t pending() const;            ///< sum over lanes
+  [[nodiscard]] std::size_t pending(std::size_t lane) const {
+    return queues_[lane]->pending();
+  }
+  [[nodiscard]] bool closed() const { return queues_[0]->closed(); }
+
+ private:
+  std::vector<std::unique_ptr<JobQueue>> queues_;
+};
+
+}  // namespace mebl::serve

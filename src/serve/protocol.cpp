@@ -137,6 +137,17 @@ Json to_json(const Request& request) {
     root["move_to_x"] = static_cast<std::int64_t>(request.move_to.x);
     root["move_to_y"] = static_cast<std::int64_t>(request.move_to.y);
   }
+  if (!request.moves.empty()) {
+    Json moves = Json::array();
+    for (const PinMoveSpec& move : request.moves) {
+      Json entry = Json::object();
+      entry["pin"] = static_cast<std::int64_t>(move.pin);
+      entry["x"] = static_cast<std::int64_t>(move.to.x);
+      entry["y"] = static_cast<std::int64_t>(move.to.y);
+      moves.push_back(std::move(entry));
+    }
+    root["moves"] = std::move(moves);
+  }
   if (request.verify) root["verify"] = true;
   if (request.cancel_id >= 0) root["cancel_id"] = request.cancel_id;
   return root;
@@ -177,6 +188,16 @@ std::optional<Request> parse_request(const Json& json) {
       static_cast<netlist::PinId>(get_int(json, "move_pin", -1));
   request.move_to.x = static_cast<geom::Coord>(get_int(json, "move_to_x"));
   request.move_to.y = static_cast<geom::Coord>(get_int(json, "move_to_y"));
+  if (const Json* moves = json.get("moves");
+      moves != nullptr && moves->kind() == Json::Kind::kArray)
+    for (const Json& item : moves->items()) {
+      if (item.kind() != Json::Kind::kObject) continue;
+      PinMoveSpec move;
+      move.pin = static_cast<netlist::PinId>(get_int(item, "pin", -1));
+      move.to.x = static_cast<geom::Coord>(get_int(item, "x"));
+      move.to.y = static_cast<geom::Coord>(get_int(item, "y"));
+      request.moves.push_back(move);
+    }
   request.verify = get_bool(json, "verify");
   request.cancel_id = get_int(json, "cancel_id", -1);
   return request;

@@ -41,6 +41,19 @@ enum class Op : std::uint8_t {
 [[nodiscard]] const char* op_name(Op op) noexcept;
 [[nodiscard]] std::optional<Op> op_from_name(std::string_view name) noexcept;
 
+/// One pin relocation inside an ECO: move `pin` to `to`. A request may
+/// carry several, applied in order (later moves see the positions earlier
+/// ones produced); the legacy single move_pin/move_to pair remains as the
+/// one-move shorthand and is applied first.
+struct PinMoveSpec {
+  netlist::PinId pin = -1;
+  geom::Point to;
+
+  friend bool operator==(const PinMoveSpec& a, const PinMoveSpec& b) {
+    return a.pin == b.pin && a.to == b.to;
+  }
+};
+
 /// One client request. Fields beyond `op` and `id` are op-specific; unused
 /// fields stay at their defaults and are omitted from the wire form.
 struct Request {
@@ -68,6 +81,10 @@ struct Request {
   /// kEco: optional pin move (pin id -> new location). -1 = none.
   netlist::PinId move_pin = -1;
   geom::Point move_to;
+  /// kEco: additional pin moves, applied in order after move_pin. The
+  /// coalescing dispatcher also uses this to union the moves of batched
+  /// ECO requests.
+  std::vector<PinMoveSpec> moves;
   /// kEco: run the bit-identity check — replay the same ECO on a resident
   /// rebuilt from the serialized pre-ECO state and compare canonical
   /// report quality blocks byte for byte.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -178,38 +179,51 @@ EcoOutcome ResidentDesign::eco(const EcoRequest& request,
   if (!out.error.empty()) return out;
 
   // --- pin-move validation (before any mutation) ---------------------------
+  // Normalize the legacy single move plus the batched list into one ordered
+  // list, then validate every move against sequentially-simulated pin
+  // positions, so a rejected request leaves the resident untouched and a
+  // coalesced batch behaves exactly like its member requests back to back.
+  std::vector<PinMoveSpec> moves;
+  if (request.move_pin >= 0)
+    moves.push_back({request.move_pin, request.move_to});
+  moves.insert(moves.end(), request.pin_moves.begin(),
+               request.pin_moves.end());
   std::vector<detail::DetailedRouter::PinMove> pin_moves;
-  bool moving_pin = false;
-  netlist::NetId pin_net = -1;
-  Point pin_from;
-  if (request.move_pin >= 0) {
-    if (static_cast<std::size_t>(request.move_pin) >=
-        design_.netlist.num_pins()) {
-      out.error = "pin id out of range";
-      return out;
-    }
-    const netlist::Pin& pin = design_.netlist.pin(request.move_pin);
-    pin_net = pin.net;
-    pin_from = pin.pos;
-    if (!design_.grid.in_bounds(request.move_to)) {
-      out.error = "pin destination out of bounds";
-      return out;
-    }
-    moving_pin = request.move_to != pin_from;
-    if (moving_pin) {
-      for (const netlist::Pin& other : design_.netlist.pins())
-        if (other.pos == request.move_to) {
-          out.error = "pin destination already carries a pin";
-          return out;
-        }
-    }
-    nets.push_back(pin_net);
-    // Nets whose wires occupy the destination nodes must reroute so the
-    // pin reservation can claim them.
-    for (const LayerId layer : {LayerId{0}, LayerId{1}}) {
-      const netlist::NetId owner =
-          result_.grid->owner({request.move_to.x, request.move_to.y, layer});
-      if (owner != -1 && owner != pin_net) nets.push_back(owner);
+  std::map<netlist::PinId, Point> moved_to;  ///< simulated final positions
+  if (!moves.empty()) {
+    std::set<std::pair<geom::Coord, geom::Coord>> occupied;
+    for (const netlist::Pin& pin : design_.netlist.pins())
+      occupied.insert({pin.pos.x, pin.pos.y});
+    for (const PinMoveSpec& move : moves) {
+      if (move.pin < 0 || static_cast<std::size_t>(move.pin) >=
+                              design_.netlist.num_pins()) {
+        out.error = "pin id out of range";
+        return out;
+      }
+      const netlist::Pin& pin = design_.netlist.pin(move.pin);
+      const auto sim = moved_to.find(move.pin);
+      const Point from = sim != moved_to.end() ? sim->second : pin.pos;
+      if (!design_.grid.in_bounds(move.to)) {
+        out.error = "pin destination out of bounds";
+        return out;
+      }
+      nets.push_back(pin.net);
+      if (move.to == from) continue;  // no-op move: just reroute the net
+      if (occupied.count({move.to.x, move.to.y}) != 0) {
+        out.error = "pin destination already carries a pin";
+        return out;
+      }
+      occupied.erase({from.x, from.y});
+      occupied.insert({move.to.x, move.to.y});
+      moved_to[move.pin] = move.to;
+      // Nets whose wires occupy the destination nodes must reroute so the
+      // pin reservation can claim them.
+      for (const LayerId layer : {LayerId{0}, LayerId{1}}) {
+        const netlist::NetId owner =
+            result_.grid->owner({move.to.x, move.to.y, layer});
+        if (owner != -1 && owner != pin.net) nets.push_back(owner);
+      }
+      pin_moves.push_back({pin.net, from, move.to});
     }
     std::sort(nets.begin(), nets.end());
     nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
@@ -235,23 +249,32 @@ EcoOutcome ResidentDesign::eco(const EcoRequest& request,
   exec::Cancellation local_cancel;
   exec::Cancellation& stop = cancel != nullptr ? *cancel : local_cancel;
 
-  // --- apply the pin move to the netlist and the subnet list ---------------
-  if (moving_pin) {
-    design_.netlist.move_pin(request.move_pin, request.move_to);
-    const auto fresh = netlist::decompose_net(design_.netlist, pin_net);
-    std::vector<std::size_t> slots;
-    for (std::size_t i = 0; i < subnets_.size(); ++i)
-      if (subnets_[i].net == pin_net) slots.push_back(i);
-    if (slots.size() != fresh.size()) {
-      // Decomposition is pin-count-preserving, so this cannot happen on a
-      // consistent resident; bail out rather than corrupt state.
-      out.error = "pin move changed the subnet count";
-      routed_ = false;
-      return out;
+  // --- apply the pin moves to the netlist and the subnet list --------------
+  if (!pin_moves.empty()) {
+    for (const auto& [pin, to] : moved_to) design_.netlist.move_pin(pin, to);
+    // Refresh the decomposition of every net that lost or gained a pin
+    // position, once per net even when a batch moved several of its pins.
+    std::vector<netlist::NetId> moved_nets;
+    for (const detail::DetailedRouter::PinMove& move : pin_moves)
+      moved_nets.push_back(move.net);
+    std::sort(moved_nets.begin(), moved_nets.end());
+    moved_nets.erase(std::unique(moved_nets.begin(), moved_nets.end()),
+                     moved_nets.end());
+    for (const netlist::NetId net : moved_nets) {
+      const auto fresh = netlist::decompose_net(design_.netlist, net);
+      std::vector<std::size_t> slots;
+      for (std::size_t i = 0; i < subnets_.size(); ++i)
+        if (subnets_[i].net == net) slots.push_back(i);
+      if (slots.size() != fresh.size()) {
+        // Decomposition is pin-count-preserving, so this cannot happen on a
+        // consistent resident; bail out rather than corrupt state.
+        out.error = "pin move changed the subnet count";
+        routed_ = false;
+        return out;
+      }
+      for (std::size_t k = 0; k < slots.size(); ++k)
+        subnets_[slots[k]] = fresh[k];
     }
-    for (std::size_t k = 0; k < slots.size(); ++k)
-      subnets_[slots[k]] = fresh[k];
-    pin_moves.push_back({pin_net, pin_from, request.move_to});
   }
 
   // --- global: rip the dirty closure, reroute only it ----------------------

@@ -29,6 +29,7 @@
 
 #include "core/stitch_router.hpp"
 #include "report/report.hpp"
+#include "serve/protocol.hpp"
 #include "serve/routed_state.hpp"
 
 namespace mebl::serve {
@@ -43,6 +44,10 @@ struct EcoRequest {
   /// (plus any net whose wires occupy the destination). -1 = none.
   netlist::PinId move_pin = -1;
   geom::Point move_to;
+  /// Additional pin moves, applied in order after move_pin. Later moves see
+  /// the positions earlier ones produced, so a batched (coalesced) ECO
+  /// replays exactly like its member requests run back to back.
+  std::vector<PinMoveSpec> pin_moves;
   /// Run the bit-identity check: replay the same ECO on a resident rebuilt
   /// from the serialized pre-ECO state and compare canonical quality
   /// blocks byte for byte.

@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -26,7 +27,7 @@ namespace {
 namespace keys = telemetry::keys;
 
 /// One streamed "progress" line per pipeline stage boundary / global-stage
-/// net batch, written from the dispatcher thread while the router runs.
+/// net batch, written from the job's lane thread while the router runs.
 class ProgressSender final : public core::ProgressObserver {
  public:
   using SendFn = std::function<void(const Response&)>;
@@ -76,11 +77,14 @@ Response make_error(std::int64_t id, std::string message) {
 }
 
 /// The cancelled / deadline-exceeded terminal response for a stopped job:
-/// user cancels get a "cancelled" line, expired deadlines an "error"
-/// naming the reason (see exec::StopReason).
+/// user cancels get a "cancelled" line, expired deadlines an "error" with
+/// the machine-parseable code "deadline_exceeded" in the payload.
 Response make_stopped(std::int64_t id, exec::StopReason reason) {
-  if (reason == exec::StopReason::kDeadline)
-    return make_error(id, "deadline exceeded");
+  if (reason == exec::StopReason::kDeadline) {
+    Response response = make_error(id, "deadline exceeded");
+    response.payload["code"] = "deadline_exceeded";
+    return response;
+  }
   Response response;
   response.type = "cancelled";
   response.id = id;
@@ -89,8 +93,16 @@ Response make_stopped(std::int64_t id, exec::StopReason reason) {
 
 }  // namespace
 
+std::size_t resolve_lanes(const ServerConfig& config) noexcept {
+  if (config.lanes > 0) return static_cast<std::size_t>(config.lanes);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 1 ? static_cast<std::size_t>(hardware / 2) : 1;
+}
+
 Server::Server(ServerConfig config)
-    : config_(std::move(config)), cache_(config_.cache_capacity) {}
+    : config_(std::move(config)),
+      scheduler_(resolve_lanes(config_)),
+      cache_(config_.cache_capacity) {}
 
 Server::~Server() { stop(); }
 
@@ -132,22 +144,39 @@ bool Server::start() {
   ::fcntl(wake_fds_[0], F_SETFL,
           ::fcntl(wake_fds_[0], F_GETFL, 0) | O_NONBLOCK);
 
-  pool_ = std::make_unique<exec::ThreadPool>(config_.threads);
+  // One router pool per lane: ThreadPool serializes parallel_for calls from
+  // different threads, so concurrent lanes each need their own workers. The
+  // thread budget splits evenly; every lane gets at least one worker.
+  const std::size_t lanes = scheduler_.lanes();
+  const int total_threads = config_.threads > 0
+                                ? config_.threads
+                                : exec::ThreadPool::hardware_threads();
+  const int per_lane = std::max(1, total_threads / static_cast<int>(lanes));
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lane_pools_.push_back(std::make_unique<exec::ThreadPool>(per_lane));
+    lane_stats_.push_back(std::make_unique<LaneStats>());
+  }
+
+  lanes_live_.store(static_cast<int>(lanes), std::memory_order_release);
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this] { io_loop(); });
-  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  lane_threads_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i)
+    lane_threads_.emplace_back([this, i] { dispatch_loop(i); });
   return true;
 }
 
 void Server::stop() {
-  if (listen_fd_ < 0 && !io_thread_.joinable() && !dispatch_thread_.joinable())
+  if (listen_fd_ < 0 && !io_thread_.joinable() && lane_threads_.empty())
     return;
   stopping_.store(true, std::memory_order_release);
-  queue_.close();
+  scheduler_.close();
   wake_io();
   if (io_thread_.joinable()) io_thread_.join();
-  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  for (std::thread& lane : lane_threads_)
+    if (lane.joinable()) lane.join();
+  lane_threads_.clear();
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     for (auto& [client, conn] : connections_) ::close(conn.fd);
@@ -163,7 +192,7 @@ void Server::stop() {
       ::close(fd);
       fd = -1;
     }
-  pool_.reset();
+  lane_pools_.clear();
   running_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(stopped_mutex_);
@@ -223,7 +252,7 @@ void Server::io_loop() {
       const ssize_t n =
           ::read(fds[i].fd, read_buffer.data(), read_buffer.size());
       if (n <= 0) {
-        queue_.cancel_client(client);
+        scheduler_.cancel_client(client);
         drop_connection(client);
         continue;
       }
@@ -280,7 +309,8 @@ void Server::handle_line(std::uint64_t client, std::string_view line) {
       Response response;
       response.type = "ack";
       response.id = request->id;
-      response.payload["cancelled"] = queue_.cancel(client, request->cancel_id);
+      response.payload["cancelled"] =
+          scheduler_.cancel(client, request->cancel_id);
       send_response(client, response);
       return;
     }
@@ -314,22 +344,28 @@ void Server::handle_line(std::uint64_t client, std::string_view line) {
       return;
     }
     default: {
-      queue_.push(client, *request);
+      const std::size_t lane = scheduler_.lane_for(request->design);
+      const std::int64_t id = request->id;
+      if (!scheduler_.push(client, *request)) {
+        send_response(client, make_error(id, "server is shutting down"));
+        return;
+      }
       Response response;
       response.type = "ack";
-      response.id = request->id;
+      response.id = id;
       response.payload["queued"] = true;
+      response.payload["lane"] = static_cast<std::int64_t>(lane);
       response.payload["pending"] =
-          static_cast<std::int64_t>(queue_.pending());
+          static_cast<std::int64_t>(scheduler_.pending());
       send_response(client, response);
       return;
     }
   }
 }
 
-void Server::dispatch_loop() {
+void Server::dispatch_loop(std::size_t lane) {
   while (true) {
-    std::optional<Job> job = queue_.pop();
+    std::optional<Job> job = scheduler_.pop(lane);
     if (!job) break;
     if (job->request.op == Op::kShutdown) {
       Response response;
@@ -337,26 +373,48 @@ void Server::dispatch_loop() {
       response.id = job->request.id;
       response.payload["shutdown"] = true;
       send_response(job->client, response);
-      queue_.finish(job->client, job->request.id);
-      break;
+      scheduler_.finish(job->client, job->request.id);
+      // Stop accepting new work; every lane (this one included) drains
+      // what is already queued, then the last lane out finishes the stop.
+      stopping_.store(true, std::memory_order_release);
+      scheduler_.close();
+      continue;
     }
-    execute(*job);
+    if (job->request.op == Op::kEco) {
+      // ECO coalescing: absorb consecutive queued ECOs for the same
+      // design into one batched apply. pop_head_if never skips past a
+      // non-matching head, so per-design order is untouched.
+      std::vector<Job> batch;
+      const std::string design = job->request.design;
+      batch.push_back(std::move(*job));
+      while (std::optional<Job> next =
+                 scheduler_.pop_head_if(lane, [&design](const Job& queued) {
+                   return queued.request.op == Op::kEco &&
+                          queued.request.design == design;
+                 }))
+        batch.push_back(std::move(*next));
+      execute_eco_batch(batch, lane);
+      continue;
+    }
+    execute(*job, lane);
   }
-  // Drain-and-stop: tell the I/O loop and any wait()er we are done.
-  stopping_.store(true, std::memory_order_release);
-  queue_.close();
-  wake_io();
-  {
-    std::lock_guard<std::mutex> lock(stopped_mutex_);
+  // Drain-and-stop: the last lane to exit tells the I/O loop and wait()ers.
+  if (lanes_live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    stopping_.store(true, std::memory_order_release);
+    scheduler_.close();
+    wake_io();
+    {
+      std::lock_guard<std::mutex> lock(stopped_mutex_);
+    }
+    stopped_cv_.notify_all();
   }
-  stopped_cv_.notify_all();
 }
 
-void Server::execute(const Job& job) {
-  // Request-scoped tracing: the tag is process-global (RequestScope docs)
-  // and the dispatcher serializes jobs, so every span recorded from here —
-  // including those on pool workers inside the router stages — carries this
-  // job's request id.
+void Server::execute(const Job& job, std::size_t lane) {
+  // Request-scoped tracing: the tag is thread-local and the exec pool hands
+  // it down to its workers, so every span recorded for this job — on this
+  // lane thread or inside the router stages — carries this request id even
+  // while other lanes run their own jobs.
   const telemetry::RequestScope request_scope(
       static_cast<std::uint64_t>(job.request.id));
   const std::uint64_t start_ns = telemetry::now_ns();
@@ -365,17 +423,24 @@ void Server::execute(const Job& job) {
   telemetry::histogram(keys::kServeQueueWaitNs).record_ns(wait_ns);
   telemetry::Tracer::record_span("serve.queue_wait", job.enqueue_ns, wait_ns);
   jobs_inflight_.fetch_add(1, std::memory_order_relaxed);
+  LaneStats& stats = *lane_stats_[lane];
+  stats.busy.store(true, std::memory_order_relaxed);
 
   Response response;
   if (job.cancel->stop_requested()) {
-    // Cancelled (or timed out) while still queued: answer without working.
+    // Stopped while still queued: answer without starting any work. An
+    // already-expired deadline is a structured rejection, not a start-
+    // then-cancel.
     response = make_stopped(job.request.id, job.cancel->reason());
+    if (job.cancel->reason() == exec::StopReason::kDeadline) {
+      response.payload["rejected_before_start"] = true;
+      telemetry::counter(keys::kServeDeadlineRejected).add(1);
+    }
   } else {
     TELEMETRY_SPAN("serve.dispatch");
     switch (job.request.op) {
       case Op::kLoad: response = run_load(job); break;
-      case Op::kRoute: response = run_route(job); break;
-      case Op::kEco: response = run_eco(job); break;
+      case Op::kRoute: response = run_route(job, lane); break;
       case Op::kSaveState: response = run_save_state(job); break;
       case Op::kLoadState: response = run_load_state(job); break;
       default:
@@ -388,8 +453,6 @@ void Server::execute(const Job& job) {
   telemetry::histogram(keys::kServeJobNs).record_ns(run_ns);
   if (job.request.op == Op::kRoute)
     telemetry::histogram(keys::kServeRouteNs).record_ns(run_ns);
-  else if (job.request.op == Op::kEco)
-    telemetry::histogram(keys::kServeEcoNs).record_ns(run_ns);
   if (response.type == "error")
     telemetry::counter(keys::kServeJobsFailed).add(1);
   else if (response.type == "cancelled")
@@ -402,10 +465,144 @@ void Server::execute(const Job& job) {
                  run_seconds);
   }
 
+  stats.busy.store(false, std::memory_order_relaxed);
+  stats.jobs.fetch_add(1, std::memory_order_relaxed);
   jobs_inflight_.fetch_sub(1, std::memory_order_relaxed);
-  queue_.finish(job.client, job.request.id);
+  scheduler_.finish(job.client, job.request.id);
   jobs_completed_.fetch_add(1, std::memory_order_acq_rel);
   send_response(job.client, response);
+}
+
+void Server::execute_eco_batch(std::vector<Job>& batch, std::size_t lane) {
+  LaneStats& stats = *lane_stats_[lane];
+  const std::uint64_t start_ns = telemetry::now_ns();
+
+  // Members stopped while queued answer individually (a deadline that
+  // expired in the queue is a structured rejection); the rest merge.
+  std::vector<Job*> live;
+  live.reserve(batch.size());
+  for (Job& member : batch) {
+    const telemetry::RequestScope member_scope(
+        static_cast<std::uint64_t>(member.request.id));
+    const std::uint64_t wait_ns =
+        start_ns > member.enqueue_ns ? start_ns - member.enqueue_ns : 0;
+    telemetry::histogram(keys::kServeQueueWaitNs).record_ns(wait_ns);
+    telemetry::Tracer::record_span("serve.queue_wait", member.enqueue_ns,
+                                   wait_ns);
+    if (!member.cancel->stop_requested()) {
+      live.push_back(&member);
+      continue;
+    }
+    Response response =
+        make_stopped(member.request.id, member.cancel->reason());
+    if (member.cancel->reason() == exec::StopReason::kDeadline) {
+      response.payload["rejected_before_start"] = true;
+      telemetry::counter(keys::kServeDeadlineRejected).add(1);
+    }
+    if (response.type == "error")
+      telemetry::counter(keys::kServeJobsFailed).add(1);
+    else
+      telemetry::counter(keys::kServeJobsCancelled).add(1);
+    scheduler_.finish(member.client, member.request.id);
+    jobs_completed_.fetch_add(1, std::memory_order_acq_rel);
+    stats.jobs.fetch_add(1, std::memory_order_relaxed);
+    send_response(member.client, response);
+  }
+  if (live.empty()) return;
+
+  // One merged rip-up/reroute for the whole batch: net and pin-move lists
+  // union in request order (the resident dedups nets and replays moves
+  // sequentially), verify is sticky, and the first member's token steers
+  // cancellation. The batch runs under the leader's request tag.
+  Job& leader = *live.front();
+  const telemetry::RequestScope request_scope(
+      static_cast<std::uint64_t>(leader.request.id));
+  jobs_inflight_.fetch_add(static_cast<std::int64_t>(live.size()),
+                           std::memory_order_relaxed);
+  stats.busy.store(true, std::memory_order_relaxed);
+
+  std::shared_ptr<ResidentDesign> resident =
+      cache_.get(leader.request.design);
+  EcoOutcome outcome;
+  if (resident != nullptr) {
+    EcoRequest eco;
+    for (const Job* member : live) {
+      const Request& request = member->request;
+      eco.nets.insert(eco.nets.end(), request.nets.begin(),
+                      request.nets.end());
+      eco.net_names.insert(eco.net_names.end(), request.net_names.begin(),
+                           request.net_names.end());
+      if (request.move_pin >= 0)
+        eco.pin_moves.push_back({request.move_pin, request.move_to});
+      eco.pin_moves.insert(eco.pin_moves.end(), request.moves.begin(),
+                           request.moves.end());
+      eco.verify = eco.verify || request.verify;
+    }
+    telemetry::counter(keys::kServeJobsEco)
+        .add(static_cast<std::int64_t>(live.size()));
+    if (live.size() > 1)
+      telemetry::counter(keys::kServeEcoCoalesced)
+          .add(static_cast<std::int64_t>(live.size() - 1));
+    {
+      TELEMETRY_SPAN("serve.dispatch");
+      outcome =
+          resident->eco(eco, lane_pools_[lane].get(), leader.cancel.get());
+    }
+    if (outcome.fallback_full)
+      telemetry::counter(keys::kServeEcoFallbackFull).add(1);
+  }
+
+  const std::uint64_t run_ns = telemetry::now_ns() - start_ns;
+  telemetry::histogram(keys::kServeJobNs).record_ns(run_ns);
+  telemetry::histogram(keys::kServeEcoNs).record_ns(run_ns);
+  const double run_seconds = static_cast<double>(run_ns) / 1e9;
+
+  // Fan the batch outcome back out: every member gets its own terminal
+  // line (echoing its id) with the shared report and an eco.coalesced
+  // count naming the batch size it rode in.
+  for (Job* member : live) {
+    const Request& request = member->request;
+    Response response;
+    if (resident == nullptr) {
+      response =
+          make_error(request.id, "unknown design '" + request.design + "'");
+    } else if (outcome.cancelled) {
+      response = make_stopped(request.id, outcome.stop_reason);
+    } else if (!outcome.ok) {
+      response = make_error(request.id, outcome.error);
+    } else {
+      response.type = "done";
+      response.id = request.id;
+      response.payload["report"] = report::to_json(outcome.report);
+      response.payload["seconds"] = outcome.seconds;
+      report::Json& summary = response.payload["eco"];
+      summary["dirty_subnets"] =
+          static_cast<std::int64_t>(outcome.dirty_subnets);
+      summary["fallback_full"] = outcome.fallback_full;
+      summary["coalesced"] = static_cast<std::int64_t>(live.size());
+      if (request.verify) {
+        summary["verified"] = outcome.verified;
+        summary["verify_mismatch"] = outcome.verify_mismatch;
+      }
+    }
+    if (response.type == "error")
+      telemetry::counter(keys::kServeJobsFailed).add(1);
+    else if (response.type == "cancelled")
+      telemetry::counter(keys::kServeJobsCancelled).add(1);
+    jobs_inflight_.fetch_sub(1, std::memory_order_relaxed);
+    scheduler_.finish(member->client, request.id);
+    jobs_completed_.fetch_add(1, std::memory_order_acq_rel);
+    stats.jobs.fetch_add(1, std::memory_order_relaxed);
+    send_response(member->client, response);
+  }
+  if (config_.slow_job_seconds > 0.0 &&
+      run_seconds >= config_.slow_job_seconds) {
+    telemetry::counter(keys::kServeSlowJobs).add(1);
+    Response summary;
+    summary.type = "done";
+    log_slow_job(leader, summary, 0.0, run_seconds);
+  }
+  stats.busy.store(false, std::memory_order_relaxed);
 }
 
 Response Server::run_load(const Job& job) {
@@ -443,7 +640,7 @@ Response Server::run_load(const Job& job) {
   return response;
 }
 
-Response Server::run_route(const Job& job) {
+Response Server::run_route(const Job& job, std::size_t lane) {
   const Request& request = job.request;
   std::shared_ptr<ResidentDesign> resident = cache_.get(request.design);
   if (resident == nullptr)
@@ -454,8 +651,8 @@ Response Server::run_route(const Job& job) {
     send_response(client, event);
   });
   telemetry::counter(keys::kServeJobsRoute).add(1);
-  const EcoOutcome outcome =
-      resident->route_full(pool_.get(), job.cancel.get(), &progress);
+  const EcoOutcome outcome = resident->route_full(
+      lane_pools_[lane].get(), job.cancel.get(), &progress);
   if (outcome.cancelled)
     return make_stopped(request.id, outcome.stop_reason);
   if (!outcome.ok) return make_error(request.id, outcome.error);
@@ -465,41 +662,6 @@ Response Server::run_route(const Job& job) {
   response.id = request.id;
   response.payload["report"] = report::to_json(outcome.report);
   response.payload["seconds"] = outcome.seconds;
-  return response;
-}
-
-Response Server::run_eco(const Job& job) {
-  const Request& request = job.request;
-  std::shared_ptr<ResidentDesign> resident = cache_.get(request.design);
-  if (resident == nullptr)
-    return make_error(request.id, "unknown design '" + request.design + "'");
-
-  EcoRequest eco;
-  eco.nets = request.nets;
-  eco.net_names = request.net_names;
-  eco.move_pin = request.move_pin;
-  eco.move_to = request.move_to;
-  eco.verify = request.verify;
-  telemetry::counter(keys::kServeJobsEco).add(1);
-  const EcoOutcome outcome = resident->eco(eco, pool_.get(), job.cancel.get());
-  if (outcome.fallback_full)
-    telemetry::counter(keys::kServeEcoFallbackFull).add(1);
-  if (outcome.cancelled)
-    return make_stopped(request.id, outcome.stop_reason);
-  if (!outcome.ok) return make_error(request.id, outcome.error);
-
-  Response response;
-  response.type = "done";
-  response.id = request.id;
-  response.payload["report"] = report::to_json(outcome.report);
-  response.payload["seconds"] = outcome.seconds;
-  report::Json& summary = response.payload["eco"];
-  summary["dirty_subnets"] = static_cast<std::int64_t>(outcome.dirty_subnets);
-  summary["fallback_full"] = outcome.fallback_full;
-  if (request.verify) {
-    summary["verified"] = outcome.verified;
-    summary["verify_mismatch"] = outcome.verify_mismatch;
-  }
   return response;
 }
 
@@ -555,10 +717,11 @@ Response Server::run_load_state(const Job& job) {
 
 report::Json Server::status_payload() const {
   report::Json payload = report::Json::object();
-  payload["pending"] = static_cast<std::int64_t>(queue_.pending());
+  payload["pending"] = static_cast<std::int64_t>(scheduler_.pending());
   payload["inflight"] = jobs_inflight_.load(std::memory_order_relaxed);
   payload["jobs_completed"] =
       static_cast<std::int64_t>(jobs_completed_.load(std::memory_order_acquire));
+  payload["lanes"] = static_cast<std::int64_t>(scheduler_.lanes());
   payload["cache_capacity"] = static_cast<std::int64_t>(cache_.capacity());
   report::Json designs = report::Json::array();
   for (const std::string& name : cache_.names()) designs.push_back(name);
@@ -569,10 +732,11 @@ report::Json Server::status_payload() const {
 std::string Server::metrics_text() const {
   // Counters and histograms come straight from the telemetry registry; the
   // point-in-time values below are the server's own state, rendered as
-  // gauges. Per-design residency gauges carry the design name as a label.
+  // gauges. Per-design residency and per-lane gauges carry the design name
+  // / lane index as a label.
   std::vector<telemetry::PrometheusGauge> gauges;
   gauges.push_back({"serve.queue.depth",
-                    static_cast<double>(queue_.pending()), {}});
+                    static_cast<double>(scheduler_.pending()), {}});
   gauges.push_back(
       {"serve.jobs.inflight",
        static_cast<double>(jobs_inflight_.load(std::memory_order_relaxed)),
@@ -581,6 +745,22 @@ std::string Server::metrics_text() const {
       {"serve.jobs.completed",
        static_cast<double>(jobs_completed_.load(std::memory_order_acquire)),
        {}});
+  gauges.push_back({"serve.lanes", static_cast<double>(scheduler_.lanes()),
+                    {}});
+  for (std::size_t i = 0; i < scheduler_.lanes(); ++i) {
+    const std::vector<std::pair<std::string, std::string>> label = {
+        {"lane", std::to_string(i)}};
+    const LaneStats& stats = *lane_stats_[i];
+    gauges.push_back({"serve.lane.depth",
+                      static_cast<double>(scheduler_.pending(i)), label});
+    gauges.push_back(
+        {"serve.lane.busy",
+         stats.busy.load(std::memory_order_relaxed) ? 1.0 : 0.0, label});
+    gauges.push_back(
+        {"serve.lane.jobs",
+         static_cast<double>(stats.jobs.load(std::memory_order_relaxed)),
+         label});
+  }
   const std::vector<std::string> residents = cache_.names();
   gauges.push_back(
       {"serve.cache.residents", static_cast<double>(residents.size()), {}});

@@ -1,17 +1,20 @@
 #pragma once
 
 // mebl::serve socket server — the routing-as-a-service daemon core
-// (DESIGN.md §12).
+// (DESIGN.md §12, §16).
 //
 // One poll()-driven I/O thread owns the AF_UNIX listening socket and every
 // client connection: it splits the byte stream into wire lines, answers
-// ping / status / cancel inline, and pushes everything else onto the
-// JobQueue. One dispatcher thread pops jobs in (priority, arrival) order
-// and executes them one at a time against the DesignCache on a shared
-// router ThreadPool — serializing jobs keeps every resident design's
-// incremental state single-writer, which the bit-identity contract needs.
-// Responses (acks, streamed progress events, the final done/error line)
-// can be written from either thread; a write mutex keeps lines whole.
+// ping / status / cancel / metrics / dump inline, and pushes everything
+// else onto the LaneScheduler. N dispatch lanes (one thread + one router
+// ThreadPool each) pop jobs in (priority, arrival) order; a job's design
+// key hashes to exactly one lane, so every resident design keeps a single
+// mutator thread — the one-writer-per-resident invariant the bit-identity
+// contract needs — while jobs for different designs route concurrently.
+// Consecutive queued ECOs for the same design coalesce into one batched
+// rip-up/reroute whose responses fan back out per request. Responses
+// (acks, streamed progress events, the final done/error line) can be
+// written from any thread; a write mutex keeps lines whole.
 
 #include <atomic>
 #include <condition_variable>
@@ -22,8 +25,9 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
-#include "serve/job_queue.hpp"
+#include "serve/lane_scheduler.hpp"
 #include "serve/resident_design.hpp"
 
 namespace mebl::exec {
@@ -35,8 +39,12 @@ namespace mebl::serve {
 struct ServerConfig {
   /// AF_UNIX socket path; bound on start(), unlinked on stop().
   std::string socket_path;
-  /// Router pool threads shared by every job; <= 0 = hardware concurrency.
+  /// Router pool threads split across the lanes (each lane gets
+  /// max(1, threads / lanes) workers); <= 0 = hardware concurrency.
   int threads = 0;
+  /// Dispatch lanes (see LaneScheduler); <= 0 = hardware concurrency / 2,
+  /// floored at 1. One lane reproduces the single-dispatcher behavior.
+  int lanes = 0;
   /// Resident designs kept in memory (LRU beyond this).
   std::size_t cache_capacity = 4;
   /// Pipeline configuration every job routes with.
@@ -57,11 +65,11 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen on the socket and start the I/O and dispatcher threads.
+  /// Bind + listen on the socket and start the I/O and lane threads.
   /// False (with a log line) when the socket cannot be bound.
   bool start();
 
-  /// Close the queue, stop both threads, drop every connection, unlink the
+  /// Close the lanes, stop every thread, drop every connection, unlink the
   /// socket. Idempotent; also run by the destructor.
   void stop();
 
@@ -79,6 +87,9 @@ class Server {
   [[nodiscard]] const std::string& socket_path() const noexcept {
     return config_.socket_path;
   }
+  [[nodiscard]] std::size_t lanes() const noexcept {
+    return scheduler_.lanes();
+  }
   [[nodiscard]] std::uint64_t jobs_completed() const noexcept {
     return jobs_completed_.load(std::memory_order_acquire);
   }
@@ -89,26 +100,34 @@ class Server {
     std::string buffer;  ///< bytes received, not yet newline-terminated
   };
 
+  /// Point-in-time lane statistics, exported as labeled Prometheus gauges.
+  struct LaneStats {
+    std::atomic<std::uint64_t> jobs{0};  ///< jobs this lane completed
+    std::atomic<bool> busy{false};       ///< a job is executing right now
+  };
+
   void io_loop();
-  void dispatch_loop();
+  void dispatch_loop(std::size_t lane);
 
   /// Parse + act on one wire line from `client` (inline ops answer here,
   /// the rest queue).
   void handle_line(std::uint64_t client, std::string_view line);
 
-  /// Execute one queued job on the dispatcher thread and send its
-  /// responses.
-  void execute(const Job& job);
+  /// Execute one queued job on its lane thread and send its responses.
+  void execute(const Job& job, std::size_t lane);
+  /// Execute a coalesced batch of ECO jobs (>= 1, all for one design) as a
+  /// single merged rip-up/reroute; fan the responses back out per member.
+  void execute_eco_batch(std::vector<Job>& batch, std::size_t lane);
   [[nodiscard]] Response run_load(const Job& job);
-  [[nodiscard]] Response run_route(const Job& job);
-  [[nodiscard]] Response run_eco(const Job& job);
+  [[nodiscard]] Response run_route(const Job& job, std::size_t lane);
   [[nodiscard]] Response run_save_state(const Job& job);
   [[nodiscard]] Response run_load_state(const Job& job);
 
   [[nodiscard]] report::Json status_payload() const;
 
   /// Prometheus text exposition: the full telemetry registry plus serve
-  /// gauges (queue depth, in-flight jobs, cache occupancy, connections).
+  /// gauges (per-lane depth/busy/jobs, in-flight jobs, cache occupancy,
+  /// connections).
   [[nodiscard]] std::string metrics_text() const;
 
   /// Slow-job structured WARN line (op, client, wait/run seconds, stage
@@ -123,9 +142,12 @@ class Server {
   void wake_io();
 
   ServerConfig config_;
-  JobQueue queue_;
+  LaneScheduler scheduler_;
   DesignCache cache_;
-  std::unique_ptr<exec::ThreadPool> pool_;
+  /// One router pool per lane so lanes overlap their parallel_for calls
+  /// (a single pool serializes cross-thread submissions).
+  std::vector<std::unique_ptr<exec::ThreadPool>> lane_pools_;
+  std::vector<std::unique_ptr<LaneStats>> lane_stats_;
 
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  ///< self-pipe: poke the poll() loop
@@ -135,7 +157,8 @@ class Server {
   std::mutex write_mutex_;
 
   std::thread io_thread_;
-  std::thread dispatch_thread_;
+  std::vector<std::thread> lane_threads_;
+  std::atomic<int> lanes_live_{0};
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> jobs_completed_{0};
@@ -143,5 +166,9 @@ class Server {
   std::mutex stopped_mutex_;
   std::condition_variable stopped_cv_;
 };
+
+/// The lane count `config` resolves to: config.lanes when positive, else
+/// hardware concurrency / 2 floored at 1.
+[[nodiscard]] std::size_t resolve_lanes(const ServerConfig& config) noexcept;
 
 }  // namespace mebl::serve

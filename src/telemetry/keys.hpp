@@ -111,6 +111,13 @@ inline constexpr char kServeEcoFallbackFull[] = "serve.jobs.eco_fallback_full";
 inline constexpr char kServeJobsFailed[] = "serve.jobs.failed";
 inline constexpr char kServeJobsCancelled[] = "serve.jobs.cancelled";
 inline constexpr char kServeSlowJobs[] = "serve.jobs.slow";
+/// Jobs whose deadline had already expired when a lane picked them up:
+/// rejected with a structured deadline_exceeded error, never started.
+inline constexpr char kServeDeadlineRejected[] =
+    "serve.jobs.deadline_rejected";
+/// ECO requests absorbed into a coalesced batch (batch size minus one per
+/// batch): how many rip-up/reroute applies lane batching saved.
+inline constexpr char kServeEcoCoalesced[] = "serve.eco.coalesced";
 // serving-layer histograms (queue wait + per-kind job latency)
 inline constexpr char kServeQueueWaitNs[] = "serve.queue.wait_ns";
 inline constexpr char kServeJobNs[] = "serve.job.total_ns";

@@ -38,8 +38,10 @@ std::vector<SpanEvent>& event_buffer() {
 constexpr std::size_t kDefaultTraceCapacity = std::size_t{1} << 18;
 std::atomic<std::size_t> g_trace_capacity{kDefaultTraceCapacity};
 
-// Process-global (not thread-local) on purpose; see RequestScope docs.
-std::atomic<std::uint64_t> g_request_tag{0};
+// Thread-local so concurrent dispatch lanes keep independent tags; the
+// exec pool hands it down to workers via exchange_request_tag() (see the
+// RequestScope docs).
+thread_local std::uint64_t t_request_tag = 0;
 
 // Small dense thread ids (1, 2, ... in order of first span) keep traces and
 // tests readable; std::thread::id hashes would churn between runs.
@@ -178,14 +180,16 @@ std::vector<std::pair<std::string, HistogramSnapshot>> snapshot_histograms() {
 }
 
 RequestScope::RequestScope(std::uint64_t tag) noexcept
-    : previous_(g_request_tag.exchange(tag, std::memory_order_relaxed)) {}
+    : previous_(exchange_request_tag(tag)) {}
 
-RequestScope::~RequestScope() {
-  g_request_tag.store(previous_, std::memory_order_relaxed);
-}
+RequestScope::~RequestScope() { exchange_request_tag(previous_); }
 
-std::uint64_t current_request() noexcept {
-  return g_request_tag.load(std::memory_order_relaxed);
+std::uint64_t current_request() noexcept { return t_request_tag; }
+
+std::uint64_t exchange_request_tag(std::uint64_t tag) noexcept {
+  const std::uint64_t previous = t_request_tag;
+  t_request_tag = tag;
+  return previous;
 }
 
 std::int64_t StatsSnapshot::value(std::string_view name) const noexcept {
@@ -371,7 +375,7 @@ void reset_for_testing() {
   Tracer::disable();
   Tracer::clear();
   Tracer::set_capacity(kDefaultTraceCapacity);
-  g_request_tag.store(0, std::memory_order_relaxed);
+  t_request_tag = 0;
   set_clock_for_testing(nullptr);
   const std::lock_guard<std::mutex> lock(g_registry_mutex);
   for (auto& [name, ctr] : counter_registry())

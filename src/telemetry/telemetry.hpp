@@ -178,11 +178,14 @@ struct SpanEvent {
 
 // --------------------------------------------------------- request tagging
 
-/// Tag every span recorded until destruction with `tag` (a serve-layer
-/// request id). The tag is process-global, not thread-local, on purpose:
-/// mebl_serve runs one dispatcher, so exactly one job executes at a time,
-/// and the exec-pool workers it fans out to must inherit the job's tag.
-/// Scopes nest; the previous tag is restored on destruction.
+/// Tag every span recorded on this thread until destruction with `tag` (a
+/// serve-layer request id). The tag is thread-local so several dispatch
+/// lanes can each run a RequestScope concurrently without clobbering one
+/// another's ids; exec-pool workers inherit the submitting thread's tag
+/// for the duration of one parallel_for job (the pool captures it at
+/// submit via current_request() and installs it around each participant
+/// with exchange_request_tag()). Scopes nest; the previous tag is restored
+/// on destruction.
 class RequestScope {
  public:
   explicit RequestScope(std::uint64_t tag) noexcept;
@@ -194,8 +197,15 @@ class RequestScope {
   std::uint64_t previous_;
 };
 
-/// The currently active request tag (0 when no RequestScope is live).
+/// The calling thread's active request tag (0 when no RequestScope is
+/// live on it).
 [[nodiscard]] std::uint64_t current_request() noexcept;
+
+/// Install `tag` as the calling thread's request tag and return the one it
+/// replaced. The exec pool brackets each parallel_for participant with
+/// this (install the job's tag, run, restore) so worker spans carry the
+/// right request even when multiple serve lanes share the process.
+std::uint64_t exchange_request_tag(std::uint64_t tag) noexcept;
 
 namespace internal {
 /// Set by the flight recorder so Span construction stays one (well, two)

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -43,6 +45,7 @@ TEST(ServeProtocol, RequestRoundTripsEveryField) {
   request.net_names = {"clk", "rst"};
   request.move_pin = 9;
   request.move_to = {12, 34};
+  request.moves = {{3, {7, 8}}, {5, {9, 10}}};
   request.verify = true;
   request.cancel_id = 7;
 
@@ -64,6 +67,7 @@ TEST(ServeProtocol, RequestRoundTripsEveryField) {
   EXPECT_EQ(decoded->move_pin, 9);
   EXPECT_EQ(decoded->move_to.x, 12);
   EXPECT_EQ(decoded->move_to.y, 34);
+  EXPECT_EQ(decoded->moves, request.moves);
   EXPECT_TRUE(decoded->verify);
   EXPECT_EQ(decoded->cancel_id, 7);
 }
@@ -202,6 +206,119 @@ TEST(ServeJobQueue, CloseDrainsThenReturnsNullopt) {
   EXPECT_FALSE(queue.pop().has_value());
 }
 
+TEST(ServeJobQueue, PushAfterCloseIsRejected) {
+  JobQueue queue;
+  EXPECT_TRUE(queue.push(1, make_request(Op::kRoute, 1)));
+  queue.close();
+  EXPECT_FALSE(queue.push(1, make_request(Op::kRoute, 2)));
+  EXPECT_EQ(queue.pending(), 1u) << "a rejected push must not enqueue";
+}
+
+Request design_request(Op op, std::int64_t id, std::string design) {
+  Request request = make_request(op, id);
+  request.design = std::move(design);
+  return request;
+}
+
+TEST(ServeJobQueue, PopHeadIfNeverSkipsPastANonMatchingHead) {
+  JobQueue queue;
+  queue.push(1, design_request(Op::kEco, 1, "a"));
+  queue.push(1, design_request(Op::kEco, 2, "b"));
+  queue.push(1, design_request(Op::kEco, 3, "a"));
+  const auto matches_a = [](const Job& job) {
+    return job.request.design == "a";
+  };
+
+  auto head = queue.pop();
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->request.id, 1);
+  // Head is now design b: the matcher must come back empty instead of
+  // reaching past it for id 3 — coalescing must not reorder a lane.
+  EXPECT_FALSE(queue.pop_head_if(matches_a).has_value());
+  head = queue.pop();
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->request.id, 2);
+  const auto tail = queue.pop_head_if(matches_a);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->request.id, 3);
+  EXPECT_FALSE(queue.pop_head_if(matches_a).has_value()) << "queue is empty";
+}
+
+// ---------------------------------------------------------- lane scheduler
+
+TEST(ServeLaneScheduler, LaneForIsStableAndInRange) {
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{7}}) {
+    for (const char* name : {"chip", "s5378", "mix0", "a", ""}) {
+      const std::size_t lane = LaneScheduler::lane_for(name, lanes);
+      EXPECT_LT(lane, lanes);
+      EXPECT_EQ(lane, LaneScheduler::lane_for(name, lanes))
+          << "lane_for must be a pure function of (design, lanes)";
+    }
+    EXPECT_EQ(LaneScheduler::lane_for("", lanes), 0u)
+        << "designless ops (shutdown) must land on lane 0";
+  }
+  EXPECT_EQ(LaneScheduler::lane_for("anything", 1), 0u);
+}
+
+TEST(ServeLaneScheduler, PushRoutesEachDesignToItsLaneInFifoOrder) {
+  LaneScheduler scheduler(4);
+  const std::size_t lane_a = scheduler.lane_for("design_a");
+  std::string other = "design_b";
+  for (int i = 0; scheduler.lane_for(other) == lane_a; ++i)
+    other = "design_b" + std::to_string(i);
+  const std::size_t lane_b = scheduler.lane_for(other);
+
+  EXPECT_TRUE(scheduler.push(1, design_request(Op::kEco, 1, "design_a")));
+  EXPECT_TRUE(scheduler.push(1, design_request(Op::kEco, 2, other)));
+  EXPECT_TRUE(scheduler.push(1, design_request(Op::kEco, 3, "design_a")));
+  EXPECT_EQ(scheduler.pending(), 3u);
+  EXPECT_EQ(scheduler.pending(lane_a), 2u);
+  EXPECT_EQ(scheduler.pending(lane_b), 1u);
+
+  auto first = scheduler.pop(lane_a);
+  auto second = scheduler.pop(lane_a);
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_EQ(first->request.id, 1);
+  EXPECT_EQ(second->request.id, 3) << "per-design order must be FIFO";
+  auto cross = scheduler.pop(lane_b);
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_EQ(cross->request.id, 2);
+}
+
+TEST(ServeLaneScheduler, CancelFindsTheJobAcrossLanes) {
+  LaneScheduler scheduler(4);
+  EXPECT_TRUE(scheduler.push(1, design_request(Op::kEco, 1, "design_a")));
+  EXPECT_TRUE(scheduler.push(1, design_request(Op::kEco, 2, "design_b")));
+  EXPECT_TRUE(scheduler.cancel(1, 2));
+  EXPECT_FALSE(scheduler.cancel(1, 99));
+  EXPECT_FALSE(scheduler.cancel(2, 1)) << "ids are client-scoped";
+  const std::size_t lane = scheduler.lane_for("design_b");
+  const auto job = scheduler.pop(lane);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_TRUE(job->cancel->stop_requested());
+}
+
+TEST(ServeLaneScheduler, CloseRejectsFurtherPushes) {
+  LaneScheduler scheduler(2);
+  EXPECT_TRUE(scheduler.push(1, design_request(Op::kEco, 1, "design_a")));
+  scheduler.close();
+  EXPECT_TRUE(scheduler.closed());
+  EXPECT_FALSE(scheduler.push(1, design_request(Op::kEco, 2, "design_a")));
+  EXPECT_FALSE(scheduler.push(1, design_request(Op::kEco, 3, "design_b")));
+  EXPECT_EQ(scheduler.pending(), 1u);
+}
+
+TEST(ServeLaneScheduler, ResolveLanesHonorsConfigAndFloorsAtOne) {
+  ServerConfig config;
+  config.lanes = 3;
+  EXPECT_EQ(resolve_lanes(config), 3u);
+  config.lanes = 0;
+  EXPECT_GE(resolve_lanes(config), 1u);
+  config.lanes = -5;
+  EXPECT_GE(resolve_lanes(config), 1u);
+}
+
 // ----------------------------------------------------- incremental reroute
 
 constexpr unsigned kSeed = 20130602;
@@ -296,6 +413,118 @@ TEST(ServeEco, PinMoveReroutesAndStaysConsistent) {
   ASSERT_TRUE(outcome.ok) << outcome.error;
   EXPECT_TRUE(outcome.verified);
   EXPECT_EQ(resident.design().netlist.pin(pin).pos, to);
+}
+
+TEST(ServeEco, MultiPinMoveAppliesMovesInOrder) {
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "unit";
+  spec.um_width = 100;
+  spec.um_height = 100;
+  spec.layers = 3;
+  spec.nets = 80;
+  spec.pins = 220;
+  auto circuit = bench_suite::generate_circuit(spec, {}, 11);
+  ResidentDesign resident(
+      netlist::Design{circuit.grid, std::move(circuit.netlist)});
+  ASSERT_TRUE(resident.route_full().ok);
+
+  // Two movable pins of distinct multi-pin nets, each with a free
+  // destination no pin (original or already-moved) occupies.
+  const netlist::Netlist& netlist = resident.design().netlist;
+  std::vector<PinMoveSpec> moves;
+  std::vector<geom::Point> taken;
+  for (const netlist::Pin& pin : netlist.pins()) taken.push_back(pin.pos);
+  for (netlist::PinId candidate = 0;
+       candidate < static_cast<netlist::PinId>(netlist.num_pins()) &&
+       moves.size() < 2;
+       ++candidate) {
+    if (netlist.net(netlist.pin(candidate).net).degree() < 2) continue;
+    if (!moves.empty() &&
+        netlist.pin(candidate).net == netlist.pin(moves.front().pin).net)
+      continue;
+    for (geom::Coord dx = 1; dx <= 3; ++dx) {
+      const geom::Point p{netlist.pin(candidate).pos.x + dx,
+                          netlist.pin(candidate).pos.y};
+      if (!resident.design().grid.in_bounds(p)) continue;
+      if (std::find(taken.begin(), taken.end(), p) != taken.end()) continue;
+      moves.push_back({candidate, p});
+      taken.push_back(p);
+      break;
+    }
+  }
+  ASSERT_EQ(moves.size(), 2u) << "no two movable pins found";
+
+  EcoRequest request;
+  request.pin_moves = moves;
+  request.verify = true;
+  const EcoOutcome outcome = resident.eco(request);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_TRUE(outcome.verified);
+  for (const PinMoveSpec& move : moves)
+    EXPECT_EQ(resident.design().netlist.pin(move.pin).pos, move.to);
+}
+
+TEST(ServeEco, MoveToAnOccupiedPositionFailsCleanly) {
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "unit";
+  spec.um_width = 100;
+  spec.um_height = 100;
+  spec.layers = 3;
+  spec.nets = 40;
+  spec.pins = 120;
+  auto circuit = bench_suite::generate_circuit(spec, {}, 13);
+  ResidentDesign resident(
+      netlist::Design{circuit.grid, std::move(circuit.netlist)});
+  ASSERT_TRUE(resident.route_full().ok);
+
+  const netlist::Netlist& netlist = resident.design().netlist;
+  EcoRequest request;
+  request.pin_moves = {{0, netlist.pin(1).pos}};
+  const EcoOutcome outcome = resident.eco(request);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("already carries"), std::string::npos)
+      << outcome.error;
+  EXPECT_TRUE(resident.routed()) << "a rejected ECO must not corrupt state";
+}
+
+// The coalescing dispatcher unions consecutive same-design ECOs into one
+// merged request whose single report fans out to every member. That is
+// only honest if the merged apply is deterministic: two identically-
+// prepared residents given the same merged batch (member lists unioned in
+// request order, overlaps and all) must land on byte-identical canonical
+// bytes, and the batch must survive the serialized-state verify replay.
+// (Coalescing deliberately changes the apply granularity — a merged batch
+// is one rip-up of the union, not its members back to back — so the pinned
+// contract is batch determinism + replay identity, not sequential
+// equivalence.)
+TEST(ServeEco, CoalescedBatchIsBitIdenticalAcrossResidentsOnS5378) {
+  ResidentDesign lived(s5378_design());
+  ASSERT_TRUE(lived.route_full().ok);
+  const std::vector<netlist::NetId> all =
+      routable_nets(lived.design().netlist, 12);
+  ASSERT_GE(all.size(), 12u);
+
+  // The union the dispatcher builds from two overlapping members, kept in
+  // request order with the duplicates intact (resolve_nets dedups).
+  EcoRequest merged;
+  merged.nets.insert(merged.nets.end(), all.begin(), all.begin() + 8);
+  merged.nets.insert(merged.nets.end(), all.begin() + 4, all.end());
+  merged.verify = true;
+  const EcoOutcome outcome = lived.eco(merged);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_TRUE(outcome.verified)
+      << "the merged batch diverged from its serialized-state replay";
+  EXPECT_FALSE(outcome.verify_mismatch);
+
+  ResidentDesign fresh(s5378_design());
+  ASSERT_TRUE(fresh.route_full().ok);
+  EcoRequest replay;
+  replay.nets = merged.nets;
+  const EcoOutcome again = fresh.eco(replay);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(canonical_quality_block(outcome.report),
+            canonical_quality_block(again.report))
+      << "the same coalesced batch diverged across residents";
 }
 
 // ECO replanning with the exact ILP is only allowed in its deterministic
@@ -612,6 +841,10 @@ TEST(ServeServer, MetricsRequestRendersValidPrometheusText) {
         "mebl_serve_jobs_route ",
         "mebl_serve_queue_depth 0",
         "mebl_serve_jobs_inflight 0",
+        "mebl_serve_lanes 1",
+        "mebl_serve_lane_depth{lane=\"0\"} 0",
+        "mebl_serve_lane_busy{lane=\"0\"} 0",
+        "mebl_serve_lane_jobs{lane=\"0\"} 2",
         "mebl_serve_cache_residents 1",
         "mebl_serve_cache_resident{design=\"unit\"} 1"})
     EXPECT_NE(text.find(needle), std::string::npos)
@@ -702,6 +935,213 @@ TEST(ServeServer, DumpRequestWritesFlightRecorderFile) {
   telemetry::FlightRecorder::reset_for_testing();
   ::unlink(dump_path.c_str());
   server.stop();
+}
+
+// ---------------------------------------------------- lanes and coalescing
+
+/// A design big enough that its route keeps a lane busy for tens of
+/// milliseconds — the window the pipelined tests below queue work into.
+netlist::Design medium_design(unsigned seed) {
+  bench_suite::BenchmarkSpec spec;
+  spec.name = "unit";
+  spec.um_width = 100;
+  spec.um_height = 100;
+  spec.layers = 3;
+  spec.nets = 300;
+  spec.pins = 900;
+  auto circuit = bench_suite::generate_circuit(spec, {}, seed);
+  return netlist::Design{circuit.grid, std::move(circuit.netlist)};
+}
+
+TEST(ServeServer, EcoBurstCoalescesIntoOneBatchOverSocket) {
+  ServerConfig config;
+  config.socket_path = test_socket_path() + ".c";
+  Server server(config);
+  ASSERT_TRUE(server.start());
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path));
+
+  const netlist::Design design = medium_design(17);
+  load_and_route(client, "burst", design);
+
+  // Occupy the design's lane with a full route, then land three ECOs in
+  // one socket write: they queue consecutively behind the route and must
+  // coalesce into a single batched reroute.
+  const auto before = telemetry::snapshot_counters();
+  Request route = make_request(Op::kRoute, 0);
+  route.design = "burst";
+  const std::int64_t route_id = client.send(route);
+  ASSERT_GE(route_id, 0);
+  std::vector<Request> burst;
+  for (int i = 0; i < 3; ++i) {
+    Request eco = make_request(Op::kEco, 0);
+    eco.design = "burst";
+    eco.nets = routable_nets(design.netlist, 4);
+    eco.verify = i == 2;
+    burst.push_back(std::move(eco));
+  }
+  const std::vector<std::int64_t> burst_ids =
+      client.send_batch(std::move(burst));
+  ASSERT_EQ(burst_ids.size(), 3u);
+
+  std::set<std::int64_t> outstanding(burst_ids.begin(), burst_ids.end());
+  outstanding.insert(route_id);
+  while (!outstanding.empty()) {
+    const auto response = client.receive();
+    ASSERT_TRUE(response.has_value());
+    if (response->type == "ack" || response->type == "progress") continue;
+    ASSERT_EQ(outstanding.erase(response->id), 1u);
+    ASSERT_EQ(response->type, "done") << response->error;
+    if (response->id == route_id) continue;
+    // Every batch member's response names the batch it rode in.
+    const report::Json* summary = response->payload.get("eco");
+    ASSERT_NE(summary, nullptr);
+    ASSERT_NE(summary->get("coalesced"), nullptr);
+    EXPECT_EQ(summary->get("coalesced")->as_int(), 3);
+    if (response->id == burst_ids.back()) {
+      ASSERT_NE(summary->get("verified"), nullptr);
+      EXPECT_TRUE(summary->get("verified")->as_bool())
+          << "the merged batch failed its verify replay";
+    } else {
+      EXPECT_EQ(summary->get("verified"), nullptr)
+          << "verified must only fan out to the member that asked";
+    }
+  }
+  const auto stats = telemetry::delta(before, telemetry::snapshot_counters());
+  EXPECT_EQ(stats.value(telemetry::keys::kServeEcoCoalesced), 2)
+      << "three consecutive ECOs must absorb two into the batch";
+  server.stop();
+}
+
+TEST(ServeServer, ExpiredDeadlineRejectedBeforeStart) {
+  ServerConfig config;
+  config.socket_path = test_socket_path() + ".dl";
+  config.lanes = 1;
+  Server server(config);
+  ASSERT_TRUE(server.start());
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path));
+
+  const netlist::Design design = medium_design(19);
+  load_and_route(client, "busy", design);
+
+  // Occupy the lane, then queue an ECO whose deadline expires while it
+  // waits: the lane must reject it with a structured error instead of
+  // starting and then cancelling it.
+  const auto before = telemetry::snapshot_counters();
+  Request route = make_request(Op::kRoute, 0);
+  route.design = "busy";
+  ASSERT_GE(client.send(route), 0);
+  Request eco = make_request(Op::kEco, 0);
+  eco.design = "busy";
+  eco.nets = routable_nets(design.netlist, 4);
+  eco.deadline_seconds = 0.001;
+  const auto response = client.call(std::move(eco));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->type, "error");
+  EXPECT_EQ(response->error, "deadline exceeded");
+  const report::Json* code = response->payload.get("code");
+  ASSERT_NE(code, nullptr);
+  EXPECT_EQ(code->as_string(), "deadline_exceeded");
+  const report::Json* rejected = response->payload.get("rejected_before_start");
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_TRUE(rejected->as_bool());
+  const auto stats = telemetry::delta(before, telemetry::snapshot_counters());
+  EXPECT_EQ(stats.value(telemetry::keys::kServeDeadlineRejected), 1);
+  server.stop();
+}
+
+TEST(ServeServer, CrossLaneConcurrencySmoke) {
+  ServerConfig config;
+  config.socket_path = test_socket_path() + ".x";
+  config.lanes = 2;
+  Server server(config);
+  ASSERT_TRUE(server.start());
+
+  // Two designs whose names hash to the two different lanes.
+  const std::string name_a = "lane_smoke_a";
+  const std::size_t lane_a = LaneScheduler::lane_for(name_a, 2);
+  std::string name_b = "lane_smoke_b";
+  for (int i = 0; LaneScheduler::lane_for(name_b, 2) == lane_a; ++i)
+    name_b = "lane_smoke_b" + std::to_string(i);
+
+  // One client thread per design: load, route, ECO, all overlapping with
+  // the other design's jobs on the other lane. Collect the lane index of
+  // every enqueue ack; the lane-affinity invariant says each design only
+  // ever sees its own lane.
+  struct Worker {
+    bool ok = false;
+    std::string error;
+    std::set<std::int64_t> lanes_seen;
+  };
+  Worker workers[2];
+  const std::string names[2] = {name_a, name_b};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w)
+    threads.emplace_back([&, w] {
+      Worker& worker = workers[w];
+      Client client;
+      if (!client.connect(config.socket_path)) {
+        worker.error = "connect failed";
+        return;
+      }
+      const auto lane_collector = [&worker](const Response& event) {
+        if (event.type != "ack") return;
+        if (const report::Json* lane = event.payload.get("lane"))
+          worker.lanes_seen.insert(lane->as_int());
+      };
+      const netlist::Design design = medium_design(23 + w);
+      std::ostringstream design_text;
+      netlist::write_design(design_text, design);
+      Request load = make_request(Op::kLoad, 0);
+      load.design = names[w];
+      load.design_text = design_text.str();
+      auto response = client.call(std::move(load), lane_collector);
+      if (!response || response->type != "done") {
+        worker.error = "load failed";
+        return;
+      }
+      Request route = make_request(Op::kRoute, 0);
+      route.design = names[w];
+      response = client.call(std::move(route), lane_collector);
+      if (!response || response->type != "done") {
+        worker.error = "route failed";
+        return;
+      }
+      Request eco = make_request(Op::kEco, 0);
+      eco.design = names[w];
+      eco.nets = routable_nets(design.netlist, 4);
+      response = client.call(std::move(eco), lane_collector);
+      if (!response || response->type != "done") {
+        worker.error = "eco failed";
+        return;
+      }
+      worker.ok = true;
+    });
+  for (std::thread& thread : threads) thread.join();
+
+  for (int w = 0; w < 2; ++w) {
+    EXPECT_TRUE(workers[w].ok) << names[w] << ": " << workers[w].error;
+    EXPECT_EQ(workers[w].lanes_seen.size(), 1u)
+        << names[w] << " was dispatched on more than one lane";
+    EXPECT_EQ(*workers[w].lanes_seen.begin(),
+              static_cast<std::int64_t>(LaneScheduler::lane_for(names[w], 2)));
+  }
+  EXPECT_NE(*workers[0].lanes_seen.begin(), *workers[1].lanes_seen.begin());
+
+  // Status reports the lane count; shutdown drains every lane and stops.
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path));
+  auto response = client.call(make_request(Op::kStatus, 0));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_NE(response->payload.get("lanes"), nullptr);
+  EXPECT_EQ(response->payload.get("lanes")->as_int(), 2);
+  response = client.call(make_request(Op::kShutdown, 0));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->type, "done");
+  server.wait();
+  server.stop();
+  EXPECT_FALSE(server.running());
 }
 
 }  // namespace
